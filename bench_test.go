@@ -1,0 +1,124 @@
+// Package fabricsim's root benchmarks regenerate each of the paper's
+// evaluation artifacts (one testing.B benchmark per table and figure) in
+// quick mode. The full paper-sized sweeps are produced by
+// cmd/fabricbench; these benchmarks exist so `go test -bench=.` exercises
+// every experiment end to end and reports per-artifact wall cost.
+//
+// Custom metrics reported per benchmark:
+//
+//	peak_tps    — best committed throughput observed across the sweep
+//	points      — number of (config, rate) data points measured
+package fabricsim_test
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"fabricsim/internal/bench"
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/fabnet"
+	"fabricsim/internal/metrics"
+	"fabricsim/internal/policy"
+	"fabricsim/internal/workload"
+
+	"time"
+)
+
+// benchOptions returns trimmed sweeps sized for testing.B.
+func benchOptions() bench.Options {
+	return bench.Options{
+		Scale:    0.25,
+		Duration: 6 * time.Second,
+		Quick:    true,
+		Seed:     1,
+	}
+}
+
+// runExperiment runs one harness experiment b.N times (N is effectively
+// 1 for these long benchmarks; -benchtime=1x is implied usage).
+func runExperiment(b *testing.B, id string) {
+	exp, ok := bench.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := exp.Run(context.Background(), benchOptions(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2OverallThroughput(b *testing.B)  { runExperiment(b, "fig2") }
+func BenchmarkFig3OverallLatency(b *testing.B)     { runExperiment(b, "fig3") }
+func BenchmarkFig4PhaseThroughputOR(b *testing.B)  { runExperiment(b, "fig4") }
+func BenchmarkFig5PhaseThroughputAND(b *testing.B) { runExperiment(b, "fig5") }
+func BenchmarkFig6PhaseLatencyOR(b *testing.B)     { runExperiment(b, "fig6") }
+func BenchmarkFig7PhaseLatencyAND(b *testing.B)    { runExperiment(b, "fig7") }
+func BenchmarkTable2PeerScalability(b *testing.B)  { runExperiment(b, "table2") }
+func BenchmarkTable3PeerLatency(b *testing.B)      { runExperiment(b, "table3") }
+func BenchmarkFig8OSNScalability(b *testing.B)     { runExperiment(b, "fig8") }
+
+// BenchmarkSinglePoint measures one operating point (Solo, OR over 10
+// peers, 300 tps — the paper's peak region) and reports model-time
+// metrics, giving a fast calibration check.
+func BenchmarkSinglePoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := bench.RunPoint(context.Background(), bench.PointConfig{
+			Orderer:     fabnet.Solo,
+			OSNs:        1,
+			Peers:       10,
+			Policy:      policy.OrOverPeers(10),
+			PolicyLabel: "OR",
+			Rate:        300,
+		}, benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(p.Summary.ValidateTPS, "committed_tps")
+		b.ReportMetric(p.Summary.TotalLatency.Avg.Seconds(), "latency_s")
+		b.ReportMetric(p.Summary.BlockTime.Seconds(), "blocktime_s")
+	}
+}
+
+// BenchmarkEndToEndTx measures the per-transaction wall cost of the full
+// execute-order-validate pipeline on a minimal network (not a paper
+// artifact; a harness-overhead baseline).
+func BenchmarkEndToEndTx(b *testing.B) {
+	model := costmodel.Default(0.02)
+	col := metrics.NewCollector()
+	net, err := fabnet.Build(fabnet.Config{
+		Orderer:           fabnet.Solo,
+		NumEndorsingPeers: 2,
+		Policy:            policy.OrOverPeers(2),
+		Model:             model,
+		Collector:         col,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Stop()
+	ctx := context.Background()
+	if err := net.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	// Drive an open-loop load sized to b.N.
+	rate := 200.0
+	duration := time.Duration(float64(b.N)/rate*float64(time.Second)) + time.Second
+	b.ResetTimer()
+	stats, err := workload.Run(ctx, net.Clients, workload.Config{
+		Rate:     rate,
+		Duration: duration,
+		Model:    model,
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if stats.Succeeded == 0 {
+		b.Fatal("no transactions committed")
+	}
+	b.ReportMetric(float64(stats.Succeeded), "committed")
+}

@@ -1,0 +1,81 @@
+// Command fabricbench regenerates the paper's evaluation artifacts
+// (Figs. 2-8, Tables II-III) on the emulated Fabric network.
+//
+// Usage:
+//
+//	fabricbench -experiment all            # everything, paper-sized sweeps
+//	fabricbench -experiment fig2 -quick    # one artifact, trimmed sweep
+//	fabricbench -list                      # show available experiments
+//
+// The -scale flag compresses model time (0.1 = 10x faster than the
+// paper's wall clock); reported numbers are always in model time and
+// therefore directly comparable with the paper.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fabricsim/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (fig2..fig8, table2, table3) or 'all'")
+		scale      = flag.Float64("scale", 0.1, "time-compression factor (1.0 = real time)")
+		duration   = flag.Duration("duration", 0, "model-time load duration per data point (default 12s, quick 5s)")
+		quick      = flag.Bool("quick", false, "trimmed sweeps for smoke runs")
+		txSize     = flag.Int("txsize", 1, "transaction value size in bytes")
+		seed       = flag.Int64("seed", 1, "workload random seed")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Print(bench.Describe())
+		return 0
+	}
+
+	opt := bench.Options{
+		Scale:    *scale,
+		Duration: *duration,
+		Quick:    *quick,
+		TxSize:   *txSize,
+		Seed:     *seed,
+	}
+
+	var exps []bench.Experiment
+	if *experiment == "all" {
+		exps = bench.All()
+	} else {
+		for _, id := range strings.Split(*experiment, ",") {
+			e, ok := bench.Get(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fabricbench: unknown experiment %q\navailable:\n%s", id, bench.Describe())
+				return 2
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	for _, e := range exps {
+		expStart := time.Now()
+		if err := e.Run(ctx, opt, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "fabricbench: %s: %v\n", e.ID, err)
+			return 1
+		}
+		fmt.Printf("[%s done in %s]\n", e.ID, time.Since(expStart).Round(time.Millisecond))
+	}
+	fmt.Printf("\nall experiments done in %s\n", time.Since(start).Round(time.Millisecond))
+	return 0
+}

@@ -1,0 +1,108 @@
+// Command fabricnet runs the full Fabric network over real TCP sockets
+// (gob-framed loopback connections, one listener per node) instead of
+// the in-memory emulated transport, demonstrating that the node
+// implementations are transport-independent and measuring the pipeline
+// against a real kernel network path.
+//
+// Usage:
+//
+//	fabricnet -orderer raft -osns 3 -peers 3 -rate 50 -duration 10s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/fabnet"
+	"fabricsim/internal/metrics"
+	"fabricsim/internal/policy"
+	"fabricsim/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		ordererType = flag.String("orderer", "solo", "ordering service: solo | kafka | raft")
+		osns        = flag.Int("osns", 3, "ordering service nodes (solo forces 1)")
+		peers       = flag.Int("peers", 3, "endorsing peers (one per org)")
+		policyStr   = flag.String("policy", "", "endorsement policy (default OR over all peers)")
+		rate        = flag.Float64("rate", 50, "arrival rate, tx/s (model time)")
+		duration    = flag.Duration("duration", 10*time.Second, "load duration (model time)")
+		scale       = flag.Float64("scale", 1.0, "time compression factor")
+		verify      = flag.Bool("verify", false, "real ECDSA signatures and full verification")
+	)
+	flag.Parse()
+
+	model := costmodel.Default(*scale)
+	col := metrics.NewCollector()
+	cfg := fabnet.Config{
+		Orderer:           fabnet.OrdererType(*ordererType),
+		NumOrderers:       *osns,
+		NumEndorsingPeers: *peers,
+		Model:             model,
+		Collector:         col,
+		UseTCP:            true,
+	}
+	if *verify {
+		cfg.Scheme = "ecdsa"
+		cfg.VerifyCrypto = true
+	}
+	if *policyStr != "" {
+		pol, err := policy.Parse(*policyStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fabricnet:", err)
+			return 2
+		}
+		cfg.Policy = pol
+	}
+
+	net, err := fabnet.Build(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fabricnet:", err)
+		return 1
+	}
+	defer net.Stop()
+	ctx := context.Background()
+	if err := net.Start(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "fabricnet:", err)
+		return 1
+	}
+	fmt.Printf("network up over TCP: %d OSN(s) [%s], %d peer(s), %d client(s)\n",
+		len(net.Orderers), cfg.Orderer, len(net.Peers), len(net.Clients))
+
+	stats, err := workload.Run(ctx, net.Clients, workload.Config{
+		Rate:     *rate,
+		Duration: *duration,
+		Model:    model,
+		Seed:     1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fabricnet:", err)
+		return 1
+	}
+	sum := col.Summarize(metrics.SummaryOptions{
+		TimeScale:     model.TimeScale,
+		RejectLatency: model.OrderTimeout,
+	})
+	fmt.Printf("submitted=%d committed=%d failed=%d\n", stats.Submitted, stats.Succeeded, stats.Failed)
+	fmt.Printf("throughput: execute=%.1f order=%.1f validate=%.1f tps\n",
+		sum.ExecuteTPS, sum.OrderTPS, sum.ValidateTPS)
+	fmt.Printf("latency: avg=%.3fs p95=%.3fs   block time: %.3fs (avg %0.1f tx/block)\n",
+		sum.TotalLatency.Avg.Seconds(), sum.TotalLatency.P95.Seconds(),
+		sum.BlockTime.Seconds(), sum.AvgBlockSize)
+	for _, p := range net.Peers {
+		if err := p.Ledger().VerifyChain(); err != nil {
+			fmt.Fprintf(os.Stderr, "fabricnet: peer %s: %v\n", p.ID(), err)
+			return 1
+		}
+	}
+	fmt.Println("all peer hash chains verified")
+	return 0
+}

@@ -1,0 +1,117 @@
+// Moneytransfer: the bank-account scenario the paper's workload-design
+// discussion motivates. Concurrent transfers against a small set of hot
+// accounts exercise MVCC read-write conflict detection: conflicting
+// transactions are recorded on the chain flagged MVCC_READ_CONFLICT and
+// do not change the world state, so no money is ever created or lost.
+//
+//	go run ./examples/moneytransfer
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"fabricsim/internal/chaincode"
+	"fabricsim/internal/client"
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/fabnet"
+	"fabricsim/internal/policy"
+)
+
+const (
+	accounts       = 4
+	initialBalance = 1000
+	transfers      = 40
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "moneytransfer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	model := costmodel.Default(0.2) // 5x compressed
+	net, err := fabnet.Build(fabnet.Config{
+		Orderer:           fabnet.Solo,
+		NumEndorsingPeers: 2,
+		NumClients:        4,
+		Policy:            policy.MustParse("AND('Org1.peer0','Org2.peer0')"),
+		Model:             model,
+		ExtraChaincodes:   []chaincode.Chaincode{chaincode.NewMoneyTransfer("bank")},
+	})
+	if err != nil {
+		return err
+	}
+	defer net.Stop()
+	ctx := context.Background()
+	if err := net.Start(ctx); err != nil {
+		return err
+	}
+
+	// Open the accounts (sequentially, so no conflicts).
+	for i := 0; i < accounts; i++ {
+		acct := fmt.Sprintf("acct%d", i)
+		if _, err := net.Clients[0].Invoke(ctx, "bank", "open",
+			[][]byte{[]byte(acct), []byte(strconv.Itoa(initialBalance))}); err != nil {
+			return fmt.Errorf("open %s: %w", acct, err)
+		}
+	}
+	fmt.Printf("opened %d accounts with balance %d each\n", accounts, initialBalance)
+
+	// Fire concurrent transfers between random hot accounts. Many hit
+	// the same accounts in the same block and lose MVCC validation.
+	var committed, conflicted, other atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < transfers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := net.Clients[i%len(net.Clients)]
+			from := fmt.Sprintf("acct%d", i%accounts)
+			to := fmt.Sprintf("acct%d", (i+1)%accounts)
+			_, err := cl.Invoke(ctx, "bank", "transfer",
+				[][]byte{[]byte(from), []byte(to), []byte("10")})
+			switch {
+			case err == nil:
+				committed.Add(1)
+			case errors.Is(err, client.ErrInvalidated):
+				conflicted.Add(1)
+			default:
+				other.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("transfers: %d committed, %d MVCC-invalidated, %d failed otherwise\n",
+		committed.Load(), conflicted.Load(), other.Load())
+
+	// Conservation check: total balance must be unchanged, on every peer.
+	for _, p := range net.Peers {
+		total := int64(0)
+		for i := 0; i < accounts; i++ {
+			vv, ok, err := p.Ledger().State().Get("bank", fmt.Sprintf("acct%d", i))
+			if err != nil || !ok {
+				return fmt.Errorf("peer %s: missing acct%d", p.ID(), i)
+			}
+			bal, err := strconv.ParseInt(string(vv.Value), 10, 64)
+			if err != nil {
+				return err
+			}
+			total += bal
+		}
+		fmt.Printf("peer %s: total balance = %d (expected %d)\n", p.ID(), total, accounts*initialBalance)
+		if total != accounts*initialBalance {
+			return fmt.Errorf("conservation violated on %s", p.ID())
+		}
+	}
+	fmt.Println("money conserved: MVCC prevented every double-spend")
+	return nil
+}

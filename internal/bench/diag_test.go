@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/fabnet"
+	"fabricsim/internal/metrics"
+	"fabricsim/internal/policy"
+	"fabricsim/internal/workload"
+)
+
+// TestDiagSoloOR is a diagnostic harness run: it prints per-point
+// throughput so calibration drift is visible in test logs. Skipped in
+// -short mode.
+func TestDiagSoloOR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic run")
+	}
+	for _, rate := range []float64{150, 300, 400, 450} {
+		model := costmodel.Default(0.25)
+		col := metrics.NewCollector()
+		net, err := fabnet.Build(fabnet.Config{
+			Orderer:           fabnet.Solo,
+			NumEndorsingPeers: 10,
+			Policy:            policy.OrOverPeers(10),
+			Model:             model,
+			Collector:         col,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		if err := net.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+		wallStart := time.Now()
+		stats, err := workload.Run(ctx, net.Clients, workload.Config{
+			Rate: rate, Duration: 6 * time.Second, Model: model, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wall := time.Since(wallStart)
+		sum := col.Summarize(metrics.SummaryOptions{TimeScale: model.TimeScale, RejectLatency: model.OrderTimeout})
+		t.Logf("rate=%.0f wall=%s submitted=%d ok=%d failed=%d skipped=%d", rate, wall.Round(time.Millisecond), stats.Submitted, stats.Succeeded, stats.Failed, stats.Skipped)
+		t.Logf("  exec=%.1f order=%.1f validate=%.1f blocks=%d blocktime=%s avgblk=%.1f",
+			sum.ExecuteTPS, sum.OrderTPS, sum.ValidateTPS, sum.Blocks, sum.BlockTime, sum.AvgBlockSize)
+		t.Logf("  lat total=%s exec=%s order=%s validate=%s",
+			sum.TotalLatency.Avg, sum.ExecuteLatency.Avg, sum.OrderLatency.Avg, sum.ValidateLatency.Avg)
+		net.Stop()
+	}
+}
+
+// TestDiagANDRaft spot-checks the AND5 validate cap and Raft stability.
+func TestDiagANDRaft(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic run")
+	}
+	cases := []struct {
+		name    string
+		orderer fabnet.OrdererType
+		osns    int
+		pol     func() policyLabel
+		rate    float64
+	}{
+		{"solo-AND5-250", fabnet.Solo, 1, andPol, 250},
+		{"solo-AND5-400", fabnet.Solo, 1, andPol, 400},
+		{"raft-OR-300", fabnet.Raft, 3, orPol, 300},
+		{"kafka-OR-300", fabnet.Kafka, 3, orPol, 300},
+		{"raft-OR-400", fabnet.Raft, 3, orPol, 400},
+		{"kafka-OR-400", fabnet.Kafka, 3, orPol, 400},
+	}
+	for _, tc := range cases {
+		model := costmodel.Default(0.25)
+		col := metrics.NewCollector()
+		pl := tc.pol()
+		net, err := fabnet.Build(fabnet.Config{
+			Orderer: tc.orderer, NumOrderers: tc.osns,
+			NumEndorsingPeers: 10, Policy: pl.pol, Model: model, Collector: col,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		if err := net.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := workload.Run(ctx, net.Clients, workload.Config{
+			Rate: tc.rate, Duration: 6 * time.Second, Model: model, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := col.Summarize(metrics.SummaryOptions{TimeScale: model.TimeScale, RejectLatency: model.OrderTimeout})
+		t.Logf("%s: ok=%d failed=%d exec=%.1f order=%.1f validate=%.1f latency=%s",
+			tc.name, stats.Succeeded, stats.Failed, sum.ExecuteTPS, sum.OrderTPS, sum.ValidateTPS, sum.TotalLatency.Avg)
+		net.Stop()
+	}
+}
+
+type policyLabel struct {
+	label string
+	pol   policy.Policy
+}
+
+func andPol() policyLabel { return policyLabel{"AND5", policy.AndOverPeers(5)} }
+func orPol() policyLabel  { return policyLabel{"OR", policy.OrOverPeers(10)} }

@@ -1,0 +1,195 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation section (Figs. 2-8, Tables
+// II-III) by building emulated networks, driving calibrated workloads,
+// and printing the same rows/series the paper reports. See DESIGN.md
+// section 5 for the experiment index and EXPERIMENTS.md for measured
+// versus published results.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/fabnet"
+	"fabricsim/internal/metrics"
+	"fabricsim/internal/policy"
+	"fabricsim/internal/workload"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Scale is the time-compression factor (default 0.1 = 10x faster).
+	Scale float64
+	// Duration is the load duration per data point in model time
+	// (default 12s).
+	Duration time.Duration
+	// Quick trims sweeps for smoke runs and unit benchmarks.
+	Quick bool
+	// TxSize is the written value size (the paper's 1-byte default).
+	TxSize int
+	// Seed fixes workload randomness.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 0.25
+	}
+	if o.Duration <= 0 {
+		o.Duration = 12 * time.Second
+		if o.Quick {
+			o.Duration = 6 * time.Second
+		}
+	}
+	if o.TxSize <= 0 {
+		o.TxSize = 1
+	}
+	return o
+}
+
+// Point is one measured experiment data point.
+type Point struct {
+	Orderer fabnet.OrdererType
+	Policy  string
+	Peers   int
+	OSNs    int
+	Rate    float64
+	Summary metrics.Summary
+	Stats   workload.Stats
+}
+
+// PointConfig describes one network + load combination.
+type PointConfig struct {
+	Orderer     fabnet.OrdererType
+	OSNs        int
+	Brokers     int
+	ZooKeepers  int
+	Peers       int
+	Policy      policy.Policy
+	PolicyLabel string
+	Rate        float64
+}
+
+// RunPoint builds the network, applies the load, and reduces metrics.
+func RunPoint(ctx context.Context, pc PointConfig, opt Options) (Point, error) {
+	opt = opt.withDefaults()
+	model := costmodel.Default(opt.Scale)
+	col := metrics.NewCollector()
+	cfg := fabnet.Config{
+		Orderer:           pc.Orderer,
+		NumOrderers:       pc.OSNs,
+		NumKafkaBrokers:   pc.Brokers,
+		NumZooKeepers:     pc.ZooKeepers,
+		NumEndorsingPeers: pc.Peers,
+		Policy:            pc.Policy,
+		Model:             model,
+		Collector:         col,
+	}
+	net, err := fabnet.Build(cfg)
+	if err != nil {
+		return Point{}, fmt.Errorf("bench: %w", err)
+	}
+	defer net.Stop()
+	if err := net.Start(ctx); err != nil {
+		return Point{}, fmt.Errorf("bench: %w", err)
+	}
+	stats, err := workload.Run(ctx, net.Clients, workload.Config{
+		Rate:     pc.Rate,
+		Duration: opt.Duration,
+		TxSize:   opt.TxSize,
+		Model:    model,
+		Seed:     opt.Seed,
+	})
+	if err != nil {
+		return Point{}, fmt.Errorf("bench: %w", err)
+	}
+	sum := col.Summarize(metrics.SummaryOptions{
+		TimeScale:     model.TimeScale,
+		RejectLatency: model.OrderTimeout,
+	})
+	return Point{
+		Orderer: pc.Orderer,
+		Policy:  pc.PolicyLabel,
+		Peers:   pc.Peers,
+		OSNs:    pc.OSNs,
+		Rate:    pc.Rate,
+		Summary: sum,
+		Stats:   stats,
+	}, nil
+}
+
+// sweepRates returns the paper's arrival-rate sweep.
+func sweepRates(quick bool) []float64 {
+	if quick {
+		return []float64{100, 250, 400}
+	}
+	return []float64{50, 100, 150, 200, 250, 300, 350, 400, 450}
+}
+
+// orderers returns the ordering services under comparison.
+func orderers() []fabnet.OrdererType {
+	return []fabnet.OrdererType{fabnet.Solo, fabnet.Kafka, fabnet.Raft}
+}
+
+// fprintf writes formatted output, ignoring the error like fmt.Printf.
+func fprintf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+// secs renders a duration in seconds with 2 decimals ("-" for zero).
+func secs(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", d.Seconds())
+}
+
+// header prints an experiment banner.
+func header(w io.Writer, title string) {
+	fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+// Experiment is one runnable reproduction artifact.
+type Experiment struct {
+	// ID matches DESIGN.md's experiment index (fig2 ... table3).
+	ID string
+	// Title is the paper artifact's caption.
+	Title string
+	// Run executes the experiment, writing its table to w.
+	Run func(ctx context.Context, opt Options, w io.Writer) error
+}
+
+// All returns every paper experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		Fig2(), Fig3(), Fig4(), Fig5(), Fig6(), Fig7(),
+		Table2(), Table3(), Fig8(),
+	}
+}
+
+// Ablations returns the non-paper parameter studies (BatchSize,
+// BatchTimeout, transaction size).
+func Ablations() []Experiment {
+	return []Experiment{
+		AblationBatchSize(), AblationBatchTimeout(), AblationTxSize(),
+	}
+}
+
+// Get returns the experiment (paper or ablation) with the given ID.
+func Get(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	for _, e := range Ablations() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

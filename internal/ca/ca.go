@@ -1,0 +1,234 @@
+// Package ca reproduces the role of Fabric CA: an identity-management
+// service that enrolls the participants of the network (peers, ordering
+// service nodes, and clients) by issuing certificates, and supports
+// revocation. Certificates use a compact deterministic encoding rather
+// than X.509, signed by the CA's own key pair.
+package ca
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fabricsim/internal/fabcrypto"
+	"fabricsim/internal/types"
+)
+
+// Role is the function a certificate holder plays in the network.
+type Role uint8
+
+// Roles assignable to enrolled identities.
+const (
+	RolePeer Role = iota + 1
+	RoleOrderer
+	RoleClient
+	RoleAdmin
+)
+
+// String returns the lowercase role name.
+func (r Role) String() string {
+	switch r {
+	case RolePeer:
+		return "peer"
+	case RoleOrderer:
+		return "orderer"
+	case RoleClient:
+		return "client"
+	case RoleAdmin:
+		return "admin"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// Errors returned by certificate validation.
+var (
+	ErrRevoked     = errors.New("ca: certificate revoked")
+	ErrExpired     = errors.New("ca: certificate outside validity window")
+	ErrBadCASig    = errors.New("ca: certificate not signed by this CA")
+	ErrUnknownName = errors.New("ca: unknown enrollment")
+)
+
+// Certificate binds an identity (name, org, role) to a public key, with
+// a validity window, a serial number, and the issuing CA's signature.
+type Certificate struct {
+	Serial    uint64
+	Name      string // e.g. "peer0"
+	Org       string // e.g. "Org1"
+	Role      Role
+	Scheme    string // signature scheme of PubKey
+	PubKey    []byte
+	NotBefore int64 // unix nanos
+	NotAfter  int64 // unix nanos
+	CASig     []byte
+}
+
+// ID returns the MSP-qualified identity string, "Org.Name".
+func (c *Certificate) ID() string { return c.Org + "." + c.Name }
+
+// tbs returns the to-be-signed encoding (everything but CASig).
+func (c *Certificate) tbs() []byte {
+	enc := types.NewEncoder(192)
+	enc.Uvarint(c.Serial)
+	enc.String(c.Name)
+	enc.String(c.Org)
+	enc.Byte(byte(c.Role))
+	enc.String(c.Scheme)
+	enc.Bytes2(c.PubKey)
+	enc.Int64(c.NotBefore)
+	enc.Int64(c.NotAfter)
+	return enc.Bytes()
+}
+
+// Marshal returns the full certificate encoding including the CA
+// signature; this is the form embedded in proposals as the creator.
+func (c *Certificate) Marshal() []byte {
+	enc := types.NewEncoder(256)
+	body := c.tbs()
+	enc.Bytes2(body)
+	enc.Bytes2(c.CASig)
+	return enc.Bytes()
+}
+
+// Unmarshal decodes a certificate produced by Marshal.
+func Unmarshal(b []byte) (*Certificate, error) {
+	dec := types.NewDecoder(b)
+	body := dec.Bytes2()
+	sig := dec.Bytes2()
+	if err := dec.Finish(); err != nil {
+		return nil, fmt.Errorf("unmarshal certificate: %w", err)
+	}
+	bd := types.NewDecoder(body)
+	var c Certificate
+	c.Serial = bd.Uvarint()
+	c.Name = bd.String()
+	c.Org = bd.String()
+	c.Role = Role(bd.Byte())
+	c.Scheme = bd.String()
+	c.PubKey = bd.Bytes2()
+	c.NotBefore = bd.Int64()
+	c.NotAfter = bd.Int64()
+	if err := bd.Finish(); err != nil {
+		return nil, fmt.Errorf("unmarshal certificate body: %w", err)
+	}
+	c.CASig = sig
+	return &c, nil
+}
+
+// Enrollment is the result of enrolling with the CA: the certificate
+// plus the private key pair it certifies.
+type Enrollment struct {
+	Cert *Certificate
+	Key  fabcrypto.KeyPair
+}
+
+// CA is the certificate authority for one organization (Fabric deploys
+// one CA per org). It issues enrollment certificates and maintains a
+// revocation list.
+type CA struct {
+	org    string
+	scheme string
+	key    fabcrypto.KeyPair
+
+	mu       sync.Mutex
+	serial   uint64
+	issued   map[string]*Certificate // by ID()
+	revoked  map[uint64]struct{}
+	validity time.Duration
+}
+
+// New creates a CA for org issuing keys of the given fabcrypto scheme.
+func New(org, scheme string) (*CA, error) {
+	key, err := fabcrypto.GenerateKeyPair(scheme)
+	if err != nil {
+		return nil, fmt.Errorf("ca %s: %w", org, err)
+	}
+	return &CA{
+		org:      org,
+		scheme:   scheme,
+		key:      key,
+		issued:   make(map[string]*Certificate),
+		revoked:  make(map[uint64]struct{}),
+		validity: 365 * 24 * time.Hour,
+	}, nil
+}
+
+// Org returns the organization this CA serves.
+func (ca *CA) Org() string { return ca.org }
+
+// PublicKey returns the CA's serialized verification key. MSPs embed it
+// as the org's root of trust.
+func (ca *CA) PublicKey() []byte { return ca.key.Public() }
+
+// Scheme returns the CA's signature scheme.
+func (ca *CA) Scheme() string { return ca.scheme }
+
+// Enroll issues a certificate and fresh key pair for (name, role).
+func (ca *CA) Enroll(name string, role Role) (*Enrollment, error) {
+	key, err := fabcrypto.GenerateKeyPair(ca.scheme)
+	if err != nil {
+		return nil, fmt.Errorf("ca %s enroll %s: %w", ca.org, name, err)
+	}
+
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	ca.serial++
+	now := time.Now()
+	cert := &Certificate{
+		Serial:    ca.serial,
+		Name:      name,
+		Org:       ca.org,
+		Role:      role,
+		Scheme:    ca.scheme,
+		PubKey:    key.Public(),
+		NotBefore: now.Add(-time.Minute).UnixNano(),
+		NotAfter:  now.Add(ca.validity).UnixNano(),
+	}
+	sig, err := ca.key.Sign(cert.tbs())
+	if err != nil {
+		return nil, fmt.Errorf("ca %s sign cert: %w", ca.org, err)
+	}
+	cert.CASig = sig
+	ca.issued[cert.ID()] = cert
+	return &Enrollment{Cert: cert, Key: key}, nil
+}
+
+// Revoke adds the named identity's certificate to the revocation list.
+func (ca *CA) Revoke(id string) error {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	cert, ok := ca.issued[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownName, id)
+	}
+	ca.revoked[cert.Serial] = struct{}{}
+	return nil
+}
+
+// IsRevoked reports whether the serial appears on the revocation list.
+func (ca *CA) IsRevoked(serial uint64) bool {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	_, ok := ca.revoked[serial]
+	return ok
+}
+
+// Validate checks that cert was issued by this CA, is inside its
+// validity window at time now, and has not been revoked.
+func (ca *CA) Validate(cert *Certificate, now time.Time) error {
+	if cert.Org != ca.org {
+		return fmt.Errorf("ca %s: certificate for foreign org %s", ca.org, cert.Org)
+	}
+	if err := fabcrypto.Verify(ca.scheme, ca.PublicKey(), cert.tbs(), cert.CASig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadCASig, err)
+	}
+	n := now.UnixNano()
+	if n < cert.NotBefore || n > cert.NotAfter {
+		return ErrExpired
+	}
+	if ca.IsRevoked(cert.Serial) {
+		return ErrRevoked
+	}
+	return nil
+}

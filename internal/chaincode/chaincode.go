@@ -1,0 +1,194 @@
+// Package chaincode implements the chaincode runtime: the invocation
+// interface (stub) chaincodes program against, the simulator that
+// records read-write sets during the execute phase, a container
+// emulation standing in for Fabric's Docker isolation, and the sample
+// chaincodes the experiments and examples use.
+package chaincode
+
+import (
+	"errors"
+	"fmt"
+
+	"fabricsim/internal/statedb"
+	"fabricsim/internal/types"
+)
+
+// Errors returned by the runtime.
+var (
+	ErrUnknownChaincode = errors.New("chaincode: not installed")
+	ErrUnknownFunction  = errors.New("chaincode: unknown function")
+)
+
+// Stub is the API a chaincode uses to read and write ledger state.
+// During endorsement the stub is backed by a Simulator that records the
+// read-write set instead of mutating state.
+type Stub interface {
+	// TxID returns the invoking transaction's ID.
+	TxID() types.TxID
+	// GetState reads a key, observing the transaction's own prior
+	// writes (read-your-writes) before committed state.
+	GetState(key string) ([]byte, error)
+	// PutState buffers a write.
+	PutState(key string, value []byte) error
+	// DelState buffers a deletion.
+	DelState(key string) error
+	// GetStateRange reads committed keys in [startKey, endKey).
+	GetStateRange(startKey, endKey string) ([]statedb.KV, error)
+}
+
+// Chaincode is user application logic installed on peers.
+type Chaincode interface {
+	// Name returns the chaincode's installed name (its state namespace).
+	Name() string
+	// Invoke runs one function against the stub and returns an
+	// application-level response payload.
+	Invoke(stub Stub, fn string, args [][]byte) ([]byte, error)
+}
+
+// Simulator is the endorsement-time stub: reads come from the peer's
+// committed world state (with versions recorded into the read set) and
+// writes are buffered into the write set.
+type Simulator struct {
+	txID  types.TxID
+	ns    string
+	state *statedb.DB
+
+	rwset   types.RWSet
+	writes  map[string]types.KVWrite // read-your-writes buffer
+	readKey map[string]struct{}      // dedup reads of the same key
+}
+
+var _ Stub = (*Simulator)(nil)
+
+// NewSimulator creates a simulator for one invocation of chaincode ns.
+func NewSimulator(txID types.TxID, ns string, state *statedb.DB) *Simulator {
+	return &Simulator{
+		txID:    txID,
+		ns:      ns,
+		state:   state,
+		writes:  make(map[string]types.KVWrite),
+		readKey: make(map[string]struct{}),
+	}
+}
+
+// TxID returns the simulated transaction's ID.
+func (s *Simulator) TxID() types.TxID { return s.txID }
+
+// GetState implements Stub.
+func (s *Simulator) GetState(key string) ([]byte, error) {
+	if w, ok := s.writes[key]; ok {
+		if w.IsDelete {
+			return nil, nil
+		}
+		return append([]byte(nil), w.Value...), nil
+	}
+	vv, exists, err := s.state.Get(s.ns, key)
+	if err != nil {
+		return nil, fmt.Errorf("chaincode %s get %q: %w", s.ns, key, err)
+	}
+	if _, seen := s.readKey[key]; !seen {
+		s.readKey[key] = struct{}{}
+		read := types.KVRead{Key: key, Exists: exists}
+		if exists {
+			read.Version = vv.Version
+		}
+		s.rwset.Reads = append(s.rwset.Reads, read)
+	}
+	if !exists {
+		return nil, nil
+	}
+	return vv.Value, nil
+}
+
+// PutState implements Stub.
+func (s *Simulator) PutState(key string, value []byte) error {
+	w := types.KVWrite{Key: key, Value: append([]byte(nil), value...)}
+	s.writes[key] = w
+	return nil
+}
+
+// DelState implements Stub.
+func (s *Simulator) DelState(key string) error {
+	s.writes[key] = types.KVWrite{Key: key, IsDelete: true}
+	return nil
+}
+
+// GetStateRange implements Stub. Range reads record each returned key in
+// the read set (phantom protection is out of scope, as in Fabric's
+// default validation).
+func (s *Simulator) GetStateRange(startKey, endKey string) ([]statedb.KV, error) {
+	kvs, err := s.state.GetRange(s.ns, startKey, endKey, 0)
+	if err != nil {
+		return nil, fmt.Errorf("chaincode %s range [%q,%q): %w", s.ns, startKey, endKey, err)
+	}
+	for _, kv := range kvs {
+		if _, seen := s.readKey[kv.Key]; !seen {
+			s.readKey[kv.Key] = struct{}{}
+			s.rwset.Reads = append(s.rwset.Reads, types.KVRead{Key: kv.Key, Version: kv.Version, Exists: true})
+		}
+	}
+	return kvs, nil
+}
+
+// RWSet finalizes and returns the recorded read-write set. Writes are
+// emitted in deterministic (insertion-independent) key order via the
+// write map's sorted keys, so all endorsers of the same proposal produce
+// byte-identical sets.
+func (s *Simulator) RWSet() *types.RWSet {
+	keys := make([]string, 0, len(s.writes))
+	for k := range s.writes {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	s.rwset.Writes = s.rwset.Writes[:0]
+	for _, k := range keys {
+		s.rwset.Writes = append(s.rwset.Writes, s.writes[k])
+	}
+	return &s.rwset
+}
+
+// sortStrings is an insertion sort; write sets are small (a handful of
+// keys) so this avoids pulling in sort for the hot path.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Registry holds the chaincodes installed on a peer.
+type Registry struct {
+	codes map[string]Chaincode
+}
+
+// NewRegistry creates a registry with the given chaincodes installed.
+func NewRegistry(codes ...Chaincode) *Registry {
+	r := &Registry{codes: make(map[string]Chaincode, len(codes))}
+	for _, c := range codes {
+		r.codes[c.Name()] = c
+	}
+	return r
+}
+
+// Install adds a chaincode to the registry.
+func (r *Registry) Install(c Chaincode) { r.codes[c.Name()] = c }
+
+// Get looks up an installed chaincode.
+func (r *Registry) Get(name string) (Chaincode, error) {
+	c, ok := r.codes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownChaincode, name)
+	}
+	return c, nil
+}
+
+// Names returns the installed chaincode names.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.codes))
+	for n := range r.codes {
+		out = append(out, n)
+	}
+	sortStrings(out)
+	return out
+}

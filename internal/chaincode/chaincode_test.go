@@ -1,0 +1,216 @@
+package chaincode
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"fabricsim/internal/statedb"
+	"fabricsim/internal/types"
+)
+
+func seededDB(t *testing.T, ns string, kv map[string]string) *statedb.DB {
+	t.Helper()
+	db := statedb.New()
+	batch := statedb.NewUpdateBatch()
+	i := uint64(0)
+	for k, v := range kv {
+		batch.Put(ns, k, []byte(v), types.Version{BlockNum: 1, TxNum: i})
+		i++
+	}
+	if err := db.ApplyUpdates(batch, types.Version{BlockNum: 1, TxNum: i + 1}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSimulatorReadSetVersions(t *testing.T) {
+	db := seededDB(t, "cc", map[string]string{"a": "1"})
+	sim := NewSimulator("tx1", "cc", db)
+
+	v, err := sim.GetState("a")
+	if err != nil || string(v) != "1" {
+		t.Fatalf("GetState a = %q err=%v", v, err)
+	}
+	if v, _ := sim.GetState("missing"); v != nil {
+		t.Error("missing key returned value")
+	}
+
+	rw := sim.RWSet()
+	if len(rw.Reads) != 2 {
+		t.Fatalf("reads = %d", len(rw.Reads))
+	}
+	if !rw.Reads[0].Exists || rw.Reads[0].Key != "a" {
+		t.Errorf("read[0] = %+v", rw.Reads[0])
+	}
+	if rw.Reads[1].Exists || rw.Reads[1].Key != "missing" {
+		t.Errorf("read[1] = %+v", rw.Reads[1])
+	}
+}
+
+func TestSimulatorReadYourWrites(t *testing.T) {
+	db := seededDB(t, "cc", map[string]string{"a": "old"})
+	sim := NewSimulator("tx1", "cc", db)
+	if err := sim.PutState("a", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := sim.GetState("a")
+	if string(v) != "new" {
+		t.Errorf("read-your-writes returned %q", v)
+	}
+	// The buffered write must not reach committed state.
+	vv, _, _ := db.Get("cc", "a")
+	if string(vv.Value) != "old" {
+		t.Error("simulation leaked into committed state")
+	}
+	// A read after a write of the same key records no read entry
+	// (the value came from the write buffer, not the ledger).
+	rw := sim.RWSet()
+	if len(rw.Reads) != 0 {
+		t.Errorf("reads = %+v", rw.Reads)
+	}
+}
+
+func TestSimulatorDelete(t *testing.T) {
+	db := seededDB(t, "cc", map[string]string{"a": "1"})
+	sim := NewSimulator("tx1", "cc", db)
+	_ = sim.DelState("a")
+	if v, _ := sim.GetState("a"); v != nil {
+		t.Error("deleted key visible")
+	}
+	rw := sim.RWSet()
+	if len(rw.Writes) != 1 || !rw.Writes[0].IsDelete {
+		t.Errorf("writes = %+v", rw.Writes)
+	}
+}
+
+func TestSimulatorDeterministicWriteOrder(t *testing.T) {
+	db := statedb.New()
+	s1 := NewSimulator("t", "cc", db)
+	_ = s1.PutState("z", []byte("1"))
+	_ = s1.PutState("a", []byte("2"))
+	s2 := NewSimulator("t", "cc", db)
+	_ = s2.PutState("a", []byte("2"))
+	_ = s2.PutState("z", []byte("1"))
+	if !bytes.Equal(s1.RWSet().Marshal(), s2.RWSet().Marshal()) {
+		t.Error("write order depends on insertion order; endorsers would diverge")
+	}
+}
+
+func TestSimulatorRange(t *testing.T) {
+	db := seededDB(t, "cc", map[string]string{"k1": "1", "k2": "2", "k3": "3"})
+	sim := NewSimulator("tx1", "cc", db)
+	kvs, err := sim.GetStateRange("k1", "k3")
+	if err != nil || len(kvs) != 2 {
+		t.Fatalf("range = %d err=%v", len(kvs), err)
+	}
+	rw := sim.RWSet()
+	if len(rw.Reads) != 2 {
+		t.Errorf("range reads = %d", len(rw.Reads))
+	}
+}
+
+func TestKVStore(t *testing.T) {
+	db := statedb.New()
+	cc := NewKVStore("bench")
+	sim := NewSimulator("t1", "bench", db)
+
+	if _, err := cc.Invoke(sim, "write", [][]byte{[]byte("k"), []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cc.Invoke(sim, "read", [][]byte{[]byte("k")})
+	if err != nil || string(out) != "v" {
+		t.Errorf("read = %q err=%v", out, err)
+	}
+	if _, err := cc.Invoke(sim, "nope", nil); !errors.Is(err, ErrUnknownFunction) {
+		t.Errorf("unknown fn: %v", err)
+	}
+	if _, err := cc.Invoke(sim, "write", [][]byte{[]byte("only-key")}); err == nil {
+		t.Error("arity violation accepted")
+	}
+}
+
+func TestKVStoreReadWrite(t *testing.T) {
+	db := seededDB(t, "bench", map[string]string{"k": "v0"})
+	cc := NewKVStore("bench")
+	sim := NewSimulator("t1", "bench", db)
+	if _, err := cc.Invoke(sim, "readwrite", [][]byte{[]byte("k"), []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	rw := sim.RWSet()
+	if len(rw.Reads) != 1 || len(rw.Writes) != 1 {
+		t.Errorf("rwset = %d reads %d writes", len(rw.Reads), len(rw.Writes))
+	}
+}
+
+func TestMoneyTransfer(t *testing.T) {
+	db := statedb.New()
+	cc := NewMoneyTransfer("bank")
+
+	open := NewSimulator("t0", "bank", db)
+	if _, err := cc.Invoke(open, "open", [][]byte{[]byte("alice"), []byte("100")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Invoke(open, "open", [][]byte{[]byte("bob"), []byte("50")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Invoke(open, "transfer", [][]byte{[]byte("alice"), []byte("bob"), []byte("30")}); err != nil {
+		t.Fatal(err)
+	}
+	bal, err := cc.Invoke(open, "balance", [][]byte{[]byte("alice")})
+	if err != nil || string(bal) != "70" {
+		t.Errorf("alice balance = %s err=%v", bal, err)
+	}
+	bal, _ = cc.Invoke(open, "balance", [][]byte{[]byte("bob")})
+	if string(bal) != "80" {
+		t.Errorf("bob balance = %s", bal)
+	}
+}
+
+func TestMoneyTransferInsufficientFunds(t *testing.T) {
+	db := statedb.New()
+	cc := NewMoneyTransfer("bank")
+	sim := NewSimulator("t0", "bank", db)
+	_, _ = cc.Invoke(sim, "open", [][]byte{[]byte("a"), []byte("10")})
+	_, _ = cc.Invoke(sim, "open", [][]byte{[]byte("b"), []byte("0")})
+	if _, err := cc.Invoke(sim, "transfer", [][]byte{[]byte("a"), []byte("b"), []byte("11")}); !errors.Is(err, ErrInsufficientFunds) {
+		t.Errorf("overdraft: %v", err)
+	}
+	if _, err := cc.Invoke(sim, "transfer", [][]byte{[]byte("ghost"), []byte("b"), []byte("1")}); err == nil {
+		t.Error("unknown account accepted")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	db := statedb.New()
+	cc := NewCounter("ctr")
+	sim := NewSimulator("t0", "ctr", db)
+	for want := 1; want <= 3; want++ {
+		out, err := cc.Invoke(sim, "inc", [][]byte{[]byte("c")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != string(rune('0'+want)) {
+			t.Errorf("inc -> %s, want %d", out, want)
+		}
+	}
+	out, _ := cc.Invoke(sim, "get", [][]byte{[]byte("nope")})
+	if string(out) != "0" {
+		t.Errorf("get missing = %s", out)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry(NewKVStore("a"), NewCounter("b"))
+	if _, err := r.Get("a"); err != nil {
+		t.Error(err)
+	}
+	if _, err := r.Get("zzz"); !errors.Is(err, ErrUnknownChaincode) {
+		t.Errorf("unknown chaincode: %v", err)
+	}
+	r.Install(NewMoneyTransfer("c"))
+	names := r.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Errorf("Names = %v", names)
+	}
+}

@@ -1,0 +1,218 @@
+package chaincode
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// KVStore is the benchmark chaincode from the paper's workload: "write"
+// stores a value of the configured transaction size under a key, "read"
+// returns it, "del" removes it. The paper sweeps the value ("transaction
+// size") from 1 byte upward.
+type KVStore struct {
+	name string
+}
+
+var _ Chaincode = (*KVStore)(nil)
+
+// NewKVStore creates the benchmark chaincode under the given installed
+// name (the experiments use "bench").
+func NewKVStore(name string) *KVStore { return &KVStore{name: name} }
+
+// Name implements Chaincode.
+func (c *KVStore) Name() string { return c.name }
+
+// Invoke implements Chaincode.
+func (c *KVStore) Invoke(stub Stub, fn string, args [][]byte) ([]byte, error) {
+	switch fn {
+	case "write":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("kvstore write: want 2 args, got %d", len(args))
+		}
+		if err := stub.PutState(string(args[0]), args[1]); err != nil {
+			return nil, err
+		}
+		return []byte("OK"), nil
+	case "read":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("kvstore read: want 1 arg, got %d", len(args))
+		}
+		v, err := stub.GetState(string(args[0]))
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	case "readwrite":
+		// Read-modify-write on one key: generates both a read and a
+		// write so MVCC conflicts are possible under contention.
+		if len(args) != 2 {
+			return nil, fmt.Errorf("kvstore readwrite: want 2 args, got %d", len(args))
+		}
+		if _, err := stub.GetState(string(args[0])); err != nil {
+			return nil, err
+		}
+		if err := stub.PutState(string(args[0]), args[1]); err != nil {
+			return nil, err
+		}
+		return []byte("OK"), nil
+	case "del":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("kvstore del: want 1 arg, got %d", len(args))
+		}
+		if err := stub.DelState(string(args[0])); err != nil {
+			return nil, err
+		}
+		return []byte("OK"), nil
+	default:
+		return nil, fmt.Errorf("%w: kvstore %q", ErrUnknownFunction, fn)
+	}
+}
+
+// ErrInsufficientFunds is returned by the money-transfer chaincode when
+// the source account balance cannot cover the amount.
+var ErrInsufficientFunds = errors.New("chaincode: insufficient funds")
+
+// MoneyTransfer is the bank-account chaincode the paper's related-work
+// section motivates: accounts with balances, transfers that read both
+// accounts and write both, which exercises MVCC read-write conflicts
+// under contention.
+type MoneyTransfer struct {
+	name string
+}
+
+var _ Chaincode = (*MoneyTransfer)(nil)
+
+// NewMoneyTransfer creates the chaincode under the given installed name.
+func NewMoneyTransfer(name string) *MoneyTransfer { return &MoneyTransfer{name: name} }
+
+// Name implements Chaincode.
+func (c *MoneyTransfer) Name() string { return c.name }
+
+// Invoke implements Chaincode. Functions:
+//
+//	open <account> <balance>     create an account
+//	transfer <from> <to> <amt>   move funds (fails on insufficient funds)
+//	balance <account>            read a balance
+func (c *MoneyTransfer) Invoke(stub Stub, fn string, args [][]byte) ([]byte, error) {
+	switch fn {
+	case "open":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("moneytransfer open: want 2 args, got %d", len(args))
+		}
+		if _, err := strconv.ParseInt(string(args[1]), 10, 64); err != nil {
+			return nil, fmt.Errorf("moneytransfer open: bad balance %q: %w", args[1], err)
+		}
+		if err := stub.PutState(string(args[0]), args[1]); err != nil {
+			return nil, err
+		}
+		return []byte("OK"), nil
+	case "transfer":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("moneytransfer transfer: want 3 args, got %d", len(args))
+		}
+		from, to := string(args[0]), string(args[1])
+		amt, err := strconv.ParseInt(string(args[2]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("moneytransfer transfer: bad amount %q: %w", args[2], err)
+		}
+		fromBal, err := c.balance(stub, from)
+		if err != nil {
+			return nil, err
+		}
+		toBal, err := c.balance(stub, to)
+		if err != nil {
+			return nil, err
+		}
+		if fromBal < amt {
+			return nil, fmt.Errorf("%w: %s has %d, needs %d", ErrInsufficientFunds, from, fromBal, amt)
+		}
+		if err := stub.PutState(from, []byte(strconv.FormatInt(fromBal-amt, 10))); err != nil {
+			return nil, err
+		}
+		if err := stub.PutState(to, []byte(strconv.FormatInt(toBal+amt, 10))); err != nil {
+			return nil, err
+		}
+		return []byte("OK"), nil
+	case "balance":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("moneytransfer balance: want 1 arg, got %d", len(args))
+		}
+		bal, err := c.balance(stub, string(args[0]))
+		if err != nil {
+			return nil, err
+		}
+		return []byte(strconv.FormatInt(bal, 10)), nil
+	default:
+		return nil, fmt.Errorf("%w: moneytransfer %q", ErrUnknownFunction, fn)
+	}
+}
+
+func (c *MoneyTransfer) balance(stub Stub, account string) (int64, error) {
+	v, err := stub.GetState(account)
+	if err != nil {
+		return 0, err
+	}
+	if v == nil {
+		return 0, fmt.Errorf("moneytransfer: unknown account %q", account)
+	}
+	bal, err := strconv.ParseInt(string(v), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("moneytransfer: corrupt balance for %q: %w", account, err)
+	}
+	return bal, nil
+}
+
+// Counter is a minimal chaincode used by the quickstart example and
+// tests: "inc" atomically increments a named counter, "get" reads it.
+type Counter struct {
+	name string
+}
+
+var _ Chaincode = (*Counter)(nil)
+
+// NewCounter creates the chaincode under the given installed name.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Name implements Chaincode.
+func (c *Counter) Name() string { return c.name }
+
+// Invoke implements Chaincode.
+func (c *Counter) Invoke(stub Stub, fn string, args [][]byte) ([]byte, error) {
+	switch fn {
+	case "inc":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("counter inc: want 1 arg, got %d", len(args))
+		}
+		key := string(args[0])
+		cur := int64(0)
+		if v, err := stub.GetState(key); err != nil {
+			return nil, err
+		} else if v != nil {
+			n, err := strconv.ParseInt(string(v), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("counter: corrupt value for %q: %w", key, err)
+			}
+			cur = n
+		}
+		next := strconv.FormatInt(cur+1, 10)
+		if err := stub.PutState(key, []byte(next)); err != nil {
+			return nil, err
+		}
+		return []byte(next), nil
+	case "get":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("counter get: want 1 arg, got %d", len(args))
+		}
+		v, err := stub.GetState(string(args[0]))
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return []byte("0"), nil
+		}
+		return v, nil
+	default:
+		return nil, fmt.Errorf("%w: counter %q", ErrUnknownFunction, fn)
+	}
+}

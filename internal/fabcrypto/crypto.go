@@ -1,0 +1,196 @@
+// Package fabcrypto provides the signing primitives used throughout the
+// reproduction (the role BCCSP plays in Hyperledger Fabric).
+//
+// Two schemes are provided:
+//
+//   - ECDSA P-256 ("ecdsa"), the algorithm Fabric actually uses. Used by
+//     default in examples and correctness tests.
+//   - A keyed-hash scheme ("hmac") whose verification requires the same
+//     secret that produced the signature. It is NOT a real signature
+//     scheme (it is symmetric) but costs ~100x less CPU, which matters
+//     when benchmark sweeps push tens of thousands of transactions per
+//     wall-clock second. Performance experiments inject CPU cost through
+//     the calibrated cost model instead of real crypto, so the scheme
+//     only needs to preserve the protocol's verification code paths.
+package fabcrypto
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Scheme names.
+const (
+	SchemeECDSA = "ecdsa"
+	SchemeHMAC  = "hmac"
+)
+
+// Errors returned by the package.
+var (
+	ErrUnknownScheme = errors.New("fabcrypto: unknown scheme")
+	ErrBadKey        = errors.New("fabcrypto: malformed key")
+	ErrBadSignature  = errors.New("fabcrypto: malformed signature")
+)
+
+// KeyPair can sign messages and expose a serialized public key that
+// Verify accepts.
+type KeyPair interface {
+	// Scheme names the signature scheme ("ecdsa" or "hmac").
+	Scheme() string
+	// Sign returns a signature over the SHA-256 digest of msg.
+	Sign(msg []byte) ([]byte, error)
+	// Public returns the serialized public key.
+	Public() []byte
+}
+
+// GenerateKeyPair creates a key pair for the named scheme.
+func GenerateKeyPair(scheme string) (KeyPair, error) {
+	switch scheme {
+	case SchemeECDSA:
+		return GenerateECDSA()
+	case SchemeHMAC:
+		return GenerateHMAC()
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownScheme, scheme)
+	}
+}
+
+// Verify checks sig over msg against the serialized public key for the
+// named scheme. It returns nil when the signature is valid.
+func Verify(scheme string, pub, msg, sig []byte) error {
+	switch scheme {
+	case SchemeECDSA:
+		return verifyECDSA(pub, msg, sig)
+	case SchemeHMAC:
+		return verifyHMAC(pub, msg, sig)
+	default:
+		return fmt.Errorf("%w: %q", ErrUnknownScheme, scheme)
+	}
+}
+
+// Digest returns the SHA-256 digest of the concatenation of its inputs.
+func Digest(parts ...[]byte) []byte {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	return h.Sum(nil)
+}
+
+// --- ECDSA P-256 ---
+
+// ECDSAKeyPair signs with ECDSA over P-256, as Fabric does.
+type ECDSAKeyPair struct {
+	priv *ecdsa.PrivateKey
+}
+
+var _ KeyPair = (*ECDSAKeyPair)(nil)
+
+// GenerateECDSA creates a fresh P-256 key pair.
+func GenerateECDSA() (*ECDSAKeyPair, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("generate ecdsa key: %w", err)
+	}
+	return &ECDSAKeyPair{priv: priv}, nil
+}
+
+// Scheme returns "ecdsa".
+func (k *ECDSAKeyPair) Scheme() string { return SchemeECDSA }
+
+// Sign signs the SHA-256 digest of msg. The signature is r||s with each
+// component left-padded to 32 bytes.
+func (k *ECDSAKeyPair) Sign(msg []byte) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	r, s, err := ecdsa.Sign(rand.Reader, k.priv, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("ecdsa sign: %w", err)
+	}
+	sig := make([]byte, 64)
+	r.FillBytes(sig[:32])
+	s.FillBytes(sig[32:])
+	return sig, nil
+}
+
+// Public returns the uncompressed point encoding (0x04 || X || Y).
+func (k *ECDSAKeyPair) Public() []byte {
+	pub := k.priv.PublicKey
+	out := make([]byte, 65)
+	out[0] = 4
+	pub.X.FillBytes(out[1:33])
+	pub.Y.FillBytes(out[33:])
+	return out
+}
+
+func verifyECDSA(pub, msg, sig []byte) error {
+	if len(pub) != 65 || pub[0] != 4 {
+		return ErrBadKey
+	}
+	if len(sig) != 64 {
+		return ErrBadSignature
+	}
+	x := new(big.Int).SetBytes(pub[1:33])
+	y := new(big.Int).SetBytes(pub[33:])
+	pk := ecdsa.PublicKey{Curve: elliptic.P256(), X: x, Y: y}
+	digest := sha256.Sum256(msg)
+	r := new(big.Int).SetBytes(sig[:32])
+	s := new(big.Int).SetBytes(sig[32:])
+	if !ecdsa.Verify(&pk, digest[:], r, s) {
+		return errors.New("fabcrypto: ecdsa verification failed")
+	}
+	return nil
+}
+
+// --- HMAC (simulation-grade) ---
+
+// HMACKeyPair is the fast symmetric scheme: the "public key" is the
+// HMAC secret itself. Suitable only for performance simulation.
+type HMACKeyPair struct {
+	key []byte
+}
+
+var _ KeyPair = (*HMACKeyPair)(nil)
+
+// GenerateHMAC creates a fresh 32-byte HMAC key.
+func GenerateHMAC() (*HMACKeyPair, error) {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("generate hmac key: %w", err)
+	}
+	return &HMACKeyPair{key: key}, nil
+}
+
+// Scheme returns "hmac".
+func (k *HMACKeyPair) Scheme() string { return SchemeHMAC }
+
+// Sign returns HMAC-SHA256(key, msg).
+func (k *HMACKeyPair) Sign(msg []byte) ([]byte, error) {
+	m := hmac.New(sha256.New, k.key)
+	m.Write(msg)
+	return m.Sum(nil), nil
+}
+
+// Public returns the HMAC key (see type comment).
+func (k *HMACKeyPair) Public() []byte {
+	out := make([]byte, len(k.key))
+	copy(out, k.key)
+	return out
+}
+
+func verifyHMAC(pub, msg, sig []byte) error {
+	if len(pub) == 0 {
+		return ErrBadKey
+	}
+	m := hmac.New(sha256.New, pub)
+	m.Write(msg)
+	if !hmac.Equal(m.Sum(nil), sig) {
+		return errors.New("fabcrypto: hmac verification failed")
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package fabcrypto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSchemes(t *testing.T) {
+	for _, scheme := range []string{SchemeECDSA, SchemeHMAC} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			kp, err := GenerateKeyPair(scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kp.Scheme() != scheme {
+				t.Errorf("Scheme() = %s", kp.Scheme())
+			}
+			msg := []byte("the quick brown fox")
+			sig, err := kp.Sign(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(scheme, kp.Public(), msg, sig); err != nil {
+				t.Errorf("valid signature rejected: %v", err)
+			}
+			if err := Verify(scheme, kp.Public(), []byte("tampered"), sig); err == nil {
+				t.Error("signature over different message accepted")
+			}
+			sig[0] ^= 0xFF
+			if err := Verify(scheme, kp.Public(), msg, sig); err == nil {
+				t.Error("corrupted signature accepted")
+			}
+		})
+	}
+}
+
+func TestCrossKeyRejection(t *testing.T) {
+	for _, scheme := range []string{SchemeECDSA, SchemeHMAC} {
+		k1, _ := GenerateKeyPair(scheme)
+		k2, _ := GenerateKeyPair(scheme)
+		msg := []byte("msg")
+		sig, _ := k1.Sign(msg)
+		if err := Verify(scheme, k2.Public(), msg, sig); err == nil {
+			t.Errorf("%s: signature verified under wrong key", scheme)
+		}
+	}
+}
+
+func TestUnknownScheme(t *testing.T) {
+	if _, err := GenerateKeyPair("rsa"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := Verify("rsa", nil, nil, nil); err == nil {
+		t.Error("unknown scheme verify accepted")
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	kp, _ := GenerateECDSA()
+	msg := []byte("m")
+	sig, _ := kp.Sign(msg)
+	if err := verifyECDSA([]byte{1, 2, 3}, msg, sig); err == nil {
+		t.Error("short public key accepted")
+	}
+	if err := verifyECDSA(kp.Public(), msg, []byte{1, 2}); err == nil {
+		t.Error("short signature accepted")
+	}
+	if err := verifyHMAC(nil, msg, sig); err == nil {
+		t.Error("empty hmac key accepted")
+	}
+}
+
+func TestDigest(t *testing.T) {
+	a := Digest([]byte("ab"), []byte("c"))
+	b := Digest([]byte("abc"))
+	if !bytes.Equal(a, b) {
+		t.Error("Digest is not plain concatenation hashing")
+	}
+	if len(a) != 32 {
+		t.Errorf("digest length %d", len(a))
+	}
+}
+
+func TestECDSAPublicKeyFormat(t *testing.T) {
+	kp, _ := GenerateECDSA()
+	pub := kp.Public()
+	if len(pub) != 65 || pub[0] != 4 {
+		t.Errorf("public key format: len=%d first=%x", len(pub), pub[0])
+	}
+}
+
+func TestECDSASignatureLength(t *testing.T) {
+	kp, _ := GenerateECDSA()
+	for i := 0; i < 8; i++ {
+		sig, err := kp.Sign([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sig) != 64 {
+			t.Fatalf("signature length %d, want 64", len(sig))
+		}
+	}
+}

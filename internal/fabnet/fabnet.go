@@ -1,0 +1,507 @@
+// Package fabnet assembles complete emulated Fabric networks from a
+// topology configuration: organizations with CAs, endorsing and
+// committing peers, an ordering service (Solo, Kafka with ZooKeeper, or
+// Raft), and SDK clients — the role the paper's 20-machine cluster and
+// its deployment scripts play. Every node gets its own simulated CPU
+// and attaches to a latency/bandwidth-modeled network.
+package fabnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fabricsim/internal/ca"
+	"fabricsim/internal/chaincode"
+	"fabricsim/internal/client"
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/fabcrypto"
+	"fabricsim/internal/kafka"
+	"fabricsim/internal/metrics"
+	"fabricsim/internal/msp"
+	"fabricsim/internal/orderer"
+	"fabricsim/internal/orderer/blockcutter"
+	"fabricsim/internal/peer"
+	"fabricsim/internal/policy"
+	"fabricsim/internal/raft"
+	"fabricsim/internal/simcpu"
+	"fabricsim/internal/transport"
+	"fabricsim/internal/types"
+	"fabricsim/internal/zookeeper"
+)
+
+// OrdererType selects the ordering service implementation.
+type OrdererType string
+
+// The three ordering services the paper compares.
+const (
+	Solo  OrdererType = "solo"
+	Kafka OrdererType = "kafka"
+	Raft  OrdererType = "raft"
+)
+
+// Config describes a network topology.
+type Config struct {
+	// Orderer selects the ordering service (default Solo).
+	Orderer OrdererType
+	// NumOrderers is the OSN count (Solo forces 1).
+	NumOrderers int
+	// NumKafkaBrokers and NumZooKeepers size the Kafka substrate
+	// (defaults 3 and 3, the paper's baseline).
+	NumKafkaBrokers int
+	NumZooKeepers   int
+	// KafkaReplication is the partition replication factor (default 3).
+	KafkaReplication int
+	// NumEndorsingPeers deploys one endorsing peer per organization
+	// (Org1.peer0 ... OrgN.peer0).
+	NumEndorsingPeers int
+	// NumCommitOnlyPeers adds peers that validate and commit but never
+	// endorse.
+	NumCommitOnlyPeers int
+	// NumClients is the workload-generator process count; the default
+	// (0) provisions one client per endorsing peer, matching the
+	// paper's per-peer load split (Fig. 1).
+	NumClients int
+	// Policy is the channel endorsement policy.
+	Policy policy.Policy
+	// BatchSize and BatchTimeout are the block-cutting parameters in
+	// model time (defaults 100 and 1s, the paper's settings).
+	BatchSize    int
+	BatchTimeout time.Duration
+	// Model is the calibrated cost model (use costmodel.Default).
+	Model costmodel.Model
+	// Scheme is the signature scheme ("hmac" for sweeps, "ecdsa" for
+	// correctness runs).
+	Scheme string
+	// VerifyCrypto enables real signature verification on every path.
+	VerifyCrypto bool
+	// Collector receives metrics; may be nil.
+	Collector *metrics.Collector
+	// ExtraChaincodes installs chaincodes beyond the benchmark KV store.
+	ExtraChaincodes []chaincode.Chaincode
+	// ChannelID names the single channel (default "perf").
+	ChannelID string
+	// UseTCP runs every node on real loopback TCP sockets (gob framing)
+	// instead of the in-memory emulated network. Latency/bandwidth then
+	// come from the real kernel path; used by cmd/fabricnet.
+	UseTCP bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.Orderer == "" {
+		c.Orderer = Solo
+	}
+	if c.Orderer == Solo {
+		c.NumOrderers = 1
+	}
+	if c.NumOrderers < 1 {
+		c.NumOrderers = 1
+	}
+	if c.NumKafkaBrokers < 1 {
+		c.NumKafkaBrokers = 3
+	}
+	if c.NumZooKeepers < 1 {
+		c.NumZooKeepers = 3
+	}
+	if c.KafkaReplication < 1 {
+		c.KafkaReplication = 3
+	}
+	if c.NumEndorsingPeers < 1 {
+		c.NumEndorsingPeers = 1
+	}
+	if c.NumClients < 1 {
+		c.NumClients = c.NumEndorsingPeers
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 100
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = time.Second
+	}
+	if c.Scheme == "" {
+		c.Scheme = fabcrypto.SchemeHMAC
+	}
+	if c.Policy == nil {
+		c.Policy = policy.OrOverPeers(c.NumEndorsingPeers)
+	}
+	if c.ChannelID == "" {
+		c.ChannelID = "perf"
+	}
+	if c.Model.TimeScale == 0 {
+		c.Model = costmodel.Default(1)
+	}
+}
+
+// Network is a built, startable Fabric network.
+type Network struct {
+	Cfg Config
+
+	// Transport is the in-memory network (nil when UseTCP is set).
+	Transport *transport.Network
+	// TCPNet is the TCP registry (nil unless UseTCP is set).
+	TCPNet   *transport.TCPNetwork
+	Clients  []*client.Client
+	Peers    []*peer.Peer
+	Orderers []*orderer.Orderer
+	MSP      *msp.MSP
+	CAs      map[string]*ca.CA
+
+	register func(id string) (transport.Endpoint, error)
+
+	kafkaCluster *kafka.Cluster
+	zk           *zookeeper.Ensemble
+	raftCons     []*orderer.RaftConsenter
+	cpus         []*simcpu.CPU
+	started      bool
+}
+
+// ChaincodeBench is the installed name of the benchmark KV chaincode.
+const ChaincodeBench = "bench"
+
+// Build constructs all nodes of the network without starting them.
+func Build(cfg Config) (*Network, error) {
+	cfg.applyDefaults()
+	model := cfg.Model
+
+	n := &Network{
+		Cfg: cfg,
+		CAs: make(map[string]*ca.CA),
+	}
+	if cfg.UseTCP {
+		registerWireTypes()
+		n.TCPNet = transport.NewTCPNetwork()
+		n.register = func(id string) (transport.Endpoint, error) {
+			return n.TCPNet.Register(id)
+		}
+	} else {
+		n.Transport = transport.NewNetwork(transport.Config{
+			Latency:   model.LinkLatency,
+			Bandwidth: model.LinkBandwidth,
+			TimeScale: model.TimeScale,
+		})
+		n.register = func(id string) (transport.Endpoint, error) {
+			return n.Transport.Register(id)
+		}
+	}
+
+	// --- Identity plane: one CA per org plus orderer and client orgs ---
+	orgs := []string{"OrdererOrg", "ClientOrg"}
+	for i := 1; i <= cfg.NumEndorsingPeers; i++ {
+		orgs = append(orgs, fmt.Sprintf("Org%d", i))
+	}
+	for j := 1; j <= cfg.NumCommitOnlyPeers; j++ {
+		orgs = append(orgs, fmt.Sprintf("CommitOrg%d", j))
+	}
+	for _, org := range orgs {
+		authority, err := ca.New(org, cfg.Scheme)
+		if err != nil {
+			return nil, fmt.Errorf("fabnet: %w", err)
+		}
+		n.CAs[org] = authority
+	}
+	allCAs := make([]*ca.CA, 0, len(n.CAs))
+	for _, a := range n.CAs {
+		allCAs = append(allCAs, a)
+	}
+	n.MSP = msp.New(allCAs...)
+
+	registry := chaincode.NewRegistry(chaincode.NewKVStore(ChaincodeBench))
+	for _, cc := range cfg.ExtraChaincodes {
+		registry.Install(cc)
+	}
+
+	newCPU := func(cores int) *simcpu.CPU {
+		c := simcpu.New(cores, model.TimeScale)
+		n.cpus = append(n.cpus, c)
+		return c
+	}
+
+	// --- Ordering service ---
+	ordererIDs := make([]string, 0, cfg.NumOrderers)
+	ordererEPs := make([]transport.Endpoint, 0, cfg.NumOrderers)
+	for i := 1; i <= cfg.NumOrderers; i++ {
+		id := fmt.Sprintf("osn%d", i)
+		ep, err := n.register(id)
+		if err != nil {
+			return nil, fmt.Errorf("fabnet: %w", err)
+		}
+		ordererIDs = append(ordererIDs, id)
+		ordererEPs = append(ordererEPs, ep)
+	}
+	var observer orderer.BlockObserver
+	if cfg.Collector != nil {
+		col := cfg.Collector
+		observer = func(b *types.Block, cutAt time.Time) {
+			col.Block(metrics.BlockEvent{Number: b.Header.Number, CutAt: cutAt, Txs: len(b.Data)})
+		}
+	}
+	for i := range ordererIDs {
+		ocfg := orderer.Config{
+			ID:       ordererIDs[i],
+			Endpoint: ordererEPs[i],
+			Cutter: blockcutter.Config{
+				BatchSize:    cfg.BatchSize,
+				BatchTimeout: cfg.BatchTimeout,
+			},
+			Model: model,
+			CPU:   newCPU(model.OrdererCores),
+		}
+		if i == 0 {
+			ocfg.Observer = observer // one OSN reports block events
+		}
+		n.Orderers = append(n.Orderers, orderer.New(ocfg))
+	}
+
+	switch cfg.Orderer {
+	case Solo:
+		orderer.NewSolo(n.Orderers[0])
+	case Kafka:
+		if err := n.buildKafka(ordererIDs, ordererEPs); err != nil {
+			return nil, err
+		}
+	case Raft:
+		// Fabric's etcdraft defaults are a 500ms tick with a 10-tick
+		// election timeout; the heartbeat here is shorter because the
+		// commit index is also pushed eagerly on advance.
+		electionTimeout := model.ScaledDelay(2 * time.Second)
+		heartbeat := model.ScaledDelay(200 * time.Millisecond)
+		for i := range n.Orderers {
+			rc, err := orderer.NewRaftConsenter(n.Orderers[i], orderer.RaftConfig{
+				Peers:             ordererIDs,
+				ElectionTimeout:   electionTimeout,
+				HeartbeatInterval: heartbeat,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fabnet: %w", err)
+			}
+			n.raftCons = append(n.raftCons, rc)
+		}
+	default:
+		return nil, fmt.Errorf("fabnet: unknown orderer type %q", cfg.Orderer)
+	}
+
+	// --- Peers ---
+	peerByPrincipal := make(map[string]string)
+	totalPeers := cfg.NumEndorsingPeers + cfg.NumCommitOnlyPeers
+	for i := 1; i <= totalPeers; i++ {
+		endorsing := i <= cfg.NumEndorsingPeers
+		var org, nodeID string
+		if endorsing {
+			org = fmt.Sprintf("Org%d", i)
+			nodeID = fmt.Sprintf("peer%d", i)
+		} else {
+			org = fmt.Sprintf("CommitOrg%d", i-cfg.NumEndorsingPeers)
+			nodeID = fmt.Sprintf("vpeer%d", i-cfg.NumEndorsingPeers)
+		}
+		enrollment, err := n.CAs[org].Enroll("peer0", ca.RolePeer)
+		if err != nil {
+			return nil, fmt.Errorf("fabnet: %w", err)
+		}
+		identity := msp.NewSigningIdentity(enrollment)
+		peer.RegisterEndorserCert(identity.ID(), identity.Serialized())
+		ep, err := n.register(nodeID)
+		if err != nil {
+			return nil, fmt.Errorf("fabnet: %w", err)
+		}
+		p := peer.New(peer.Config{
+			ID:           nodeID,
+			Endpoint:     ep,
+			Identity:     identity,
+			MSP:          n.MSP,
+			Registry:     registry,
+			Policy:       cfg.Policy,
+			Model:        model,
+			CPU:          newCPU(model.PeerCores),
+			Endorsing:    endorsing,
+			OrdererID:    ordererIDs[(i-1)%len(ordererIDs)],
+			VerifyCrypto: cfg.VerifyCrypto,
+		})
+		n.Peers = append(n.Peers, p)
+		if endorsing {
+			peerByPrincipal[identity.ID()] = nodeID
+		}
+	}
+
+	// --- Clients ---
+	for i := 1; i <= cfg.NumClients; i++ {
+		nodeID := fmt.Sprintf("client%d", i)
+		enrollment, err := n.CAs["ClientOrg"].Enroll(fmt.Sprintf("user%d", i), ca.RoleClient)
+		if err != nil {
+			return nil, fmt.Errorf("fabnet: %w", err)
+		}
+		ep, err := n.register(nodeID)
+		if err != nil {
+			return nil, fmt.Errorf("fabnet: %w", err)
+		}
+		eventPeer := n.Peers[(i-1)%len(n.Peers)].ID()
+		cl, err := client.New(client.Config{
+			ID:              nodeID,
+			Endpoint:        ep,
+			Identity:        msp.NewSigningIdentity(enrollment),
+			Model:           model,
+			CPU:             newCPU(model.ClientCores),
+			Orderers:        ordererIDs,
+			EventPeer:       eventPeer,
+			Policy:          cfg.Policy,
+			PeerByPrincipal: peerByPrincipal,
+			Collector:       cfg.Collector,
+			SignProposals:   cfg.VerifyCrypto,
+			ChannelID:       cfg.ChannelID,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fabnet: %w", err)
+		}
+		n.Clients = append(n.Clients, cl)
+	}
+	return n, nil
+}
+
+// buildKafka assembles the ZooKeeper ensemble, brokers, and per-OSN
+// Kafka clients, then attaches Kafka consenters.
+func (n *Network) buildKafka(ordererIDs []string, ordererEPs []transport.Endpoint) error {
+	model := n.Cfg.Model
+	n.zk = zookeeper.New(n.Cfg.NumZooKeepers, model.ScaledDelay(model.ZKOpLatency))
+
+	brokerIDs := make([]string, 0, n.Cfg.NumKafkaBrokers)
+	brokerEPs := make(map[string]transport.Endpoint, n.Cfg.NumKafkaBrokers)
+	for i := 1; i <= n.Cfg.NumKafkaBrokers; i++ {
+		id := fmt.Sprintf("broker%d", i)
+		ep, err := n.register(id)
+		if err != nil {
+			return fmt.Errorf("fabnet: %w", err)
+		}
+		brokerIDs = append(brokerIDs, id)
+		brokerEPs[id] = ep
+	}
+	cluster, err := kafka.NewCluster(kafka.Config{
+		Brokers:           brokerIDs,
+		Partitions:        1, // one channel = one partition (paper default)
+		ReplicationFactor: n.Cfg.KafkaReplication,
+		SessionTimeout:    model.ScaledDelay(2 * time.Second),
+		ReplicaWriteDelay: func() {
+			time.Sleep(model.ScaledDelay(model.KafkaReplicaWriteCPU))
+		},
+		RequestTimeout: model.ScaledDelay(3 * time.Second),
+	}, n.zk, brokerEPs)
+	if err != nil {
+		return fmt.Errorf("fabnet: %w", err)
+	}
+	n.kafkaCluster = cluster
+	for i := range n.Orderers {
+		kc := kafka.NewClient(ordererEPs[i], brokerIDs, model.ScaledDelay(3*time.Second))
+		orderer.NewKafkaConsenter(n.Orderers[i], kc, 0)
+	}
+	return nil
+}
+
+// Start launches the ordering service, peers, and clients. For Raft it
+// waits for leader election before returning.
+func (n *Network) Start(ctx context.Context) error {
+	if n.started {
+		return errors.New("fabnet: already started")
+	}
+	n.started = true
+	for _, o := range n.Orderers {
+		if err := o.Start(); err != nil {
+			return fmt.Errorf("fabnet: start orderer %s: %w", o.ID(), err)
+		}
+	}
+	if n.Cfg.Orderer == Raft {
+		if err := n.waitForRaftLeader(ctx); err != nil {
+			return err
+		}
+	}
+	for _, p := range n.Peers {
+		if err := p.Start(ctx); err != nil {
+			return fmt.Errorf("fabnet: start peer %s: %w", p.ID(), err)
+		}
+	}
+	for _, c := range n.Clients {
+		if err := c.Connect(ctx); err != nil {
+			return fmt.Errorf("fabnet: %w", err)
+		}
+	}
+	return nil
+}
+
+// waitForRaftLeader polls until an OSN reports a leader.
+func (n *Network) waitForRaftLeader(ctx context.Context) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, rc := range n.raftCons {
+			if _, ok := rc.Node().Leader(); ok {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return errors.New("fabnet: raft leader election timed out")
+}
+
+// RaftLeader returns the current Raft leader OSN, if any.
+func (n *Network) RaftLeader() (string, bool) {
+	for _, rc := range n.raftCons {
+		if l, ok := rc.Node().Leader(); ok {
+			return l, true
+		}
+	}
+	return "", false
+}
+
+// KafkaCluster exposes the Kafka substrate (failover tests).
+func (n *Network) KafkaCluster() *kafka.Cluster { return n.kafkaCluster }
+
+// Stop tears the network down in dependency order.
+func (n *Network) Stop() {
+	for _, p := range n.Peers {
+		p.Stop()
+	}
+	for _, o := range n.Orderers {
+		o.Stop()
+	}
+	if n.kafkaCluster != nil {
+		n.kafkaCluster.Stop()
+	}
+	for _, c := range n.cpus {
+		c.Stop()
+	}
+	if n.Transport != nil {
+		n.Transport.Close()
+	}
+	if n.TCPNet != nil {
+		n.TCPNet.Close()
+	}
+}
+
+// registerWireTypes declares every payload type the nodes exchange so
+// the gob-framed TCP transport can encode them. Idempotent.
+func registerWireTypes() {
+	wireTypesOnce.Do(func() {
+		for _, v := range []any{
+			[]byte(nil),
+			"",
+			int(0),
+			uint64(0),
+			&types.Block{},
+			&peer.EndorseRequest{},
+			&types.ProposalResponse{},
+			[]peer.CommitEvent(nil),
+			&kafka.ProduceArgs{}, &kafka.ProduceReply{},
+			&kafka.ReplicateArgs{}, &kafka.ReplicateReply{},
+			&kafka.FetchArgs{}, &kafka.FetchReply{},
+			&kafka.MetadataReply{},
+			&raft.VoteArgs{}, &raft.VoteReply{},
+			&raft.AppendArgs{}, &raft.AppendReply{},
+		} {
+			transport.RegisterWireType(v)
+		}
+	})
+}
+
+var wireTypesOnce sync.Once

@@ -1,0 +1,83 @@
+package fabnet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/metrics"
+	"fabricsim/internal/policy"
+	"fabricsim/internal/workload"
+)
+
+// runSmoke builds a small network, pushes a short load, and returns the
+// summary.
+func runSmoke(t *testing.T, ordererType OrdererType, pol policy.Policy, peers int) metrics.Summary {
+	t.Helper()
+	col := metrics.NewCollector()
+	model := costmodel.Default(0.1)
+	cfg := Config{
+		Orderer:           ordererType,
+		NumOrderers:       3,
+		NumEndorsingPeers: peers,
+		Policy:            pol,
+		Model:             model,
+		Collector:         col,
+	}
+	n, err := Build(cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	defer n.Stop()
+	ctx := context.Background()
+	if err := n.Start(ctx); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	stats, err := workload.Run(ctx, n.Clients, workload.Config{
+		Rate:     60,
+		Duration: 3 * time.Second,
+		Model:    model,
+	})
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	if stats.Submitted == 0 {
+		t.Fatal("no transactions submitted")
+	}
+	t.Logf("%s: submitted=%d succeeded=%d failed=%d", ordererType, stats.Submitted, stats.Succeeded, stats.Failed)
+	if stats.Succeeded == 0 {
+		t.Fatalf("no transactions committed (failed=%d)", stats.Failed)
+	}
+	sum := col.Summarize(metrics.SummaryOptions{TimeScale: model.TimeScale})
+	t.Logf("exec=%.1f order=%.1f validate=%.1f tps, total latency avg=%s",
+		sum.ExecuteTPS, sum.OrderTPS, sum.ValidateTPS, sum.TotalLatency.Avg)
+	for _, p := range n.Peers {
+		if err := p.Ledger().VerifyChain(); err != nil {
+			t.Errorf("peer %s chain: %v", p.ID(), err)
+		}
+	}
+	return sum
+}
+
+func TestEndToEndSolo(t *testing.T) {
+	sum := runSmoke(t, Solo, policy.OrOverPeers(3), 3)
+	if sum.ValidateTPS < 30 {
+		t.Errorf("validate throughput %.1f tps, want >= 30", sum.ValidateTPS)
+	}
+}
+
+func TestEndToEndKafka(t *testing.T) {
+	runSmoke(t, Kafka, policy.OrOverPeers(3), 3)
+}
+
+func TestEndToEndRaft(t *testing.T) {
+	runSmoke(t, Raft, policy.OrOverPeers(3), 3)
+}
+
+func TestEndToEndANDPolicy(t *testing.T) {
+	sum := runSmoke(t, Solo, policy.AndOverPeers(3), 3)
+	if sum.ValidateTPS < 30 {
+		t.Errorf("validate throughput %.1f tps, want >= 30", sum.ValidateTPS)
+	}
+}

@@ -1,0 +1,271 @@
+package fabnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fabricsim/internal/chaincode"
+	"fabricsim/internal/client"
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/policy"
+	"fabricsim/internal/types"
+)
+
+// buildAndStart builds a network and fails the test on error.
+func buildAndStart(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	n, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+	if err := n.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestVerifyCryptoEndToEnd runs the full pipeline with real ECDSA
+// signatures and full verification at every hop.
+func TestVerifyCryptoEndToEnd(t *testing.T) {
+	n := buildAndStart(t, Config{
+		Orderer:           Solo,
+		NumEndorsingPeers: 2,
+		Policy:            policy.MustParse("AND('Org1.peer0','Org2.peer0')"),
+		Model:             costmodel.Default(0.05),
+		Scheme:            "ecdsa",
+		VerifyCrypto:      true,
+	})
+	ctx := context.Background()
+	res, err := n.Clients[0].Invoke(ctx, ChaincodeBench, "write", [][]byte{[]byte("k"), []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed || res.Code != types.ValidationValid {
+		t.Errorf("result = %+v", res)
+	}
+	info, err := n.Peers[0].Ledger().GetTx(res.TxID)
+	if err != nil || !info.Code.Valid() {
+		t.Errorf("ledger info = %+v err=%v", info, err)
+	}
+}
+
+// TestMVCCConflictEndToEnd drives contending read-modify-write
+// transactions against one hot key and checks that conflicts are
+// flagged, recorded on chain, and do not corrupt state.
+func TestMVCCConflictEndToEnd(t *testing.T) {
+	n := buildAndStart(t, Config{
+		Orderer:           Solo,
+		NumEndorsingPeers: 2,
+		NumClients:        4,
+		Policy:            policy.OrOverPeers(2),
+		Model:             costmodel.Default(0.05),
+	})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var conflicts, commits int
+	var mu sync.Mutex
+	for i := 0; i < 12; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := n.Clients[i%len(n.Clients)]
+			_, err := cl.Invoke(ctx, ChaincodeBench, "readwrite", [][]byte{[]byte("hot"), []byte{byte(i)}})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				commits++
+			case errors.Is(err, client.ErrInvalidated):
+				conflicts++
+			}
+		}()
+	}
+	wg.Wait()
+	if commits == 0 {
+		t.Error("no transaction committed")
+	}
+	if conflicts == 0 {
+		t.Error("no MVCC conflict under contention — suspicious")
+	}
+	stats := n.Peers[0].Ledger().Stats()
+	if stats.InvalidTxs != conflicts {
+		t.Errorf("chain records %d invalid, clients saw %d", stats.InvalidTxs, conflicts)
+	}
+}
+
+// TestAllPeersConverge checks that every peer ends with the identical
+// chain and state after a concurrent workload.
+func TestAllPeersConverge(t *testing.T) {
+	n := buildAndStart(t, Config{
+		Orderer:            Kafka,
+		NumOrderers:        3,
+		NumEndorsingPeers:  3,
+		NumCommitOnlyPeers: 2,
+		Policy:             policy.OrOverPeers(3),
+		Model:              costmodel.Default(0.05),
+	})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := n.Clients[i%len(n.Clients)]
+			_, _ = cl.Invoke(ctx, ChaincodeBench, "write", [][]byte{[]byte(fmt.Sprintf("k%d", i)), []byte("v")})
+		}()
+	}
+	wg.Wait()
+	time.Sleep(300 * time.Millisecond) // let commit-only peers catch up
+
+	ref := n.Peers[0].Ledger()
+	for _, p := range n.Peers[1:] {
+		l := p.Ledger()
+		if l.Height() != ref.Height() {
+			t.Errorf("peer %s height %d != %d", p.ID(), l.Height(), ref.Height())
+			continue
+		}
+		for num := uint64(1); num < ref.Height(); num++ {
+			a, _ := ref.GetBlock(num)
+			b, _ := l.GetBlock(num)
+			if string(a.Header.Hash()) != string(b.Header.Hash()) {
+				t.Errorf("peer %s block %d hash differs", p.ID(), num)
+			}
+		}
+		if err := l.VerifyChain(); err != nil {
+			t.Errorf("peer %s: %v", p.ID(), err)
+		}
+	}
+}
+
+// TestRaftOrdererFailover kills the Raft leader OSN mid-run and expects
+// the network to keep committing.
+func TestRaftOrdererFailover(t *testing.T) {
+	n := buildAndStart(t, Config{
+		Orderer:           Raft,
+		NumOrderers:       5,
+		NumEndorsingPeers: 3,
+		Policy:            policy.OrOverPeers(3),
+		Model:             costmodel.Default(0.05),
+	})
+	ctx := context.Background()
+	invoke := func(tag string, i int) error {
+		_, err := n.Clients[i%len(n.Clients)].Invoke(ctx, ChaincodeBench, "write",
+			[][]byte{[]byte(fmt.Sprintf("%s%d", tag, i)), []byte("v")})
+		return err
+	}
+	for i := 0; i < 5; i++ {
+		if err := invoke("pre", i); err != nil {
+			t.Fatalf("pre-crash invoke %d: %v", i, err)
+		}
+	}
+	leader, ok := n.RaftLeader()
+	if !ok {
+		t.Fatal("no raft leader")
+	}
+	n.Transport.SetNodeDown(leader, true)
+
+	deadline := time.Now().Add(10 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		if l, ok := n.RaftLeader(); ok && l != leader {
+			recovered = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("no new leader elected")
+	}
+	ok2 := 0
+	for i := 0; i < 10; i++ {
+		if err := invoke("post", i); err == nil {
+			ok2++
+		}
+	}
+	if ok2 == 0 {
+		t.Error("no transaction committed after failover")
+	}
+}
+
+// TestKafkaBrokerFailover kills the partition-leader broker and expects
+// ordering to continue through the surviving ISR.
+func TestKafkaBrokerFailover(t *testing.T) {
+	n := buildAndStart(t, Config{
+		Orderer:           Kafka,
+		NumOrderers:       2,
+		NumKafkaBrokers:   3,
+		NumEndorsingPeers: 2,
+		Policy:            policy.OrOverPeers(2),
+		Model:             costmodel.Default(0.05),
+	})
+	ctx := context.Background()
+	if _, err := n.Clients[0].Invoke(ctx, ChaincodeBench, "write", [][]byte{[]byte("pre"), []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	leader, ok := n.KafkaCluster().Leader(0)
+	if !ok {
+		t.Fatal("no partition leader")
+	}
+	if err := n.KafkaCluster().KillBroker(leader); err != nil {
+		t.Fatal(err)
+	}
+	ok2 := 0
+	for i := 0; i < 5; i++ {
+		if _, err := n.Clients[0].Invoke(ctx, ChaincodeBench, "write",
+			[][]byte{[]byte(fmt.Sprintf("post%d", i)), []byte("v")}); err == nil {
+			ok2++
+		}
+	}
+	if ok2 == 0 {
+		t.Error("no transaction committed after broker failover")
+	}
+}
+
+// TestQueryPath exercises the client's evaluate-only path.
+func TestQueryPath(t *testing.T) {
+	n := buildAndStart(t, Config{
+		Orderer:           Solo,
+		NumEndorsingPeers: 1,
+		Policy:            policy.OrOverPeers(1),
+		Model:             costmodel.Default(0.05),
+		ExtraChaincodes:   []chaincode.Chaincode{chaincode.NewCounter("ctr")},
+	})
+	ctx := context.Background()
+	if _, err := n.Clients[0].Invoke(ctx, "ctr", "inc", [][]byte{[]byte("c")}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := n.Clients[0].Query(ctx, "ctr", "get", [][]byte{[]byte("c")})
+	if err != nil || string(out) != "1" {
+		t.Errorf("query = %q err=%v", out, err)
+	}
+}
+
+// TestTxSizeAffectsBlockBytes sanity-checks the transaction-size knob.
+func TestTxSizeAffectsBlockBytes(t *testing.T) {
+	n := buildAndStart(t, Config{
+		Orderer:           Solo,
+		NumEndorsingPeers: 1,
+		Policy:            policy.OrOverPeers(1),
+		Model:             costmodel.Default(0.05),
+	})
+	ctx := context.Background()
+	big := make([]byte, 4096)
+	res, err := n.Clients[0].Invoke(ctx, ChaincodeBench, "write", [][]byte{[]byte("big"), big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := n.Peers[0].Ledger().GetBlock(res.BlockNum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block.Size() < 4096 {
+		t.Errorf("block size %d does not reflect 4KB value", block.Size())
+	}
+}

@@ -1,0 +1,202 @@
+// Package ledger implements a peer's ledger: the append-only block
+// store with its hash chain, the transaction index used for duplicate
+// detection and status queries, a per-key history database, and the
+// bridge that applies a validated block's writes to the world state.
+package ledger
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"fabricsim/internal/statedb"
+	"fabricsim/internal/types"
+)
+
+// Errors returned by ledger operations.
+var (
+	ErrNotFound     = errors.New("ledger: not found")
+	ErrBadPrevHash  = errors.New("ledger: previous-hash mismatch")
+	ErrBadNumber    = errors.New("ledger: unexpected block number")
+	ErrNotValidated = errors.New("ledger: block has no validation flags")
+)
+
+// TxInfo is the indexed location and outcome of a committed transaction.
+type TxInfo struct {
+	BlockNum uint64
+	TxNum    uint64
+	Code     types.ValidationCode
+}
+
+// Ledger is one peer's ledger for one channel.
+type Ledger struct {
+	mu      sync.RWMutex
+	blocks  []*types.Block
+	txIndex map[types.TxID]TxInfo
+	history map[string][]types.Version // ns/key -> committed write versions
+	state   *statedb.DB
+}
+
+// New creates a ledger seeded with the genesis block and an empty world
+// state.
+func New() *Ledger {
+	l := &Ledger{
+		txIndex: make(map[types.TxID]TxInfo),
+		history: make(map[string][]types.Version),
+		state:   statedb.New(),
+	}
+	genesis := types.NewBlock(0, nil, nil)
+	l.blocks = append(l.blocks, genesis)
+	return l
+}
+
+// State returns the ledger's world-state database.
+func (l *Ledger) State() *statedb.DB { return l.state }
+
+// Height returns the number of blocks on the chain (genesis included).
+func (l *Ledger) Height() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return uint64(len(l.blocks))
+}
+
+// LastHash returns the hash of the latest block header.
+func (l *Ledger) LastHash() []byte {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.blocks[len(l.blocks)-1].Header.Hash()
+}
+
+// GetBlock returns the block at the given number.
+func (l *Ledger) GetBlock(number uint64) (*types.Block, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if number >= uint64(len(l.blocks)) {
+		return nil, fmt.Errorf("%w: block %d (height %d)", ErrNotFound, number, len(l.blocks))
+	}
+	return l.blocks[number], nil
+}
+
+// GetTx returns the indexed info for a committed transaction ID.
+func (l *Ledger) GetTx(id types.TxID) (TxInfo, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	info, ok := l.txIndex[id]
+	if !ok {
+		return TxInfo{}, fmt.Errorf("%w: tx %s", ErrNotFound, id)
+	}
+	return info, nil
+}
+
+// HasTx reports whether the transaction ID already appears on the chain.
+// Endorsers use this to reject replayed proposals.
+func (l *Ledger) HasTx(id types.TxID) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	_, ok := l.txIndex[id]
+	return ok
+}
+
+// History returns the committed write versions of ns/key, oldest first.
+func (l *Ledger) History(ns, key string) []types.Version {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	h := l.history[ns+"/"+key]
+	out := make([]types.Version, len(h))
+	copy(out, h)
+	return out
+}
+
+// Commit appends a validated block: it verifies the hash chain, indexes
+// every transaction with its validation flag, applies the writes of
+// valid transactions to the world state, and records history. The block
+// must carry validation flags for each transaction (set by the
+// committer's VSCC/MVCC pipeline before Commit is called).
+func (l *Ledger) Commit(block *types.Block, txs []*types.Transaction) error {
+	if len(block.Metadata.ValidationFlags) != len(block.Data) {
+		return ErrNotValidated
+	}
+	if err := block.VerifyDataHash(); err != nil {
+		return err
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	next := uint64(len(l.blocks))
+	if block.Header.Number != next {
+		return fmt.Errorf("%w: got %d want %d", ErrBadNumber, block.Header.Number, next)
+	}
+	prevHash := l.blocks[len(l.blocks)-1].Header.Hash()
+	if !bytes.Equal(block.Header.PrevHash, prevHash) {
+		return fmt.Errorf("%w at block %d", ErrBadPrevHash, block.Header.Number)
+	}
+
+	batch := statedb.NewUpdateBatch()
+	for i, tx := range txs {
+		code := block.Metadata.ValidationFlags[i]
+		l.txIndex[tx.ID()] = TxInfo{BlockNum: block.Header.Number, TxNum: uint64(i), Code: code}
+		if !code.Valid() {
+			continue
+		}
+		v := types.Version{BlockNum: block.Header.Number, TxNum: uint64(i)}
+		ns := tx.Proposal.ChaincodeID
+		for _, w := range tx.Results.Writes {
+			if w.IsDelete {
+				batch.Delete(ns, w.Key, v)
+			} else {
+				batch.Put(ns, w.Key, w.Value, v)
+			}
+			hk := ns + "/" + w.Key
+			l.history[hk] = append(l.history[hk], v)
+		}
+	}
+	if err := l.state.ApplyUpdates(batch, types.Version{BlockNum: block.Header.Number, TxNum: uint64(len(txs))}); err != nil {
+		return fmt.Errorf("ledger: apply state updates: %w", err)
+	}
+	l.blocks = append(l.blocks, block)
+	return nil
+}
+
+// VerifyChain walks the whole chain and checks every hash link and data
+// hash; used by tests and the integrity checker.
+func (l *Ledger) VerifyChain() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for i := 1; i < len(l.blocks); i++ {
+		prev := l.blocks[i-1]
+		cur := l.blocks[i]
+		if !bytes.Equal(cur.Header.PrevHash, prev.Header.Hash()) {
+			return fmt.Errorf("%w between blocks %d and %d", ErrBadPrevHash, i-1, i)
+		}
+		if err := cur.VerifyDataHash(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarizes ledger contents for reporting.
+type Stats struct {
+	Blocks     uint64
+	TotalTxs   int
+	ValidTxs   int
+	InvalidTxs int
+}
+
+// Stats returns summary counts across the whole chain.
+func (l *Ledger) Stats() Stats {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	s := Stats{Blocks: uint64(len(l.blocks))}
+	for _, info := range l.txIndex {
+		s.TotalTxs++
+		if info.Code.Valid() {
+			s.ValidTxs++
+		} else {
+			s.InvalidTxs++
+		}
+	}
+	return s
+}

@@ -1,0 +1,168 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"fabricsim/internal/types"
+)
+
+// mkTx builds a write-only transaction for the test chaincode namespace.
+func mkTx(id string, writes ...string) *types.Transaction {
+	tx := &types.Transaction{
+		Proposal: types.Proposal{TxID: types.TxID(id), ChaincodeID: "cc", Fn: "write"},
+	}
+	for _, k := range writes {
+		tx.Results.Writes = append(tx.Results.Writes, types.KVWrite{Key: k, Value: []byte("v-" + id)})
+	}
+	return tx
+}
+
+// mkBlock assembles a block of transactions chained onto l.
+func mkBlock(l *Ledger, txs []*types.Transaction, flags []types.ValidationCode) *types.Block {
+	data := make([][]byte, len(txs))
+	for i, tx := range txs {
+		data[i] = tx.Marshal()
+	}
+	b := types.NewBlock(l.Height(), l.LastHash(), data)
+	b.Metadata.ValidationFlags = flags
+	return b
+}
+
+func TestCommitAndQuery(t *testing.T) {
+	l := New()
+	txs := []*types.Transaction{mkTx("t1", "a"), mkTx("t2", "b")}
+	b := mkBlock(l, txs, []types.ValidationCode{types.ValidationValid, types.ValidationValid})
+	if err := l.Commit(b, txs); err != nil {
+		t.Fatal(err)
+	}
+	if l.Height() != 2 {
+		t.Errorf("Height = %d", l.Height())
+	}
+	info, err := l.GetTx("t1")
+	if err != nil || info.BlockNum != 1 || info.TxNum != 0 || !info.Code.Valid() {
+		t.Errorf("GetTx = %+v err=%v", info, err)
+	}
+	vv, ok, _ := l.State().Get("cc", "a")
+	if !ok || string(vv.Value) != "v-t1" {
+		t.Errorf("state a = %+v ok=%v", vv, ok)
+	}
+	if !l.HasTx("t2") || l.HasTx("ghost") {
+		t.Error("HasTx wrong")
+	}
+}
+
+func TestInvalidTxRecordedNotApplied(t *testing.T) {
+	l := New()
+	txs := []*types.Transaction{mkTx("ok", "a"), mkTx("bad", "b")}
+	b := mkBlock(l, txs, []types.ValidationCode{types.ValidationValid, types.ValidationMVCCConflict})
+	if err := l.Commit(b, txs); err != nil {
+		t.Fatal(err)
+	}
+	// Both are on the chain...
+	if !l.HasTx("bad") {
+		t.Error("invalid tx not recorded on chain")
+	}
+	info, _ := l.GetTx("bad")
+	if info.Code != types.ValidationMVCCConflict {
+		t.Errorf("code = %s", info.Code)
+	}
+	// ...but only the valid one touched the world state.
+	if _, ok, _ := l.State().Get("cc", "b"); ok {
+		t.Error("invalid tx applied to state")
+	}
+	stats := l.Stats()
+	if stats.ValidTxs != 1 || stats.InvalidTxs != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestCommitRejectsBadChain(t *testing.T) {
+	l := New()
+	txs := []*types.Transaction{mkTx("t1", "a")}
+
+	wrongNum := mkBlock(l, txs, []types.ValidationCode{types.ValidationValid})
+	wrongNum.Header.Number = 5
+	if err := l.Commit(wrongNum, txs); !errors.Is(err, ErrBadNumber) {
+		t.Errorf("wrong number: %v", err)
+	}
+
+	wrongPrev := mkBlock(l, txs, []types.ValidationCode{types.ValidationValid})
+	wrongPrev.Header.PrevHash = []byte("bogus")
+	if err := l.Commit(wrongPrev, txs); !errors.Is(err, ErrBadPrevHash) {
+		t.Errorf("wrong prev hash: %v", err)
+	}
+
+	noFlags := mkBlock(l, txs, nil)
+	if err := l.Commit(noFlags, txs); !errors.Is(err, ErrNotValidated) {
+		t.Errorf("missing flags: %v", err)
+	}
+
+	tampered := mkBlock(l, txs, []types.ValidationCode{types.ValidationValid})
+	tampered.Data[0] = []byte("tampered")
+	if err := l.Commit(tampered, txs); err == nil {
+		t.Error("tampered data committed")
+	}
+}
+
+func TestVerifyChain(t *testing.T) {
+	l := New()
+	for i := 0; i < 5; i++ {
+		txs := []*types.Transaction{mkTx(fmt.Sprintf("t%d", i), fmt.Sprintf("k%d", i))}
+		b := mkBlock(l, txs, []types.ValidationCode{types.ValidationValid})
+		if err := l.Commit(b, txs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.VerifyChain(); err != nil {
+		t.Errorf("VerifyChain: %v", err)
+	}
+}
+
+func TestHistory(t *testing.T) {
+	l := New()
+	for i := 0; i < 3; i++ {
+		txs := []*types.Transaction{mkTx(fmt.Sprintf("t%d", i), "hot")}
+		b := mkBlock(l, txs, []types.ValidationCode{types.ValidationValid})
+		if err := l.Commit(b, txs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := l.History("cc", "hot")
+	if len(h) != 3 {
+		t.Fatalf("history length %d", len(h))
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i].Compare(h[i-1]) <= 0 {
+			t.Error("history not ascending")
+		}
+	}
+}
+
+func TestGetBlockBounds(t *testing.T) {
+	l := New()
+	if _, err := l.GetBlock(0); err != nil {
+		t.Errorf("genesis missing: %v", err)
+	}
+	if _, err := l.GetBlock(99); !errors.Is(err, ErrNotFound) {
+		t.Errorf("out-of-range block: %v", err)
+	}
+	if _, err := l.GetTx("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing tx: %v", err)
+	}
+}
+
+func TestVersionAssignmentWithinBlock(t *testing.T) {
+	l := New()
+	txs := []*types.Transaction{mkTx("t1", "a"), mkTx("t2", "a")}
+	b := mkBlock(l, txs, []types.ValidationCode{types.ValidationValid, types.ValidationValid})
+	if err := l.Commit(b, txs); err != nil {
+		t.Fatal(err)
+	}
+	// The later tx in the block wins, with its (block, txNum) version.
+	vv, _, _ := l.State().Get("cc", "a")
+	if string(vv.Value) != "v-t2" || vv.Version != (types.Version{BlockNum: 1, TxNum: 1}) {
+		t.Errorf("final state = %+v", vv)
+	}
+}

@@ -1,0 +1,365 @@
+// Package metrics collects per-transaction phase timestamps and per-
+// block events, and reduces them into the paper's three metrics
+// (Definitions 4.1-4.3): throughput, latency, and block time — overall
+// and per phase (execute / order / validate).
+//
+// All raw timestamps are wall-clock; summaries convert durations back
+// into model time through the cost model's TimeScale so reported numbers
+// are comparable with the paper regardless of how compressed a run was.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"fabricsim/internal/types"
+)
+
+// TxRecord carries one transaction's phase timestamps.
+type TxRecord struct {
+	ID types.TxID
+	// Submitted is when the client created the proposal (arrival).
+	Submitted time.Time
+	// Endorsed is when the client finished collecting endorsements —
+	// the end of the execute phase.
+	Endorsed time.Time
+	// Broadcast is when the ordering service accepted the envelope.
+	Broadcast time.Time
+	// Ordered is when the block containing the transaction was cut —
+	// the end of the order phase.
+	Ordered time.Time
+	// Committed is when the observing peer committed the block — the
+	// end of the validate phase.
+	Committed time.Time
+	// Code is the final validation outcome.
+	Code types.ValidationCode
+	// Rejected marks client-side rejection (endorsement failure or the
+	// paper's 3-second ordering timeout).
+	Rejected bool
+}
+
+// BlockEvent is one block cut by the ordering service.
+type BlockEvent struct {
+	Number uint64
+	CutAt  time.Time
+	Txs    int
+}
+
+// Collector accumulates records; safe for concurrent use.
+type Collector struct {
+	mu     sync.Mutex
+	byTx   map[types.TxID]*TxRecord
+	blocks []BlockEvent
+	start  time.Time
+}
+
+// NewCollector creates an empty collector anchored at now.
+func NewCollector() *Collector {
+	return &Collector{
+		byTx:  make(map[types.TxID]*TxRecord),
+		start: time.Now(),
+	}
+}
+
+func (c *Collector) rec(id types.TxID) *TxRecord {
+	r, ok := c.byTx[id]
+	if !ok {
+		r = &TxRecord{ID: id}
+		c.byTx[id] = r
+	}
+	return r
+}
+
+// Submitted records proposal creation time.
+func (c *Collector) Submitted(id types.TxID, t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rec(id).Submitted = t
+}
+
+// Endorsed records the end of the execute phase.
+func (c *Collector) Endorsed(id types.TxID, t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rec(id).Endorsed = t
+}
+
+// BroadcastAcked records ordering-service acceptance.
+func (c *Collector) BroadcastAcked(id types.TxID, t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rec(id).Broadcast = t
+}
+
+// Ordered records the cut time of the transaction's block.
+func (c *Collector) Ordered(id types.TxID, t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rec(id).Ordered = t
+}
+
+// Committed records the end of the validate phase.
+func (c *Collector) Committed(id types.TxID, t time.Time, code types.ValidationCode) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.rec(id)
+	r.Committed = t
+	r.Code = code
+}
+
+// Rejected marks a client-side rejection.
+func (c *Collector) Rejected(id types.TxID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rec(id).Rejected = true
+}
+
+// Block records one cut block.
+func (c *Collector) Block(ev BlockEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.blocks = append(c.blocks, ev)
+}
+
+// Records returns a snapshot copy of all transaction records.
+func (c *Collector) Records() []TxRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]TxRecord, 0, len(c.byTx))
+	for _, r := range c.byTx {
+		out = append(out, *r)
+	}
+	return out
+}
+
+// Blocks returns a snapshot copy of block events, sorted by number.
+func (c *Collector) Blocks() []BlockEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]BlockEvent, len(c.blocks))
+	copy(out, c.blocks)
+	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
+	return out
+}
+
+// LatencyStats summarizes a latency distribution in model time.
+type LatencyStats struct {
+	Count int
+	Avg   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	Max   time.Duration
+}
+
+// Summary is the reduction of one experiment run.
+type Summary struct {
+	// Offered is the number of transactions submitted inside the
+	// measurement window.
+	Offered int
+	// Committed is the number of valid committed transactions.
+	Committed int
+	// Invalid counts committed-but-invalid transactions.
+	Invalid int
+	// RejectedCount counts client-side rejections (timeouts included).
+	RejectedCount int
+
+	// Model-time throughput in transactions per second per phase
+	// (Definition 4.1 applied at each phase boundary).
+	ExecuteTPS  float64
+	OrderTPS    float64
+	ValidateTPS float64
+
+	// End-to-end and per-phase latency (Definition 4.2).
+	TotalLatency         LatencyStats
+	ExecuteLatency       LatencyStats
+	OrderLatency         LatencyStats // broadcast -> block cut
+	ValidateLatency      LatencyStats // block cut -> commit
+	OrderValidateLatency LatencyStats // endorsed -> commit (paper's "order & validate")
+
+	// BlockTime is the mean inter-block interval (Definition 4.3) and
+	// BlockTPS the ordering-service throughput derived from it.
+	BlockTime    time.Duration
+	BlockTPS     float64
+	Blocks       int
+	AvgBlockSize float64
+}
+
+// SummaryOptions controls the reduction.
+type SummaryOptions struct {
+	// TimeScale is the cost model's scale; durations are divided by it.
+	TimeScale float64
+	// TrimFraction drops this fraction of the run at each end (warmup
+	// and drain) when computing throughput. Default 0.15.
+	TrimFraction float64
+	// RejectLatency is the model-time latency charged to rejected
+	// transactions (the paper's 3s ordering timeout); zero excludes
+	// rejected transactions from latency statistics.
+	RejectLatency time.Duration
+}
+
+// Summarize reduces the collected records.
+func (c *Collector) Summarize(opts SummaryOptions) Summary {
+	if opts.TimeScale <= 0 {
+		opts.TimeScale = 1
+	}
+	if opts.TrimFraction <= 0 {
+		opts.TrimFraction = 0.15
+	}
+	recs := c.Records()
+	blocks := c.Blocks()
+
+	var s Summary
+	if len(recs) == 0 {
+		return s
+	}
+
+	// Measurement window: trim the first and last fraction of the
+	// submission interval to measure steady state.
+	var first, last time.Time
+	for _, r := range recs {
+		if r.Submitted.IsZero() {
+			continue
+		}
+		if first.IsZero() || r.Submitted.Before(first) {
+			first = r.Submitted
+		}
+		if r.Submitted.After(last) {
+			last = r.Submitted
+		}
+	}
+	span := last.Sub(first)
+	wStart := first.Add(time.Duration(float64(span) * opts.TrimFraction))
+	wEnd := last.Add(-time.Duration(float64(span) * opts.TrimFraction))
+	window := wEnd.Sub(wStart)
+	if window <= 0 {
+		window = span
+		wStart, wEnd = first, last
+	}
+	modelWindow := time.Duration(float64(window) / opts.TimeScale)
+	if modelWindow <= 0 {
+		modelWindow = time.Nanosecond
+	}
+
+	// Negative spans can appear when a reply outraces an ack under
+	// heavy load; clamp to zero rather than pollute averages.
+	unscale := func(d time.Duration) time.Duration {
+		if d < 0 {
+			return 0
+		}
+		return time.Duration(float64(d) / opts.TimeScale)
+	}
+
+	// Phase throughputs count phase-completion events whose own
+	// timestamp falls inside the window (Definition 4.1: the rate at
+	// which transactions are committed), so a saturated pipeline reads
+	// its service capacity even while backlog is still building.
+	// Latency statistics use the cohort of transactions submitted
+	// inside the window (Definition 4.2).
+	inWin := func(t time.Time) bool {
+		return !t.IsZero() && !t.Before(wStart) && !t.After(wEnd)
+	}
+	var totalLat, execLat, orderLat, valLat, ovLat []time.Duration
+	var endorsedIn, orderedIn, committedIn int
+	for _, r := range recs {
+		submittedIn := inWin(r.Submitted)
+		if submittedIn {
+			s.Offered++
+		}
+		if r.Rejected {
+			s.RejectedCount++
+			if opts.RejectLatency > 0 && submittedIn {
+				totalLat = append(totalLat, opts.RejectLatency)
+			}
+		}
+		if inWin(r.Endorsed) {
+			endorsedIn++
+		}
+		if inWin(r.Ordered) {
+			orderedIn++
+		}
+		if inWin(r.Committed) {
+			if r.Code.Valid() {
+				committedIn++
+			} else {
+				s.Invalid++
+			}
+		}
+		if !submittedIn {
+			continue
+		}
+		if !r.Endorsed.IsZero() {
+			execLat = append(execLat, unscale(r.Endorsed.Sub(r.Submitted)))
+		}
+		if !r.Ordered.IsZero() {
+			ref := r.Broadcast
+			if ref.IsZero() {
+				ref = r.Endorsed
+			}
+			if !ref.IsZero() {
+				orderLat = append(orderLat, unscale(r.Ordered.Sub(ref)))
+			}
+		}
+		if !r.Committed.IsZero() {
+			totalLat = append(totalLat, unscale(r.Committed.Sub(r.Submitted)))
+			if !r.Ordered.IsZero() {
+				valLat = append(valLat, unscale(r.Committed.Sub(r.Ordered)))
+			}
+			if !r.Endorsed.IsZero() {
+				ovLat = append(ovLat, unscale(r.Committed.Sub(r.Endorsed)))
+			}
+		}
+	}
+	s.Committed = committedIn
+	s.ExecuteTPS = float64(endorsedIn) / modelWindow.Seconds()
+	s.OrderTPS = float64(orderedIn) / modelWindow.Seconds()
+	s.ValidateTPS = float64(committedIn) / modelWindow.Seconds()
+
+	s.TotalLatency = reduceLatency(totalLat)
+	s.ExecuteLatency = reduceLatency(execLat)
+	s.OrderLatency = reduceLatency(orderLat)
+	s.ValidateLatency = reduceLatency(valLat)
+	s.OrderValidateLatency = reduceLatency(ovLat)
+
+	// Block time over blocks cut inside the window.
+	var inWindowBlocks []BlockEvent
+	totalTxs := 0
+	for _, b := range blocks {
+		if !b.CutAt.Before(wStart) && !b.CutAt.After(wEnd) {
+			inWindowBlocks = append(inWindowBlocks, b)
+			totalTxs += b.Txs
+		}
+	}
+	s.Blocks = len(inWindowBlocks)
+	if len(inWindowBlocks) >= 2 {
+		span := inWindowBlocks[len(inWindowBlocks)-1].CutAt.Sub(inWindowBlocks[0].CutAt)
+		s.BlockTime = unscale(span / time.Duration(len(inWindowBlocks)-1))
+		if s.BlockTime > 0 {
+			s.AvgBlockSize = float64(totalTxs) / float64(len(inWindowBlocks))
+			s.BlockTPS = s.AvgBlockSize / s.BlockTime.Seconds()
+		}
+	}
+	return s
+}
+
+func reduceLatency(lats []time.Duration) LatencyStats {
+	if len(lats) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	idx := func(q float64) time.Duration {
+		i := int(q * float64(len(lats)-1))
+		return lats[i]
+	}
+	return LatencyStats{
+		Count: len(lats),
+		Avg:   sum / time.Duration(len(lats)),
+		P50:   idx(0.50),
+		P95:   idx(0.95),
+		Max:   lats[len(lats)-1],
+	}
+}

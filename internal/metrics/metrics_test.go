@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fabricsim/internal/types"
+)
+
+// record inserts a full life-cycle record with the given offsets from a
+// base time.
+func record(c *Collector, id string, base time.Time, submit, endorse, order, commit time.Duration, code types.ValidationCode) {
+	txid := types.TxID(id)
+	c.Submitted(txid, base.Add(submit))
+	c.Endorsed(txid, base.Add(endorse))
+	c.BroadcastAcked(txid, base.Add(endorse))
+	c.Ordered(txid, base.Add(order))
+	c.Committed(txid, base.Add(commit), code)
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	c := NewCollector()
+	base := time.Now()
+	// 100 txs submitted over 10s (scale 1), each committing 500ms later.
+	for i := 0; i < 100; i++ {
+		at := time.Duration(i) * 100 * time.Millisecond
+		record(c, fmt.Sprintf("t%d", i), base, at, at+100*time.Millisecond, at+300*time.Millisecond, at+500*time.Millisecond, types.ValidationValid)
+	}
+	s := c.Summarize(SummaryOptions{TimeScale: 1.0})
+	if s.Offered == 0 || s.Committed == 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	// ~10 tps submission -> throughput near 10.
+	if s.ValidateTPS < 8 || s.ValidateTPS > 12 {
+		t.Errorf("ValidateTPS = %.1f, want ~10", s.ValidateTPS)
+	}
+	if got := s.TotalLatency.Avg; got < 450*time.Millisecond || got > 550*time.Millisecond {
+		t.Errorf("total latency = %s, want ~500ms", got)
+	}
+	if got := s.ExecuteLatency.Avg; got < 90*time.Millisecond || got > 110*time.Millisecond {
+		t.Errorf("execute latency = %s, want ~100ms", got)
+	}
+	if got := s.ValidateLatency.Avg; got < 190*time.Millisecond || got > 210*time.Millisecond {
+		t.Errorf("validate latency = %s, want ~200ms", got)
+	}
+}
+
+func TestSummarizeTimeScale(t *testing.T) {
+	c := NewCollector()
+	base := time.Now()
+	// Wall 50ms latency at scale 0.1 => 500ms model latency.
+	for i := 0; i < 50; i++ {
+		at := time.Duration(i) * 10 * time.Millisecond
+		record(c, fmt.Sprintf("t%d", i), base, at, at+10*time.Millisecond, at+30*time.Millisecond, at+50*time.Millisecond, types.ValidationValid)
+	}
+	s := c.Summarize(SummaryOptions{TimeScale: 0.1})
+	if got := s.TotalLatency.Avg; got < 450*time.Millisecond || got > 550*time.Millisecond {
+		t.Errorf("unscaled latency = %s, want ~500ms", got)
+	}
+	// Wall 100 tps at scale 0.1 => 10 model tps.
+	if s.ValidateTPS < 8 || s.ValidateTPS > 12 {
+		t.Errorf("ValidateTPS = %.1f, want ~10", s.ValidateTPS)
+	}
+}
+
+func TestSummarizeInvalidAndRejected(t *testing.T) {
+	c := NewCollector()
+	base := time.Now()
+	for i := 0; i < 30; i++ {
+		at := time.Duration(i) * 10 * time.Millisecond
+		code := types.ValidationValid
+		if i%3 == 0 {
+			code = types.ValidationMVCCConflict
+		}
+		record(c, fmt.Sprintf("t%d", i), base, at, at+time.Millisecond, at+2*time.Millisecond, at+3*time.Millisecond, code)
+	}
+	rej := types.TxID("rejected-1")
+	c.Submitted(rej, base.Add(150*time.Millisecond))
+	c.Rejected(rej)
+
+	s := c.Summarize(SummaryOptions{TimeScale: 1.0, RejectLatency: 3 * time.Second})
+	if s.Invalid == 0 {
+		t.Error("invalid txs not counted")
+	}
+	if s.RejectedCount != 1 {
+		t.Errorf("rejected = %d", s.RejectedCount)
+	}
+	// The rejected tx contributes its 3s cap to total latency.
+	if s.TotalLatency.Max < 3*time.Second {
+		t.Errorf("max latency = %s, reject cap not applied", s.TotalLatency.Max)
+	}
+}
+
+func TestBlockTime(t *testing.T) {
+	c := NewCollector()
+	base := time.Now()
+	for i := 0; i < 60; i++ {
+		at := time.Duration(i) * 10 * time.Millisecond
+		record(c, fmt.Sprintf("t%d", i), base, at, at, at, at, types.ValidationValid)
+	}
+	for i := 0; i < 6; i++ {
+		c.Block(BlockEvent{Number: uint64(i + 1), CutAt: base.Add(time.Duration(i) * 100 * time.Millisecond), Txs: 10})
+	}
+	s := c.Summarize(SummaryOptions{TimeScale: 1.0})
+	if s.Blocks < 2 {
+		t.Fatalf("blocks in window = %d", s.Blocks)
+	}
+	if s.BlockTime < 90*time.Millisecond || s.BlockTime > 110*time.Millisecond {
+		t.Errorf("block time = %s, want ~100ms", s.BlockTime)
+	}
+	if s.AvgBlockSize != 10 {
+		t.Errorf("avg block size = %.1f", s.AvgBlockSize)
+	}
+	if s.BlockTPS < 90 || s.BlockTPS > 110 {
+		t.Errorf("block tps = %.1f, want ~100", s.BlockTPS)
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	c := NewCollector()
+	s := c.Summarize(SummaryOptions{TimeScale: 1.0})
+	if s.Offered != 0 || s.ValidateTPS != 0 {
+		t.Errorf("non-zero summary from empty collector: %+v", s)
+	}
+}
+
+func TestLatencyStatsPercentiles(t *testing.T) {
+	lats := make([]time.Duration, 0, 100)
+	for i := 1; i <= 100; i++ {
+		lats = append(lats, time.Duration(i)*time.Millisecond)
+	}
+	st := reduceLatency(lats)
+	if st.Count != 100 {
+		t.Errorf("count = %d", st.Count)
+	}
+	if st.P50 < 49*time.Millisecond || st.P50 > 51*time.Millisecond {
+		t.Errorf("p50 = %s", st.P50)
+	}
+	if st.P95 < 94*time.Millisecond || st.P95 > 97*time.Millisecond {
+		t.Errorf("p95 = %s", st.P95)
+	}
+	if st.Max != 100*time.Millisecond {
+		t.Errorf("max = %s", st.Max)
+	}
+	if st.Avg != 50500*time.Microsecond {
+		t.Errorf("avg = %s", st.Avg)
+	}
+}
+
+func TestRecordsSnapshot(t *testing.T) {
+	c := NewCollector()
+	c.Submitted("a", time.Now())
+	recs := c.Records()
+	if len(recs) != 1 || recs[0].ID != "a" {
+		t.Errorf("records = %+v", recs)
+	}
+	// Snapshot must be a copy.
+	recs[0].ID = "mutated"
+	if c.Records()[0].ID != "a" {
+		t.Error("snapshot aliased internal state")
+	}
+}
+
+func TestBlocksSorted(t *testing.T) {
+	c := NewCollector()
+	c.Block(BlockEvent{Number: 3})
+	c.Block(BlockEvent{Number: 1})
+	c.Block(BlockEvent{Number: 2})
+	bs := c.Blocks()
+	for i := 1; i < len(bs); i++ {
+		if bs[i].Number < bs[i-1].Number {
+			t.Fatal("blocks not sorted")
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package msp
+
+import (
+	"errors"
+	"testing"
+
+	"fabricsim/internal/ca"
+	"fabricsim/internal/fabcrypto"
+)
+
+func testMSP(t *testing.T) (*MSP, *ca.CA, *ca.CA) {
+	t.Helper()
+	org1, err := ca.New("Org1", fabcrypto.SchemeECDSA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	org2, err := ca.New("Org2", fabcrypto.SchemeECDSA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(org1, org2), org1, org2
+}
+
+func TestValidateIdentity(t *testing.T) {
+	m, org1, _ := testMSP(t)
+	e, _ := org1.Enroll("peer0", ca.RolePeer)
+	id := NewSigningIdentity(e)
+	cert, err := m.ValidateIdentity(id.Serialized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.ID() != "Org1.peer0" {
+		t.Errorf("ID = %s", cert.ID())
+	}
+	// Second call hits the cache; result must be identical.
+	cert2, err := m.ValidateIdentity(id.Serialized())
+	if err != nil || cert2 != cert {
+		t.Error("cache miss or mismatch on repeat validation")
+	}
+}
+
+func TestUnknownOrgRejected(t *testing.T) {
+	m, _, _ := testMSP(t)
+	org3, _ := ca.New("Org3", fabcrypto.SchemeECDSA)
+	e, _ := org3.Enroll("peer0", ca.RolePeer)
+	if _, err := m.ValidateIdentity(e.Cert.Marshal()); !errors.Is(err, ErrUnknownOrg) {
+		t.Errorf("foreign org accepted: %v", err)
+	}
+}
+
+func TestAddOrg(t *testing.T) {
+	m, _, _ := testMSP(t)
+	org3, _ := ca.New("Org3", fabcrypto.SchemeECDSA)
+	m.AddOrg(org3)
+	e, _ := org3.Enroll("peer0", ca.RolePeer)
+	if _, err := m.ValidateIdentity(e.Cert.Marshal()); err != nil {
+		t.Errorf("org added but identity rejected: %v", err)
+	}
+	if m.Orgs() != 3 {
+		t.Errorf("Orgs = %d", m.Orgs())
+	}
+}
+
+func TestVerifySignature(t *testing.T) {
+	m, org1, _ := testMSP(t)
+	e, _ := org1.Enroll("client1", ca.RoleClient)
+	id := NewSigningIdentity(e)
+	msg := []byte("payload")
+	sig, err := id.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.VerifySignature(id.Serialized(), msg, sig); err != nil {
+		t.Errorf("valid signature rejected: %v", err)
+	}
+	if _, err := m.VerifySignature(id.Serialized(), []byte("other"), sig); !errors.Is(err, ErrBadSig) {
+		t.Errorf("wrong message accepted: %v", err)
+	}
+}
+
+func TestVerifyByID(t *testing.T) {
+	m, org1, _ := testMSP(t)
+	e, _ := org1.Enroll("peer0", ca.RolePeer)
+	id := NewSigningIdentity(e)
+	msg := []byte("endorsement")
+	sig, _ := id.Sign(msg)
+	if err := m.VerifyByID("Org1.peer0", e.Cert, msg, sig); err != nil {
+		t.Errorf("VerifyByID: %v", err)
+	}
+	if err := m.VerifyByID("Org1.other", e.Cert, msg, sig); err == nil {
+		t.Error("identity mismatch accepted")
+	}
+}
+
+func TestRevokedIdentityRejected(t *testing.T) {
+	m, org1, _ := testMSP(t)
+	e, _ := org1.Enroll("peer0", ca.RolePeer)
+	if err := org1.Revoke("Org1.peer0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ValidateIdentity(e.Cert.Marshal()); err == nil {
+		t.Error("revoked identity accepted")
+	}
+}
+
+func TestSigningIdentityAccessors(t *testing.T) {
+	_, org1, _ := testMSP(t)
+	e, _ := org1.Enroll("peer0", ca.RolePeer)
+	id := NewSigningIdentity(e)
+	if id.ID() != "Org1.peer0" || id.Org() != "Org1" {
+		t.Errorf("accessors: %s / %s", id.ID(), id.Org())
+	}
+}

@@ -1,0 +1,100 @@
+// Package blockcutter implements the ordering service's batching rule:
+// a block is cut when pending transactions reach BatchSize, when their
+// cumulative size reaches MaxBytes, or when BatchTimeout elapses after
+// the first pending transaction arrived (the paper's two "core
+// conditions", Section III; defaults BatchSize=100, BatchTimeout=1s).
+package blockcutter
+
+import "time"
+
+// Config holds the batching parameters.
+type Config struct {
+	// BatchSize is the maximum number of transactions per block.
+	BatchSize int
+	// BatchTimeout is the maximum time to wait before cutting a
+	// non-empty batch.
+	BatchTimeout time.Duration
+	// MaxBytes optionally caps the cumulative payload size of a batch;
+	// zero disables the check.
+	MaxBytes int
+}
+
+// DefaultConfig returns the paper's defaults.
+func DefaultConfig() Config {
+	return Config{BatchSize: 100, BatchTimeout: time.Second}
+}
+
+// Cutter accumulates ordered transactions into batches. It is not safe
+// for concurrent use; each consenter drives one cutter from a single
+// goroutine, which mirrors the single ordered stream it consumes.
+type Cutter struct {
+	cfg     Config
+	pending [][]byte
+	bytes   int
+	started time.Time // arrival of the first pending tx
+	hasTime bool
+}
+
+// New creates a cutter. A BatchSize < 1 falls back to the default 100;
+// a BatchTimeout <= 0 falls back to 1s.
+func New(cfg Config) *Cutter {
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 100
+	}
+	if cfg.BatchTimeout <= 0 {
+		cfg.BatchTimeout = time.Second
+	}
+	return &Cutter{cfg: cfg}
+}
+
+// Config returns the cutter's configuration.
+func (c *Cutter) Config() Config { return c.cfg }
+
+// Ordered appends one transaction and returns the batches that became
+// ready because of it (at most one with size-based cutting, since each
+// call adds a single tx). The boolean reports whether a timeout timer
+// should be (re)armed: true whenever transactions remain pending.
+func (c *Cutter) Ordered(env []byte, now time.Time) (batches [][][]byte, pending bool) {
+	if len(c.pending) == 0 {
+		c.started = now
+		c.hasTime = true
+	}
+	c.pending = append(c.pending, env)
+	c.bytes += len(env)
+
+	overSize := len(c.pending) >= c.cfg.BatchSize
+	overBytes := c.cfg.MaxBytes > 0 && c.bytes >= c.cfg.MaxBytes
+	if overSize || overBytes {
+		batches = append(batches, c.takePending())
+	}
+	return batches, len(c.pending) > 0
+}
+
+// Cut forcibly cuts the pending batch (the timeout path). It returns nil
+// when nothing is pending.
+func (c *Cutter) Cut() [][]byte {
+	if len(c.pending) == 0 {
+		return nil
+	}
+	return c.takePending()
+}
+
+// Pending returns the number of transactions awaiting a cut.
+func (c *Cutter) Pending() int { return len(c.pending) }
+
+// Deadline returns the time at which the pending batch must be cut, and
+// whether a batch is pending at all.
+func (c *Cutter) Deadline() (time.Time, bool) {
+	if len(c.pending) == 0 || !c.hasTime {
+		return time.Time{}, false
+	}
+	return c.started.Add(c.cfg.BatchTimeout), true
+}
+
+func (c *Cutter) takePending() [][]byte {
+	batch := c.pending
+	c.pending = nil
+	c.bytes = 0
+	c.hasTime = false
+	return batch
+}

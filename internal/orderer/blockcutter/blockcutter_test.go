@@ -1,0 +1,115 @@
+package blockcutter
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSizeCut(t *testing.T) {
+	c := New(Config{BatchSize: 3, BatchTimeout: time.Second})
+	now := time.Now()
+	for i := 0; i < 2; i++ {
+		batches, pending := c.Ordered([]byte{byte(i)}, now)
+		if len(batches) != 0 || !pending {
+			t.Fatalf("premature cut at %d", i)
+		}
+	}
+	batches, pending := c.Ordered([]byte{2}, now)
+	if len(batches) != 1 || pending {
+		t.Fatalf("batches=%d pending=%v", len(batches), pending)
+	}
+	if len(batches[0]) != 3 {
+		t.Errorf("batch size = %d", len(batches[0]))
+	}
+	if c.Pending() != 0 {
+		t.Errorf("pending after cut = %d", c.Pending())
+	}
+}
+
+func TestTimeoutCut(t *testing.T) {
+	c := New(Config{BatchSize: 100, BatchTimeout: time.Second})
+	now := time.Now()
+	_, pending := c.Ordered([]byte("tx"), now)
+	if !pending {
+		t.Fatal("no pending after first tx")
+	}
+	deadline, ok := c.Deadline()
+	if !ok || !deadline.Equal(now.Add(time.Second)) {
+		t.Errorf("deadline = %v ok=%v", deadline, ok)
+	}
+	batch := c.Cut()
+	if len(batch) != 1 {
+		t.Errorf("Cut returned %d txs", len(batch))
+	}
+	if c.Cut() != nil {
+		t.Error("second Cut returned non-nil")
+	}
+	if _, ok := c.Deadline(); ok {
+		t.Error("deadline present with empty batch")
+	}
+}
+
+func TestMaxBytesCut(t *testing.T) {
+	c := New(Config{BatchSize: 100, BatchTimeout: time.Second, MaxBytes: 10})
+	now := time.Now()
+	if batches, _ := c.Ordered(make([]byte, 6), now); len(batches) != 0 {
+		t.Fatal("cut before byte limit")
+	}
+	batches, _ := c.Ordered(make([]byte, 6), now)
+	if len(batches) != 1 || len(batches[0]) != 2 {
+		t.Fatalf("byte-limit cut wrong: %d batches", len(batches))
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := New(Config{})
+	if c.Config().BatchSize != 100 || c.Config().BatchTimeout != time.Second {
+		t.Errorf("defaults = %+v", c.Config())
+	}
+	d := DefaultConfig()
+	if d.BatchSize != 100 || d.BatchTimeout != time.Second {
+		t.Errorf("DefaultConfig = %+v", d)
+	}
+}
+
+// Property: every cut batch respects BatchSize, preserves order, and no
+// transaction is lost or duplicated.
+func TestCutterProperty(t *testing.T) {
+	f := func(sizes []uint8, batchSize uint8) bool {
+		bs := int(batchSize%20) + 1
+		c := New(Config{BatchSize: bs, BatchTimeout: time.Second})
+		now := time.Now()
+		var out [][]byte
+		var in [][]byte
+		for i := range sizes {
+			tx := []byte{byte(i)}
+			in = append(in, tx)
+			batches, _ := c.Ordered(tx, now)
+			for _, b := range batches {
+				if len(b) > bs {
+					return false
+				}
+				out = append(out, b...)
+			}
+		}
+		if final := c.Cut(); final != nil {
+			if len(final) > bs {
+				return false
+			}
+			out = append(out, final...)
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if &in[i][0] != &out[i][0] {
+				return false // order or identity lost
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

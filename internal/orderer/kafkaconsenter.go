@@ -1,0 +1,230 @@
+package orderer
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"fabricsim/internal/kafka"
+	"fabricsim/internal/orderer/blockcutter"
+	"fabricsim/internal/types"
+)
+
+// Kafka record tags: the ordering topic carries either a transaction
+// envelope or a time-to-cut (TTC) marker. TTC markers make timeout cuts
+// deterministic across OSNs: every OSN consumes the same record stream,
+// so whichever OSN's local timer fires first posts a TTC for the next
+// block number and all OSNs cut on the first TTC they see for it.
+const (
+	recordEnvelope byte = 1
+	recordTTC      byte = 2
+)
+
+func encodeEnvelopeRecord(env []byte) []byte {
+	out := make([]byte, 0, len(env)+1)
+	out = append(out, recordEnvelope)
+	return append(out, env...)
+}
+
+func encodeTTCRecord(target uint64) []byte {
+	enc := types.NewEncoder(11)
+	enc.Byte(recordTTC)
+	enc.Uvarint(target)
+	return enc.Bytes()
+}
+
+// KafkaConsenter orders envelopes through the Kafka substrate: Submit
+// produces to the partition (acks=all across the ISR), and a consume
+// loop on every OSN feeds the shared stream into a local block cutter.
+type KafkaConsenter struct {
+	orderer   *Orderer
+	client    *kafka.Client
+	partition int
+	cutter    *blockcutter.Cutter
+
+	mu        sync.Mutex
+	ttcSent   uint64 // highest block number we posted a TTC for
+	blockSeq  uint64 // next block number to cut (1-based)
+	pendingAt time.Time
+	hasPend   bool
+
+	stopCh    chan struct{}
+	done      chan struct{}
+	stopMu    sync.Mutex
+	stopped   bool
+	startOnce sync.Once
+}
+
+var _ Consenter = (*KafkaConsenter)(nil)
+
+// NewKafkaConsenter attaches a Kafka consenter to the OSN. Each OSN gets
+// its own kafka.Client; all consume the same partition.
+func NewKafkaConsenter(o *Orderer, client *kafka.Client, partition int) *KafkaConsenter {
+	k := &KafkaConsenter{
+		orderer:   o,
+		client:    client,
+		partition: partition,
+		cutter:    blockcutter.New(o.cfg.Cutter),
+		blockSeq:  1,
+		stopCh:    make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	o.SetConsenter(k)
+	return k
+}
+
+// Submit implements Consenter: produce the envelope to the partition.
+func (k *KafkaConsenter) Submit(ctx context.Context, env []byte) error {
+	_, err := k.client.Produce(ctx, k.partition, encodeEnvelopeRecord(env))
+	if err != nil {
+		return fmt.Errorf("kafka consenter: %w", err)
+	}
+	return nil
+}
+
+// Start implements Consenter.
+func (k *KafkaConsenter) Start() error {
+	k.startOnce.Do(func() {
+		go k.consumeLoop()
+		go k.ttcLoop()
+	})
+	return nil
+}
+
+// Stop implements Consenter.
+func (k *KafkaConsenter) Stop() {
+	k.stopMu.Lock()
+	if k.stopped {
+		k.stopMu.Unlock()
+		return
+	}
+	k.stopped = true
+	k.startOnce.Do(func() {
+		go k.consumeLoop()
+		go k.ttcLoop()
+	})
+	close(k.stopCh)
+	k.stopMu.Unlock()
+	<-k.done
+}
+
+// consumeLoop pulls the ordered record stream and drives the cutter.
+func (k *KafkaConsenter) consumeLoop() {
+	defer close(k.done)
+	ctx := context.Background()
+	offset := int64(0)
+	pollWait := k.orderer.scaledTimeout() / 2
+	if pollWait < 5*time.Millisecond {
+		pollWait = 5 * time.Millisecond
+	}
+	for {
+		select {
+		case <-k.stopCh:
+			return
+		default:
+		}
+		records, err := k.client.Fetch(ctx, k.partition, offset, pollWait)
+		if err != nil {
+			select {
+			case <-k.stopCh:
+				return
+			case <-time.After(pollWait):
+			}
+			continue
+		}
+		for _, rec := range records {
+			offset = rec.Offset + 1
+			k.processRecord(rec.Data)
+		}
+	}
+}
+
+// processRecord applies one consumed record deterministically.
+func (k *KafkaConsenter) processRecord(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	switch data[0] {
+	case recordEnvelope:
+		env := data[1:]
+		k.mu.Lock()
+		batches, pending := k.cutter.Ordered(env, time.Now())
+		if pending && !k.hasPend {
+			k.hasPend = true
+			k.pendingAt = time.Now()
+		}
+		if !pending {
+			k.hasPend = false
+		}
+		var toEmit [][][]byte
+		for _, b := range batches {
+			k.blockSeq++
+			toEmit = append(toEmit, b)
+		}
+		k.mu.Unlock()
+		for _, b := range toEmit {
+			k.orderer.emitBatch(b)
+		}
+	case recordTTC:
+		dec := types.NewDecoder(data[1:])
+		target := dec.Uvarint()
+		k.mu.Lock()
+		if target != k.blockSeq {
+			// Stale or future TTC (another OSN already cut, or the
+			// poster raced a size-based cut); ignore, as Fabric does.
+			k.mu.Unlock()
+			return
+		}
+		batch := k.cutter.Cut()
+		k.hasPend = false
+		if batch == nil {
+			k.mu.Unlock()
+			return
+		}
+		k.blockSeq++
+		k.mu.Unlock()
+		k.orderer.emitBatch(batch)
+	}
+}
+
+// ttcLoop posts a TTC record when this OSN's local batch timer expires
+// while transactions are pending.
+func (k *KafkaConsenter) ttcLoop() {
+	timeout := k.orderer.scaledTimeout()
+	tick := timeout / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	ctx := context.Background()
+	for {
+		select {
+		case <-k.stopCh:
+			return
+		case <-ticker.C:
+			k.mu.Lock()
+			due := k.hasPend && time.Since(k.pendingAt) >= timeout && k.ttcSent < k.blockSeq
+			target := k.blockSeq
+			if due {
+				k.ttcSent = target
+			}
+			k.mu.Unlock()
+			if !due {
+				continue
+			}
+			cctx, cancel := context.WithTimeout(ctx, timeout)
+			_, err := k.client.Produce(cctx, k.partition, encodeTTCRecord(target))
+			cancel()
+			if err != nil {
+				// Allow a retry on the next tick.
+				k.mu.Lock()
+				if k.ttcSent == target {
+					k.ttcSent = target - 1
+				}
+				k.mu.Unlock()
+			}
+		}
+	}
+}

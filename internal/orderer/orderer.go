@@ -1,0 +1,224 @@
+// Package orderer implements the ordering service node (OSN): it
+// receives transaction envelopes from clients (Broadcast), establishes a
+// total order through a pluggable consenter (Solo, Kafka, or Raft),
+// cuts blocks with the BatchSize/BatchTimeout rule, and delivers blocks
+// to subscribed peers (Deliver). This mirrors Fabric v1.4's ordering
+// architecture, where consensus is modular exactly so that the three
+// ordering services the paper compares can be swapped.
+package orderer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/orderer/blockcutter"
+	"fabricsim/internal/simcpu"
+	"fabricsim/internal/transport"
+	"fabricsim/internal/types"
+)
+
+// Message kinds on the transport.
+const (
+	// KindBroadcast is the client -> OSN transaction submission.
+	KindBroadcast = "orderer.broadcast"
+	// KindSubscribe registers a peer for block delivery.
+	KindSubscribe = "orderer.subscribe"
+	// KindGetBlock fetches one block by number (deliver catch-up).
+	KindGetBlock = "orderer.getblock"
+	// KindSubmit is the intra-cluster Raft forward from follower OSNs
+	// to the leader.
+	KindSubmit = "orderer.submit"
+	// KindDeliverBlock is the OSN -> peer block push.
+	KindDeliverBlock = "orderer.deliverblock"
+)
+
+// ErrStopped is returned after Stop.
+var ErrStopped = errors.New("orderer: stopped")
+
+// Consenter establishes the total order of envelopes. Implementations:
+// Solo, Kafka, Raft.
+type Consenter interface {
+	// Submit hands one envelope to the consensus layer. It returns once
+	// the envelope is durably accepted for ordering (the Fabric
+	// broadcast SUCCESS semantics).
+	Submit(ctx context.Context, env []byte) error
+	// Start begins consuming the ordered stream.
+	Start() error
+	// Stop halts the consenter.
+	Stop()
+}
+
+// BlockObserver is notified of every block this OSN cuts, with the wall
+// clock at which it was cut. The bench harness uses it for the paper's
+// block-time metric (Definition 4.3).
+type BlockObserver func(block *types.Block, cutAt time.Time)
+
+// Config parameterizes an OSN.
+type Config struct {
+	// ID is the OSN's transport identifier.
+	ID string
+	// Endpoint is its attachment to the cluster network.
+	Endpoint transport.Endpoint
+	// Cutter holds the batching parameters in model time; the orderer
+	// scales BatchTimeout by the cost model's TimeScale internally.
+	Cutter blockcutter.Config
+	// Model is the calibrated cost model.
+	Model costmodel.Model
+	// CPU is the OSN machine's simulated CPU.
+	CPU *simcpu.CPU
+	// Observer, when non-nil, sees every block cut by this node.
+	Observer BlockObserver
+}
+
+// Orderer is one ordering service node.
+type Orderer struct {
+	cfg       Config
+	consenter Consenter
+
+	mu          sync.Mutex
+	lastNum     uint64
+	prevHash    []byte
+	blocks      []*types.Block // emitted blocks, for catch-up fetches
+	subscribers map[string]struct{}
+	stopped     bool
+}
+
+// New creates an OSN; the caller attaches a consenter with SetConsenter
+// before Start (the consenter needs a back-reference to emit batches).
+func New(cfg Config) *Orderer {
+	genesis := types.NewBlock(0, nil, nil)
+	o := &Orderer{
+		cfg:         cfg,
+		lastNum:     0,
+		prevHash:    genesis.Header.Hash(),
+		blocks:      []*types.Block{genesis},
+		subscribers: make(map[string]struct{}),
+	}
+	cfg.Endpoint.Handle(KindBroadcast, o.handleBroadcast)
+	cfg.Endpoint.Handle(KindSubscribe, o.handleSubscribe)
+	cfg.Endpoint.Handle(KindGetBlock, o.handleGetBlock)
+	return o
+}
+
+// ID returns the OSN's node identifier.
+func (o *Orderer) ID() string { return o.cfg.ID }
+
+// SetConsenter attaches the consensus implementation.
+func (o *Orderer) SetConsenter(c Consenter) { o.consenter = c }
+
+// Start launches the consenter.
+func (o *Orderer) Start() error {
+	if o.consenter == nil {
+		return errors.New("orderer: no consenter attached")
+	}
+	return o.consenter.Start()
+}
+
+// Stop halts the node.
+func (o *Orderer) Stop() {
+	o.mu.Lock()
+	if o.stopped {
+		o.mu.Unlock()
+		return
+	}
+	o.stopped = true
+	o.mu.Unlock()
+	if o.consenter != nil {
+		o.consenter.Stop()
+	}
+}
+
+// handleBroadcast ingests one client envelope.
+func (o *Orderer) handleBroadcast(ctx context.Context, _ string, payload any) (any, int, error) {
+	env, ok := payload.([]byte)
+	if !ok {
+		return nil, 0, fmt.Errorf("orderer: bad broadcast payload %T", payload)
+	}
+	o.mu.Lock()
+	stopped := o.stopped
+	o.mu.Unlock()
+	if stopped {
+		return nil, 0, ErrStopped
+	}
+	// Orderer ingest cost: envelope signature check + enqueue.
+	if err := o.cfg.CPU.Execute(ctx, o.cfg.Model.OrderPerTxCPU); err != nil {
+		return nil, 0, err
+	}
+	if err := o.consenter.Submit(ctx, env); err != nil {
+		return nil, 0, err
+	}
+	return "ACK", 4, nil
+}
+
+// handleSubscribe registers a peer for block pushes.
+func (o *Orderer) handleSubscribe(_ context.Context, from string, _ any) (any, int, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.subscribers[from] = struct{}{}
+	return uint64(len(o.blocks) - 1), 8, nil // current chain tip
+}
+
+// handleGetBlock serves catch-up fetches by block number.
+func (o *Orderer) handleGetBlock(_ context.Context, _ string, payload any) (any, int, error) {
+	num, ok := payload.(uint64)
+	if !ok {
+		return nil, 0, fmt.Errorf("orderer: bad getblock payload %T", payload)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if num >= uint64(len(o.blocks)) {
+		return nil, 0, fmt.Errorf("orderer %s: block %d not yet cut", o.cfg.ID, num)
+	}
+	b := o.blocks[num]
+	return b, b.Size(), nil
+}
+
+// emitBatch turns one ordered batch into the next block and pushes it to
+// subscribers. Consenters call it from a single goroutine in consensus
+// order, which keeps numbering identical across OSNs.
+func (o *Orderer) emitBatch(batch [][]byte) {
+	if len(batch) == 0 {
+		return
+	}
+	o.mu.Lock()
+	if o.stopped {
+		o.mu.Unlock()
+		return
+	}
+	num := o.lastNum + 1
+	block := types.NewBlock(num, o.prevHash, batch)
+	now := time.Now()
+	block.Metadata.OrderedTime = now.UnixNano()
+	block.Metadata.OrdererID = o.cfg.ID
+	o.lastNum = num
+	o.prevHash = block.Header.Hash()
+	o.blocks = append(o.blocks, block)
+	subs := make([]string, 0, len(o.subscribers))
+	for s := range o.subscribers {
+		subs = append(subs, s)
+	}
+	o.mu.Unlock()
+
+	if o.cfg.Observer != nil {
+		o.cfg.Observer(block, now)
+	}
+	size := block.Size()
+	for _, peer := range subs {
+		// Push delivery; a congested or crashed peer fills the gap
+		// later through KindGetBlock.
+		_ = o.cfg.Endpoint.Send(peer, KindDeliverBlock, block, size)
+	}
+}
+
+// scaledTimeout converts the configured BatchTimeout into wall time.
+func (o *Orderer) scaledTimeout() time.Duration {
+	d := o.cfg.Cutter.BatchTimeout
+	if d <= 0 {
+		d = time.Second
+	}
+	return o.cfg.Model.ScaledDelay(d)
+}

@@ -1,0 +1,196 @@
+package orderer
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/orderer/blockcutter"
+	"fabricsim/internal/simcpu"
+	"fabricsim/internal/transport"
+	"fabricsim/internal/types"
+)
+
+// testHarness wires OSNs and a fake client endpoint that doubles as the
+// deliver subscriber.
+type testHarness struct {
+	t      *testing.T
+	net    *transport.Network
+	client transport.Endpoint
+}
+
+func newHarness(t *testing.T) *testHarness {
+	t.Helper()
+	h := &testHarness{
+		t:   t,
+		net: transport.NewNetwork(transport.Config{TimeScale: 1.0}),
+	}
+	t.Cleanup(h.net.Close)
+	cep, err := h.net.Register("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.client = cep
+	return h
+}
+
+func (h *testHarness) newOrderer(id string, batchSize int, timeout time.Duration) *Orderer {
+	ep, err := h.net.Register(id)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	model := costmodel.Default(1.0)
+	return New(Config{
+		ID:       id,
+		Endpoint: ep,
+		Cutter:   blockcutter.Config{BatchSize: batchSize, BatchTimeout: timeout},
+		Model:    model,
+		CPU:      simcpu.New(model.OrdererCores, 1.0),
+	})
+}
+
+func TestSoloSizeCut(t *testing.T) {
+	h := newHarness(t)
+	o := h.newOrderer("osn1", 3, time.Minute)
+	solo := NewSolo(o)
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+	_ = solo
+
+	// Subscribe as the client endpoint (sender identity is the key).
+	if _, err := h.client.Call(context.Background(), "osn1", KindSubscribe, nil, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Deliveries go to "client"; hook them.
+	var mu sync.Mutex
+	var got []*types.Block
+	h.client.Handle(KindDeliverBlock, func(_ context.Context, _ string, payload any) (any, int, error) {
+		mu.Lock()
+		got = append(got, payload.(*types.Block))
+		mu.Unlock()
+		return nil, 0, nil
+	})
+
+	for i := 0; i < 6; i++ {
+		if _, err := h.client.Call(context.Background(), "osn1", KindBroadcast, []byte{byte(i)}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(got))
+	}
+	if got[0].Header.Number != 1 || got[1].Header.Number != 2 {
+		t.Errorf("numbers = %d, %d", got[0].Header.Number, got[1].Header.Number)
+	}
+	if len(got[0].Data) != 3 || len(got[1].Data) != 3 {
+		t.Errorf("batch sizes = %d, %d", len(got[0].Data), len(got[1].Data))
+	}
+	if string(got[0].Header.PrevHash) == string(got[1].Header.PrevHash) {
+		t.Error("blocks share prev hash")
+	}
+}
+
+func TestSoloTimeoutCut(t *testing.T) {
+	h := newHarness(t)
+	o := h.newOrderer("osn1", 100, 50*time.Millisecond)
+	NewSolo(o)
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+	if _, err := h.client.Call(context.Background(), "osn1", KindSubscribe, nil, 8); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []*types.Block
+	h.client.Handle(KindDeliverBlock, func(_ context.Context, _ string, payload any) (any, int, error) {
+		mu.Lock()
+		got = append(got, payload.(*types.Block))
+		mu.Unlock()
+		return nil, 0, nil
+	})
+	start := time.Now()
+	if _, err := h.client.Call(context.Background(), "osn1", KindBroadcast, []byte("solo-tx"), 7); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || len(got[0].Data) != 1 {
+		t.Fatalf("blocks = %+v", got)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("timeout cut after %s, want ~50ms", elapsed)
+	}
+}
+
+func TestGetBlockCatchUp(t *testing.T) {
+	h := newHarness(t)
+	o := h.newOrderer("osn1", 1, time.Minute)
+	NewSolo(o)
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+	for i := 0; i < 3; i++ {
+		if _, err := h.client.Call(context.Background(), "osn1", KindBroadcast, []byte{byte(i)}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Allow the cut loop to emit all three single-tx blocks.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		raw, err := h.client.Call(context.Background(), "osn1", KindGetBlock, uint64(3), 8)
+		if err == nil {
+			b := raw.(*types.Block)
+			if b.Header.Number != 3 {
+				t.Errorf("block number = %d", b.Header.Number)
+			}
+			if _, err := h.client.Call(context.Background(), "osn1", KindGetBlock, uint64(99), 8); err == nil {
+				t.Error("future block served")
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("block 3 never became fetchable")
+}
+
+func TestBatchEncodeDecode(t *testing.T) {
+	batch := [][]byte{[]byte("a"), []byte("bc"), nil}
+	got, err := decodeBatch(encodeBatch(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || string(got[0]) != "a" || string(got[1]) != "bc" || got[2] != nil {
+		t.Errorf("decoded %v", got)
+	}
+	if _, err := decodeBatch([]byte("garbage-that-overruns")); err == nil {
+		t.Error("garbage decoded")
+	}
+}

@@ -1,0 +1,237 @@
+package orderer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fabricsim/internal/orderer/blockcutter"
+	"fabricsim/internal/raft"
+	"fabricsim/internal/types"
+)
+
+// RaftConsenter orders envelopes through the Raft substrate, following
+// Fabric's etcdraft design: the Raft leader OSN runs the block cutter
+// and proposes whole batches as log entries; every OSN applies committed
+// batches in log order, so all emit identical blocks. Follower OSNs
+// forward client envelopes to the leader (KindSubmit).
+type RaftConsenter struct {
+	orderer *Orderer
+	node    *raft.Node
+	peers   []string // all OSN ids
+
+	in        chan []byte
+	stopCh    chan struct{}
+	done      chan struct{}
+	stopMu    sync.Mutex
+	stopped   bool
+	startOnce sync.Once
+
+	applyMu sync.Mutex
+}
+
+var _ Consenter = (*RaftConsenter)(nil)
+
+// RaftConfig parameterizes the consenter's embedded Raft node.
+type RaftConfig struct {
+	// Peers lists every OSN in the cluster (transport IDs).
+	Peers []string
+	// ElectionTimeout and HeartbeatInterval are wall-clock (scaled).
+	ElectionTimeout   time.Duration
+	HeartbeatInterval time.Duration
+}
+
+// NewRaftConsenter attaches a Raft consenter to the OSN and starts its
+// Raft node.
+func NewRaftConsenter(o *Orderer, rc RaftConfig) (*RaftConsenter, error) {
+	r := &RaftConsenter{
+		orderer: o,
+		peers:   rc.Peers,
+		in:      make(chan []byte, 8192),
+		stopCh:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	appendDelay := func() {
+		_ = o.cfg.CPU.Execute(context.Background(), o.cfg.Model.RaftAppendCPU)
+	}
+	node, err := raft.NewNode(raft.Config{
+		ID:                o.cfg.ID,
+		Peers:             rc.Peers,
+		Endpoint:          o.cfg.Endpoint,
+		ElectionTimeout:   rc.ElectionTimeout,
+		HeartbeatInterval: rc.HeartbeatInterval,
+		Apply:             r.applyEntry,
+		AppendDelay:       appendDelay,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("raft consenter: %w", err)
+	}
+	r.node = node
+	o.cfg.Endpoint.Handle(KindSubmit, r.handleForward)
+	o.SetConsenter(r)
+	return r, nil
+}
+
+// Node exposes the embedded Raft node (failover tests inspect it).
+func (r *RaftConsenter) Node() *raft.Node { return r.node }
+
+// Submit implements Consenter. On the leader the envelope enters the
+// local cutter loop; otherwise it is forwarded to the current leader.
+func (r *RaftConsenter) Submit(ctx context.Context, env []byte) error {
+	leader, ok := r.node.Leader()
+	if !ok {
+		return errors.New("raft consenter: no leader elected")
+	}
+	if leader == r.orderer.cfg.ID {
+		select {
+		case r.in <- env:
+			return nil
+		case <-r.stopCh:
+			return ErrStopped
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	_, err := r.orderer.cfg.Endpoint.Call(ctx, leader, KindSubmit, env, len(env))
+	if err != nil {
+		return fmt.Errorf("raft consenter: forward to %s: %w", leader, err)
+	}
+	return nil
+}
+
+// handleForward ingests envelopes forwarded from follower OSNs.
+func (r *RaftConsenter) handleForward(ctx context.Context, _ string, payload any) (any, int, error) {
+	env, ok := payload.([]byte)
+	if !ok {
+		return nil, 0, fmt.Errorf("raft consenter: bad forward payload %T", payload)
+	}
+	if state, _ := r.node.State(); state != raft.Leader {
+		leader, _ := r.node.Leader()
+		return nil, 0, fmt.Errorf("raft consenter: not leader (leader is %q)", leader)
+	}
+	select {
+	case r.in <- env:
+		return "ACK", 4, nil
+	case <-r.stopCh:
+		return nil, 0, ErrStopped
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}
+
+// Start implements Consenter.
+func (r *RaftConsenter) Start() error {
+	r.startOnce.Do(func() { go r.cutLoop() })
+	return nil
+}
+
+// Stop implements Consenter.
+func (r *RaftConsenter) Stop() {
+	r.stopMu.Lock()
+	if r.stopped {
+		r.stopMu.Unlock()
+		return
+	}
+	r.stopped = true
+	r.startOnce.Do(func() { go r.cutLoop() })
+	close(r.stopCh)
+	r.stopMu.Unlock()
+	<-r.done
+	r.node.Stop()
+}
+
+// cutLoop runs on every OSN but only acts while this node leads: it
+// batches incoming envelopes and proposes each cut batch to Raft.
+func (r *RaftConsenter) cutLoop() {
+	defer close(r.done)
+	cutter := blockcutter.New(r.orderer.cfg.Cutter)
+	timeout := r.orderer.scaledTimeout()
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+			timerC = nil
+		}
+	}
+	defer stopTimer()
+
+	propose := func(batch [][]byte) {
+		if len(batch) == 0 {
+			return
+		}
+		data := encodeBatch(batch)
+		if _, err := r.node.Propose(data); err != nil {
+			// Leadership lost mid-batch: the envelopes are dropped and
+			// their clients will hit the 3-second ordering timeout,
+			// which the paper counts as rejected transactions.
+			return
+		}
+	}
+
+	for {
+		select {
+		case env := <-r.in:
+			batches, pending := cutter.Ordered(env, time.Now())
+			for _, b := range batches {
+				propose(b)
+			}
+			if pending && timer == nil {
+				timer = time.NewTimer(timeout)
+				timerC = timer.C
+			}
+			if !pending {
+				stopTimer()
+			}
+		case <-timerC:
+			stopTimer()
+			propose(cutter.Cut())
+		case <-r.stopCh:
+			return
+		}
+	}
+}
+
+// applyEntry is the Raft apply callback: decode the batch and emit it.
+// Raft applies entries from a single goroutine in log order on every
+// OSN, which keeps block numbering consistent cluster-wide.
+func (r *RaftConsenter) applyEntry(e raft.Entry) {
+	batch, err := decodeBatch(e.Data)
+	if err != nil {
+		return // a malformed entry would indicate a bug, not input error
+	}
+	r.applyMu.Lock()
+	defer r.applyMu.Unlock()
+	r.orderer.emitBatch(batch)
+}
+
+// encodeBatch serializes a batch of envelopes into one Raft entry.
+func encodeBatch(batch [][]byte) []byte {
+	size := 8
+	for _, b := range batch {
+		size += len(b) + 8
+	}
+	enc := types.NewEncoder(size)
+	enc.Uvarint(uint64(len(batch)))
+	for _, b := range batch {
+		enc.Bytes2(b)
+	}
+	return enc.Bytes()
+}
+
+// decodeBatch reverses encodeBatch.
+func decodeBatch(data []byte) ([][]byte, error) {
+	dec := types.NewDecoder(data)
+	n := dec.Uvarint()
+	out := make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, dec.Bytes2())
+	}
+	if err := dec.Finish(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

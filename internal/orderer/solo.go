@@ -1,0 +1,112 @@
+package orderer
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"fabricsim/internal/orderer/blockcutter"
+)
+
+// Solo is the single-node consenter: envelopes are ordered by arrival at
+// the one OSN, blocks are cut on BatchSize or BatchTimeout. As the paper
+// notes, Solo has a single point of failure and is meant for development
+// and testing; the experiments use it as the consensus-free baseline.
+type Solo struct {
+	orderer   *Orderer
+	cutter    *blockcutter.Cutter
+	in        chan []byte
+	stopCh    chan struct{}
+	done      chan struct{}
+	stopped   bool
+	startOnce sync.Once
+}
+
+var _ Consenter = (*Solo)(nil)
+
+// NewSolo attaches a Solo consenter to the OSN.
+func NewSolo(o *Orderer) *Solo {
+	s := &Solo{
+		orderer: o,
+		cutter:  blockcutter.New(o.cfg.Cutter),
+		in:      make(chan []byte, 8192),
+		stopCh:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	o.SetConsenter(s)
+	return s
+}
+
+// Submit implements Consenter.
+func (s *Solo) Submit(ctx context.Context, env []byte) error {
+	select {
+	case s.in <- env:
+		return nil
+	case <-s.stopCh:
+		return ErrStopped
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Start implements Consenter.
+func (s *Solo) Start() error {
+	s.startOnce.Do(func() { go s.run() })
+	return nil
+}
+
+// Stop implements Consenter. Safe to call without Start.
+func (s *Solo) Stop() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	s.startOnce.Do(func() { go s.run() })
+	close(s.stopCh)
+	<-s.done
+}
+
+// run is the single ordering loop: it interleaves envelope arrival with
+// the batch timeout, exactly the two cut conditions of Section III.
+func (s *Solo) run() {
+	defer close(s.done)
+	timeout := s.orderer.scaledTimeout()
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+			timerC = nil
+		}
+	}
+	defer stopTimer()
+
+	for {
+		select {
+		case env := <-s.in:
+			batches, pending := s.cutter.Ordered(env, time.Now())
+			for _, b := range batches {
+				s.orderer.emitBatch(b)
+			}
+			if pending && timer == nil {
+				timer = time.NewTimer(timeout)
+				timerC = timer.C
+			}
+			if !pending {
+				stopTimer()
+			}
+		case <-timerC:
+			stopTimer()
+			if batch := s.cutter.Cut(); batch != nil {
+				s.orderer.emitBatch(batch)
+			}
+		case <-s.stopCh:
+			return
+		}
+	}
+}
+
+// ErrNotStarted is returned when Submit precedes Start.
+var ErrNotStarted = errors.New("orderer: consenter not started")

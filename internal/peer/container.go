@@ -1,0 +1,44 @@
+package peer
+
+import (
+	"context"
+	"sync"
+
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/simcpu"
+)
+
+// container emulates the Docker container Fabric launches per user
+// chaincode: a one-time launch cost on first invocation, then per-
+// invocation execution cost charged against the peer's CPU. System
+// chaincodes (ESCC/VSCC) run in-process and are charged directly by the
+// endorse/validate paths.
+type container struct {
+	model costmodel.Model
+	cpu   *simcpu.CPU
+
+	launchOnce sync.Once
+	launchErr  error
+}
+
+func newContainer(model costmodel.Model, cpu *simcpu.CPU) *container {
+	return &container{model: model, cpu: cpu}
+}
+
+// launch charges the one-time container start; peers call it at startup
+// (chaincode instantiation time), before any workload arrives.
+func (c *container) launch(ctx context.Context) error {
+	c.launchOnce.Do(func() {
+		c.launchErr = c.cpu.Execute(ctx, c.model.ContainerLaunch)
+	})
+	return c.launchErr
+}
+
+// invoke charges one chaincode execution, launching the container first
+// if the peer skipped explicit instantiation.
+func (c *container) invoke(ctx context.Context, valueBytes int) error {
+	if err := c.launch(ctx); err != nil {
+		return err
+	}
+	return c.cpu.Execute(ctx, c.model.EndorseCost(valueBytes)-c.model.EndorseVerifyCPU)
+}

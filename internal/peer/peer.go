@@ -1,0 +1,552 @@
+// Package peer implements the peer node: the endorser that serves the
+// execute phase (proposal checks, chaincode simulation, ESCC signing)
+// and the committer that serves the validate phase (VSCC endorsement-
+// policy validation, MVCC read-conflict checking, ledger commit, and
+// commit-event delivery back to clients). Every peer validates and
+// commits every block; a subset additionally endorses, matching the
+// paper's architecture where "machines in the first phase are also
+// involved in the third phase".
+package peer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fabricsim/internal/ca"
+	"fabricsim/internal/chaincode"
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/fabcrypto"
+	"fabricsim/internal/ledger"
+	"fabricsim/internal/msp"
+	"fabricsim/internal/orderer"
+	"fabricsim/internal/policy"
+	"fabricsim/internal/simcpu"
+	"fabricsim/internal/transport"
+	"fabricsim/internal/types"
+)
+
+// Message kinds on the transport.
+const (
+	// KindEndorse is the client -> peer proposal submission.
+	KindEndorse = "peer.endorse"
+	// KindSubscribeEvents registers a client for commit events.
+	KindSubscribeEvents = "peer.subscribe"
+	// KindCommitEvent is the peer -> client batched commit notification.
+	KindCommitEvent = "peer.commitevent"
+)
+
+// Errors returned by the endorser.
+var (
+	ErrDuplicateTx = errors.New("peer: duplicate transaction ID")
+	ErrStopped     = errors.New("peer: stopped")
+)
+
+// EndorseRequest is the execute-phase request.
+type EndorseRequest struct {
+	Proposal *types.Proposal
+	// Sig is the client's signature over the proposal hash.
+	Sig []byte
+}
+
+// CommitEvent notifies a client of one transaction's final outcome.
+type CommitEvent struct {
+	TxID        types.TxID
+	Code        types.ValidationCode
+	BlockNum    uint64
+	OrderedTime int64 // unix nanos when the block was cut
+	CommitTime  int64 // unix nanos when this peer committed
+}
+
+// Config parameterizes a peer.
+type Config struct {
+	// ID is the peer's transport identifier (also its MSP name scope).
+	ID string
+	// Endpoint is the peer's network attachment.
+	Endpoint transport.Endpoint
+	// Identity is the peer's signing identity (from its org CA).
+	Identity *msp.SigningIdentity
+	// MSP validates client and endorser identities.
+	MSP *msp.MSP
+	// Registry holds installed chaincodes.
+	Registry *chaincode.Registry
+	// Policy is the channel's endorsement policy (validated by VSCC).
+	Policy policy.Policy
+	// Model is the calibrated cost model.
+	Model costmodel.Model
+	// CPU is this peer machine's simulated CPU.
+	CPU *simcpu.CPU
+	// Endorsing marks the peer as an endorsing peer.
+	Endorsing bool
+	// OrdererID is the OSN this peer pulls blocks from.
+	OrdererID string
+	// VerifyCrypto enables real signature verification in addition to
+	// modeled CPU cost. Correctness tests enable it; large sweeps rely
+	// on the cost model alone.
+	VerifyCrypto bool
+	// OnCommit, when non-nil, observes every committed block.
+	OnCommit func(block *types.Block, committedAt time.Time)
+}
+
+// Peer is one peer node.
+type Peer struct {
+	cfg Config
+
+	ledger    *ledger.Ledger
+	container *container
+
+	mu          sync.Mutex
+	subscribers map[string]struct{}
+	nextBlock   uint64
+	pending     map[uint64]*types.Block // out-of-order delivery buffer
+	stopped     bool
+
+	commitCh  chan *types.Block
+	stopCh    chan struct{}
+	done      chan struct{}
+	startOnce sync.Once
+}
+
+// New creates a peer and registers its transport handlers.
+func New(cfg Config) *Peer {
+	p := &Peer{
+		cfg:         cfg,
+		ledger:      ledger.New(),
+		subscribers: make(map[string]struct{}),
+		nextBlock:   1,
+		pending:     make(map[uint64]*types.Block),
+		commitCh:    make(chan *types.Block, 1024),
+		stopCh:      make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	p.container = newContainer(cfg.Model, cfg.CPU)
+	cfg.Endpoint.Handle(KindEndorse, p.handleEndorse)
+	cfg.Endpoint.Handle(KindSubscribeEvents, p.handleSubscribe)
+	cfg.Endpoint.Handle(orderer.KindDeliverBlock, p.handleDeliverBlock)
+	return p
+}
+
+// ID returns the peer's node identifier.
+func (p *Peer) ID() string { return p.cfg.ID }
+
+// Ledger exposes the peer's ledger for inspection.
+func (p *Peer) Ledger() *ledger.Ledger { return p.ledger }
+
+// Start launches the commit pipeline, instantiates the chaincode
+// container, and subscribes to the orderer's deliver service.
+func (p *Peer) Start(ctx context.Context) error {
+	p.startOnce.Do(func() { go p.commitLoop() })
+	if p.cfg.Endorsing {
+		if err := p.container.launch(ctx); err != nil {
+			return fmt.Errorf("peer %s: launch container: %w", p.cfg.ID, err)
+		}
+	}
+	if p.cfg.OrdererID != "" {
+		if _, err := p.cfg.Endpoint.Call(ctx, p.cfg.OrdererID, orderer.KindSubscribe, p.cfg.ID, 16); err != nil {
+			return fmt.Errorf("peer %s: subscribe to %s: %w", p.cfg.ID, p.cfg.OrdererID, err)
+		}
+	}
+	return nil
+}
+
+// Stop halts the peer. Safe to call on a peer that was never started.
+func (p *Peer) Stop() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	p.mu.Unlock()
+	// Ensure the commit loop exists so <-p.done terminates.
+	p.startOnce.Do(func() { go p.commitLoop() })
+	close(p.stopCh)
+	<-p.done
+}
+
+// --- Execute phase: endorsement ---
+
+// handleEndorse runs the endorser: verify the proposal, simulate the
+// chaincode in the container, sign the response (ESCC).
+func (p *Peer) handleEndorse(ctx context.Context, _ string, payload any) (any, int, error) {
+	req, ok := payload.(*EndorseRequest)
+	if !ok {
+		return nil, 0, fmt.Errorf("peer: bad endorse payload %T", payload)
+	}
+	if !p.cfg.Endorsing {
+		return nil, 0, fmt.Errorf("peer %s: not an endorsing peer", p.cfg.ID)
+	}
+	prop := req.Proposal
+
+	// 1) Proposal checks: well-formed, signature, authorization,
+	// duplicate (the four checks of Section II).
+	if err := p.cfg.CPU.Execute(ctx, p.cfg.Model.EndorseVerifyCPU); err != nil {
+		return nil, 0, err
+	}
+	if prop.TxID == "" || prop.ChaincodeID == "" {
+		return p.endorseFailure(prop, "malformed proposal")
+	}
+	if p.cfg.VerifyCrypto {
+		if _, err := p.cfg.MSP.VerifySignature(prop.Creator, prop.Hash(), req.Sig); err != nil {
+			return p.endorseFailure(prop, "bad client signature: "+err.Error())
+		}
+	} else if _, err := p.cfg.MSP.ValidateIdentity(prop.Creator); err != nil {
+		return p.endorseFailure(prop, "unknown creator: "+err.Error())
+	}
+	if p.ledger.HasTx(prop.TxID) {
+		return p.endorseFailure(prop, ErrDuplicateTx.Error())
+	}
+
+	// 2) Chaincode execution against the committed state snapshot.
+	cc, err := p.cfg.Registry.Get(prop.ChaincodeID)
+	if err != nil {
+		return p.endorseFailure(prop, err.Error())
+	}
+	valueBytes := 0
+	for _, a := range prop.Args {
+		valueBytes += len(a)
+	}
+	sim := chaincode.NewSimulator(prop.TxID, prop.ChaincodeID, p.ledger.State())
+	if err := p.container.invoke(ctx, valueBytes); err != nil {
+		return nil, 0, err
+	}
+	ccPayload, err := cc.Invoke(sim, prop.Fn, prop.Args)
+	if err != nil {
+		return p.endorseFailure(prop, "chaincode: "+err.Error())
+	}
+	rwset := sim.RWSet()
+	rwBytes := rwset.Marshal()
+	resultsHash := fabcrypto.Digest(rwBytes)
+
+	// 3) ESCC: sign proposal hash || results hash.
+	sig, err := p.cfg.Identity.Sign(fabcrypto.Digest(prop.Hash(), resultsHash))
+	if err != nil {
+		return nil, 0, fmt.Errorf("peer %s: escc sign: %w", p.cfg.ID, err)
+	}
+	resp := &types.ProposalResponse{
+		TxID:        prop.TxID,
+		Status:      200,
+		ResultsHash: resultsHash,
+		Results:     rwset,
+		Payload:     ccPayload,
+		Endorsement: types.Endorsement{
+			EndorserID:  p.cfg.Identity.ID(),
+			EndorserOrg: p.cfg.Identity.Org(),
+			Signature:   sig,
+		},
+	}
+	return resp, len(rwBytes) + 128, nil
+}
+
+func (p *Peer) endorseFailure(prop *types.Proposal, msg string) (any, int, error) {
+	return &types.ProposalResponse{TxID: prop.TxID, Status: 500, Message: msg}, len(msg) + 64, nil
+}
+
+// --- Validate phase: deliver, validate, commit ---
+
+// handleSubscribe registers a client for commit events.
+func (p *Peer) handleSubscribe(_ context.Context, from string, _ any) (any, int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.subscribers[from] = struct{}{}
+	return "OK", 2, nil
+}
+
+// handleDeliverBlock ingests a block pushed by the orderer, restoring
+// order and filling gaps through catch-up fetches.
+func (p *Peer) handleDeliverBlock(ctx context.Context, from string, payload any) (any, int, error) {
+	block, ok := payload.(*types.Block)
+	if !ok {
+		return nil, 0, fmt.Errorf("peer: bad deliver payload %T", payload)
+	}
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return nil, 0, ErrStopped
+	}
+	num := block.Header.Number
+	switch {
+	case num < p.nextBlock:
+		p.mu.Unlock()
+		return nil, 0, nil // already have it
+	case num > p.nextBlock:
+		p.pending[num] = block
+		missing := p.nextBlock
+		p.mu.Unlock()
+		go p.catchUp(ctx, from, missing, num)
+		return nil, 0, nil
+	}
+	ready := p.drainReadyLocked(block)
+	p.mu.Unlock()
+	for _, b := range ready {
+		select {
+		case p.commitCh <- b:
+		case <-p.stopCh:
+			return nil, 0, ErrStopped
+		}
+	}
+	return nil, 0, nil
+}
+
+// drainReadyLocked enqueues the in-order block plus any buffered
+// successors; callers hold p.mu.
+func (p *Peer) drainReadyLocked(block *types.Block) []*types.Block {
+	ready := []*types.Block{block}
+	p.nextBlock = block.Header.Number + 1
+	for {
+		nxt, ok := p.pending[p.nextBlock]
+		if !ok {
+			break
+		}
+		delete(p.pending, p.nextBlock)
+		ready = append(ready, nxt)
+		p.nextBlock = nxt.Header.Number + 1
+	}
+	return ready
+}
+
+// catchUp fetches blocks [from, to) that the push path skipped.
+func (p *Peer) catchUp(ctx context.Context, ordererID string, from, to uint64) {
+	for num := from; num < to; num++ {
+		raw, err := p.cfg.Endpoint.Call(ctx, ordererID, orderer.KindGetBlock, num, 16)
+		if err != nil {
+			return
+		}
+		block, ok := raw.(*types.Block)
+		if !ok {
+			return
+		}
+		_, _, _ = p.handleDeliverBlock(ctx, ordererID, block)
+	}
+}
+
+// commitLoop validates and commits blocks strictly in order.
+func (p *Peer) commitLoop() {
+	defer close(p.done)
+	ctx := context.Background()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case block := <-p.commitCh:
+			if err := p.validateAndCommit(ctx, block); err != nil {
+				// A commit failure is fatal for the peer's chain; stop
+				// consuming rather than corrupt state.
+				return
+			}
+		}
+	}
+}
+
+// validateAndCommit runs the validate phase for one block: parallel
+// VSCC across the validator pool, then the serial MVCC + commit walk.
+func (p *Peer) validateAndCommit(ctx context.Context, block *types.Block) error {
+	txs, err := block.Transactions()
+	if err != nil {
+		return fmt.Errorf("peer %s: decode block %d: %w", p.cfg.ID, block.Header.Number, err)
+	}
+	flags := make([]types.ValidationCode, len(txs))
+
+	// VSCC: endorsement-policy validation per transaction, fanned out
+	// across the validator pool. Cost scales with the endorsement count
+	// (signature verifications), which is why AND policies slow this
+	// phase down — the paper's central bottleneck observation.
+	//
+	// The modeled CPU cost is charged per block rather than per tx: the
+	// block's total VSCC cost is split evenly across the pool workers,
+	// each reserving one Execute. This is arithmetically identical to
+	// per-tx charging under the pool but immune to host-timer
+	// granularity (see the simcpu package comment).
+	pool := p.cfg.Model.ValidatorPool
+	if pool < 1 {
+		pool = 1
+	}
+	var vsccTotal time.Duration
+	for _, tx := range txs {
+		vsccTotal += p.cfg.Model.VSCCCost(len(tx.Endorsements))
+	}
+	share := vsccTotal / time.Duration(pool)
+	var wg sync.WaitGroup
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.cfg.CPU.Execute(ctx, share)
+		}()
+	}
+	// The real policy checks run concurrently with the modeled cost.
+	sem := make(chan struct{}, pool)
+	var cwg sync.WaitGroup
+	for i, tx := range txs {
+		i, tx := i, tx
+		cwg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer cwg.Done()
+			defer func() { <-sem }()
+			flags[i] = p.runVSCC(tx)
+		}()
+	}
+	cwg.Wait()
+	wg.Wait()
+
+	// Serial walk: duplicate TxID, MVCC read-conflict, world-state
+	// apply. Order inside the block matters: an earlier valid tx's
+	// writes invalidate later reads of the same keys. The modeled
+	// serial cost (block overhead + per-tx MVCC and state write) is
+	// charged as one reservation for the whole block.
+	seen := make(map[types.TxID]struct{}, len(txs))
+	dirty := make(map[string]struct{})
+	serialCost := p.cfg.Model.BlockCommitCPU
+	for i, tx := range txs {
+		serialCost += p.cfg.Model.MVCCPerTxCPU
+		if flags[i] != types.ValidationPending {
+			continue // VSCC already rejected
+		}
+		if _, dup := seen[tx.ID()]; dup || p.ledger.HasTx(tx.ID()) {
+			flags[i] = types.ValidationDuplicateTxID
+			continue
+		}
+		seen[tx.ID()] = struct{}{}
+		if !p.mvccValid(tx, dirty) {
+			flags[i] = types.ValidationMVCCConflict
+			continue
+		}
+		flags[i] = types.ValidationValid
+		ns := tx.Proposal.ChaincodeID
+		for _, w := range tx.Results.Writes {
+			dirty[ns+"/"+w.Key] = struct{}{}
+		}
+		serialCost += p.cfg.Model.CommitPerTxCPU
+	}
+	if err := p.cfg.CPU.Execute(ctx, serialCost); err != nil {
+		return err
+	}
+
+	// The in-memory transport shares one *types.Block among all peers;
+	// commit a per-peer copy so validation flags never alias.
+	committed := &types.Block{
+		Header:   block.Header,
+		Data:     block.Data,
+		Metadata: types.BlockMetadata{ValidationFlags: flags, OrderedTime: block.Metadata.OrderedTime, OrdererID: block.Metadata.OrdererID},
+	}
+	if err := p.ledger.Commit(committed, txs); err != nil {
+		return fmt.Errorf("peer %s: commit block %d: %w", p.cfg.ID, block.Header.Number, err)
+	}
+	now := time.Now()
+	if p.cfg.OnCommit != nil {
+		p.cfg.OnCommit(committed, now)
+	}
+	p.emitCommitEvents(committed, txs, now)
+	return nil
+}
+
+// runVSCC validates one transaction's endorsements against the channel
+// policy and returns a rejection code, or ValidationPending to let the
+// serial walk continue. The modeled CPU cost is charged block-wide by
+// the caller; this function performs the real checks.
+func (p *Peer) runVSCC(tx *types.Transaction) types.ValidationCode {
+	if len(tx.Endorsements) == 0 {
+		return types.ValidationEndorsementPolicyFailure
+	}
+	if p.cfg.VerifyCrypto {
+		rwBytes := tx.Results.Marshal()
+		resultsHash := fabcrypto.Digest(rwBytes)
+		signedMsg := fabcrypto.Digest(tx.Proposal.Hash(), resultsHash)
+		for _, en := range tx.Endorsements {
+			cert, err := p.lookupEndorserCert(en.EndorserID)
+			if err != nil {
+				return types.ValidationBadSignature
+			}
+			if err := p.cfg.MSP.VerifyByID(en.EndorserID, cert, signedMsg, en.Signature); err != nil {
+				return types.ValidationBadSignature
+			}
+		}
+	}
+	ids := make([]string, 0, len(tx.Endorsements))
+	for _, en := range tx.Endorsements {
+		ids = append(ids, en.EndorserID)
+	}
+	if !p.cfg.Policy.Satisfied(policy.NewPrincipalSet(ids...)) {
+		return types.ValidationEndorsementPolicyFailure
+	}
+	return types.ValidationPending
+}
+
+// endorserCerts caches endorser certificates by ID for VerifyCrypto
+// mode; populated lazily via the MSP when first seen in a transaction.
+var (
+	endorserCertsMu sync.RWMutex
+	endorserCerts   = make(map[string][]byte)
+)
+
+// RegisterEndorserCert publishes an endorser's serialized certificate so
+// committing peers can verify endorsement signatures in VerifyCrypto
+// mode (standing in for Fabric's channel configuration distribution).
+func RegisterEndorserCert(id string, serialized []byte) {
+	endorserCertsMu.Lock()
+	defer endorserCertsMu.Unlock()
+	endorserCerts[id] = append([]byte(nil), serialized...)
+}
+
+func (p *Peer) lookupEndorserCert(id string) (*ca.Certificate, error) {
+	endorserCertsMu.RLock()
+	raw, ok := endorserCerts[id]
+	endorserCertsMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("peer: no registered certificate for %s", id)
+	}
+	cert, err := p.cfg.MSP.ValidateIdentity(raw)
+	if err != nil {
+		return nil, err
+	}
+	return cert, nil
+}
+
+// mvccValid checks a transaction's read set against committed versions
+// and the keys already written by earlier valid txs in the same block.
+func (p *Peer) mvccValid(tx *types.Transaction, dirty map[string]struct{}) bool {
+	ns := tx.Proposal.ChaincodeID
+	for _, r := range tx.Results.Reads {
+		if _, conflict := dirty[ns+"/"+r.Key]; conflict {
+			return false
+		}
+		committed, exists, err := p.ledger.State().Version(ns, r.Key)
+		if err != nil {
+			return false
+		}
+		if exists != r.Exists {
+			return false
+		}
+		if exists && committed.Compare(r.Version) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// emitCommitEvents pushes one batched event message per subscriber.
+func (p *Peer) emitCommitEvents(block *types.Block, txs []*types.Transaction, committedAt time.Time) {
+	events := make([]CommitEvent, 0, len(txs))
+	for i, tx := range txs {
+		events = append(events, CommitEvent{
+			TxID:        tx.ID(),
+			Code:        block.Metadata.ValidationFlags[i],
+			BlockNum:    block.Header.Number,
+			OrderedTime: block.Metadata.OrderedTime,
+			CommitTime:  committedAt.UnixNano(),
+		})
+	}
+	p.mu.Lock()
+	subs := make([]string, 0, len(p.subscribers))
+	for s := range p.subscribers {
+		subs = append(subs, s)
+	}
+	p.mu.Unlock()
+	size := 48 * len(events)
+	for _, sub := range subs {
+		_ = p.cfg.Endpoint.Send(sub, KindCommitEvent, events, size)
+	}
+}

@@ -1,0 +1,351 @@
+package peer
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fabricsim/internal/ca"
+	"fabricsim/internal/chaincode"
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/fabcrypto"
+	"fabricsim/internal/msp"
+	"fabricsim/internal/orderer"
+	"fabricsim/internal/policy"
+	"fabricsim/internal/simcpu"
+	"fabricsim/internal/transport"
+	"fabricsim/internal/types"
+)
+
+// env is a two-peer test environment without an orderer: blocks are
+// injected directly through the deliver handler.
+type env struct {
+	t       *testing.T
+	net     *transport.Network
+	peers   []*Peer
+	peerIDs []*msp.SigningIdentity
+	client  *msp.SigningIdentity
+	m       *msp.MSP
+	sender  transport.Endpoint
+}
+
+func newEnv(t *testing.T, numPeers int, pol policy.Policy, verify bool) *env {
+	t.Helper()
+	e := &env{
+		t:   t,
+		net: transport.NewNetwork(transport.Config{TimeScale: 1.0}),
+	}
+	t.Cleanup(e.net.Close)
+	model := costmodel.Default(0.01) // fast
+
+	cas := make([]*ca.CA, 0, numPeers+1)
+	for i := 1; i <= numPeers; i++ {
+		authority, err := ca.New(orgName(i), fabcrypto.SchemeECDSA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cas = append(cas, authority)
+	}
+	clientCA, err := ca.New("ClientOrg", fabcrypto.SchemeECDSA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cas = append(cas, clientCA)
+	e.m = msp.New(cas...)
+
+	registry := chaincode.NewRegistry(chaincode.NewKVStore("bench"), chaincode.NewCounter("ctr"))
+	for i := 1; i <= numPeers; i++ {
+		enr, err := cas[i-1].Enroll("peer0", ca.RolePeer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identity := msp.NewSigningIdentity(enr)
+		RegisterEndorserCert(identity.ID(), identity.Serialized())
+		e.peerIDs = append(e.peerIDs, identity)
+		ep, err := e.net.Register(peerID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := New(Config{
+			ID:           peerID(i),
+			Endpoint:     ep,
+			Identity:     identity,
+			MSP:          e.m,
+			Registry:     registry,
+			Policy:       pol,
+			Model:        model,
+			CPU:          simcpu.New(model.PeerCores, model.TimeScale),
+			Endorsing:    true,
+			VerifyCrypto: verify,
+		})
+		if err := p.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Stop)
+		e.peers = append(e.peers, p)
+	}
+
+	enr, err := clientCA.Enroll("user1", ca.RoleClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.client = msp.NewSigningIdentity(enr)
+	sender, err := e.net.Register("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.sender = sender
+	return e
+}
+
+func orgName(i int) string { return "Org" + string(rune('0'+i)) }
+func peerID(i int) string  { return "peer" + string(rune('0'+i)) }
+
+// endorse runs the execute phase against peer i and returns the
+// response.
+func (e *env) endorse(i int, prop *types.Proposal) *types.ProposalResponse {
+	e.t.Helper()
+	sig, err := e.client.Sign(prop.Hash())
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	raw, err := e.sender.Call(context.Background(), peerID(i+1), KindEndorse,
+		&EndorseRequest{Proposal: prop, Sig: sig}, 256)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	return raw.(*types.ProposalResponse)
+}
+
+func (e *env) proposal(fn string, args ...string) *types.Proposal {
+	nonce := []byte(time.Now().Format("150405.000000000") + fn + args[0])
+	creator := e.client.Serialized()
+	byteArgs := make([][]byte, 0, len(args))
+	for _, a := range args {
+		byteArgs = append(byteArgs, []byte(a))
+	}
+	return &types.Proposal{
+		TxID:        types.ComputeTxID(nonce, creator),
+		ChannelID:   "perf",
+		ChaincodeID: "bench",
+		Fn:          fn,
+		Args:        byteArgs,
+		Creator:     creator,
+		Nonce:       nonce,
+		Timestamp:   time.Now().UnixNano(),
+	}
+}
+
+// buildTx assembles an envelope from endorsements by the given peers.
+func (e *env) buildTx(prop *types.Proposal, endorsers ...int) *types.Transaction {
+	e.t.Helper()
+	var rwset *types.RWSet
+	var ends []types.Endorsement
+	for _, i := range endorsers {
+		resp := e.endorse(i, prop)
+		if !resp.OK() {
+			e.t.Fatalf("endorsement failed: %s", resp.Message)
+		}
+		rwset = resp.Results
+		ends = append(ends, resp.Endorsement)
+	}
+	return &types.Transaction{Proposal: *prop, Results: *rwset, Endorsements: ends}
+}
+
+// deliver pushes a block of transactions to peer i and waits for commit.
+func (e *env) deliver(i int, txs ...*types.Transaction) *types.Block {
+	e.t.Helper()
+	p := e.peers[i]
+	data := make([][]byte, len(txs))
+	for j, tx := range txs {
+		data[j] = tx.Marshal()
+	}
+	num := p.Ledger().Height()
+	block := types.NewBlock(num, p.Ledger().LastHash(), data)
+	block.Metadata.OrderedTime = time.Now().UnixNano()
+	if err := e.sender.Send(peerID(i+1), orderer.KindDeliverBlock, block, block.Size()); err != nil {
+		e.t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Ledger().Height() > num {
+			committed, err := p.Ledger().GetBlock(num)
+			if err != nil {
+				e.t.Fatal(err)
+			}
+			return committed
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.t.Fatalf("block %d never committed on %s", num, p.ID())
+	return nil
+}
+
+func TestEndorseAndCommitValid(t *testing.T) {
+	e := newEnv(t, 2, policy.MustParse("AND('Org1.peer0','Org2.peer0')"), true)
+	prop := e.proposal("write", "k1", "v1")
+	tx := e.buildTx(prop, 0, 1)
+	block := e.deliver(0, tx)
+	if code := block.Metadata.ValidationFlags[0]; code != types.ValidationValid {
+		t.Errorf("code = %s", code)
+	}
+	vv, ok, _ := e.peers[0].Ledger().State().Get("bench", "k1")
+	if !ok || string(vv.Value) != "v1" {
+		t.Errorf("state = %+v ok=%v", vv, ok)
+	}
+}
+
+func TestVSCCRejectsPolicyViolation(t *testing.T) {
+	e := newEnv(t, 2, policy.MustParse("AND('Org1.peer0','Org2.peer0')"), true)
+	prop := e.proposal("write", "k1", "v1")
+	tx := e.buildTx(prop, 0) // only one endorsement, policy needs both
+	block := e.deliver(0, tx)
+	if code := block.Metadata.ValidationFlags[0]; code != types.ValidationEndorsementPolicyFailure {
+		t.Errorf("code = %s, want ENDORSEMENT_POLICY_FAILURE", code)
+	}
+	if _, ok, _ := e.peers[0].Ledger().State().Get("bench", "k1"); ok {
+		t.Error("policy-violating write applied")
+	}
+}
+
+func TestVSCCRejectsForgedEndorsement(t *testing.T) {
+	e := newEnv(t, 2, policy.MustParse("OR('Org1.peer0','Org2.peer0')"), true)
+	prop := e.proposal("write", "k1", "v1")
+	tx := e.buildTx(prop, 0)
+	tx.Endorsements[0].Signature[0] ^= 0xFF
+	block := e.deliver(0, tx)
+	if code := block.Metadata.ValidationFlags[0]; code != types.ValidationBadSignature {
+		t.Errorf("code = %s, want BAD_SIGNATURE", code)
+	}
+}
+
+func TestMVCCConflictWithinBlock(t *testing.T) {
+	e := newEnv(t, 1, policy.MustParse("OR('Org1.peer0')"), false)
+	// Two read-modify-write txs on the same key, endorsed against the
+	// same snapshot: the first in the block wins, the second conflicts.
+	p1 := e.proposal("readwrite", "hot", "v1")
+	p2 := e.proposal("readwrite", "hot", "v2")
+	tx1 := e.buildTx(p1, 0)
+	tx2 := e.buildTx(p2, 0)
+	block := e.deliver(0, tx1, tx2)
+	flags := block.Metadata.ValidationFlags
+	if flags[0] != types.ValidationValid || flags[1] != types.ValidationMVCCConflict {
+		t.Errorf("flags = %s, %s", flags[0], flags[1])
+	}
+	vv, _, _ := e.peers[0].Ledger().State().Get("bench", "hot")
+	if string(vv.Value) != "v1" {
+		t.Errorf("state = %q, want winner's write", vv.Value)
+	}
+}
+
+func TestMVCCConflictAcrossBlocks(t *testing.T) {
+	e := newEnv(t, 1, policy.MustParse("OR('Org1.peer0')"), false)
+	// Both endorsed against the empty snapshot; the first commits in
+	// block 1 changing the version, so the second conflicts in block 2.
+	p1 := e.proposal("readwrite", "hot", "v1")
+	p2 := e.proposal("readwrite", "hot", "v2")
+	tx1 := e.buildTx(p1, 0)
+	tx2 := e.buildTx(p2, 0)
+	b1 := e.deliver(0, tx1)
+	if b1.Metadata.ValidationFlags[0] != types.ValidationValid {
+		t.Fatalf("block1 flag = %s", b1.Metadata.ValidationFlags[0])
+	}
+	b2 := e.deliver(0, tx2)
+	if b2.Metadata.ValidationFlags[0] != types.ValidationMVCCConflict {
+		t.Errorf("block2 flag = %s, want MVCC_READ_CONFLICT", b2.Metadata.ValidationFlags[0])
+	}
+}
+
+func TestDuplicateTxIDRejected(t *testing.T) {
+	e := newEnv(t, 1, policy.MustParse("OR('Org1.peer0')"), false)
+	prop := e.proposal("write", "k", "v")
+	tx := e.buildTx(prop, 0)
+	block := e.deliver(0, tx, tx) // same tx twice in one block
+	flags := block.Metadata.ValidationFlags
+	if flags[0] != types.ValidationValid || flags[1] != types.ValidationDuplicateTxID {
+		t.Errorf("flags = %s, %s", flags[0], flags[1])
+	}
+	// And replayed in a later block.
+	b2 := e.deliver(0, tx)
+	if b2.Metadata.ValidationFlags[0] != types.ValidationDuplicateTxID {
+		t.Errorf("replay flag = %s", b2.Metadata.ValidationFlags[0])
+	}
+}
+
+func TestEndorseRejectsDuplicateProposal(t *testing.T) {
+	e := newEnv(t, 1, policy.MustParse("OR('Org1.peer0')"), false)
+	prop := e.proposal("write", "k", "v")
+	tx := e.buildTx(prop, 0)
+	e.deliver(0, tx)
+	resp := e.endorse(0, prop)
+	if resp.OK() {
+		t.Error("committed tx re-endorsed")
+	}
+}
+
+func TestEndorseRejectsBadClientSig(t *testing.T) {
+	e := newEnv(t, 1, policy.MustParse("OR('Org1.peer0')"), true)
+	prop := e.proposal("write", "k", "v")
+	raw, err := e.sender.Call(context.Background(), peerID(1), KindEndorse,
+		&EndorseRequest{Proposal: prop, Sig: []byte("forged")}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.(*types.ProposalResponse).OK() {
+		t.Error("forged client signature endorsed")
+	}
+}
+
+func TestEndorseUnknownChaincode(t *testing.T) {
+	e := newEnv(t, 1, policy.MustParse("OR('Org1.peer0')"), false)
+	prop := e.proposal("write", "k", "v")
+	prop.ChaincodeID = "ghost"
+	resp := e.endorse(0, prop)
+	if resp.OK() {
+		t.Error("unknown chaincode endorsed")
+	}
+}
+
+func TestNonEndorsingPeerRefuses(t *testing.T) {
+	e := newEnv(t, 1, policy.MustParse("OR('Org1.peer0')"), false)
+	e.peers[0].cfg.Endorsing = false
+	prop := e.proposal("write", "k", "v")
+	sig, _ := e.client.Sign(prop.Hash())
+	if _, err := e.sender.Call(context.Background(), peerID(1), KindEndorse,
+		&EndorseRequest{Proposal: prop, Sig: sig}, 256); err == nil {
+		t.Error("non-endorsing peer endorsed")
+	}
+}
+
+func TestOutOfOrderDelivery(t *testing.T) {
+	e := newEnv(t, 1, policy.MustParse("OR('Org1.peer0')"), false)
+	p := e.peers[0]
+	// Build two chained blocks but deliver block 2 first; the peer must
+	// buffer it (catch-up would need an orderer, so deliver 1 shortly
+	// after and verify both commit in order).
+	tx1 := e.buildTx(e.proposal("write", "a", "1"), 0)
+	tx2 := e.buildTx(e.proposal("write", "b", "2"), 0)
+	b1 := types.NewBlock(1, p.Ledger().LastHash(), [][]byte{tx1.Marshal()})
+	b2 := types.NewBlock(2, b1.Header.Hash(), [][]byte{tx2.Marshal()})
+
+	if err := e.sender.Send(peerID(1), orderer.KindDeliverBlock, b2, b2.Size()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if p.Ledger().Height() != 1 {
+		t.Fatal("future block committed without predecessor")
+	}
+	if err := e.sender.Send(peerID(1), orderer.KindDeliverBlock, b1, b1.Size()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && p.Ledger().Height() != 3 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if p.Ledger().Height() != 3 {
+		t.Fatalf("height = %d, want 3", p.Ledger().Height())
+	}
+	if err := p.Ledger().VerifyChain(); err != nil {
+		t.Error(err)
+	}
+}

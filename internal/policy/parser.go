@@ -1,0 +1,182 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads the textual policy syntax used in Fabric tooling:
+//
+//	AND('Org1.peer0','Org2.peer0')
+//	OR('Org1.*','Org2.*')
+//	OutOf(2,'Org1.peer0','Org2.peer0','Org3.peer0')
+//
+// Combinators nest arbitrarily. Whitespace is ignored.
+func Parse(s string) (Policy, error) {
+	p := &parser{input: s}
+	pol, err := p.parsePolicy()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("policy: trailing input at offset %d in %q", p.pos, s)
+	}
+	if err := Validate(pol); err != nil {
+		return nil, err
+	}
+	return pol, nil
+}
+
+// MustParse is Parse that panics on error, for statically known policies
+// in tests and examples.
+func MustParse(s string) Policy {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && unicode.IsSpace(rune(p.input[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.input) {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.peek() != c {
+		return fmt.Errorf("policy: expected %q at offset %d in %q", string(c), p.pos, p.input)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) parsePolicy() (Policy, error) {
+	p.skipSpace()
+	if p.peek() == '\'' {
+		principal, err := p.parseQuoted()
+		if err != nil {
+			return nil, err
+		}
+		return SignedBy(principal), nil
+	}
+	word := p.parseWord()
+	switch strings.ToUpper(word) {
+	case "AND", "OR", "OUTOF":
+	default:
+		return nil, fmt.Errorf("policy: unknown combinator %q at offset %d", word, p.pos)
+	}
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+
+	var k int
+	if strings.EqualFold(word, "OUTOF") {
+		p.skipSpace()
+		num := p.parseWord()
+		n, err := strconv.Atoi(num)
+		if err != nil {
+			return nil, fmt.Errorf("policy: OutOf threshold %q: %w", num, err)
+		}
+		k = n
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+	}
+
+	var subs []Policy
+	for {
+		sub, err := p.parsePolicy()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, sub)
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+
+	switch strings.ToUpper(word) {
+	case "AND":
+		return And(subs...), nil
+	case "OR":
+		return Or(subs...), nil
+	default:
+		return OutOf(k, subs...), nil
+	}
+}
+
+func (p *parser) parseQuoted() (string, error) {
+	if err := p.expect('\''); err != nil {
+		return "", err
+	}
+	start := p.pos
+	for p.pos < len(p.input) && p.input[p.pos] != '\'' {
+		p.pos++
+	}
+	if p.pos >= len(p.input) {
+		return "", fmt.Errorf("policy: unterminated principal starting at offset %d", start)
+	}
+	s := p.input[start:p.pos]
+	p.pos++ // closing quote
+	if s == "" {
+		return "", fmt.Errorf("policy: empty principal at offset %d", start)
+	}
+	return s, nil
+}
+
+func (p *parser) parseWord() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.input) {
+		c := p.input[p.pos]
+		if c == '(' || c == ')' || c == ',' || c == '\'' || unicode.IsSpace(rune(c)) {
+			break
+		}
+		p.pos++
+	}
+	return p.input[start:p.pos]
+}
+
+// OrOverPeers builds the paper's "ORn" policy: any single endorsement
+// from the first n peers named "Org<i>.peer0" for i in [1,n]. The
+// experiments deploy one endorsing peer per organization.
+func OrOverPeers(n int) Policy {
+	subs := make([]Policy, 0, n)
+	for i := 1; i <= n; i++ {
+		subs = append(subs, SignedBy(fmt.Sprintf("Org%d.peer0", i)))
+	}
+	return Or(subs...)
+}
+
+// AndOverPeers builds the paper's "ANDx" policy: endorsements from all
+// of the first x peers together.
+func AndOverPeers(x int) Policy {
+	subs := make([]Policy, 0, x)
+	for i := 1; i <= x; i++ {
+		subs = append(subs, SignedBy(fmt.Sprintf("Org%d.peer0", i)))
+	}
+	return And(subs...)
+}

@@ -1,0 +1,62 @@
+package policy
+
+import "testing"
+
+func TestParseValid(t *testing.T) {
+	cases := []struct {
+		in        string
+		satisfied []string
+		not       []string
+	}{
+		{"'Org1.peer0'", []string{"Org1.peer0"}, []string{"Org2.peer0"}},
+		{"AND('Org1.peer0','Org2.peer0')", []string{"Org1.peer0", "Org2.peer0"}, []string{"Org1.peer0"}},
+		{"OR('Org1.peer0','Org2.peer0')", []string{"Org2.peer0"}, []string{"Org3.peer0"}},
+		{"OutOf(2,'a.p','b.p','c.p')", []string{"a.p", "c.p"}, []string{"b.p"}},
+		{"  AND( 'a.p' , OR('b.p','c.p') ) ", []string{"a.p", "c.p"}, []string{"b.p", "c.p"}},
+		{"outof(1,'a.p','b.p')", []string{"b.p"}, nil},
+		{"and('a.p')", []string{"a.p"}, nil},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if len(c.satisfied) > 0 && !p.Satisfied(NewPrincipalSet(c.satisfied...)) {
+			t.Errorf("Parse(%q) not satisfied by %v", c.in, c.satisfied)
+		}
+		if len(c.not) > 0 && p.Satisfied(NewPrincipalSet(c.not...)) {
+			t.Errorf("Parse(%q) wrongly satisfied by %v", c.in, c.not)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"AND()",
+		"AND('a.p'",
+		"XOR('a.p','b.p')",
+		"OutOf('a.p','b.p')",   // missing threshold
+		"OutOf(5,'a.p','b.p')", // threshold out of range
+		"OutOf(0,'a.p')",       // zero threshold
+		"'unterminated",
+		"''", // empty principal
+		"AND('a.p') trailing",
+		"AND('a.p'),'b.p'",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("AND(")
+}

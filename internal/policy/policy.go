@@ -1,0 +1,187 @@
+// Package policy implements Fabric endorsement policies: rules that
+// define the necessary and sufficient set of endorsements for a valid
+// transaction. A rule combines principals (identities or org wildcards)
+// with the Boolean operators AND, OR, and OutOf(k, ...).
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrEmpty is returned when a combinator has no sub-policies.
+var ErrEmpty = errors.New("policy: empty combinator")
+
+// Policy is a node of the endorsement-policy tree.
+type Policy interface {
+	// Satisfied reports whether the set of endorsing principals meets
+	// the policy. The set maps principal strings (e.g. "Org1.peer0")
+	// and org wildcards are matched via the org prefix.
+	Satisfied(endorsers PrincipalSet) bool
+	// Principals returns the distinct principals the policy mentions,
+	// sorted. The client uses this to pick endorsement targets.
+	Principals() []string
+	// MinEndorsements returns the minimum number of endorsements that
+	// can possibly satisfy the policy.
+	MinEndorsements() int
+	// String renders the policy in the parser's input syntax.
+	String() string
+}
+
+// PrincipalSet is the set of principals that endorsed a transaction.
+type PrincipalSet map[string]struct{}
+
+// NewPrincipalSet builds a set from a list of principal strings.
+func NewPrincipalSet(ids ...string) PrincipalSet {
+	s := make(PrincipalSet, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership, treating "Org" entries in the set as exact and
+// matching "Org.*" wildcards in the query against the org prefix.
+func (s PrincipalSet) Has(principal string) bool {
+	if _, ok := s[principal]; ok {
+		return true
+	}
+	// An org wildcard principal ("Org1.*" or bare "Org1") is satisfied
+	// by any endorser from that org.
+	org, wildcard := strings.CutSuffix(principal, ".*")
+	if !wildcard && !strings.Contains(principal, ".") {
+		org, wildcard = principal, true
+	}
+	if wildcard {
+		prefix := org + "."
+		for id := range s {
+			if strings.HasPrefix(id, prefix) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// signedBy requires an endorsement from one principal.
+type signedBy struct {
+	principal string
+}
+
+// SignedBy returns a policy satisfied by an endorsement from the given
+// principal. A principal of the form "Org1.peer0" names one identity;
+// "Org1.*" (or bare "Org1") matches any member of the org.
+func SignedBy(principal string) Policy { return &signedBy{principal: principal} }
+
+func (p *signedBy) Satisfied(endorsers PrincipalSet) bool { return endorsers.Has(p.principal) }
+func (p *signedBy) Principals() []string                  { return []string{p.principal} }
+func (p *signedBy) MinEndorsements() int                  { return 1 }
+func (p *signedBy) String() string                        { return "'" + p.principal + "'" }
+
+// outOf requires k of the sub-policies to be satisfied. AND is OutOf(n)
+// and OR is OutOf(1).
+type outOf struct {
+	k    int
+	subs []Policy
+	op   string // "AND", "OR", or "OutOf" for String()
+}
+
+// And returns a policy satisfied only when every sub-policy is.
+func And(subs ...Policy) Policy { return &outOf{k: len(subs), subs: subs, op: "AND"} }
+
+// Or returns a policy satisfied when at least one sub-policy is.
+func Or(subs ...Policy) Policy { return &outOf{k: 1, subs: subs, op: "OR"} }
+
+// OutOf returns a policy satisfied when at least k sub-policies are.
+func OutOf(k int, subs ...Policy) Policy { return &outOf{k: k, subs: subs, op: "OutOf"} }
+
+func (p *outOf) Satisfied(endorsers PrincipalSet) bool {
+	if len(p.subs) == 0 {
+		return false
+	}
+	satisfied := 0
+	for _, sub := range p.subs {
+		if sub.Satisfied(endorsers) {
+			satisfied++
+			if satisfied >= p.k {
+				return true
+			}
+		}
+	}
+	return satisfied >= p.k
+}
+
+func (p *outOf) Principals() []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, sub := range p.subs {
+		for _, pr := range sub.Principals() {
+			if _, ok := seen[pr]; !ok {
+				seen[pr] = struct{}{}
+				out = append(out, pr)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (p *outOf) MinEndorsements() int {
+	if len(p.subs) == 0 || p.k <= 0 {
+		return 0
+	}
+	mins := make([]int, 0, len(p.subs))
+	for _, sub := range p.subs {
+		mins = append(mins, sub.MinEndorsements())
+	}
+	sort.Ints(mins)
+	k := p.k
+	if k > len(mins) {
+		k = len(mins)
+	}
+	total := 0
+	for _, m := range mins[:k] {
+		total += m
+	}
+	return total
+}
+
+func (p *outOf) String() string {
+	parts := make([]string, 0, len(p.subs)+1)
+	if p.op == "OutOf" {
+		parts = append(parts, fmt.Sprintf("%d", p.k))
+	}
+	for _, sub := range p.subs {
+		parts = append(parts, sub.String())
+	}
+	return p.op + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Validate checks structural sanity of a policy tree: combinators are
+// non-empty and OutOf thresholds are within range.
+func Validate(p Policy) error {
+	switch n := p.(type) {
+	case *signedBy:
+		if n.principal == "" {
+			return errors.New("policy: empty principal")
+		}
+		return nil
+	case *outOf:
+		if len(n.subs) == 0 {
+			return ErrEmpty
+		}
+		if n.k < 1 || n.k > len(n.subs) {
+			return fmt.Errorf("policy: OutOf threshold %d outside [1,%d]", n.k, len(n.subs))
+		}
+		for _, sub := range n.subs {
+			if err := Validate(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("policy: unknown node type %T", p)
+	}
+}

@@ -1,0 +1,660 @@
+// Package raft is a from-scratch implementation of the Raft consensus
+// algorithm (leader election, log replication, commitment), standing in
+// for etcd/raft as the substrate of the Raft ordering service. It
+// provides crash fault-tolerance: a cluster of 2f+1 nodes tolerates f
+// failures, with the leader committing an entry once a majority of
+// followers have appended it — exactly the behaviour the paper describes
+// in Section III.
+//
+// Scope notes versus a production Raft: the log is in-memory (nodes that
+// "crash" in experiments are network-partitioned, preserving their
+// volatile state, which is equivalent to persistence for the measured
+// scenarios), and log compaction/snapshots are not implemented because
+// experiments run minutes, not months.
+package raft
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"fabricsim/internal/transport"
+)
+
+// State is a Raft node's role.
+type State uint8
+
+// Raft roles.
+const (
+	Follower State = iota + 1
+	Candidate
+	Leader
+)
+
+// String returns the role name.
+func (s State) String() string {
+	switch s {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Errors returned by Propose.
+var (
+	ErrNotLeader = errors.New("raft: not the leader")
+	ErrStopped   = errors.New("raft: stopped")
+)
+
+// Entry is one replicated log record.
+type Entry struct {
+	Term  uint64
+	Index uint64
+	Data  []byte
+}
+
+// Message kinds on the transport.
+const (
+	kindVote   = "raft.vote"
+	kindAppend = "raft.append"
+)
+
+// maxEntriesPerAppend bounds one AppendEntries batch (etcd/raft's
+// MaxSizePerMsg plays the same role).
+const maxEntriesPerAppend = 32
+
+// VoteArgs is the RequestVote RPC request.
+type VoteArgs struct {
+	Term         uint64
+	CandidateID  string
+	LastLogIndex uint64
+	LastLogTerm  uint64
+}
+
+// VoteReply is the RequestVote RPC response.
+type VoteReply struct {
+	Term    uint64
+	Granted bool
+}
+
+// AppendArgs is the AppendEntries RPC request (also the heartbeat).
+type AppendArgs struct {
+	Term         uint64
+	LeaderID     string
+	PrevLogIndex uint64
+	PrevLogTerm  uint64
+	Entries      []Entry
+	LeaderCommit uint64
+}
+
+// AppendReply is the AppendEntries RPC response. ConflictIndex
+// implements the accelerated log-backtracking optimization.
+type AppendReply struct {
+	Term          uint64
+	Success       bool
+	ConflictIndex uint64
+}
+
+// Config parameterizes a Raft node.
+type Config struct {
+	// ID is this node's transport identifier.
+	ID string
+	// Peers lists all cluster members, including this node.
+	Peers []string
+	// Endpoint is the node's attachment to the cluster network.
+	Endpoint transport.Endpoint
+	// ElectionTimeout is the base election timeout; actual timeouts are
+	// randomized in [1x, 2x). Pass wall-clock (already scaled) values.
+	ElectionTimeout time.Duration
+	// HeartbeatInterval is the leader's replication cadence.
+	HeartbeatInterval time.Duration
+	// Apply is invoked for each committed entry, in log order, from a
+	// single goroutine.
+	Apply func(Entry)
+	// AppendDelay optionally injects the cost model's per-append CPU
+	// cost (already scaled); nil means no delay.
+	AppendDelay func()
+}
+
+// Node is one Raft cluster member.
+type Node struct {
+	cfg    Config
+	quorum int
+
+	mu          sync.Mutex
+	state       State
+	currentTerm uint64
+	votedFor    string
+	leaderID    string
+	log         []Entry // log[0] is a sentinel at index 0, term 0
+	commitIndex uint64
+	lastApplied uint64
+	nextIndex   map[string]uint64
+	matchIndex  map[string]uint64
+	lastContact time.Time
+	timeoutSpan time.Duration
+
+	applyCh chan struct{}
+	stopCh  chan struct{}
+	stopped bool
+	wg      sync.WaitGroup
+	rng     *rand.Rand
+}
+
+// NewNode creates and starts a Raft node.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.ID == "" || len(cfg.Peers) == 0 {
+		return nil, errors.New("raft: config requires ID and Peers")
+	}
+	if cfg.ElectionTimeout <= 0 {
+		cfg.ElectionTimeout = 150 * time.Millisecond
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = cfg.ElectionTimeout / 5
+	}
+	n := &Node{
+		cfg:         cfg,
+		quorum:      len(cfg.Peers)/2 + 1,
+		state:       Follower,
+		log:         []Entry{{Term: 0, Index: 0}},
+		nextIndex:   make(map[string]uint64),
+		matchIndex:  make(map[string]uint64),
+		lastContact: time.Now(),
+		applyCh:     make(chan struct{}, 1),
+		stopCh:      make(chan struct{}),
+		rng:         rand.New(rand.NewSource(int64(hashString(cfg.ID)))),
+	}
+	n.timeoutSpan = n.randomTimeout()
+
+	cfg.Endpoint.Handle(kindVote, n.handleVote)
+	cfg.Endpoint.Handle(kindAppend, n.handleAppend)
+
+	n.wg.Add(2)
+	go func() {
+		defer n.wg.Done()
+		n.tickLoop()
+	}()
+	go func() {
+		defer n.wg.Done()
+		n.applyLoop()
+	}()
+	return n, nil
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Stop shuts the node down and waits for its goroutines.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	close(n.stopCh)
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// Leader returns the current leader's ID as known by this node.
+func (n *Node) Leader() (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaderID, n.leaderID != ""
+}
+
+// State returns this node's current role and term.
+func (n *Node) State() (State, uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state, n.currentTerm
+}
+
+// CommitIndex returns the highest committed log index.
+func (n *Node) CommitIndex() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.commitIndex
+}
+
+// LogLength returns the number of entries (excluding the sentinel).
+func (n *Node) LogLength() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.log) - 1
+}
+
+// EntryAt returns the log entry at the given index, for test inspection.
+func (n *Node) EntryAt(index uint64) (Entry, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if index == 0 || index >= uint64(len(n.log)) {
+		return Entry{}, false
+	}
+	return n.log[index], true
+}
+
+// Propose appends data to the replicated log if this node is the
+// leader. It returns the assigned index; commitment is reported through
+// the Apply callback.
+func (n *Node) Propose(data []byte) (uint64, error) {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return 0, ErrStopped
+	}
+	if n.state != Leader {
+		leader := n.leaderID
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w (leader is %q)", ErrNotLeader, leader)
+	}
+	entry := Entry{
+		Term:  n.currentTerm,
+		Index: uint64(len(n.log)),
+		Data:  data,
+	}
+	n.log = append(n.log, entry)
+	n.matchIndex[n.cfg.ID] = entry.Index
+	n.mu.Unlock()
+
+	n.broadcastAppend()
+	return entry.Index, nil
+}
+
+func (n *Node) randomTimeout() time.Duration {
+	base := n.cfg.ElectionTimeout
+	return base + time.Duration(n.rng.Int63n(int64(base)))
+}
+
+// tickLoop drives election timeouts and leader heartbeats.
+func (n *Node) tickLoop() {
+	tick := n.cfg.HeartbeatInterval / 2
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	lastHeartbeat := time.Time{}
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case now := <-ticker.C:
+			n.mu.Lock()
+			state := n.state
+			elapsed := now.Sub(n.lastContact)
+			span := n.timeoutSpan
+			n.mu.Unlock()
+
+			switch state {
+			case Leader:
+				if now.Sub(lastHeartbeat) >= n.cfg.HeartbeatInterval {
+					lastHeartbeat = now
+					n.broadcastAppend()
+				}
+			case Follower, Candidate:
+				if elapsed >= span {
+					n.startElection()
+				}
+			}
+		}
+	}
+}
+
+// startElection transitions to candidate and solicits votes.
+func (n *Node) startElection() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.state = Candidate
+	n.currentTerm++
+	term := n.currentTerm
+	n.votedFor = n.cfg.ID
+	n.leaderID = ""
+	n.lastContact = time.Now()
+	n.timeoutSpan = n.randomTimeout()
+	lastIdx := uint64(len(n.log) - 1)
+	lastTerm := n.log[lastIdx].Term
+	n.mu.Unlock()
+
+	args := &VoteArgs{
+		Term:         term,
+		CandidateID:  n.cfg.ID,
+		LastLogIndex: lastIdx,
+		LastLogTerm:  lastTerm,
+	}
+
+	var votesMu sync.Mutex
+	votes := 1 // own vote
+	for _, peer := range n.cfg.Peers {
+		if peer == n.cfg.ID {
+			continue
+		}
+		peer := peer
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ElectionTimeout)
+			defer cancel()
+			raw, err := n.cfg.Endpoint.Call(ctx, peer, kindVote, args, 64)
+			if err != nil {
+				return
+			}
+			reply, ok := raw.(*VoteReply)
+			if !ok {
+				return
+			}
+			n.mu.Lock()
+			if reply.Term > n.currentTerm {
+				n.becomeFollowerLocked(reply.Term, "")
+				n.mu.Unlock()
+				return
+			}
+			stillCandidate := n.state == Candidate && n.currentTerm == term
+			n.mu.Unlock()
+			if !stillCandidate || !reply.Granted {
+				return
+			}
+			votesMu.Lock()
+			votes++
+			won := votes >= n.quorum
+			votesMu.Unlock()
+			if won {
+				n.becomeLeader(term)
+			}
+		}()
+	}
+}
+
+// becomeLeader transitions to leader for term if still a candidate.
+func (n *Node) becomeLeader(term uint64) {
+	n.mu.Lock()
+	if n.state != Candidate || n.currentTerm != term {
+		n.mu.Unlock()
+		return
+	}
+	n.state = Leader
+	n.leaderID = n.cfg.ID
+	next := uint64(len(n.log))
+	for _, p := range n.cfg.Peers {
+		n.nextIndex[p] = next
+		n.matchIndex[p] = 0
+	}
+	n.matchIndex[n.cfg.ID] = next - 1
+	n.mu.Unlock()
+	n.broadcastAppend()
+}
+
+// becomeFollowerLocked steps down; callers hold n.mu.
+func (n *Node) becomeFollowerLocked(term uint64, leader string) {
+	if term > n.currentTerm {
+		n.currentTerm = term
+		n.votedFor = ""
+	}
+	n.state = Follower
+	if leader != "" {
+		n.leaderID = leader
+	}
+	n.lastContact = time.Now()
+	n.timeoutSpan = n.randomTimeout()
+}
+
+// broadcastAppend replicates to all peers.
+func (n *Node) broadcastAppend() {
+	n.mu.Lock()
+	if n.state != Leader {
+		n.mu.Unlock()
+		return
+	}
+	term := n.currentTerm
+	n.mu.Unlock()
+	for _, peer := range n.cfg.Peers {
+		if peer == n.cfg.ID {
+			continue
+		}
+		go n.replicateTo(peer, term)
+	}
+}
+
+// replicateTo sends one AppendEntries to a peer and processes the reply.
+func (n *Node) replicateTo(peer string, term uint64) {
+	n.mu.Lock()
+	if n.state != Leader || n.currentTerm != term || n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	next := n.nextIndex[peer]
+	if next < 1 {
+		next = 1
+	}
+	if next > uint64(len(n.log)) {
+		next = uint64(len(n.log))
+	}
+	prevIdx := next - 1
+	prevTerm := n.log[prevIdx].Term
+	// Cap the batch per AppendEntries so a lagging follower is caught
+	// up over several rounds instead of one unbounded message that
+	// would monopolize the link and delay heartbeats.
+	tail := n.log[next:]
+	if len(tail) > maxEntriesPerAppend {
+		tail = tail[:maxEntriesPerAppend]
+	}
+	entries := make([]Entry, len(tail))
+	copy(entries, tail)
+	args := &AppendArgs{
+		Term:         term,
+		LeaderID:     n.cfg.ID,
+		PrevLogIndex: prevIdx,
+		PrevLogTerm:  prevTerm,
+		Entries:      entries,
+		LeaderCommit: n.commitIndex,
+	}
+	n.mu.Unlock()
+
+	size := 64
+	for i := range entries {
+		size += len(entries[i].Data) + 16
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ElectionTimeout)
+	defer cancel()
+	raw, err := n.cfg.Endpoint.Call(ctx, peer, kindAppend, args, size)
+	if err != nil {
+		return
+	}
+	reply, ok := raw.(*AppendReply)
+	if !ok {
+		return
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if reply.Term > n.currentTerm {
+		n.becomeFollowerLocked(reply.Term, "")
+		return
+	}
+	if n.state != Leader || n.currentTerm != term {
+		return
+	}
+	if reply.Success {
+		match := prevIdx + uint64(len(entries))
+		if match > n.matchIndex[peer] {
+			n.matchIndex[peer] = match
+		}
+		n.nextIndex[peer] = match + 1
+		n.advanceCommitLocked()
+		return
+	}
+	// Log inconsistency: back off using the follower's hint.
+	if reply.ConflictIndex > 0 && reply.ConflictIndex < n.nextIndex[peer] {
+		n.nextIndex[peer] = reply.ConflictIndex
+	} else if n.nextIndex[peer] > 1 {
+		n.nextIndex[peer]--
+	}
+}
+
+// advanceCommitLocked moves commitIndex to the highest majority-matched
+// index whose entry is from the current term (Raft's commitment rule).
+func (n *Node) advanceCommitLocked() {
+	for idx := uint64(len(n.log) - 1); idx > n.commitIndex; idx-- {
+		if n.log[idx].Term != n.currentTerm {
+			break
+		}
+		count := 0
+		for _, p := range n.cfg.Peers {
+			if n.matchIndex[p] >= idx {
+				count++
+			}
+		}
+		if count >= n.quorum {
+			n.commitIndex = idx
+			select {
+			case n.applyCh <- struct{}{}:
+			default:
+			}
+			// Propagate the new commit index to followers immediately
+			// rather than on the next heartbeat, so follower state
+			// machines (block delivery) stay in lock-step with the
+			// leader's.
+			term := n.currentTerm
+			for _, peer := range n.cfg.Peers {
+				if peer == n.cfg.ID {
+					continue
+				}
+				go n.replicateTo(peer, term)
+			}
+			break
+		}
+	}
+}
+
+// handleVote processes RequestVote RPCs.
+func (n *Node) handleVote(_ context.Context, _ string, payload any) (any, int, error) {
+	args, ok := payload.(*VoteArgs)
+	if !ok {
+		return nil, 0, fmt.Errorf("raft: bad vote payload %T", payload)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	if args.Term > n.currentTerm {
+		n.becomeFollowerLocked(args.Term, "")
+	}
+	reply := &VoteReply{Term: n.currentTerm}
+	if args.Term < n.currentTerm {
+		return reply, 16, nil
+	}
+	lastIdx := uint64(len(n.log) - 1)
+	lastTerm := n.log[lastIdx].Term
+	upToDate := args.LastLogTerm > lastTerm ||
+		(args.LastLogTerm == lastTerm && args.LastLogIndex >= lastIdx)
+	if (n.votedFor == "" || n.votedFor == args.CandidateID) && upToDate {
+		n.votedFor = args.CandidateID
+		n.lastContact = time.Now()
+		n.timeoutSpan = n.randomTimeout()
+		reply.Granted = true
+	}
+	return reply, 16, nil
+}
+
+// handleAppend processes AppendEntries RPCs.
+func (n *Node) handleAppend(_ context.Context, _ string, payload any) (any, int, error) {
+	args, ok := payload.(*AppendArgs)
+	if !ok {
+		return nil, 0, fmt.Errorf("raft: bad append payload %T", payload)
+	}
+	if n.cfg.AppendDelay != nil && len(args.Entries) > 0 {
+		n.cfg.AppendDelay()
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	reply := &AppendReply{Term: n.currentTerm}
+	if args.Term < n.currentTerm {
+		return reply, 24, nil
+	}
+	n.becomeFollowerLocked(args.Term, args.LeaderID)
+	reply.Term = n.currentTerm
+
+	// Consistency check on the previous entry.
+	if args.PrevLogIndex >= uint64(len(n.log)) {
+		reply.ConflictIndex = uint64(len(n.log))
+		return reply, 24, nil
+	}
+	if n.log[args.PrevLogIndex].Term != args.PrevLogTerm {
+		// Find the first index of the conflicting term.
+		conflictTerm := n.log[args.PrevLogIndex].Term
+		idx := args.PrevLogIndex
+		for idx > 1 && n.log[idx-1].Term == conflictTerm {
+			idx--
+		}
+		reply.ConflictIndex = idx
+		return reply, 24, nil
+	}
+
+	// Append any new entries, truncating on divergence.
+	for i, e := range args.Entries {
+		idx := args.PrevLogIndex + 1 + uint64(i)
+		if idx < uint64(len(n.log)) {
+			if n.log[idx].Term == e.Term {
+				continue
+			}
+			n.log = n.log[:idx]
+		}
+		n.log = append(n.log, e)
+	}
+
+	if args.LeaderCommit > n.commitIndex {
+		last := uint64(len(n.log) - 1)
+		if args.LeaderCommit < last {
+			n.commitIndex = args.LeaderCommit
+		} else {
+			n.commitIndex = last
+		}
+		select {
+		case n.applyCh <- struct{}{}:
+		default:
+		}
+	}
+	reply.Success = true
+	return reply, 24, nil
+}
+
+// applyLoop delivers committed entries to the Apply callback in order.
+func (n *Node) applyLoop() {
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-n.applyCh:
+		}
+		for {
+			n.mu.Lock()
+			if n.lastApplied >= n.commitIndex {
+				n.mu.Unlock()
+				break
+			}
+			n.lastApplied++
+			entry := n.log[n.lastApplied]
+			n.mu.Unlock()
+			if n.cfg.Apply != nil {
+				n.cfg.Apply(entry)
+			}
+		}
+	}
+}

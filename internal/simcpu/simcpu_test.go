@@ -1,0 +1,125 @@
+package simcpu
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExecuteAccounting(t *testing.T) {
+	c := New(2, 1.0)
+	ctx := context.Background()
+	if err := c.Execute(ctx, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Executed != 1 || st.BusyScaled != 10*time.Millisecond {
+		t.Errorf("stats = %+v", st)
+	}
+	if c.Cores() != 2 || c.Scale() != 1.0 {
+		t.Errorf("config accessors wrong")
+	}
+}
+
+func TestZeroAndNegativeDurations(t *testing.T) {
+	c := New(1, 1.0)
+	if err := c.Execute(context.Background(), 0); err != nil {
+		t.Error(err)
+	}
+	if err := c.Execute(context.Background(), -time.Second); err != nil {
+		t.Error(err)
+	}
+	if c.Stats().Executed != 0 {
+		t.Error("zero-cost executions counted")
+	}
+}
+
+// Concurrent work beyond the core count must serialize: 4 tasks of 20ms
+// on 2 cores take >= 40ms.
+func TestCoreContention(t *testing.T) {
+	c := New(2, 1.0)
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = c.Execute(ctx, 20*time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("4x20ms on 2 cores finished in %s (< 40ms): no contention modeled", elapsed)
+	}
+	if st := c.Stats(); st.MaxQueueDelay == 0 {
+		t.Error("no queueing delay recorded despite contention")
+	}
+}
+
+// Capacity must not be throttled by host-timer granularity: 200 small
+// (100us) costs from concurrent goroutines on 1 core represent 20ms of
+// work and must complete in far less time than 200 individual coarse
+// sleeps would take.
+func TestSmallCostsDoNotQuantize(t *testing.T) {
+	c := New(1, 1.0)
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = c.Execute(ctx, 100*time.Microsecond)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed < 20*time.Millisecond {
+		t.Errorf("20ms of work finished in %s: capacity overcounted", elapsed)
+	}
+	if elapsed > 150*time.Millisecond {
+		t.Errorf("20ms of work took %s: timer granularity is throttling", elapsed)
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := New(1, 0.1)
+	start := time.Now()
+	_ = c.Execute(context.Background(), 200*time.Millisecond)
+	elapsed := time.Since(start)
+	if elapsed > 100*time.Millisecond {
+		t.Errorf("scaled execution took %s, want ~20ms", elapsed)
+	}
+}
+
+func TestStop(t *testing.T) {
+	c := New(1, 1.0)
+	c.Stop()
+	if err := c.Execute(context.Background(), time.Millisecond); err != ErrStopped {
+		t.Errorf("Execute after Stop: %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	c := New(1, 1.0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := c.Execute(ctx, time.Hour)
+	if err != context.Canceled {
+		t.Errorf("Execute with canceled ctx: %v", err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	c := New(2, 1.0)
+	_ = c.Execute(context.Background(), 50*time.Millisecond)
+	u := c.Utilization(100 * time.Millisecond)
+	if u < 0.2 || u > 0.3 {
+		t.Errorf("utilization = %f, want 0.25", u)
+	}
+	if c.Utilization(0) != 0 {
+		t.Error("zero-elapsed utilization not 0")
+	}
+}

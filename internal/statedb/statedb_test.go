@@ -1,0 +1,202 @@
+package statedb
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"fabricsim/internal/types"
+)
+
+func v(b, t uint64) types.Version { return types.Version{BlockNum: b, TxNum: t} }
+
+func TestGetPutDelete(t *testing.T) {
+	db := New()
+	batch := NewUpdateBatch()
+	batch.Put("cc", "k1", []byte("v1"), v(1, 0))
+	batch.Put("cc", "k2", []byte("v2"), v(1, 1))
+	if err := db.ApplyUpdates(batch, v(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	vv, ok, err := db.Get("cc", "k1")
+	if err != nil || !ok || string(vv.Value) != "v1" || vv.Version != v(1, 0) {
+		t.Errorf("Get k1 = %+v ok=%v err=%v", vv, ok, err)
+	}
+	if _, ok, _ := db.Get("cc", "missing"); ok {
+		t.Error("missing key found")
+	}
+	if _, ok, _ := db.Get("other", "k1"); ok {
+		t.Error("namespace leak")
+	}
+
+	del := NewUpdateBatch()
+	del.Delete("cc", "k1", v(2, 0))
+	if err := db.ApplyUpdates(del, v(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := db.Get("cc", "k1"); ok {
+		t.Error("deleted key still present")
+	}
+}
+
+func TestVersionTracking(t *testing.T) {
+	db := New()
+	b1 := NewUpdateBatch()
+	b1.Put("cc", "k", []byte("a"), v(1, 0))
+	_ = db.ApplyUpdates(b1, v(1, 1))
+	b2 := NewUpdateBatch()
+	b2.Put("cc", "k", []byte("b"), v(2, 3))
+	_ = db.ApplyUpdates(b2, v(2, 4))
+
+	ver, ok, err := db.Version("cc", "k")
+	if err != nil || !ok || ver != v(2, 3) {
+		t.Errorf("Version = %v ok=%v err=%v", ver, ok, err)
+	}
+}
+
+func TestMonotonicHeights(t *testing.T) {
+	db := New()
+	b := NewUpdateBatch()
+	b.Put("cc", "k", []byte("a"), v(5, 0))
+	if err := db.ApplyUpdates(b, v(5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ApplyUpdates(NewUpdateBatch(), v(5, 1)); err == nil {
+		t.Error("replayed height accepted")
+	}
+	if err := db.ApplyUpdates(NewUpdateBatch(), v(4, 0)); err == nil {
+		t.Error("regressing height accepted")
+	}
+	if db.Height() != v(5, 1) {
+		t.Errorf("Height = %v", db.Height())
+	}
+}
+
+func TestGetRange(t *testing.T) {
+	db := New()
+	batch := NewUpdateBatch()
+	for i := 0; i < 10; i++ {
+		batch.Put("cc", fmt.Sprintf("key%02d", i), []byte{byte(i)}, v(1, uint64(i)))
+	}
+	_ = db.ApplyUpdates(batch, v(1, 10))
+
+	kvs, err := db.GetRange("cc", "key03", "key07", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 4 {
+		t.Fatalf("range returned %d keys", len(kvs))
+	}
+	for i, kv := range kvs {
+		want := fmt.Sprintf("key%02d", i+3)
+		if kv.Key != want {
+			t.Errorf("kvs[%d].Key = %s, want %s", i, kv.Key, want)
+		}
+	}
+
+	all, _ := db.GetRange("cc", "", "", 0)
+	if len(all) != 10 {
+		t.Errorf("open range returned %d", len(all))
+	}
+	limited, _ := db.GetRange("cc", "", "", 3)
+	if len(limited) != 3 {
+		t.Errorf("limited range returned %d", len(limited))
+	}
+}
+
+func TestBatchPutThenDeleteSameKey(t *testing.T) {
+	db := New()
+	batch := NewUpdateBatch()
+	batch.Put("cc", "k", []byte("x"), v(1, 0))
+	batch.Delete("cc", "k", v(1, 1))
+	_ = db.ApplyUpdates(batch, v(1, 2))
+	if _, ok, _ := db.Get("cc", "k"); ok {
+		t.Error("delete after put in same batch did not win")
+	}
+
+	batch2 := NewUpdateBatch()
+	batch2.Delete("cc", "j", v(2, 0))
+	batch2.Put("cc", "j", []byte("y"), v(2, 1))
+	_ = db.ApplyUpdates(batch2, v(2, 2))
+	if _, ok, _ := db.Get("cc", "j"); !ok {
+		t.Error("put after delete in same batch did not win")
+	}
+}
+
+func TestReturnedValueIsCopy(t *testing.T) {
+	db := New()
+	batch := NewUpdateBatch()
+	batch.Put("cc", "k", []byte("abc"), v(1, 0))
+	_ = db.ApplyUpdates(batch, v(1, 1))
+	vv, _, _ := db.Get("cc", "k")
+	vv.Value[0] = 'X'
+	again, _, _ := db.Get("cc", "k")
+	if string(again.Value) != "abc" {
+		t.Error("mutation through returned slice leaked into the store")
+	}
+}
+
+func TestClosed(t *testing.T) {
+	db := New()
+	db.Close()
+	if _, _, err := db.Get("cc", "k"); err != ErrClosed {
+		t.Errorf("Get after close: %v", err)
+	}
+	if err := db.ApplyUpdates(NewUpdateBatch(), v(1, 0)); err != ErrClosed {
+		t.Errorf("ApplyUpdates after close: %v", err)
+	}
+}
+
+// Property: after applying a batch, every put key returns its value and
+// version, and every deleted key is absent.
+func TestApplyUpdatesProperty(t *testing.T) {
+	f := func(puts map[string][]byte, dels []string) bool {
+		db := New()
+		batch := NewUpdateBatch()
+		i := uint64(0)
+		for k, val := range puts {
+			batch.Put("cc", k, val, v(1, i))
+			i++
+		}
+		for _, k := range dels {
+			if _, isPut := puts[k]; !isPut {
+				batch.Delete("cc", k, v(1, i))
+				i++
+			}
+		}
+		if err := db.ApplyUpdates(batch, v(1, i+1)); err != nil {
+			return false
+		}
+		for k, val := range puts {
+			vv, ok, err := db.Get("cc", k)
+			if err != nil || !ok || string(vv.Value) != string(val) {
+				return false
+			}
+		}
+		for _, k := range dels {
+			if _, isPut := puts[k]; isPut {
+				continue
+			}
+			if _, ok, _ := db.Get("cc", k); ok {
+				return false
+			}
+		}
+		return db.KeyCount("cc") == len(puts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNamespaces(t *testing.T) {
+	db := New()
+	b := NewUpdateBatch()
+	b.Put("b-ns", "k", []byte("1"), v(1, 0))
+	b.Put("a-ns", "k", []byte("2"), v(1, 1))
+	_ = db.ApplyUpdates(b, v(1, 2))
+	ns := db.Namespaces()
+	if len(ns) != 2 || ns[0] != "a-ns" || ns[1] != "b-ns" {
+		t.Errorf("Namespaces = %v", ns)
+	}
+}

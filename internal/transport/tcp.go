@@ -1,0 +1,365 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// RegisterWireType registers a payload type for TCP (gob) transport.
+// Call once per concrete payload type before any traffic flows; the
+// in-memory transport needs no registration.
+func RegisterWireType(v any) { gob.Register(v) }
+
+// wireMessage is the gob frame exchanged between TCP endpoints.
+type wireMessage struct {
+	From    string
+	Kind    string
+	Corr    uint64
+	IsReply bool
+	ErrText string
+	Payload any
+}
+
+// TCPNetwork is a registry of TCP endpoints, usable both within one
+// process (tests, demos) and across processes (with AddPeer carrying
+// static addresses). It implements the same Register-based wiring as
+// the in-memory Network so fabnet can build on either.
+type TCPNetwork struct {
+	mu    sync.Mutex
+	addrs map[string]string
+	nodes []*TCPEndpoint
+}
+
+// NewTCPNetwork creates an empty registry.
+func NewTCPNetwork() *TCPNetwork {
+	return &TCPNetwork{addrs: make(map[string]string)}
+}
+
+// Register creates an endpoint listening on a loopback port and records
+// its address in the registry.
+func (n *TCPNetwork) Register(id string) (*TCPEndpoint, error) {
+	ep, err := ListenTCP(id, "127.0.0.1:0", n)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.addrs[id] = ep.Addr()
+	n.nodes = append(n.nodes, ep)
+	n.mu.Unlock()
+	return ep, nil
+}
+
+// AddPeer records a remote endpoint's address (cross-process wiring).
+func (n *TCPNetwork) AddPeer(id, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.addrs[id] = addr
+}
+
+// lookup resolves a node ID to an address.
+func (n *TCPNetwork) lookup(id string) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	addr, ok := n.addrs[id]
+	return addr, ok
+}
+
+// Close shuts down every endpoint registered through this registry.
+func (n *TCPNetwork) Close() {
+	n.mu.Lock()
+	nodes := append([]*TCPEndpoint(nil), n.nodes...)
+	n.mu.Unlock()
+	for _, ep := range nodes {
+		_ = ep.Close()
+	}
+}
+
+// TCPEndpoint is the Endpoint implementation over real sockets.
+type TCPEndpoint struct {
+	id  string
+	reg *TCPNetwork
+	ln  net.Listener
+
+	handlersMu sync.RWMutex
+	handlers   map[string]Handler
+
+	connsMu sync.Mutex
+	conns   map[string]*tcpConn
+	// sockets tracks every live net.Conn (inbound and outbound) so
+	// Close can unblock their read loops.
+	sockets map[net.Conn]struct{}
+
+	pendingMu sync.Mutex
+	pending   map[uint64]chan wireMessage
+	corr      atomic.Uint64
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+// tcpConn is one outgoing connection with a gob encoder.
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+	bw  *bufio.Writer
+}
+
+// ListenTCP creates an endpoint bound to addr, resolving peers through
+// the registry.
+func ListenTCP(id, addr string, reg *TCPNetwork) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	e := &TCPEndpoint{
+		id:       id,
+		reg:      reg,
+		ln:       ln,
+		handlers: make(map[string]Handler),
+		conns:    make(map[string]*tcpConn),
+		sockets:  make(map[net.Conn]struct{}),
+		pending:  make(map[uint64]chan wireMessage),
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.acceptLoop()
+	}()
+	return e, nil
+}
+
+// ID returns the endpoint's node identifier.
+func (e *TCPEndpoint) ID() string { return e.id }
+
+// Addr returns the bound listen address.
+func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
+
+// Handle registers a message handler.
+func (e *TCPEndpoint) Handle(kind string, h Handler) {
+	e.handlersMu.Lock()
+	defer e.handlersMu.Unlock()
+	e.handlers[kind] = h
+}
+
+// Send delivers a one-way message. The size argument is ignored: real
+// sockets provide real transmission delay.
+func (e *TCPEndpoint) Send(to, kind string, payload any, _ int) error {
+	return e.write(to, wireMessage{From: e.id, Kind: kind, Payload: payload})
+}
+
+// Call performs a request/response exchange.
+func (e *TCPEndpoint) Call(ctx context.Context, to, kind string, payload any, _ int) (any, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	corr := e.corr.Add(1)
+	ch := make(chan wireMessage, 1)
+	e.pendingMu.Lock()
+	e.pending[corr] = ch
+	e.pendingMu.Unlock()
+	defer func() {
+		e.pendingMu.Lock()
+		delete(e.pending, corr)
+		e.pendingMu.Unlock()
+	}()
+
+	if err := e.write(to, wireMessage{From: e.id, Kind: kind, Corr: corr, Payload: payload}); err != nil {
+		return nil, err
+	}
+	select {
+	case reply := <-ch:
+		if reply.ErrText != "" {
+			return nil, errors.New(reply.ErrText)
+		}
+		return reply.Payload, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close shuts the listener and all connections down.
+func (e *TCPEndpoint) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	_ = e.ln.Close()
+	e.connsMu.Lock()
+	for s := range e.sockets {
+		_ = s.Close()
+	}
+	e.sockets = make(map[net.Conn]struct{})
+	e.conns = make(map[string]*tcpConn)
+	e.connsMu.Unlock()
+	e.wg.Wait()
+	return nil
+}
+
+// trackSocket records a live socket; returns false if already closed.
+func (e *TCPEndpoint) trackSocket(c net.Conn) bool {
+	e.connsMu.Lock()
+	defer e.connsMu.Unlock()
+	if e.closed.Load() {
+		return false
+	}
+	e.sockets[c] = struct{}{}
+	return true
+}
+
+func (e *TCPEndpoint) untrackSocket(c net.Conn) {
+	e.connsMu.Lock()
+	defer e.connsMu.Unlock()
+	delete(e.sockets, c)
+}
+
+// write sends one frame on the (cached) connection to a peer.
+func (e *TCPEndpoint) write(to string, msg wireMessage) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	conn, err := e.connTo(to)
+	if err != nil {
+		return err
+	}
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if err := conn.enc.Encode(&msg); err != nil {
+		e.dropConn(to, conn)
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	if err := conn.bw.Flush(); err != nil {
+		e.dropConn(to, conn)
+		return fmt.Errorf("transport: flush to %s: %w", to, err)
+	}
+	return nil
+}
+
+func (e *TCPEndpoint) dropConn(to string, conn *tcpConn) {
+	_ = conn.c.Close()
+	e.connsMu.Lock()
+	if e.conns[to] == conn {
+		delete(e.conns, to)
+	}
+	e.connsMu.Unlock()
+}
+
+// connTo returns a cached or fresh connection to a peer.
+func (e *TCPEndpoint) connTo(to string) (*tcpConn, error) {
+	e.connsMu.Lock()
+	if c, ok := e.conns[to]; ok {
+		e.connsMu.Unlock()
+		return c, nil
+	}
+	e.connsMu.Unlock()
+
+	addr, ok := e.reg.lookup(to)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
+	}
+	bw := bufio.NewWriter(raw)
+	conn := &tcpConn{c: raw, enc: gob.NewEncoder(bw), bw: bw}
+
+	e.connsMu.Lock()
+	if existing, ok := e.conns[to]; ok {
+		e.connsMu.Unlock()
+		_ = raw.Close()
+		return existing, nil
+	}
+	e.conns[to] = conn
+	e.connsMu.Unlock()
+
+	// Replies and server-initiated frames from that peer arrive on the
+	// same socket; pump them like an accepted connection.
+	if !e.trackSocket(raw) {
+		_ = raw.Close()
+		return nil, ErrClosed
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer e.untrackSocket(raw)
+		e.readLoop(raw)
+	}()
+	return conn, nil
+}
+
+// acceptLoop pumps inbound connections.
+func (e *TCPEndpoint) acceptLoop() {
+	for {
+		raw, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !e.trackSocket(raw) {
+			_ = raw.Close()
+			return
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer e.untrackSocket(raw)
+			e.readLoop(raw)
+		}()
+	}
+}
+
+// readLoop decodes frames from one socket and dispatches them.
+func (e *TCPEndpoint) readLoop(raw net.Conn) {
+	dec := gob.NewDecoder(bufio.NewReader(raw))
+	for {
+		var msg wireMessage
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		if msg.IsReply {
+			e.pendingMu.Lock()
+			ch, ok := e.pending[msg.Corr]
+			e.pendingMu.Unlock()
+			if ok {
+				select {
+				case ch <- msg:
+				default:
+				}
+			}
+			continue
+		}
+		e.handlersMu.RLock()
+		h, ok := e.handlers[msg.Kind]
+		e.handlersMu.RUnlock()
+		if !ok {
+			if msg.Corr != 0 {
+				_ = e.write(msg.From, wireMessage{
+					From: e.id, Kind: msg.Kind, Corr: msg.Corr, IsReply: true,
+					ErrText: fmt.Sprintf("%v: %s", ErrNoHandler, msg.Kind),
+				})
+			}
+			continue
+		}
+		e.wg.Add(1)
+		go func(msg wireMessage) {
+			defer e.wg.Done()
+			resp, _, err := h(context.Background(), msg.From, msg.Payload)
+			if msg.Corr == 0 {
+				return
+			}
+			reply := wireMessage{From: e.id, Kind: msg.Kind, Corr: msg.Corr, IsReply: true, Payload: resp}
+			if err != nil {
+				reply.ErrText = err.Error()
+				reply.Payload = nil
+			}
+			_ = e.write(msg.From, reply)
+		}(msg)
+	}
+}

@@ -1,0 +1,399 @@
+// Package transport connects the nodes of the emulated cluster. The
+// in-memory implementation models the paper's testbed network (1 Gbps
+// Ethernet, sub-millisecond RTT): every directed link has a base latency
+// and serializes messages at the configured bandwidth, preserving
+// per-link FIFO order. The same node code also runs over TCP via the
+// tcp.go implementation for real multi-process deployments.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors returned by transport operations.
+var (
+	ErrUnknownNode = errors.New("transport: unknown node")
+	ErrClosed      = errors.New("transport: closed")
+	ErrNodeDown    = errors.New("transport: node down")
+	ErrNoHandler   = errors.New("transport: no handler for message kind")
+)
+
+// Handler processes an incoming message and optionally returns a reply
+// payload with its modeled wire size.
+type Handler func(ctx context.Context, from string, payload any) (resp any, respSize int, err error)
+
+// Endpoint is one node's attachment to a network. Implementations:
+// *MemEndpoint (in-memory emulation) and *TCPEndpoint (real sockets).
+type Endpoint interface {
+	// ID returns the node identifier this endpoint is registered under.
+	ID() string
+	// Handle registers the handler for a message kind. Handlers must be
+	// registered before traffic arrives; registration is not
+	// synchronized with dispatch.
+	Handle(kind string, h Handler)
+	// Send delivers a one-way message. size is the modeled wire size in
+	// bytes (used by the bandwidth model).
+	Send(to, kind string, payload any, size int) error
+	// Call performs a request/response exchange.
+	Call(ctx context.Context, to, kind string, payload any, size int) (any, error)
+	// Close detaches the endpoint; pending calls fail.
+	Close() error
+}
+
+// message is the in-memory wire unit.
+type message struct {
+	from, to string
+	kind     string
+	corr     uint64
+	isReply  bool
+	payload  any
+	size     int
+	errText  string
+}
+
+// Config parameterizes the emulated network.
+type Config struct {
+	// Latency is the one-way base latency per link (modeled time).
+	Latency time.Duration
+	// Bandwidth is bytes/second per directed link; 0 disables the
+	// serialization model.
+	Bandwidth float64
+	// TimeScale compresses modeled delays into wall time (see
+	// costmodel.Model.TimeScale).
+	TimeScale float64
+	// InboxSize is each endpoint's receive buffer (default 4096).
+	InboxSize int
+}
+
+// Network is the in-memory emulated cluster network.
+type Network struct {
+	cfg Config
+
+	mu    sync.RWMutex
+	nodes map[string]*MemEndpoint
+	down  map[string]bool
+	links map[string]*link // "src->dst"
+
+	closed atomic.Bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewNetwork creates an emulated network.
+func NewNetwork(cfg Config) *Network {
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 1024
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	return &Network{
+		cfg:   cfg,
+		nodes: make(map[string]*MemEndpoint),
+		down:  make(map[string]bool),
+		links: make(map[string]*link),
+		done:  make(chan struct{}),
+	}
+}
+
+// link serializes messages of one directed link in FIFO order with the
+// configured latency and bandwidth.
+type link struct {
+	ch chan message
+}
+
+// Register attaches a new endpoint under the given node ID.
+func (n *Network) Register(id string) (*MemEndpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed.Load() {
+		return nil, ErrClosed
+	}
+	if _, ok := n.nodes[id]; ok {
+		return nil, fmt.Errorf("transport: duplicate node %q", id)
+	}
+	ep := &MemEndpoint{
+		id:       id,
+		net:      n,
+		inbox:    make(chan message, n.cfg.InboxSize),
+		handlers: make(map[string]Handler),
+		pending:  make(map[uint64]chan message),
+		ctx:      context.Background(),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ep.ctx = ctx
+	ep.cancel = cancel
+	n.nodes[id] = ep
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ep.dispatchLoop()
+	}()
+	return ep, nil
+}
+
+// SetNodeDown marks a node crashed: traffic to and from it is dropped
+// until it is brought back up. Used by failover experiments.
+func (n *Network) SetNodeDown(id string, isDown bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[id] = isDown
+}
+
+// IsDown reports whether a node is currently marked crashed.
+func (n *Network) IsDown(id string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.down[id]
+}
+
+// Close shuts the network down and waits for dispatchers to exit.
+func (n *Network) Close() {
+	if !n.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(n.done)
+	n.mu.Lock()
+	eps := make([]*MemEndpoint, 0, len(n.nodes))
+	for _, ep := range n.nodes {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+	n.wg.Wait()
+}
+
+// deliver routes a message onto the appropriate link, creating the link
+// pump lazily.
+func (n *Network) deliver(msg message) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	n.mu.RLock()
+	if n.down[msg.from] || n.down[msg.to] {
+		n.mu.RUnlock()
+		return fmt.Errorf("%w: %s -> %s", ErrNodeDown, msg.from, msg.to)
+	}
+	dst, ok := n.nodes[msg.to]
+	if !ok {
+		n.mu.RUnlock()
+		return fmt.Errorf("%w: %q", ErrUnknownNode, msg.to)
+	}
+	key := msg.from + "->" + msg.to
+	l, ok := n.links[key]
+	n.mu.RUnlock()
+
+	if !ok {
+		n.mu.Lock()
+		l, ok = n.links[key]
+		if !ok {
+			l = &link{ch: make(chan message, 4096)}
+			n.links[key] = l
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.pumpLink(l, dst)
+			}()
+		}
+		n.mu.Unlock()
+	}
+
+	select {
+	case l.ch <- msg:
+		return nil
+	default:
+		return fmt.Errorf("transport: link %s congested", key)
+	}
+}
+
+// pumpLink delivers a link's messages in order. Delivery times come
+// from a transmission ledger (busyUntil), not from per-message sleeps:
+// transmission time serializes on the link at the configured bandwidth,
+// propagation latency adds on top, and the pump sleeps only until the
+// computed delivery instant. Host-timer overshoot therefore cannot
+// throttle link throughput — messages behind schedule are delivered in
+// a burst without sleeping, preserving FIFO order.
+func (n *Network) pumpLink(l *link, dst *MemEndpoint) {
+	var busyUntil time.Time
+	for {
+		var msg message
+		select {
+		case msg = <-l.ch:
+		case <-n.done:
+			return
+		}
+		now := time.Now()
+		start := busyUntil
+		if start.Before(now) {
+			start = now
+		}
+		var transmission time.Duration
+		if n.cfg.Bandwidth > 0 && msg.size > 0 {
+			transmission = time.Duration(float64(msg.size) / n.cfg.Bandwidth * float64(time.Second) * n.cfg.TimeScale)
+		}
+		busyUntil = start.Add(transmission)
+		deliverAt := busyUntil.Add(time.Duration(float64(n.cfg.Latency) * n.cfg.TimeScale))
+		if sleep := time.Until(deliverAt); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		if n.closed.Load() {
+			return
+		}
+		n.mu.RLock()
+		downNow := n.down[msg.to] || n.down[msg.from]
+		n.mu.RUnlock()
+		if downNow {
+			continue // dropped on the floor, like a real crash
+		}
+		select {
+		case dst.inbox <- msg:
+		case <-dst.ctx.Done():
+		}
+	}
+}
+
+// MemEndpoint is the in-memory Endpoint implementation.
+type MemEndpoint struct {
+	id  string
+	net *Network
+
+	inbox  chan message
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	handlersMu sync.RWMutex
+	handlers   map[string]Handler
+
+	pendingMu sync.Mutex
+	pending   map[uint64]chan message
+	corr      atomic.Uint64
+
+	closed atomic.Bool
+	hwg    sync.WaitGroup
+}
+
+var _ Endpoint = (*MemEndpoint)(nil)
+
+// ID returns the endpoint's node identifier.
+func (e *MemEndpoint) ID() string { return e.id }
+
+// Handle registers a message handler for the given kind.
+func (e *MemEndpoint) Handle(kind string, h Handler) {
+	e.handlersMu.Lock()
+	defer e.handlersMu.Unlock()
+	e.handlers[kind] = h
+}
+
+// Send delivers a one-way message; delivery is asynchronous.
+func (e *MemEndpoint) Send(to, kind string, payload any, size int) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	return e.net.deliver(message{from: e.id, to: to, kind: kind, payload: payload, size: size})
+}
+
+// Call sends a request and waits for the matching reply or ctx expiry.
+func (e *MemEndpoint) Call(ctx context.Context, to, kind string, payload any, size int) (any, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	corr := e.corr.Add(1)
+	ch := make(chan message, 1)
+	e.pendingMu.Lock()
+	e.pending[corr] = ch
+	e.pendingMu.Unlock()
+	defer func() {
+		e.pendingMu.Lock()
+		delete(e.pending, corr)
+		e.pendingMu.Unlock()
+	}()
+
+	err := e.net.deliver(message{from: e.id, to: to, kind: kind, corr: corr, payload: payload, size: size})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case reply := <-ch:
+		if reply.errText != "" {
+			return nil, errors.New(reply.errText)
+		}
+		return reply.payload, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-e.ctx.Done():
+		return nil, ErrClosed
+	}
+}
+
+// Close detaches the endpoint and waits for in-flight handlers.
+func (e *MemEndpoint) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	e.cancel()
+	e.hwg.Wait()
+	return nil
+}
+
+// dispatchLoop routes inbox messages to handlers or pending calls.
+func (e *MemEndpoint) dispatchLoop() {
+	for {
+		select {
+		case <-e.ctx.Done():
+			return
+		case msg := <-e.inbox:
+			if msg.isReply {
+				e.pendingMu.Lock()
+				ch, ok := e.pending[msg.corr]
+				e.pendingMu.Unlock()
+				if ok {
+					select {
+					case ch <- msg:
+					default:
+					}
+				}
+				continue
+			}
+			e.handlersMu.RLock()
+			h, ok := e.handlers[msg.kind]
+			e.handlersMu.RUnlock()
+			if !ok {
+				if msg.corr != 0 {
+					e.reply(msg, nil, 0, fmt.Errorf("%w: %s", ErrNoHandler, msg.kind))
+				}
+				continue
+			}
+			e.hwg.Add(1)
+			go func(msg message) {
+				defer e.hwg.Done()
+				resp, respSize, err := h(e.ctx, msg.from, msg.payload)
+				if msg.corr != 0 {
+					e.reply(msg, resp, respSize, err)
+				}
+			}(msg)
+		}
+	}
+}
+
+func (e *MemEndpoint) reply(req message, payload any, size int, err error) {
+	reply := message{
+		from:    e.id,
+		to:      req.from,
+		kind:    req.kind,
+		corr:    req.corr,
+		isReply: true,
+		payload: payload,
+		size:    size,
+	}
+	if err != nil {
+		reply.errText = err.Error()
+	}
+	_ = e.net.deliver(reply) // reply to a crashed node is legitimately lost
+}

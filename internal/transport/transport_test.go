@@ -1,0 +1,235 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func pair(t *testing.T, cfg Config) (*Network, *MemEndpoint, *MemEndpoint) {
+	t.Helper()
+	n := NewNetwork(cfg)
+	t.Cleanup(n.Close)
+	a, err := n.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Register("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, a, b
+}
+
+func TestSendAndHandle(t *testing.T) {
+	_, a, b := pair(t, Config{})
+	got := make(chan string, 1)
+	b.Handle("ping", func(_ context.Context, from string, payload any) (any, int, error) {
+		got <- fmt.Sprintf("%s:%v", from, payload)
+		return nil, 0, nil
+	})
+	if err := a.Send("b", "ping", "hello", 5); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != "a:hello" {
+			t.Errorf("received %q", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	_, a, b := pair(t, Config{})
+	b.Handle("double", func(_ context.Context, _ string, payload any) (any, int, error) {
+		return payload.(int) * 2, 8, nil
+	})
+	resp, err := a.Call(context.Background(), "b", "double", 21, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(int) != 42 {
+		t.Errorf("resp = %v", resp)
+	}
+}
+
+func TestCallHandlerError(t *testing.T) {
+	_, a, b := pair(t, Config{})
+	b.Handle("boom", func(_ context.Context, _ string, _ any) (any, int, error) {
+		return nil, 0, errors.New("exploded")
+	})
+	if _, err := a.Call(context.Background(), "b", "boom", nil, 0); err == nil || err.Error() != "exploded" {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCallNoHandler(t *testing.T) {
+	_, a, _ := pair(t, Config{})
+	if _, err := a.Call(context.Background(), "b", "nothing", nil, 0); err == nil {
+		t.Error("call to unhandled kind succeeded")
+	}
+}
+
+func TestUnknownNode(t *testing.T) {
+	_, a, _ := pair(t, Config{})
+	if err := a.Send("ghost", "k", nil, 0); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	n := NewNetwork(Config{})
+	defer n.Close()
+	if _, err := n.Register("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Register("x"); err == nil {
+		t.Error("duplicate id accepted")
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	_, a, b := pair(t, Config{})
+	b.Handle("slow", func(ctx context.Context, _ string, _ any) (any, int, error) {
+		<-ctx.Done()
+		return nil, 0, ctx.Err()
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := a.Call(ctx, "b", "slow", nil, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNodeDown(t *testing.T) {
+	n, a, b := pair(t, Config{})
+	delivered := make(chan struct{}, 8)
+	b.Handle("k", func(_ context.Context, _ string, _ any) (any, int, error) {
+		delivered <- struct{}{}
+		return nil, 0, nil
+	})
+	n.SetNodeDown("b", true)
+	if err := a.Send("b", "k", nil, 0); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("send to down node: %v", err)
+	}
+	if !n.IsDown("b") {
+		t.Error("IsDown false")
+	}
+	n.SetNodeDown("b", false)
+	if err := a.Send("b", "k", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-delivered:
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered after node recovery")
+	}
+}
+
+// Link delivery must be lossless under the bandwidth model. (Delivery
+// into the endpoint is FIFO per link, but handlers run concurrently —
+// like gRPC servers — so observation order is not asserted; protocols
+// that need ordering carry sequence numbers, as Raft/Kafka/deliver do.)
+func TestLinkLossless(t *testing.T) {
+	_, a, b := pair(t, Config{Latency: time.Millisecond, Bandwidth: 1e6, TimeScale: 0.01})
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	const total = 100
+	b.Handle("seq", func(_ context.Context, _ string, payload any) (any, int, error) {
+		mu.Lock()
+		got = append(got, payload.(int))
+		if len(got) == total {
+			close(done)
+		}
+		mu.Unlock()
+		return nil, 0, nil
+	})
+	for i := 0; i < total; i++ {
+		if err := a.Send("b", "seq", i, 100+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("messages lost")
+	}
+	seen := make(map[int]bool, total)
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("message %d duplicated", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != total {
+		t.Fatalf("delivered %d distinct messages, want %d", len(seen), total)
+	}
+}
+
+// The bandwidth model must delay large messages measurably.
+func TestBandwidthDelay(t *testing.T) {
+	_, a, b := pair(t, Config{Bandwidth: 1e6, TimeScale: 1.0}) // 1 MB/s
+	got := make(chan time.Time, 1)
+	b.Handle("big", func(_ context.Context, _ string, _ any) (any, int, error) {
+		got <- time.Now()
+		return nil, 0, nil
+	})
+	start := time.Now()
+	if err := a.Send("b", "big", nil, 100_000); err != nil { // 100 KB -> 100ms
+		t.Fatal(err)
+	}
+	select {
+	case at := <-got:
+		if d := at.Sub(start); d < 80*time.Millisecond {
+			t.Errorf("100KB at 1MB/s delivered in %s, want ~100ms", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("not delivered")
+	}
+}
+
+func TestCloseStopsEndpoints(t *testing.T) {
+	n, a, _ := pair(t, Config{})
+	n.Close()
+	if err := a.Send("b", "k", nil, 0); err == nil {
+		t.Error("send after close succeeded")
+	}
+	if _, err := n.Register("c"); !errors.Is(err, ErrClosed) {
+		t.Errorf("register after close: %v", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	_, a, b := pair(t, Config{})
+	b.Handle("echo", func(_ context.Context, _ string, payload any) (any, int, error) {
+		return payload, 8, nil
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 100)
+	for i := 0; i < 100; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := a.Call(context.Background(), "b", "echo", i, 8)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.(int) != i {
+				errs <- fmt.Errorf("reply mismatch: %v != %d", resp, i)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+package types
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+)
+
+// BlockHeader chains a block to its predecessor. DataHash commits to the
+// ordered transaction payloads; PrevHash is the SHA-256 of the previous
+// header's encoding, making the ledger tamper-evident.
+type BlockHeader struct {
+	Number   uint64
+	PrevHash []byte
+	DataHash []byte
+}
+
+// Marshal returns the deterministic encoding of the header.
+func (h *BlockHeader) Marshal() []byte {
+	enc := NewEncoder(80)
+	enc.Uvarint(h.Number)
+	enc.Bytes2(h.PrevHash)
+	enc.Bytes2(h.DataHash)
+	return enc.Bytes()
+}
+
+// Hash returns the SHA-256 digest of the encoded header — the value the
+// next block records as PrevHash.
+func (h *BlockHeader) Hash() []byte {
+	sum := sha256.Sum256(h.Marshal())
+	return sum[:]
+}
+
+// BlockMetadata carries per-transaction validation flags, written by the
+// committing peer after the validate phase, plus ordering timestamps
+// used to compute the paper's "block time" metric (Definition 4.3).
+type BlockMetadata struct {
+	ValidationFlags []ValidationCode
+	// OrderedTime is the unix-nano timestamp at which the ordering
+	// service cut this block.
+	OrderedTime int64
+	// OrdererID names the ordering-service node that cut the block.
+	OrdererID string
+}
+
+// Block is the unit the ordering service emits and peers validate and
+// commit. Data holds encoded Transaction envelopes in consensus order.
+type Block struct {
+	Header   BlockHeader
+	Data     [][]byte
+	Metadata BlockMetadata
+}
+
+// ComputeDataHash hashes the concatenation of length-prefixed payloads.
+func ComputeDataHash(data [][]byte) []byte {
+	h := sha256.New()
+	var lenBuf [10]byte
+	for _, d := range data {
+		enc := NewEncoder(10)
+		enc.Uvarint(uint64(len(d)))
+		n := copy(lenBuf[:], enc.Bytes())
+		h.Write(lenBuf[:n])
+		h.Write(d)
+	}
+	return h.Sum(nil)
+}
+
+// NewBlock assembles a block over the given encoded transactions,
+// chaining it to prevHash.
+func NewBlock(number uint64, prevHash []byte, data [][]byte) *Block {
+	return &Block{
+		Header: BlockHeader{
+			Number:   number,
+			PrevHash: prevHash,
+			DataHash: ComputeDataHash(data),
+		},
+		Data: data,
+		Metadata: BlockMetadata{
+			ValidationFlags: make([]ValidationCode, len(data)),
+		},
+	}
+}
+
+// VerifyDataHash checks that Data matches the header's DataHash.
+func (b *Block) VerifyDataHash() error {
+	if got := ComputeDataHash(b.Data); !bytes.Equal(got, b.Header.DataHash) {
+		return fmt.Errorf("block %d: data hash mismatch", b.Header.Number)
+	}
+	return nil
+}
+
+// Transactions decodes every envelope in the block. A decoding failure
+// on any transaction aborts with an error; the committer treats that as
+// a BAD_PAYLOAD block.
+func (b *Block) Transactions() ([]*Transaction, error) {
+	txs := make([]*Transaction, 0, len(b.Data))
+	for i, d := range b.Data {
+		tx, err := UnmarshalTransaction(d)
+		if err != nil {
+			return nil, fmt.Errorf("block %d tx %d: %w", b.Header.Number, i, err)
+		}
+		txs = append(txs, tx)
+	}
+	return txs, nil
+}
+
+// Marshal returns the deterministic encoding of the whole block.
+func (b *Block) Marshal() []byte {
+	size := 128
+	for _, d := range b.Data {
+		size += len(d) + 8
+	}
+	enc := NewEncoder(size)
+	enc.Uvarint(b.Header.Number)
+	enc.Bytes2(b.Header.PrevHash)
+	enc.Bytes2(b.Header.DataHash)
+	enc.Uvarint(uint64(len(b.Data)))
+	for _, d := range b.Data {
+		enc.Bytes2(d)
+	}
+	enc.Uvarint(uint64(len(b.Metadata.ValidationFlags)))
+	for _, f := range b.Metadata.ValidationFlags {
+		enc.Byte(byte(f))
+	}
+	enc.Int64(b.Metadata.OrderedTime)
+	enc.String(b.Metadata.OrdererID)
+	return enc.Bytes()
+}
+
+// UnmarshalBlock decodes a block produced by Marshal.
+func UnmarshalBlock(buf []byte) (*Block, error) {
+	dec := NewDecoder(buf)
+	var b Block
+	b.Header.Number = dec.Uvarint()
+	b.Header.PrevHash = dec.Bytes2()
+	b.Header.DataHash = dec.Bytes2()
+	n := dec.Uvarint()
+	if n > maxFieldLen {
+		return nil, ErrOversize
+	}
+	b.Data = make([][]byte, 0, n)
+	for i := uint64(0); i < n && dec.Err() == nil; i++ {
+		b.Data = append(b.Data, dec.Bytes2())
+	}
+	nf := dec.Uvarint()
+	if nf > maxFieldLen {
+		return nil, ErrOversize
+	}
+	b.Metadata.ValidationFlags = make([]ValidationCode, 0, nf)
+	for i := uint64(0); i < nf && dec.Err() == nil; i++ {
+		b.Metadata.ValidationFlags = append(b.Metadata.ValidationFlags, ValidationCode(dec.Byte()))
+	}
+	b.Metadata.OrderedTime = dec.Int64()
+	b.Metadata.OrdererID = dec.String()
+	if err := dec.Finish(); err != nil {
+		return nil, fmt.Errorf("unmarshal block: %w", err)
+	}
+	return &b, nil
+}
+
+// Size returns the encoded size of the block in bytes, used by the
+// transport bandwidth model.
+func (b *Block) Size() int {
+	size := 64 + len(b.Header.PrevHash) + len(b.Header.DataHash) + len(b.Metadata.ValidationFlags)
+	for _, d := range b.Data {
+		size += len(d) + 4
+	}
+	return size
+}

@@ -1,0 +1,110 @@
+package types
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncoderDecoderRoundTrip(t *testing.T) {
+	enc := NewEncoder(64)
+	enc.Uvarint(42)
+	enc.Uint64(1 << 60)
+	enc.Int64(-17)
+	enc.Bool(true)
+	enc.Bool(false)
+	enc.Byte(0xAB)
+	enc.Bytes2([]byte("hello"))
+	enc.String("world")
+	enc.Float64(math.Pi)
+
+	dec := NewDecoder(enc.Bytes())
+	if got := dec.Uvarint(); got != 42 {
+		t.Errorf("Uvarint = %d, want 42", got)
+	}
+	if got := dec.Uint64(); got != 1<<60 {
+		t.Errorf("Uint64 = %d", got)
+	}
+	if got := dec.Int64(); got != -17 {
+		t.Errorf("Int64 = %d, want -17", got)
+	}
+	if !dec.Bool() || dec.Bool() {
+		t.Error("Bool values wrong")
+	}
+	if got := dec.Byte(); got != 0xAB {
+		t.Errorf("Byte = %x", got)
+	}
+	if got := dec.Bytes2(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("Bytes2 = %q", got)
+	}
+	if got := dec.String(); got != "world" {
+		t.Errorf("String = %q", got)
+	}
+	if got := dec.Float64(); got != math.Pi {
+		t.Errorf("Float64 = %v", got)
+	}
+	if err := dec.Finish(); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+}
+
+func TestDecoderShortBuffer(t *testing.T) {
+	enc := NewEncoder(16)
+	enc.Bytes2([]byte("abcdef"))
+	full := enc.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		dec := NewDecoder(full[:cut])
+		dec.Bytes2()
+		if dec.Err() == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestDecoderTrailingBytes(t *testing.T) {
+	enc := NewEncoder(8)
+	enc.Uvarint(7)
+	buf := append(enc.Bytes(), 0x01)
+	dec := NewDecoder(buf)
+	dec.Uvarint()
+	if err := dec.Finish(); err == nil {
+		t.Error("trailing byte not detected")
+	}
+}
+
+func TestDecoderOversizeGuard(t *testing.T) {
+	enc := NewEncoder(16)
+	enc.Uvarint(uint64(maxFieldLen) + 1)
+	dec := NewDecoder(enc.Bytes())
+	if dec.Bytes2() != nil || dec.Err() == nil {
+		t.Error("oversized length not rejected")
+	}
+}
+
+func TestUvarintRoundTripProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		enc := NewEncoder(10)
+		enc.Uvarint(v)
+		dec := NewDecoder(enc.Bytes())
+		return dec.Uvarint() == v && dec.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesStringRoundTripProperty(t *testing.T) {
+	f := func(b []byte, s string) bool {
+		enc := NewEncoder(len(b) + len(s) + 16)
+		enc.Bytes2(b)
+		enc.String(s)
+		dec := NewDecoder(enc.Bytes())
+		gb := dec.Bytes2()
+		gs := dec.String()
+		return bytes.Equal(gb, b) && gs == s && dec.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

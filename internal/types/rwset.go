@@ -1,0 +1,130 @@
+package types
+
+import "fmt"
+
+// Version identifies the ledger height at which a key was last written:
+// the committing block number and the transaction's position inside it.
+// Fabric's MVCC validation compares the version recorded in a
+// transaction's read set against the version currently committed.
+type Version struct {
+	BlockNum uint64
+	TxNum    uint64
+}
+
+// Compare orders versions lexicographically by (BlockNum, TxNum) and
+// returns -1, 0, or +1.
+func (v Version) Compare(o Version) int {
+	switch {
+	case v.BlockNum < o.BlockNum:
+		return -1
+	case v.BlockNum > o.BlockNum:
+		return 1
+	case v.TxNum < o.TxNum:
+		return -1
+	case v.TxNum > o.TxNum:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the version as "blockNum:txNum".
+func (v Version) String() string {
+	return fmt.Sprintf("%d:%d", v.BlockNum, v.TxNum)
+}
+
+// KVRead records that a transaction read key at the given committed
+// version. Exists is false when the key was absent at simulation time.
+type KVRead struct {
+	Key     string
+	Version Version
+	Exists  bool
+}
+
+// KVWrite records a write (or delete) performed by a transaction.
+type KVWrite struct {
+	Key      string
+	Value    []byte
+	IsDelete bool
+}
+
+// RWSet is the read-write set produced by simulating a chaincode
+// invocation during the execute phase and validated during the validate
+// phase (MVCC). Reads and Writes are kept in the order the chaincode
+// issued them; the codec preserves that order so the set hashes
+// deterministically.
+type RWSet struct {
+	Reads  []KVRead
+	Writes []KVWrite
+}
+
+// Empty reports whether the set contains no reads and no writes.
+func (rw *RWSet) Empty() bool {
+	return len(rw.Reads) == 0 && len(rw.Writes) == 0
+}
+
+// encode appends the set to enc.
+func (rw *RWSet) encode(enc *Encoder) {
+	enc.Uvarint(uint64(len(rw.Reads)))
+	for _, r := range rw.Reads {
+		enc.String(r.Key)
+		enc.Uvarint(r.Version.BlockNum)
+		enc.Uvarint(r.Version.TxNum)
+		enc.Bool(r.Exists)
+	}
+	enc.Uvarint(uint64(len(rw.Writes)))
+	for _, w := range rw.Writes {
+		enc.String(w.Key)
+		enc.Bytes2(w.Value)
+		enc.Bool(w.IsDelete)
+	}
+}
+
+// decode reads the set from dec.
+func (rw *RWSet) decode(dec *Decoder) {
+	nr := dec.Uvarint()
+	if nr > maxFieldLen {
+		dec.fail(ErrOversize)
+		return
+	}
+	rw.Reads = make([]KVRead, 0, nr)
+	for i := uint64(0); i < nr && dec.Err() == nil; i++ {
+		var r KVRead
+		r.Key = dec.String()
+		r.Version.BlockNum = dec.Uvarint()
+		r.Version.TxNum = dec.Uvarint()
+		r.Exists = dec.Bool()
+		rw.Reads = append(rw.Reads, r)
+	}
+	nw := dec.Uvarint()
+	if nw > maxFieldLen {
+		dec.fail(ErrOversize)
+		return
+	}
+	rw.Writes = make([]KVWrite, 0, nw)
+	for i := uint64(0); i < nw && dec.Err() == nil; i++ {
+		var w KVWrite
+		w.Key = dec.String()
+		w.Value = dec.Bytes2()
+		w.IsDelete = dec.Bool()
+		rw.Writes = append(rw.Writes, w)
+	}
+}
+
+// Marshal returns the deterministic binary encoding of the set.
+func (rw *RWSet) Marshal() []byte {
+	enc := NewEncoder(64 + 32*len(rw.Reads) + 64*len(rw.Writes))
+	rw.encode(enc)
+	return enc.Bytes()
+}
+
+// UnmarshalRWSet decodes a set previously produced by Marshal.
+func UnmarshalRWSet(b []byte) (*RWSet, error) {
+	dec := NewDecoder(b)
+	var rw RWSet
+	rw.decode(dec)
+	if err := dec.Finish(); err != nil {
+		return nil, fmt.Errorf("unmarshal rwset: %w", err)
+	}
+	return &rw, nil
+}

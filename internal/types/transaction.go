@@ -1,0 +1,278 @@
+package types
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// TxID uniquely identifies a transaction. Fabric derives it from the
+// client nonce and creator identity; this reproduction does the same.
+type TxID string
+
+// ValidationCode is the outcome the committer assigns to each
+// transaction in a block. Both valid and invalid transactions are
+// recorded in the chain; only valid writes reach the world state.
+type ValidationCode uint8
+
+// Validation codes, mirroring the subset of Fabric's peer.TxValidationCode
+// this reproduction can produce.
+const (
+	// ValidationPending marks a transaction not yet validated.
+	ValidationPending ValidationCode = iota
+	// ValidationValid marks a fully valid transaction.
+	ValidationValid
+	// ValidationEndorsementPolicyFailure marks a VSCC rejection.
+	ValidationEndorsementPolicyFailure
+	// ValidationMVCCConflict marks a read-set version conflict.
+	ValidationMVCCConflict
+	// ValidationBadSignature marks an invalid creator or endorser signature.
+	ValidationBadSignature
+	// ValidationDuplicateTxID marks a replayed transaction ID.
+	ValidationDuplicateTxID
+	// ValidationBadPayload marks a structurally invalid envelope.
+	ValidationBadPayload
+)
+
+// String returns the Fabric-style name of the code.
+func (c ValidationCode) String() string {
+	switch c {
+	case ValidationPending:
+		return "PENDING"
+	case ValidationValid:
+		return "VALID"
+	case ValidationEndorsementPolicyFailure:
+		return "ENDORSEMENT_POLICY_FAILURE"
+	case ValidationMVCCConflict:
+		return "MVCC_READ_CONFLICT"
+	case ValidationBadSignature:
+		return "BAD_SIGNATURE"
+	case ValidationDuplicateTxID:
+		return "DUPLICATE_TXID"
+	case ValidationBadPayload:
+		return "BAD_PAYLOAD"
+	default:
+		return fmt.Sprintf("ValidationCode(%d)", uint8(c))
+	}
+}
+
+// Valid reports whether the code denotes a committed, state-changing tx.
+func (c ValidationCode) Valid() bool { return c == ValidationValid }
+
+// Proposal is a signed chaincode-invocation request prepared by a client
+// and sent to endorsing peers in the execute phase.
+type Proposal struct {
+	TxID        TxID
+	ChannelID   string
+	ChaincodeID string
+	Fn          string
+	Args        [][]byte
+	Creator     []byte // serialized client identity
+	Nonce       []byte
+	Timestamp   int64 // unix nanoseconds at the client
+}
+
+// ComputeTxID derives the transaction ID the way Fabric does: a hash of
+// the client nonce concatenated with the creator identity.
+func ComputeTxID(nonce, creator []byte) TxID {
+	h := sha256.New()
+	h.Write(nonce)
+	h.Write(creator)
+	return TxID(hex.EncodeToString(h.Sum(nil)))
+}
+
+func (p *Proposal) encode(enc *Encoder) {
+	enc.String(string(p.TxID))
+	enc.String(p.ChannelID)
+	enc.String(p.ChaincodeID)
+	enc.String(p.Fn)
+	enc.Uvarint(uint64(len(p.Args)))
+	for _, a := range p.Args {
+		enc.Bytes2(a)
+	}
+	enc.Bytes2(p.Creator)
+	enc.Bytes2(p.Nonce)
+	enc.Int64(p.Timestamp)
+}
+
+func (p *Proposal) decode(dec *Decoder) {
+	p.TxID = TxID(dec.String())
+	p.ChannelID = dec.String()
+	p.ChaincodeID = dec.String()
+	p.Fn = dec.String()
+	n := dec.Uvarint()
+	if n > maxFieldLen {
+		dec.fail(ErrOversize)
+		return
+	}
+	p.Args = make([][]byte, 0, n)
+	for i := uint64(0); i < n && dec.Err() == nil; i++ {
+		p.Args = append(p.Args, dec.Bytes2())
+	}
+	p.Creator = dec.Bytes2()
+	p.Nonce = dec.Bytes2()
+	p.Timestamp = dec.Int64()
+}
+
+// Marshal returns the deterministic encoding of the proposal.
+func (p *Proposal) Marshal() []byte {
+	enc := NewEncoder(256)
+	p.encode(enc)
+	return enc.Bytes()
+}
+
+// UnmarshalProposal decodes a proposal produced by Marshal.
+func UnmarshalProposal(b []byte) (*Proposal, error) {
+	dec := NewDecoder(b)
+	var p Proposal
+	p.decode(dec)
+	if err := dec.Finish(); err != nil {
+		return nil, fmt.Errorf("unmarshal proposal: %w", err)
+	}
+	return &p, nil
+}
+
+// Hash returns the SHA-256 digest of the encoded proposal. Endorsers
+// sign over this digest together with the response payload.
+func (p *Proposal) Hash() []byte {
+	sum := sha256.Sum256(p.Marshal())
+	return sum[:]
+}
+
+// Endorsement is one endorsing peer's signed approval of a proposal
+// response (the ESCC output).
+type Endorsement struct {
+	EndorserID  string // MSP-qualified identity, e.g. "Org1.peer0"
+	EndorserOrg string
+	Signature   []byte // over proposal hash || response payload
+}
+
+func (en *Endorsement) encode(enc *Encoder) {
+	enc.String(en.EndorserID)
+	enc.String(en.EndorserOrg)
+	enc.Bytes2(en.Signature)
+}
+
+func (en *Endorsement) decode(dec *Decoder) {
+	en.EndorserID = dec.String()
+	en.EndorserOrg = dec.String()
+	en.Signature = dec.Bytes2()
+}
+
+// ProposalResponse is what an endorsing peer returns to the client:
+// the simulated read-write set plus the peer's endorsement.
+type ProposalResponse struct {
+	TxID        TxID
+	Status      int32 // 200 on success
+	Message     string
+	ResultsHash []byte // SHA-256 of the encoded RWSet
+	Results     *RWSet
+	Payload     []byte // chaincode response payload
+	Endorsement Endorsement
+}
+
+// OK reports whether the endorsement succeeded.
+func (pr *ProposalResponse) OK() bool { return pr.Status == 200 }
+
+// Marshal returns the deterministic encoding of the response.
+func (pr *ProposalResponse) Marshal() []byte {
+	enc := NewEncoder(256)
+	enc.String(string(pr.TxID))
+	enc.Uvarint(uint64(uint32(pr.Status)))
+	enc.String(pr.Message)
+	enc.Bytes2(pr.ResultsHash)
+	hasResults := pr.Results != nil
+	enc.Bool(hasResults)
+	if hasResults {
+		pr.Results.encode(enc)
+	}
+	enc.Bytes2(pr.Payload)
+	pr.Endorsement.encode(enc)
+	return enc.Bytes()
+}
+
+// UnmarshalProposalResponse decodes a response produced by Marshal.
+func UnmarshalProposalResponse(b []byte) (*ProposalResponse, error) {
+	dec := NewDecoder(b)
+	var pr ProposalResponse
+	pr.TxID = TxID(dec.String())
+	pr.Status = int32(uint32(dec.Uvarint()))
+	pr.Message = dec.String()
+	pr.ResultsHash = dec.Bytes2()
+	if dec.Bool() {
+		pr.Results = &RWSet{}
+		pr.Results.decode(dec)
+	}
+	pr.Payload = dec.Bytes2()
+	pr.Endorsement.decode(dec)
+	if err := dec.Finish(); err != nil {
+		return nil, fmt.Errorf("unmarshal proposal response: %w", err)
+	}
+	return &pr, nil
+}
+
+// Transaction is the envelope a client broadcasts to the ordering
+// service after collecting endorsements: the original proposal, the
+// agreed read-write set, and the endorsements that back it.
+type Transaction struct {
+	Proposal     Proposal
+	Results      RWSet
+	Endorsements []Endorsement
+	ClientSig    []byte // client signature over proposal hash || results
+	SubmitTime   int64  // unix nanos when the client broadcast the envelope
+	Padding      []byte // models the paper's transaction-size parameter
+}
+
+func (t *Transaction) encode(enc *Encoder) {
+	t.Proposal.encode(enc)
+	t.Results.encode(enc)
+	enc.Uvarint(uint64(len(t.Endorsements)))
+	for i := range t.Endorsements {
+		t.Endorsements[i].encode(enc)
+	}
+	enc.Bytes2(t.ClientSig)
+	enc.Int64(t.SubmitTime)
+	enc.Bytes2(t.Padding)
+}
+
+func (t *Transaction) decode(dec *Decoder) {
+	t.Proposal.decode(dec)
+	t.Results.decode(dec)
+	n := dec.Uvarint()
+	if n > maxFieldLen {
+		dec.fail(ErrOversize)
+		return
+	}
+	t.Endorsements = make([]Endorsement, n)
+	for i := uint64(0); i < n && dec.Err() == nil; i++ {
+		t.Endorsements[i].decode(dec)
+	}
+	t.ClientSig = dec.Bytes2()
+	t.SubmitTime = dec.Int64()
+	t.Padding = dec.Bytes2()
+}
+
+// Marshal returns the deterministic encoding of the transaction.
+func (t *Transaction) Marshal() []byte {
+	enc := NewEncoder(512 + len(t.Padding))
+	t.encode(enc)
+	return enc.Bytes()
+}
+
+// UnmarshalTransaction decodes a transaction produced by Marshal.
+func UnmarshalTransaction(b []byte) (*Transaction, error) {
+	dec := NewDecoder(b)
+	var t Transaction
+	t.decode(dec)
+	if err := dec.Finish(); err != nil {
+		return nil, fmt.Errorf("unmarshal transaction: %w", err)
+	}
+	return &t, nil
+}
+
+// ID returns the transaction's ID.
+func (t *Transaction) ID() TxID { return t.Proposal.TxID }
+
+// SubmittedAt returns SubmitTime as a time.Time.
+func (t *Transaction) SubmittedAt() time.Time { return time.Unix(0, t.SubmitTime) }

@@ -1,0 +1,204 @@
+package types
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleProposal() *Proposal {
+	return &Proposal{
+		TxID:        "tx-1",
+		ChannelID:   "perf",
+		ChaincodeID: "bench",
+		Fn:          "write",
+		Args:        [][]byte{[]byte("k"), []byte("v")},
+		Creator:     []byte("cert-bytes"),
+		Nonce:       []byte("nonce-1"),
+		Timestamp:   123456789,
+	}
+}
+
+func sampleRWSet() RWSet {
+	return RWSet{
+		Reads: []KVRead{
+			{Key: "a", Version: Version{BlockNum: 3, TxNum: 1}, Exists: true},
+			{Key: "b", Exists: false},
+		},
+		Writes: []KVWrite{
+			{Key: "a", Value: []byte("v1")},
+			{Key: "c", IsDelete: true},
+		},
+	}
+}
+
+func TestProposalRoundTrip(t *testing.T) {
+	p := sampleProposal()
+	got, err := UnmarshalProposal(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestProposalHashDeterministic(t *testing.T) {
+	p1 := sampleProposal()
+	p2 := sampleProposal()
+	if !bytes.Equal(p1.Hash(), p2.Hash()) {
+		t.Error("equal proposals hash differently")
+	}
+	p2.Fn = "read"
+	if bytes.Equal(p1.Hash(), p2.Hash()) {
+		t.Error("different proposals hash equal")
+	}
+}
+
+func TestComputeTxIDUnique(t *testing.T) {
+	a := ComputeTxID([]byte("n1"), []byte("c"))
+	b := ComputeTxID([]byte("n2"), []byte("c"))
+	c := ComputeTxID([]byte("n1"), []byte("d"))
+	if a == b || a == c {
+		t.Error("tx ids collide for distinct inputs")
+	}
+	if a != ComputeTxID([]byte("n1"), []byte("c")) {
+		t.Error("tx id not deterministic")
+	}
+}
+
+func TestRWSetRoundTrip(t *testing.T) {
+	rw := sampleRWSet()
+	got, err := UnmarshalRWSet(rw.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&rw, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, &rw)
+	}
+}
+
+func TestRWSetRoundTripProperty(t *testing.T) {
+	f := func(keys []string, vals [][]byte, blockNums []uint64) bool {
+		var rw RWSet
+		for i, k := range keys {
+			v := Version{}
+			if i < len(blockNums) {
+				v.BlockNum = blockNums[i]
+			}
+			rw.Reads = append(rw.Reads, KVRead{Key: k, Version: v, Exists: i%2 == 0})
+		}
+		for i, v := range vals {
+			rw.Writes = append(rw.Writes, KVWrite{Key: string(rune('a' + i%26)), Value: v, IsDelete: i%3 == 0})
+		}
+		got, err := UnmarshalRWSet(rw.Marshal())
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Marshal(), rw.Marshal())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProposalResponseRoundTrip(t *testing.T) {
+	rw := sampleRWSet()
+	pr := &ProposalResponse{
+		TxID:        "tx-9",
+		Status:      200,
+		Message:     "",
+		ResultsHash: []byte{1, 2, 3},
+		Results:     &rw,
+		Payload:     []byte("OK"),
+		Endorsement: Endorsement{EndorserID: "Org1.peer0", EndorserOrg: "Org1", Signature: []byte("sig")},
+	}
+	got, err := UnmarshalProposalResponse(pr.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pr, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, pr)
+	}
+}
+
+func TestProposalResponseNilResults(t *testing.T) {
+	pr := &ProposalResponse{TxID: "t", Status: 500, Message: "boom"}
+	got, err := UnmarshalProposalResponse(pr.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Results != nil || got.Message != "boom" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestTransactionRoundTrip(t *testing.T) {
+	tx := &Transaction{
+		Proposal: *sampleProposal(),
+		Results:  sampleRWSet(),
+		Endorsements: []Endorsement{
+			{EndorserID: "Org1.peer0", EndorserOrg: "Org1", Signature: []byte("s1")},
+			{EndorserID: "Org2.peer0", EndorserOrg: "Org2", Signature: []byte("s2")},
+		},
+		ClientSig:  []byte("csig"),
+		SubmitTime: 42,
+		Padding:    make([]byte, 100),
+	}
+	got, err := UnmarshalTransaction(tx.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tx, got) {
+		t.Errorf("round trip mismatch")
+	}
+	if got.ID() != tx.Proposal.TxID {
+		t.Errorf("ID() = %s", got.ID())
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {}, {0xFF}, bytes.Repeat([]byte{0xFF}, 64)} {
+		if _, err := UnmarshalTransaction(b); err == nil {
+			t.Errorf("garbage %x decoded as transaction", b)
+		}
+	}
+}
+
+func TestValidationCodeString(t *testing.T) {
+	cases := map[ValidationCode]string{
+		ValidationValid:                    "VALID",
+		ValidationMVCCConflict:             "MVCC_READ_CONFLICT",
+		ValidationEndorsementPolicyFailure: "ENDORSEMENT_POLICY_FAILURE",
+		ValidationDuplicateTxID:            "DUPLICATE_TXID",
+	}
+	for code, want := range cases {
+		if code.String() != want {
+			t.Errorf("%d.String() = %s, want %s", code, code, want)
+		}
+	}
+	if !ValidationValid.Valid() || ValidationMVCCConflict.Valid() {
+		t.Error("Valid() wrong")
+	}
+}
+
+func TestVersionCompare(t *testing.T) {
+	cases := []struct {
+		a, b Version
+		want int
+	}{
+		{Version{1, 1}, Version{1, 1}, 0},
+		{Version{1, 1}, Version{1, 2}, -1},
+		{Version{2, 0}, Version{1, 9}, 1},
+		{Version{0, 5}, Version{1, 0}, -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("compare not antisymmetric for %v,%v", c.a, c.b)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package workload implements the open-loop transaction generator the
+// paper's experiments drive Fabric with: a target arrival rate split
+// across the client processes (Fig. 1's per-peer load fractions), with
+// transactions invoked asynchronously — new transactions are issued
+// without waiting for the responses of previous ones (Section IV-A,
+// design principle 3).
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fabricsim/internal/client"
+	"fabricsim/internal/costmodel"
+)
+
+// Arrival selects the inter-arrival process.
+type Arrival uint8
+
+// Arrival processes.
+const (
+	// Uniform spaces arrivals evenly at 1/rate.
+	Uniform Arrival = iota + 1
+	// Poisson draws exponential inter-arrival times.
+	Poisson
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Rate is the aggregate arrival rate in transactions per second of
+	// model time.
+	Rate float64
+	// Duration is the run length in model time.
+	Duration time.Duration
+	// Arrival is the inter-arrival process (default Uniform).
+	Arrival Arrival
+	// TxSize is the value size written per transaction (the paper's
+	// transaction-size parameter, default 1 byte).
+	TxSize int
+	// Model supplies the time scale.
+	Model costmodel.Model
+	// Chaincode and Fn name the invocation (defaults: "bench"/"write").
+	Chaincode string
+	Fn        string
+	// KeySpace is the number of distinct keys written (default: one
+	// fresh key per tx, i.e. no write contention, matching the paper's
+	// system-level workload).
+	KeySpace int
+	// Seed makes Poisson arrivals and key choice reproducible.
+	Seed int64
+	// MaxInFlight caps outstanding transactions per client to bound
+	// memory at extreme overload (0 = 4096).
+	MaxInFlight int
+}
+
+// Stats summarizes a finished run.
+type Stats struct {
+	Submitted int64
+	Succeeded int64
+	Failed    int64
+	// Skipped counts arrivals dropped because the in-flight cap was
+	// reached (severe overload only).
+	Skipped int64
+}
+
+// Run drives the clients at the configured rate and blocks until all
+// in-flight transactions resolve (commit, rejection, or timeout).
+func Run(ctx context.Context, clients []*client.Client, cfg Config) (Stats, error) {
+	if len(clients) == 0 {
+		return Stats{}, fmt.Errorf("workload: no clients")
+	}
+	if cfg.Rate <= 0 {
+		return Stats{}, fmt.Errorf("workload: non-positive rate %f", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return Stats{}, fmt.Errorf("workload: non-positive duration %s", cfg.Duration)
+	}
+	if cfg.Chaincode == "" {
+		cfg.Chaincode = "bench"
+	}
+	if cfg.Fn == "" {
+		cfg.Fn = "write"
+	}
+	if cfg.TxSize < 1 {
+		cfg.TxSize = 1
+	}
+	if cfg.Arrival == 0 {
+		cfg.Arrival = Uniform
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4096
+	}
+
+	var stats Stats
+	var wg sync.WaitGroup
+	perClientRate := cfg.Rate / float64(len(clients))
+	wallDuration := cfg.Model.ScaledDelay(cfg.Duration)
+
+	value := make([]byte, cfg.TxSize)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+
+	var txSeq atomic.Int64
+	for ci, cl := range clients {
+		ci, cl := ci, cl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919 + 1))
+			meanGap := time.Duration(float64(time.Second) / perClientRate)
+			wallGap := cfg.Model.ScaledDelay(meanGap)
+			inFlight := make(chan struct{}, cfg.MaxInFlight)
+			var cwg sync.WaitGroup
+
+			end := time.Now().Add(wallDuration)
+			next := time.Now()
+			for time.Now().Before(end) {
+				if ctx.Err() != nil {
+					break
+				}
+				// Open loop: sleep to the next arrival, then fire
+				// without waiting for the previous response.
+				gap := wallGap
+				if cfg.Arrival == Poisson {
+					gap = time.Duration(rng.ExpFloat64() * float64(wallGap))
+				}
+				next = next.Add(gap)
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				select {
+				case inFlight <- struct{}{}:
+				default:
+					atomic.AddInt64(&stats.Skipped, 1)
+					continue
+				}
+				seq := txSeq.Add(1)
+				key := fmt.Sprintf("k%d", seq)
+				if cfg.KeySpace > 0 {
+					key = fmt.Sprintf("k%d", rng.Intn(cfg.KeySpace))
+				}
+				atomic.AddInt64(&stats.Submitted, 1)
+				cwg.Add(1)
+				go func() {
+					defer cwg.Done()
+					defer func() { <-inFlight }()
+					args := [][]byte{[]byte(key), value}
+					if _, err := cl.Invoke(ctx, cfg.Chaincode, cfg.Fn, args); err != nil {
+						atomic.AddInt64(&stats.Failed, 1)
+						return
+					}
+					atomic.AddInt64(&stats.Succeeded, 1)
+				}()
+			}
+			cwg.Wait()
+		}()
+	}
+	wg.Wait()
+	return stats, ctx.Err()
+}

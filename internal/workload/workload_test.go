@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/fabnet"
+	"fabricsim/internal/metrics"
+	"fabricsim/internal/policy"
+)
+
+func testNet(t *testing.T, col *metrics.Collector) *fabnet.Network {
+	t.Helper()
+	n, err := fabnet.Build(fabnet.Config{
+		Orderer:           fabnet.Solo,
+		NumEndorsingPeers: 2,
+		Policy:            policy.OrOverPeers(2),
+		Model:             costmodel.Default(0.05),
+		Collector:         col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+	if err := n.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRunGeneratesAtRate(t *testing.T) {
+	n := testNet(t, nil)
+	stats, err := Run(context.Background(), n.Clients, Config{
+		Rate:     40,
+		Duration: 3 * time.Second,
+		Model:    costmodel.Default(0.05),
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 tps x 3s = 120 expected arrivals.
+	if stats.Submitted < 100 || stats.Submitted > 140 {
+		t.Errorf("submitted = %d, want ~120", stats.Submitted)
+	}
+	if stats.Succeeded == 0 {
+		t.Errorf("nothing committed: %+v", stats)
+	}
+	if stats.Submitted != stats.Succeeded+stats.Failed {
+		t.Errorf("accounting mismatch: %+v", stats)
+	}
+}
+
+func TestRunPoissonArrivals(t *testing.T) {
+	n := testNet(t, nil)
+	stats, err := Run(context.Background(), n.Clients, Config{
+		Rate:     40,
+		Duration: 3 * time.Second,
+		Arrival:  Poisson,
+		Model:    costmodel.Default(0.05),
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Submitted < 60 || stats.Submitted > 200 {
+		t.Errorf("poisson submitted = %d, want near 120", stats.Submitted)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	n := testNet(t, nil)
+	if _, err := Run(context.Background(), n.Clients, Config{Rate: 0, Duration: time.Second}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Run(context.Background(), n.Clients, Config{Rate: 10, Duration: 0}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Run(context.Background(), nil, Config{Rate: 10, Duration: time.Second}); err == nil {
+		t.Error("no clients accepted")
+	}
+}
+
+func TestRunKeySpaceContention(t *testing.T) {
+	col := metrics.NewCollector()
+	n := testNet(t, col)
+	model := costmodel.Default(0.05)
+	stats, err := Run(context.Background(), n.Clients, Config{
+		Rate:     60,
+		Duration: 3 * time.Second,
+		Model:    model,
+		Fn:       "readwrite",
+		KeySpace: 2, // two hot keys -> MVCC conflicts
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed == 0 {
+		t.Error("no failures despite 2-key readwrite contention")
+	}
+	sum := col.Summarize(metrics.SummaryOptions{TimeScale: model.TimeScale})
+	if sum.Invalid == 0 {
+		t.Error("collector recorded no invalid txs")
+	}
+}

@@ -1,0 +1,183 @@
+package zookeeper
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCreateGetSetDelete(t *testing.T) {
+	e := New(3, 0)
+	s := e.Connect(time.Second)
+
+	path, err := s.Create("/config", []byte("v1"), 0)
+	if err != nil || path != "/config" {
+		t.Fatalf("Create = %q, %v", path, err)
+	}
+	data, ver, err := s.Get("/config")
+	if err != nil || string(data) != "v1" || ver != 0 {
+		t.Errorf("Get = %q v%d %v", data, ver, err)
+	}
+	if err := s.Set("/config", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, ver, _ = s.Get("/config")
+	if string(data) != "v2" || ver != 1 {
+		t.Errorf("after Set: %q v%d", data, ver)
+	}
+	if err := s.Delete("/config"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Exists("/config"); ok {
+		t.Error("deleted znode exists")
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	e := New(3, 0)
+	s := e.Connect(time.Second)
+	if _, err := s.Create("/a/b", nil, 0); !errors.Is(err, ErrNoNode) {
+		t.Errorf("create under missing parent: %v", err)
+	}
+	_, _ = s.Create("/a", nil, 0)
+	if _, err := s.Create("/a", nil, 0); !errors.Is(err, ErrNodeExists) {
+		t.Errorf("duplicate create: %v", err)
+	}
+	_, _ = s.Create("/a/b", nil, 0)
+	if err := s.Delete("/a"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("delete with children: %v", err)
+	}
+}
+
+func TestSequentialNodes(t *testing.T) {
+	e := New(3, 0)
+	s := e.Connect(time.Second)
+	_, _ = s.Create("/q", nil, 0)
+	p1, _ := s.Create("/q/n-", nil, FlagSequential)
+	p2, _ := s.Create("/q/n-", nil, FlagSequential)
+	if p1 >= p2 {
+		t.Errorf("sequence not increasing: %s >= %s", p1, p2)
+	}
+	children, _ := s.Children("/q")
+	if len(children) != 2 || children[0] != p1 {
+		t.Errorf("children = %v", children)
+	}
+}
+
+func TestEphemeralReleasedOnClose(t *testing.T) {
+	e := New(3, 0)
+	owner := e.Connect(time.Second)
+	watcher := e.Connect(time.Second)
+	_, _ = owner.Create("/brokers", nil, 0)
+	_, err := owner.Create("/brokers/b1", nil, FlagEphemeral)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := watcher.Watch("/brokers/b1")
+	owner.Close()
+	if ok, _ := watcher.Exists("/brokers/b1"); ok {
+		t.Error("ephemeral survived session close")
+	}
+	select {
+	case ev := <-events:
+		if ev.Type != EventDeleted {
+			t.Errorf("event = %v", ev.Type)
+		}
+	default:
+		t.Error("no delete event fired")
+	}
+	if _, err := owner.Create("/x", nil, 0); !errors.Is(err, ErrSessionExpired) {
+		t.Errorf("closed session usable: %v", err)
+	}
+}
+
+func TestSessionExpiry(t *testing.T) {
+	e := New(3, 0)
+	s := e.Connect(10 * time.Millisecond)
+	if _, err := s.Create("/live", nil, FlagEphemeral); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	e.ExpireStale()
+	other := e.Connect(time.Second)
+	if ok, _ := other.Exists("/live"); ok {
+		t.Error("ephemeral survived session expiry")
+	}
+	if err := s.Ping(); !errors.Is(err, ErrSessionExpired) {
+		t.Errorf("expired session ping: %v", err)
+	}
+}
+
+func TestPingKeepsAlive(t *testing.T) {
+	e := New(3, 0)
+	s := e.Connect(50 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		time.Sleep(20 * time.Millisecond)
+		if err := s.Ping(); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+		e.ExpireStale()
+	}
+	if _, err := s.Create("/ok", nil, 0); err != nil {
+		t.Errorf("pinged session expired: %v", err)
+	}
+}
+
+func TestChildrenWatch(t *testing.T) {
+	e := New(3, 0)
+	s := e.Connect(time.Second)
+	_, _ = s.Create("/dir", nil, 0)
+	events := s.WatchChildren("/dir")
+	_, _ = s.Create("/dir/child", nil, 0)
+	select {
+	case ev := <-events:
+		if ev.Type != EventChildrenChanged {
+			t.Errorf("event = %v", ev.Type)
+		}
+	default:
+		t.Error("no children event")
+	}
+}
+
+func TestElectLeader(t *testing.T) {
+	e := New(3, 0)
+	s1 := e.Connect(time.Second)
+	s2 := e.Connect(time.Second)
+
+	_, lead1, err := s1.ElectLeader("/election", "node1")
+	if err != nil || !lead1 {
+		t.Fatalf("first candidate not leader: %v", err)
+	}
+	_, lead2, err := s2.ElectLeader("/election", "node2")
+	if err != nil || lead2 {
+		t.Fatalf("second candidate became leader: %v", err)
+	}
+	// Leader dies; the second candidate's node is now lowest.
+	s1.Close()
+	children, _ := s2.Children("/election")
+	if len(children) != 1 {
+		t.Fatalf("children after leader death = %v", children)
+	}
+}
+
+func TestWriteDelayGrowsWithEnsemble(t *testing.T) {
+	small := New(3, 2*time.Millisecond)
+	big := New(7, 2*time.Millisecond)
+	ss, sb := small.Connect(time.Second), big.Connect(time.Second)
+
+	measure := func(s *Session, path string) time.Duration {
+		start := time.Now()
+		if _, err := s.Create(path, nil, 0); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	dSmall := measure(ss, "/a")
+	dBig := measure(sb, "/a")
+	if dBig <= dSmall/2 {
+		t.Errorf("7-node write (%s) not slower than 3-node (%s)", dBig, dSmall)
+	}
+	if small.Size() != 3 || big.Size() != 7 {
+		t.Error("Size accessor wrong")
+	}
+}
