@@ -122,3 +122,8 @@ func BenchmarkEndToEndTx(b *testing.B) {
 	}
 	b.ReportMetric(float64(stats.Succeeded), "committed")
 }
+
+// BenchmarkFigChannelsSweep runs the channel-scaling sweep (1 and 4
+// channels in quick mode) and reports the aggregate committed
+// throughput at each end, asserting the sharding axis actually scales.
+func BenchmarkFigChannelsSweep(b *testing.B) { runExperiment(b, "channels") }

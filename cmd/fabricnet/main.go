@@ -32,6 +32,7 @@ func run() int {
 		ordererType = flag.String("orderer", "solo", "ordering service: solo | kafka | raft")
 		osns        = flag.Int("osns", 3, "ordering service nodes (solo forces 1)")
 		peers       = flag.Int("peers", 3, "endorsing peers (one per org)")
+		channels    = flag.Int("channels", 1, "concurrently-ordered channels (load is sprayed across them)")
 		policyStr   = flag.String("policy", "", "endorsement policy (default OR over all peers)")
 		rate        = flag.Float64("rate", 50, "arrival rate, tx/s (model time)")
 		duration    = flag.Duration("duration", 10*time.Second, "load duration (model time)")
@@ -62,6 +63,7 @@ func run() int {
 		}
 		cfg.Policy = pol
 	}
+	cfg.Channels = fabnet.NumberedChannels(*channels)
 
 	net, err := fabnet.Build(cfg)
 	if err != nil {
@@ -74,15 +76,19 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "fabricnet:", err)
 		return 1
 	}
-	fmt.Printf("network up over TCP: %d OSN(s) [%s], %d peer(s), %d client(s)\n",
-		len(net.Orderers), cfg.Orderer, len(net.Peers), len(net.Clients))
+	fmt.Printf("network up over TCP: %d OSN(s) [%s], %d peer(s), %d client(s), %d channel(s)\n",
+		len(net.Orderers), cfg.Orderer, len(net.Peers), len(net.Clients), len(net.ChannelIDs()))
 
-	stats, err := workload.Run(ctx, net.Clients, workload.Config{
+	wcfg := workload.Config{
 		Rate:     *rate,
 		Duration: *duration,
 		Model:    model,
 		Seed:     1,
-	})
+	}
+	if *channels > 1 {
+		wcfg.Channels = net.ChannelIDs()
+	}
+	stats, err := workload.Run(ctx, net.Clients, wcfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fabricnet:", err)
 		return 1
@@ -98,9 +104,16 @@ func run() int {
 		sum.TotalLatency.Avg.Seconds(), sum.TotalLatency.P95.Seconds(),
 		sum.BlockTime.Seconds(), sum.AvgBlockSize)
 	for _, p := range net.Peers {
-		if err := p.Ledger().VerifyChain(); err != nil {
-			fmt.Fprintf(os.Stderr, "fabricnet: peer %s: %v\n", p.ID(), err)
-			return 1
+		for _, ch := range net.ChannelIDs() {
+			l, ok := p.LedgerFor(ch)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fabricnet: peer %s: missing channel %s\n", p.ID(), ch)
+				return 1
+			}
+			if err := l.VerifyChain(); err != nil {
+				fmt.Fprintf(os.Stderr, "fabricnet: peer %s channel %s: %v\n", p.ID(), ch, err)
+				return 1
+			}
 		}
 	}
 	fmt.Println("all peer hash chains verified")

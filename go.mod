@@ -1,0 +1,3 @@
+module fabricsim
+
+go 1.22

@@ -53,13 +53,14 @@ func (o Options) withDefaults() Options {
 
 // Point is one measured experiment data point.
 type Point struct {
-	Orderer fabnet.OrdererType
-	Policy  string
-	Peers   int
-	OSNs    int
-	Rate    float64
-	Summary metrics.Summary
-	Stats   workload.Stats
+	Orderer  fabnet.OrdererType
+	Policy   string
+	Peers    int
+	OSNs     int
+	Channels int
+	Rate     float64
+	Summary  metrics.Summary
+	Stats    workload.Stats
 }
 
 // PointConfig describes one network + load combination.
@@ -72,6 +73,12 @@ type PointConfig struct {
 	Policy      policy.Policy
 	PolicyLabel string
 	Rate        float64
+	// Channels shards the network into this many concurrently-ordered
+	// channels ("ch1".."chN", all sharing Policy) and sprays the load
+	// round-robin across them. 0 or 1 keeps the classic single channel.
+	Channels int
+	// Clients overrides the client-process count (0 = one per peer).
+	Clients int
 }
 
 // RunPoint builds the network, applies the load, and reduces metrics.
@@ -85,10 +92,12 @@ func RunPoint(ctx context.Context, pc PointConfig, opt Options) (Point, error) {
 		NumKafkaBrokers:   pc.Brokers,
 		NumZooKeepers:     pc.ZooKeepers,
 		NumEndorsingPeers: pc.Peers,
+		NumClients:        pc.Clients,
 		Policy:            pc.Policy,
 		Model:             model,
 		Collector:         col,
 	}
+	cfg.Channels = fabnet.NumberedChannels(pc.Channels)
 	net, err := fabnet.Build(cfg)
 	if err != nil {
 		return Point{}, fmt.Errorf("bench: %w", err)
@@ -97,13 +106,17 @@ func RunPoint(ctx context.Context, pc PointConfig, opt Options) (Point, error) {
 	if err := net.Start(ctx); err != nil {
 		return Point{}, fmt.Errorf("bench: %w", err)
 	}
-	stats, err := workload.Run(ctx, net.Clients, workload.Config{
+	wcfg := workload.Config{
 		Rate:     pc.Rate,
 		Duration: opt.Duration,
 		TxSize:   opt.TxSize,
 		Model:    model,
 		Seed:     opt.Seed,
-	})
+	}
+	if pc.Channels > 1 {
+		wcfg.Channels = net.ChannelIDs()
+	}
+	stats, err := workload.Run(ctx, net.Clients, wcfg)
 	if err != nil {
 		return Point{}, fmt.Errorf("bench: %w", err)
 	}
@@ -111,14 +124,19 @@ func RunPoint(ctx context.Context, pc PointConfig, opt Options) (Point, error) {
 		TimeScale:     model.TimeScale,
 		RejectLatency: model.OrderTimeout,
 	})
+	channels := pc.Channels
+	if channels < 1 {
+		channels = 1
+	}
 	return Point{
-		Orderer: pc.Orderer,
-		Policy:  pc.PolicyLabel,
-		Peers:   pc.Peers,
-		OSNs:    pc.OSNs,
-		Rate:    pc.Rate,
-		Summary: sum,
-		Stats:   stats,
+		Orderer:  pc.Orderer,
+		Policy:   pc.PolicyLabel,
+		Peers:    pc.Peers,
+		OSNs:     pc.OSNs,
+		Channels: channels,
+		Rate:     pc.Rate,
+		Summary:  sum,
+		Stats:    stats,
 	}, nil
 }
 
@@ -163,11 +181,13 @@ type Experiment struct {
 	Run func(ctx context.Context, opt Options, w io.Writer) error
 }
 
-// All returns every paper experiment in paper order.
+// All returns every paper experiment in paper order, plus the channel
+// sweep (the scaling dimension the paper's Fabric deployment uses but
+// does not isolate).
 func All() []Experiment {
 	return []Experiment{
 		Fig2(), Fig3(), Fig4(), Fig5(), Fig6(), Fig7(),
-		Table2(), Table3(), Fig8(),
+		Table2(), Table3(), Fig8(), FigChannels(),
 	}
 }
 

@@ -61,8 +61,15 @@ type Config struct {
 	Collector *metrics.Collector
 	// SignProposals enables real client signatures (VerifyCrypto runs).
 	SignProposals bool
-	// ChannelID names the channel on proposals.
+	// ChannelID names the default channel on proposals (used by Invoke;
+	// InvokeOnChannel overrides it per transaction).
 	ChannelID string
+	// Channels lists every channel this client may submit on; empty
+	// means just ChannelID. Workload generators spray load across it.
+	Channels []string
+	// PolicyByChannel optionally overrides the endorsement policy per
+	// channel; channels without an entry use Policy.
+	PolicyByChannel map[string]policy.Policy
 }
 
 // Result is the outcome of one Invoke.
@@ -98,6 +105,16 @@ func New(cfg Config) (*Client, error) {
 	if len(cfg.Orderers) == 0 {
 		return nil, errors.New("client: no orderers configured")
 	}
+	if cfg.ChannelID == "" {
+		if len(cfg.Channels) > 0 {
+			cfg.ChannelID = cfg.Channels[0]
+		} else {
+			cfg.ChannelID = orderer.DefaultChannel
+		}
+	}
+	if len(cfg.Channels) == 0 {
+		cfg.Channels = []string{cfg.ChannelID}
+	}
 	c := &Client{cfg: cfg, pending: make(map[types.TxID]*pendingTx)}
 	cfg.Endpoint.Handle(peer.KindCommitEvent, c.handleCommitEvents)
 	return c, nil
@@ -105,6 +122,19 @@ func New(cfg Config) (*Client, error) {
 
 // ID returns the client's node identifier.
 func (c *Client) ID() string { return c.cfg.ID }
+
+// Channels returns every channel this client may submit on.
+func (c *Client) Channels() []string {
+	return append([]string(nil), c.cfg.Channels...)
+}
+
+// policyFor returns the endorsement policy governing one channel.
+func (c *Client) policyFor(channel string) policy.Policy {
+	if pol, ok := c.cfg.PolicyByChannel[channel]; ok && pol != nil {
+		return pol
+	}
+	return c.cfg.Policy
+}
 
 // Connect subscribes to the event peer; it is called lazily by the
 // first Invoke but may be called eagerly at startup.
@@ -121,12 +151,23 @@ func (c *Client) Connect(ctx context.Context) error {
 	return c.subErr
 }
 
-// Invoke runs one transaction through execute, order, and validate, and
-// blocks until commit or the 3-second (model time) ordering timeout.
-// Call it from its own goroutine for the paper's asynchronous
-// invocation pattern.
+// Invoke runs one transaction through execute, order, and validate on
+// the client's default channel, and blocks until commit or the 3-second
+// (model time) ordering timeout. Call it from its own goroutine for the
+// paper's asynchronous invocation pattern.
 func (c *Client) Invoke(ctx context.Context, chaincodeID, fn string, args [][]byte) (*Result, error) {
-	return c.InvokeWithPolicy(ctx, c.cfg.Policy, chaincodeID, fn, args)
+	return c.invoke(ctx, c.cfg.ChannelID, c.policyFor(c.cfg.ChannelID), chaincodeID, fn, args)
+}
+
+// InvokeOnChannel is Invoke on an explicit channel; the channel's
+// endorsement policy selects the targets. Spraying invocations across
+// channels multiplies throughput because channels order and commit
+// concurrently end to end.
+func (c *Client) InvokeOnChannel(ctx context.Context, channel, chaincodeID, fn string, args [][]byte) (*Result, error) {
+	if channel == "" {
+		channel = c.cfg.ChannelID
+	}
+	return c.invoke(ctx, channel, c.policyFor(channel), chaincodeID, fn, args)
 }
 
 // InvokeWithPolicy is Invoke with an explicit endorsement-target policy.
@@ -134,6 +175,11 @@ func (c *Client) Invoke(ctx context.Context, chaincodeID, fn string, args [][]by
 // targets than the channel requires yields a transaction flagged
 // ENDORSEMENT_POLICY_FAILURE (useful for testing the VSCC path).
 func (c *Client) InvokeWithPolicy(ctx context.Context, pol policy.Policy, chaincodeID, fn string, args [][]byte) (*Result, error) {
+	return c.invoke(ctx, c.cfg.ChannelID, pol, chaincodeID, fn, args)
+}
+
+// invoke is the shared execute/order/await pipeline.
+func (c *Client) invoke(ctx context.Context, channel string, pol policy.Policy, chaincodeID, fn string, args [][]byte) (*Result, error) {
 	if err := c.Connect(ctx); err != nil {
 		return nil, err
 	}
@@ -152,7 +198,7 @@ func (c *Client) InvokeWithPolicy(ctx context.Context, pol policy.Policy, chainc
 	if err := c.cfg.CPU.Execute(ctx, c.cfg.Model.ClientTxCost(len(targets))); err != nil {
 		return nil, err
 	}
-	prop, sig, err := c.buildProposal(chaincodeID, fn, args)
+	prop, sig, err := c.buildProposal(channel, chaincodeID, fn, args)
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +261,8 @@ func (c *Client) InvokeWithPolicy(ctx context.Context, pol policy.Policy, chainc
 
 	osn := c.cfg.Orderers[c.rrOrd.Add(1)%uint64(len(c.cfg.Orderers))]
 	bctx, cancel := context.WithTimeout(ctx, c.cfg.Model.ScaledDelay(c.cfg.Model.OrderTimeout))
-	_, err = c.cfg.Endpoint.Call(bctx, osn, orderer.KindBroadcast, env, len(env))
+	benv := &orderer.BroadcastEnvelope{Channel: channel, Env: env}
+	_, err = c.cfg.Endpoint.Call(bctx, osn, orderer.KindBroadcast, benv, len(env)+len(channel)+16)
 	cancel()
 	if err != nil {
 		if c.cfg.Collector != nil {
@@ -263,7 +310,7 @@ func (c *Client) InvokeWithPolicy(ctx context.Context, pol policy.Policy, chainc
 // Query runs the execute phase only (no ordering): it endorses on one
 // target and returns the chaincode payload, like an SDK evaluate call.
 func (c *Client) Query(ctx context.Context, chaincodeID, fn string, args [][]byte) ([]byte, error) {
-	prop, sig, err := c.buildProposal(chaincodeID, fn, args)
+	prop, sig, err := c.buildProposal(c.cfg.ChannelID, chaincodeID, fn, args)
 	if err != nil {
 		return nil, err
 	}
@@ -283,13 +330,13 @@ func (c *Client) Query(ctx context.Context, chaincodeID, fn string, args [][]byt
 
 // buildProposal creates and signs one proposal. The caller has already
 // charged the client CPU cost.
-func (c *Client) buildProposal(chaincodeID, fn string, args [][]byte) (*types.Proposal, []byte, error) {
+func (c *Client) buildProposal(channel, chaincodeID, fn string, args [][]byte) (*types.Proposal, []byte, error) {
 	n := c.nonce.Add(1)
 	nonce := []byte(fmt.Sprintf("%s-%d", c.cfg.ID, n))
 	creator := c.cfg.Identity.Serialized()
 	prop := &types.Proposal{
 		TxID:        types.ComputeTxID(nonce, creator),
-		ChannelID:   c.cfg.ChannelID,
+		ChannelID:   channel,
 		ChaincodeID: chaincodeID,
 		Fn:          fn,
 		Args:        args,

@@ -81,12 +81,34 @@ type Config struct {
 	Collector *metrics.Collector
 	// ExtraChaincodes installs chaincodes beyond the benchmark KV store.
 	ExtraChaincodes []chaincode.Chaincode
-	// ChannelID names the single channel (default "perf").
+	// ChannelID names the channel of a single-channel deployment
+	// (default "perf"). Ignored when Channels is set.
 	ChannelID string
+	// Channels declares a multi-channel topology, the network's sharding
+	// axis: every channel gets its own ordering lane (Kafka partition or
+	// Raft group), its own per-peer ledger and commit pipeline, and its
+	// own chain numbering, so channels order and commit concurrently.
+	// Empty means one channel named ChannelID with policy Policy.
+	Channels []ChannelConfig
 	// UseTCP runs every node on real loopback TCP sockets (gob framing)
 	// instead of the in-memory emulated network. Latency/bandwidth then
 	// come from the real kernel path; used by cmd/fabricnet.
 	UseTCP bool
+}
+
+// ChannelConfig describes one channel of a multi-channel network.
+type ChannelConfig struct {
+	// ID is the channel name (must be unique and non-empty).
+	ID string
+	// Policy is the channel's endorsement policy; nil inherits the
+	// network-wide Config.Policy.
+	Policy policy.Policy
+	// Chaincode optionally installs a dedicated KV-store chaincode under
+	// this name for the channel's workload; empty reuses ChaincodeBench.
+	// (All chaincodes are installed on every peer, as in a Fabric
+	// deployment where peers join all channels; state is still isolated
+	// per channel because each channel has its own state DB.)
+	Chaincode string
 }
 
 func (c *Config) applyDefaults() {
@@ -129,9 +151,67 @@ func (c *Config) applyDefaults() {
 	if c.ChannelID == "" {
 		c.ChannelID = "perf"
 	}
+	if len(c.Channels) == 0 {
+		c.Channels = []ChannelConfig{{ID: c.ChannelID, Policy: c.Policy}}
+	}
+	c.ChannelID = c.Channels[0].ID
+	for i := range c.Channels {
+		if c.Channels[i].Policy == nil {
+			c.Channels[i].Policy = c.Policy
+		}
+	}
 	if c.Model.TimeScale == 0 {
 		c.Model = costmodel.Default(1)
 	}
+}
+
+// validateChannels enforces the ChannelConfig invariants: IDs must be
+// unique and non-empty, or per-channel consensus lanes would silently
+// collapse onto one chain.
+func (c *Config) validateChannels() error {
+	seen := make(map[string]bool, len(c.Channels))
+	for _, ch := range c.Channels {
+		if ch.ID == "" {
+			return errors.New("fabnet: channel with empty ID")
+		}
+		if seen[ch.ID] {
+			return fmt.Errorf("fabnet: duplicate channel ID %q", ch.ID)
+		}
+		seen[ch.ID] = true
+	}
+	return nil
+}
+
+// NumberedChannels returns n channels named "ch1".."chN" inheriting the
+// network-wide policy — the synthetic topology the channel-scaling
+// sweeps use. n < 2 returns nil (single default channel).
+func NumberedChannels(n int) []ChannelConfig {
+	if n < 2 {
+		return nil
+	}
+	chans := make([]ChannelConfig, n)
+	for i := range chans {
+		chans[i] = ChannelConfig{ID: fmt.Sprintf("ch%d", i+1)}
+	}
+	return chans
+}
+
+// channelIDs returns the configured channel names in order.
+func (c *Config) channelIDs() []string {
+	ids := make([]string, len(c.Channels))
+	for i, ch := range c.Channels {
+		ids[i] = ch.ID
+	}
+	return ids
+}
+
+// channelPolicies returns the per-channel endorsement policies.
+func (c *Config) channelPolicies() map[string]policy.Policy {
+	pols := make(map[string]policy.Policy, len(c.Channels))
+	for _, ch := range c.Channels {
+		pols[ch.ID] = ch.Policy
+	}
+	return pols
 }
 
 // Network is a built, startable Fabric network.
@@ -163,6 +243,9 @@ const ChaincodeBench = "bench"
 // Build constructs all nodes of the network without starting them.
 func Build(cfg Config) (*Network, error) {
 	cfg.applyDefaults()
+	if err := cfg.validateChannels(); err != nil {
+		return nil, err
+	}
 	model := cfg.Model
 
 	n := &Network{
@@ -211,6 +294,13 @@ func Build(cfg Config) (*Network, error) {
 	for _, cc := range cfg.ExtraChaincodes {
 		registry.Install(cc)
 	}
+	for _, ch := range cfg.Channels {
+		if ch.Chaincode != "" && ch.Chaincode != ChaincodeBench {
+			registry.Install(chaincode.NewKVStore(ch.Chaincode))
+		}
+	}
+	channelIDs := cfg.channelIDs()
+	channelPols := cfg.channelPolicies()
 
 	newCPU := func(cores int) *simcpu.CPU {
 		c := simcpu.New(cores, model.TimeScale)
@@ -234,7 +324,7 @@ func Build(cfg Config) (*Network, error) {
 	if cfg.Collector != nil {
 		col := cfg.Collector
 		observer = func(b *types.Block, cutAt time.Time) {
-			col.Block(metrics.BlockEvent{Number: b.Header.Number, CutAt: cutAt, Txs: len(b.Data)})
+			col.Block(metrics.BlockEvent{Number: b.Header.Number, Channel: b.Metadata.ChannelID, CutAt: cutAt, Txs: len(b.Data)})
 		}
 	}
 	for i := range ordererIDs {
@@ -245,8 +335,9 @@ func Build(cfg Config) (*Network, error) {
 				BatchSize:    cfg.BatchSize,
 				BatchTimeout: cfg.BatchTimeout,
 			},
-			Model: model,
-			CPU:   newCPU(model.OrdererCores),
+			Model:    model,
+			CPU:      newCPU(model.OrdererCores),
+			Channels: channelIDs,
 		}
 		if i == 0 {
 			ocfg.Observer = observer // one OSN reports block events
@@ -317,6 +408,8 @@ func Build(cfg Config) (*Network, error) {
 			Endorsing:    endorsing,
 			OrdererID:    ordererIDs[(i-1)%len(ordererIDs)],
 			VerifyCrypto: cfg.VerifyCrypto,
+			Channels:     channelIDs,
+			Policies:     channelPols,
 		})
 		n.Peers = append(n.Peers, p)
 		if endorsing {
@@ -349,6 +442,8 @@ func Build(cfg Config) (*Network, error) {
 			Collector:       cfg.Collector,
 			SignProposals:   cfg.VerifyCrypto,
 			ChannelID:       cfg.ChannelID,
+			Channels:        channelIDs,
+			PolicyByChannel: channelPols,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fabnet: %w", err)
@@ -377,7 +472,7 @@ func (n *Network) buildKafka(ordererIDs []string, ordererEPs []transport.Endpoin
 	}
 	cluster, err := kafka.NewCluster(kafka.Config{
 		Brokers:           brokerIDs,
-		Partitions:        1, // one channel = one partition (paper default)
+		Partitions:        len(n.Cfg.Channels), // one partition per channel (paper default)
 		ReplicationFactor: n.Cfg.KafkaReplication,
 		SessionTimeout:    model.ScaledDelay(2 * time.Second),
 		ReplicaWriteDelay: func() {
@@ -391,7 +486,7 @@ func (n *Network) buildKafka(ordererIDs []string, ordererEPs []transport.Endpoin
 	n.kafkaCluster = cluster
 	for i := range n.Orderers {
 		kc := kafka.NewClient(ordererEPs[i], brokerIDs, model.ScaledDelay(3*time.Second))
-		orderer.NewKafkaConsenter(n.Orderers[i], kc, 0)
+		orderer.NewKafkaConsenter(n.Orderers[i], kc, nil) // channel i -> partition i
 	}
 	return nil
 }
@@ -426,14 +521,20 @@ func (n *Network) Start(ctx context.Context) error {
 	return nil
 }
 
-// waitForRaftLeader polls until an OSN reports a leader.
+// waitForRaftLeader polls until every channel's Raft group reports a
+// leader on some OSN.
 func (n *Network) waitForRaftLeader(ctx context.Context) error {
 	deadline := time.Now().Add(10 * time.Second)
+	channels := n.Cfg.channelIDs()
 	for time.Now().Before(deadline) {
-		for _, rc := range n.raftCons {
-			if _, ok := rc.Node().Leader(); ok {
-				return nil
+		elected := 0
+		for _, ch := range channels {
+			if _, ok := n.raftLeaderFor(ch); ok {
+				elected++
 			}
+		}
+		if elected == len(channels) {
+			return nil
 		}
 		select {
 		case <-ctx.Done():
@@ -444,14 +545,32 @@ func (n *Network) waitForRaftLeader(ctx context.Context) error {
 	return errors.New("fabnet: raft leader election timed out")
 }
 
-// RaftLeader returns the current Raft leader OSN, if any.
-func (n *Network) RaftLeader() (string, bool) {
+func (n *Network) raftLeaderFor(channel string) (string, bool) {
 	for _, rc := range n.raftCons {
-		if l, ok := rc.Node().Leader(); ok {
-			return l, true
+		if node, ok := rc.NodeFor(channel); ok {
+			if l, ok := node.Leader(); ok {
+				return l, true
+			}
 		}
 	}
 	return "", false
+}
+
+// RaftLeader returns the current Raft leader OSN of the default
+// channel's group, if any.
+func (n *Network) RaftLeader() (string, bool) {
+	return n.raftLeaderFor(n.Cfg.ChannelID)
+}
+
+// RaftLeaderFor returns the current Raft leader OSN of one channel's
+// group, if any.
+func (n *Network) RaftLeaderFor(channel string) (string, bool) {
+	return n.raftLeaderFor(channel)
+}
+
+// ChannelIDs returns the network's channel names in configured order.
+func (n *Network) ChannelIDs() []string {
+	return n.Cfg.channelIDs()
 }
 
 // KafkaCluster exposes the Kafka substrate (failover tests).
@@ -492,6 +611,9 @@ func registerWireTypes() {
 			&peer.EndorseRequest{},
 			&types.ProposalResponse{},
 			[]peer.CommitEvent(nil),
+			&orderer.BroadcastEnvelope{},
+			&orderer.GetBlockArgs{},
+			&orderer.SubmitArgs{},
 			&kafka.ProduceArgs{}, &kafka.ProduceReply{},
 			&kafka.ReplicateArgs{}, &kafka.ReplicateReply{},
 			&kafka.FetchArgs{}, &kafka.FetchReply{},

@@ -39,11 +39,14 @@ type TxRecord struct {
 	Rejected bool
 }
 
-// BlockEvent is one block cut by the ordering service.
+// BlockEvent is one block cut by the ordering service. Channel
+// disambiguates block numbers in multi-channel networks, where each
+// channel numbers its chain independently.
 type BlockEvent struct {
-	Number uint64
-	CutAt  time.Time
-	Txs    int
+	Number  uint64
+	Channel string
+	CutAt   time.Time
+	Txs     int
 }
 
 // Collector accumulates records; safe for concurrent use.
@@ -133,13 +136,19 @@ func (c *Collector) Records() []TxRecord {
 	return out
 }
 
-// Blocks returns a snapshot copy of block events, sorted by number.
+// Blocks returns a snapshot copy of block events, sorted by cut time
+// (numbers tie across channels, so cut order is the only total order).
 func (c *Collector) Blocks() []BlockEvent {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]BlockEvent, len(c.blocks))
 	copy(out, c.blocks)
-	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CutAt.Equal(out[j].CutAt) {
+			return out[i].CutAt.Before(out[j].CutAt)
+		}
+		return out[i].Number < out[j].Number
+	})
 	return out
 }
 

@@ -34,12 +34,28 @@ func encodeTTCRecord(target uint64) []byte {
 	return enc.Bytes()
 }
 
-// KafkaConsenter orders envelopes through the Kafka substrate: Submit
-// produces to the partition (acks=all across the ISR), and a consume
-// loop on every OSN feeds the shared stream into a local block cutter.
+// KafkaConsenter orders envelopes through the Kafka substrate with one
+// partition per channel (the paper's deployment rule): Submit produces
+// to the channel's partition (acks=all across the ISR), and a consume
+// loop per channel on every OSN feeds that channel's shared stream into
+// a local block cutter. Channels order concurrently because their
+// partitions replicate and are consumed independently.
 type KafkaConsenter struct {
-	orderer   *Orderer
-	client    *kafka.Client
+	orderer *Orderer
+	client  *kafka.Client
+	chains  map[string]*kafkaChain
+
+	stopCh    chan struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
+	stopMu    sync.Mutex
+	stopped   bool
+	startOnce sync.Once
+}
+
+// kafkaChain is one channel's ordering lane over its Kafka partition.
+type kafkaChain struct {
+	channel   string
 	partition int
 	cutter    *blockcutter.Cutter
 
@@ -48,35 +64,46 @@ type KafkaConsenter struct {
 	blockSeq  uint64 // next block number to cut (1-based)
 	pendingAt time.Time
 	hasPend   bool
-
-	stopCh    chan struct{}
-	done      chan struct{}
-	stopMu    sync.Mutex
-	stopped   bool
-	startOnce sync.Once
 }
 
 var _ Consenter = (*KafkaConsenter)(nil)
 
 // NewKafkaConsenter attaches a Kafka consenter to the OSN. Each OSN gets
-// its own kafka.Client; all consume the same partition.
-func NewKafkaConsenter(o *Orderer, client *kafka.Client, partition int) *KafkaConsenter {
+// its own kafka.Client; all consume the same partitions. partitions maps
+// channel ID -> partition index; nil assigns partition i to the OSN's
+// i-th channel.
+func NewKafkaConsenter(o *Orderer, client *kafka.Client, partitions map[string]int) *KafkaConsenter {
 	k := &KafkaConsenter{
-		orderer:   o,
-		client:    client,
-		partition: partition,
-		cutter:    blockcutter.New(o.cfg.Cutter),
-		blockSeq:  1,
-		stopCh:    make(chan struct{}),
-		done:      make(chan struct{}),
+		orderer: o,
+		client:  client,
+		chains:  make(map[string]*kafkaChain),
+		stopCh:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for i, ch := range o.Channels() {
+		part, ok := partitions[ch]
+		if !ok {
+			part = i
+		}
+		k.chains[ch] = &kafkaChain{
+			channel:   ch,
+			partition: part,
+			cutter:    blockcutter.New(o.cfg.Cutter),
+			blockSeq:  1,
+		}
 	}
 	o.SetConsenter(k)
 	return k
 }
 
-// Submit implements Consenter: produce the envelope to the partition.
-func (k *KafkaConsenter) Submit(ctx context.Context, env []byte) error {
-	_, err := k.client.Produce(ctx, k.partition, encodeEnvelopeRecord(env))
+// Submit implements Consenter: produce the envelope to the channel's
+// partition.
+func (k *KafkaConsenter) Submit(ctx context.Context, channel string, env []byte) error {
+	kc, ok := k.chains[channel]
+	if !ok {
+		return ErrUnknownChannel
+	}
+	_, err := k.client.Produce(ctx, kc.partition, encodeEnvelopeRecord(env))
 	if err != nil {
 		return fmt.Errorf("kafka consenter: %w", err)
 	}
@@ -85,11 +112,26 @@ func (k *KafkaConsenter) Submit(ctx context.Context, env []byte) error {
 
 // Start implements Consenter.
 func (k *KafkaConsenter) Start() error {
-	k.startOnce.Do(func() {
-		go k.consumeLoop()
-		go k.ttcLoop()
-	})
+	k.startOnce.Do(k.launch)
 	return nil
+}
+
+func (k *KafkaConsenter) launch() {
+	for _, kc := range k.chains {
+		k.wg.Add(2)
+		go func(kc *kafkaChain) {
+			defer k.wg.Done()
+			k.consumeLoop(kc)
+		}(kc)
+		go func(kc *kafkaChain) {
+			defer k.wg.Done()
+			k.ttcLoop(kc)
+		}(kc)
+	}
+	go func() {
+		k.wg.Wait()
+		close(k.done)
+	}()
 }
 
 // Stop implements Consenter.
@@ -100,18 +142,15 @@ func (k *KafkaConsenter) Stop() {
 		return
 	}
 	k.stopped = true
-	k.startOnce.Do(func() {
-		go k.consumeLoop()
-		go k.ttcLoop()
-	})
+	k.startOnce.Do(k.launch)
 	close(k.stopCh)
 	k.stopMu.Unlock()
 	<-k.done
 }
 
-// consumeLoop pulls the ordered record stream and drives the cutter.
-func (k *KafkaConsenter) consumeLoop() {
-	defer close(k.done)
+// consumeLoop pulls one channel's ordered record stream and drives its
+// cutter.
+func (k *KafkaConsenter) consumeLoop(kc *kafkaChain) {
 	ctx := context.Background()
 	offset := int64(0)
 	pollWait := k.orderer.scaledTimeout() / 2
@@ -124,7 +163,7 @@ func (k *KafkaConsenter) consumeLoop() {
 			return
 		default:
 		}
-		records, err := k.client.Fetch(ctx, k.partition, offset, pollWait)
+		records, err := k.client.Fetch(ctx, kc.partition, offset, pollWait)
 		if err != nil {
 			select {
 			case <-k.stopCh:
@@ -135,62 +174,62 @@ func (k *KafkaConsenter) consumeLoop() {
 		}
 		for _, rec := range records {
 			offset = rec.Offset + 1
-			k.processRecord(rec.Data)
+			k.processRecord(kc, rec.Data)
 		}
 	}
 }
 
 // processRecord applies one consumed record deterministically.
-func (k *KafkaConsenter) processRecord(data []byte) {
+func (k *KafkaConsenter) processRecord(kc *kafkaChain, data []byte) {
 	if len(data) == 0 {
 		return
 	}
 	switch data[0] {
 	case recordEnvelope:
 		env := data[1:]
-		k.mu.Lock()
-		batches, pending := k.cutter.Ordered(env, time.Now())
-		if pending && !k.hasPend {
-			k.hasPend = true
-			k.pendingAt = time.Now()
+		kc.mu.Lock()
+		batches, pending := kc.cutter.Ordered(env, time.Now())
+		if pending && !kc.hasPend {
+			kc.hasPend = true
+			kc.pendingAt = time.Now()
 		}
 		if !pending {
-			k.hasPend = false
+			kc.hasPend = false
 		}
 		var toEmit [][][]byte
 		for _, b := range batches {
-			k.blockSeq++
+			kc.blockSeq++
 			toEmit = append(toEmit, b)
 		}
-		k.mu.Unlock()
+		kc.mu.Unlock()
 		for _, b := range toEmit {
-			k.orderer.emitBatch(b)
+			k.orderer.emitBatch(kc.channel, b)
 		}
 	case recordTTC:
 		dec := types.NewDecoder(data[1:])
 		target := dec.Uvarint()
-		k.mu.Lock()
-		if target != k.blockSeq {
+		kc.mu.Lock()
+		if target != kc.blockSeq {
 			// Stale or future TTC (another OSN already cut, or the
 			// poster raced a size-based cut); ignore, as Fabric does.
-			k.mu.Unlock()
+			kc.mu.Unlock()
 			return
 		}
-		batch := k.cutter.Cut()
-		k.hasPend = false
+		batch := kc.cutter.Cut()
+		kc.hasPend = false
 		if batch == nil {
-			k.mu.Unlock()
+			kc.mu.Unlock()
 			return
 		}
-		k.blockSeq++
-		k.mu.Unlock()
-		k.orderer.emitBatch(batch)
+		kc.blockSeq++
+		kc.mu.Unlock()
+		k.orderer.emitBatch(kc.channel, batch)
 	}
 }
 
-// ttcLoop posts a TTC record when this OSN's local batch timer expires
-// while transactions are pending.
-func (k *KafkaConsenter) ttcLoop() {
+// ttcLoop posts a TTC record on one channel when this OSN's local batch
+// timer expires while transactions are pending.
+func (k *KafkaConsenter) ttcLoop(kc *kafkaChain) {
 	timeout := k.orderer.scaledTimeout()
 	tick := timeout / 4
 	if tick < time.Millisecond {
@@ -204,26 +243,26 @@ func (k *KafkaConsenter) ttcLoop() {
 		case <-k.stopCh:
 			return
 		case <-ticker.C:
-			k.mu.Lock()
-			due := k.hasPend && time.Since(k.pendingAt) >= timeout && k.ttcSent < k.blockSeq
-			target := k.blockSeq
+			kc.mu.Lock()
+			due := kc.hasPend && time.Since(kc.pendingAt) >= timeout && kc.ttcSent < kc.blockSeq
+			target := kc.blockSeq
 			if due {
-				k.ttcSent = target
+				kc.ttcSent = target
 			}
-			k.mu.Unlock()
+			kc.mu.Unlock()
 			if !due {
 				continue
 			}
 			cctx, cancel := context.WithTimeout(ctx, timeout)
-			_, err := k.client.Produce(cctx, k.partition, encodeTTCRecord(target))
+			_, err := k.client.Produce(cctx, kc.partition, encodeTTCRecord(target))
 			cancel()
 			if err != nil {
 				// Allow a retry on the next tick.
-				k.mu.Lock()
-				if k.ttcSent == target {
-					k.ttcSent = target - 1
+				kc.mu.Lock()
+				if kc.ttcSent == target {
+					kc.ttcSent = target - 1
 				}
-				k.mu.Unlock()
+				kc.mu.Unlock()
 			}
 		}
 	}

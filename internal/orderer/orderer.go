@@ -5,6 +5,12 @@
 // to subscribed peers (Deliver). This mirrors Fabric v1.4's ordering
 // architecture, where consensus is modular exactly so that the three
 // ordering services the paper compares can be swapped.
+//
+// Channels are the ordering service's sharding axis, as in Fabric: each
+// channel is an independent chain with its own block cutter and its own
+// consensus instance (one Kafka partition per channel, one Raft group
+// per channel), so distinct channels order concurrently and only
+// envelopes on the same channel serialize against each other.
 package orderer
 
 import (
@@ -25,7 +31,7 @@ import (
 const (
 	// KindBroadcast is the client -> OSN transaction submission.
 	KindBroadcast = "orderer.broadcast"
-	// KindSubscribe registers a peer for block delivery.
+	// KindSubscribe registers a peer for block delivery (all channels).
 	KindSubscribe = "orderer.subscribe"
 	// KindGetBlock fetches one block by number (deliver catch-up).
 	KindGetBlock = "orderer.getblock"
@@ -36,17 +42,44 @@ const (
 	KindDeliverBlock = "orderer.deliverblock"
 )
 
-// ErrStopped is returned after Stop.
-var ErrStopped = errors.New("orderer: stopped")
+// DefaultChannel is the channel assumed when a node is configured
+// without an explicit channel list (single-channel deployments).
+const DefaultChannel = "perf"
 
-// Consenter establishes the total order of envelopes. Implementations:
-// Solo, Kafka, Raft.
+// Errors returned by the orderer.
+var (
+	ErrStopped        = errors.New("orderer: stopped")
+	ErrUnknownChannel = errors.New("orderer: unknown channel")
+)
+
+// BroadcastEnvelope is the channel-tagged KindBroadcast payload. A bare
+// []byte payload is also accepted and routes to the default channel.
+type BroadcastEnvelope struct {
+	Channel string
+	Env     []byte
+}
+
+// GetBlockArgs is the channel-tagged KindGetBlock payload. A bare
+// uint64 payload routes to the default channel.
+type GetBlockArgs struct {
+	Channel string
+	Number  uint64
+}
+
+// SubmitArgs is the channel-tagged KindSubmit payload (Raft forward).
+type SubmitArgs struct {
+	Channel string
+	Env     []byte
+}
+
+// Consenter establishes the total order of envelopes, independently per
+// channel. Implementations: Solo, Kafka, Raft.
 type Consenter interface {
-	// Submit hands one envelope to the consensus layer. It returns once
-	// the envelope is durably accepted for ordering (the Fabric
-	// broadcast SUCCESS semantics).
-	Submit(ctx context.Context, env []byte) error
-	// Start begins consuming the ordered stream.
+	// Submit hands one envelope on the given channel to the consensus
+	// layer. It returns once the envelope is durably accepted for
+	// ordering (the Fabric broadcast SUCCESS semantics).
+	Submit(ctx context.Context, channel string, env []byte) error
+	// Start begins consuming the ordered streams.
 	Start() error
 	// Stop halts the consenter.
 	Stop()
@@ -54,7 +87,8 @@ type Consenter interface {
 
 // BlockObserver is notified of every block this OSN cuts, with the wall
 // clock at which it was cut. The bench harness uses it for the paper's
-// block-time metric (Definition 4.3).
+// block-time metric (Definition 4.3). The block's Metadata.ChannelID
+// identifies the chain it extends.
 type BlockObserver func(block *types.Block, cutAt time.Time)
 
 // Config parameterizes an OSN.
@@ -72,6 +106,30 @@ type Config struct {
 	CPU *simcpu.CPU
 	// Observer, when non-nil, sees every block cut by this node.
 	Observer BlockObserver
+	// Channels lists the channel IDs this OSN orders. Empty means a
+	// single channel named DefaultChannel. The first entry is the
+	// default channel for untagged payloads.
+	Channels []string
+}
+
+// chain is one channel's hash chain on this OSN.
+type chain struct {
+	id string
+
+	mu       sync.Mutex
+	lastNum  uint64
+	prevHash []byte
+	blocks   []*types.Block // emitted blocks, for catch-up fetches
+}
+
+func newChain(id string) *chain {
+	genesis := types.NewBlock(0, nil, nil)
+	genesis.Metadata.ChannelID = id
+	return &chain{
+		id:       id,
+		prevHash: genesis.Header.Hash(),
+		blocks:   []*types.Block{genesis},
+	}
 }
 
 // Orderer is one ordering service node.
@@ -79,10 +137,12 @@ type Orderer struct {
 	cfg       Config
 	consenter Consenter
 
+	// chains is immutable after New; each chain locks independently so
+	// channels never serialize behind each other.
+	chains      map[string]*chain
+	channelList []string
+
 	mu          sync.Mutex
-	lastNum     uint64
-	prevHash    []byte
-	blocks      []*types.Block // emitted blocks, for catch-up fetches
 	subscribers map[string]struct{}
 	stopped     bool
 }
@@ -90,13 +150,17 @@ type Orderer struct {
 // New creates an OSN; the caller attaches a consenter with SetConsenter
 // before Start (the consenter needs a back-reference to emit batches).
 func New(cfg Config) *Orderer {
-	genesis := types.NewBlock(0, nil, nil)
+	if len(cfg.Channels) == 0 {
+		cfg.Channels = []string{DefaultChannel}
+	}
 	o := &Orderer{
 		cfg:         cfg,
-		lastNum:     0,
-		prevHash:    genesis.Header.Hash(),
-		blocks:      []*types.Block{genesis},
+		chains:      make(map[string]*chain, len(cfg.Channels)),
+		channelList: append([]string(nil), cfg.Channels...),
 		subscribers: make(map[string]struct{}),
+	}
+	for _, ch := range cfg.Channels {
+		o.chains[ch] = newChain(ch)
 	}
 	cfg.Endpoint.Handle(KindBroadcast, o.handleBroadcast)
 	cfg.Endpoint.Handle(KindSubscribe, o.handleSubscribe)
@@ -106,6 +170,26 @@ func New(cfg Config) *Orderer {
 
 // ID returns the OSN's node identifier.
 func (o *Orderer) ID() string { return o.cfg.ID }
+
+// Channels returns the channel IDs this OSN orders, default first.
+func (o *Orderer) Channels() []string {
+	return append([]string(nil), o.channelList...)
+}
+
+// defaultChannel is the chain untagged payloads route to.
+func (o *Orderer) defaultChannel() string { return o.channelList[0] }
+
+// chainFor resolves a channel ID ("" means the default channel).
+func (o *Orderer) chainFor(channel string) (*chain, error) {
+	if channel == "" {
+		channel = o.defaultChannel()
+	}
+	c, ok := o.chains[channel]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownChannel, channel)
+	}
+	return c, nil
+}
 
 // SetConsenter attaches the consensus implementation.
 func (o *Orderer) SetConsenter(c Consenter) { o.consenter = c }
@@ -132,12 +216,26 @@ func (o *Orderer) Stop() {
 	}
 }
 
-// handleBroadcast ingests one client envelope.
+// handleBroadcast ingests one client envelope. The payload is either a
+// *BroadcastEnvelope naming a channel or a bare []byte for the default
+// channel.
 func (o *Orderer) handleBroadcast(ctx context.Context, _ string, payload any) (any, int, error) {
-	env, ok := payload.([]byte)
-	if !ok {
+	var channel string
+	var env []byte
+	switch p := payload.(type) {
+	case []byte:
+		env = p
+	case *BroadcastEnvelope:
+		channel = p.Channel
+		env = p.Env
+	default:
 		return nil, 0, fmt.Errorf("orderer: bad broadcast payload %T", payload)
 	}
+	c, err := o.chainFor(channel)
+	if err != nil {
+		return nil, 0, err
+	}
+	channel = c.id
 	o.mu.Lock()
 	stopped := o.stopped
 	o.mu.Unlock()
@@ -148,40 +246,62 @@ func (o *Orderer) handleBroadcast(ctx context.Context, _ string, payload any) (a
 	if err := o.cfg.CPU.Execute(ctx, o.cfg.Model.OrderPerTxCPU); err != nil {
 		return nil, 0, err
 	}
-	if err := o.consenter.Submit(ctx, env); err != nil {
+	if err := o.consenter.Submit(ctx, channel, env); err != nil {
 		return nil, 0, err
 	}
 	return "ACK", 4, nil
 }
 
-// handleSubscribe registers a peer for block pushes.
+// handleSubscribe registers a peer for block pushes on every channel.
 func (o *Orderer) handleSubscribe(_ context.Context, from string, _ any) (any, int, error) {
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	o.subscribers[from] = struct{}{}
-	return uint64(len(o.blocks) - 1), 8, nil // current chain tip
+	o.mu.Unlock()
+	c, _ := o.chainFor("")
+	c.mu.Lock()
+	tip := uint64(len(c.blocks) - 1)
+	c.mu.Unlock()
+	return tip, 8, nil // default channel's current chain tip
 }
 
-// handleGetBlock serves catch-up fetches by block number.
+// handleGetBlock serves catch-up fetches by channel and block number.
+// The payload is either a *GetBlockArgs or a bare uint64 number for the
+// default channel.
 func (o *Orderer) handleGetBlock(_ context.Context, _ string, payload any) (any, int, error) {
-	num, ok := payload.(uint64)
-	if !ok {
+	var channel string
+	var num uint64
+	switch p := payload.(type) {
+	case uint64:
+		num = p
+	case *GetBlockArgs:
+		channel = p.Channel
+		num = p.Number
+	default:
 		return nil, 0, fmt.Errorf("orderer: bad getblock payload %T", payload)
 	}
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	if num >= uint64(len(o.blocks)) {
-		return nil, 0, fmt.Errorf("orderer %s: block %d not yet cut", o.cfg.ID, num)
+	c, err := o.chainFor(channel)
+	if err != nil {
+		return nil, 0, err
 	}
-	b := o.blocks[num]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if num >= uint64(len(c.blocks)) {
+		return nil, 0, fmt.Errorf("orderer %s: channel %s block %d not yet cut", o.cfg.ID, c.id, num)
+	}
+	b := c.blocks[num]
 	return b, b.Size(), nil
 }
 
-// emitBatch turns one ordered batch into the next block and pushes it to
-// subscribers. Consenters call it from a single goroutine in consensus
-// order, which keeps numbering identical across OSNs.
-func (o *Orderer) emitBatch(batch [][]byte) {
+// emitBatch turns one ordered batch into the channel's next block and
+// pushes it to subscribers. Consenters call it from one goroutine per
+// channel in that channel's consensus order, which keeps numbering
+// identical across OSNs; different channels emit concurrently.
+func (o *Orderer) emitBatch(channel string, batch [][]byte) {
 	if len(batch) == 0 {
+		return
+	}
+	c, err := o.chainFor(channel)
+	if err != nil {
 		return
 	}
 	o.mu.Lock()
@@ -189,19 +309,23 @@ func (o *Orderer) emitBatch(batch [][]byte) {
 		o.mu.Unlock()
 		return
 	}
-	num := o.lastNum + 1
-	block := types.NewBlock(num, o.prevHash, batch)
-	now := time.Now()
-	block.Metadata.OrderedTime = now.UnixNano()
-	block.Metadata.OrdererID = o.cfg.ID
-	o.lastNum = num
-	o.prevHash = block.Header.Hash()
-	o.blocks = append(o.blocks, block)
 	subs := make([]string, 0, len(o.subscribers))
 	for s := range o.subscribers {
 		subs = append(subs, s)
 	}
 	o.mu.Unlock()
+
+	c.mu.Lock()
+	num := c.lastNum + 1
+	block := types.NewBlock(num, c.prevHash, batch)
+	now := time.Now()
+	block.Metadata.OrderedTime = now.UnixNano()
+	block.Metadata.OrdererID = o.cfg.ID
+	block.Metadata.ChannelID = c.id
+	c.lastNum = num
+	c.prevHash = block.Header.Hash()
+	c.blocks = append(c.blocks, block)
+	c.mu.Unlock()
 
 	if o.cfg.Observer != nil {
 		o.cfg.Observer(block, now)

@@ -17,24 +17,34 @@ import (
 // and proposes whole batches as log entries; every OSN applies committed
 // batches in log order, so all emit identical blocks. Follower OSNs
 // forward client envelopes to the leader (KindSubmit).
+//
+// Each channel gets its own Raft group (its own elections, log, and
+// leader), mirroring Fabric's one-etcdraft-cluster-per-channel layout,
+// so channels order concurrently and may even be led by different OSNs.
 type RaftConsenter struct {
 	orderer *Orderer
-	node    *raft.Node
 	peers   []string // all OSN ids
+	groups  map[string]*raftGroup
 
-	in        chan []byte
 	stopCh    chan struct{}
 	done      chan struct{}
+	wg        sync.WaitGroup
 	stopMu    sync.Mutex
 	stopped   bool
 	startOnce sync.Once
+}
 
+// raftGroup is one channel's consensus lane.
+type raftGroup struct {
+	channel string
+	node    *raft.Node
+	in      chan []byte
 	applyMu sync.Mutex
 }
 
 var _ Consenter = (*RaftConsenter)(nil)
 
-// RaftConfig parameterizes the consenter's embedded Raft node.
+// RaftConfig parameterizes the consenter's embedded Raft nodes.
 type RaftConfig struct {
 	// Peers lists every OSN in the cluster (transport IDs).
 	Peers []string
@@ -43,50 +53,91 @@ type RaftConfig struct {
 	HeartbeatInterval time.Duration
 }
 
-// NewRaftConsenter attaches a Raft consenter to the OSN and starts its
-// Raft node.
+// NewRaftConsenter attaches a Raft consenter to the OSN and starts one
+// Raft group per channel.
 func NewRaftConsenter(o *Orderer, rc RaftConfig) (*RaftConsenter, error) {
 	r := &RaftConsenter{
 		orderer: o,
 		peers:   rc.Peers,
-		in:      make(chan []byte, 8192),
+		groups:  make(map[string]*raftGroup),
 		stopCh:  make(chan struct{}),
 		done:    make(chan struct{}),
 	}
 	appendDelay := func() {
 		_ = o.cfg.CPU.Execute(context.Background(), o.cfg.Model.RaftAppendCPU)
 	}
-	node, err := raft.NewNode(raft.Config{
-		ID:                o.cfg.ID,
-		Peers:             rc.Peers,
-		Endpoint:          o.cfg.Endpoint,
-		ElectionTimeout:   rc.ElectionTimeout,
-		HeartbeatInterval: rc.HeartbeatInterval,
-		Apply:             r.applyEntry,
-		AppendDelay:       appendDelay,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("raft consenter: %w", err)
+	channels := o.Channels()
+	for i, ch := range channels {
+		g := &raftGroup{
+			channel: ch,
+			in:      make(chan []byte, 8192),
+		}
+		group := ""
+		if i > 0 {
+			// The first channel keeps the unsuffixed message kinds so a
+			// single-channel deployment stays wire-compatible.
+			group = ch
+		}
+		node, err := raft.NewNode(raft.Config{
+			ID:                o.cfg.ID,
+			Peers:             rc.Peers,
+			Endpoint:          o.cfg.Endpoint,
+			ElectionTimeout:   rc.ElectionTimeout,
+			HeartbeatInterval: rc.HeartbeatInterval,
+			Apply:             func(e raft.Entry) { r.applyEntry(g, e) },
+			AppendDelay:       appendDelay,
+			Group:             group,
+		})
+		if err != nil {
+			r.stopNodes()
+			return nil, fmt.Errorf("raft consenter: channel %s: %w", ch, err)
+		}
+		g.node = node
+		r.groups[ch] = g
 	}
-	r.node = node
 	o.cfg.Endpoint.Handle(KindSubmit, r.handleForward)
 	o.SetConsenter(r)
 	return r, nil
 }
 
-// Node exposes the embedded Raft node (failover tests inspect it).
-func (r *RaftConsenter) Node() *raft.Node { return r.node }
+func (r *RaftConsenter) stopNodes() {
+	for _, g := range r.groups {
+		if g.node != nil {
+			g.node.Stop()
+		}
+	}
+}
 
-// Submit implements Consenter. On the leader the envelope enters the
-// local cutter loop; otherwise it is forwarded to the current leader.
-func (r *RaftConsenter) Submit(ctx context.Context, env []byte) error {
-	leader, ok := r.node.Leader()
+// Node exposes the default channel's embedded Raft node (failover tests
+// inspect it).
+func (r *RaftConsenter) Node() *raft.Node {
+	return r.groups[r.orderer.defaultChannel()].node
+}
+
+// NodeFor exposes the Raft node of one channel's group.
+func (r *RaftConsenter) NodeFor(channel string) (*raft.Node, bool) {
+	g, ok := r.groups[channel]
+	if !ok {
+		return nil, false
+	}
+	return g.node, true
+}
+
+// Submit implements Consenter. On the channel's leader the envelope
+// enters the local cutter loop; otherwise it is forwarded to the
+// current leader of that channel's group.
+func (r *RaftConsenter) Submit(ctx context.Context, channel string, env []byte) error {
+	g, ok := r.groups[channel]
+	if !ok {
+		return ErrUnknownChannel
+	}
+	leader, ok := g.node.Leader()
 	if !ok {
 		return errors.New("raft consenter: no leader elected")
 	}
 	if leader == r.orderer.cfg.ID {
 		select {
-		case r.in <- env:
+		case g.in <- env:
 			return nil
 		case <-r.stopCh:
 			return ErrStopped
@@ -94,25 +145,40 @@ func (r *RaftConsenter) Submit(ctx context.Context, env []byte) error {
 			return ctx.Err()
 		}
 	}
-	_, err := r.orderer.cfg.Endpoint.Call(ctx, leader, KindSubmit, env, len(env))
+	args := &SubmitArgs{Channel: channel, Env: env}
+	_, err := r.orderer.cfg.Endpoint.Call(ctx, leader, KindSubmit, args, len(env)+len(channel)+16)
 	if err != nil {
 		return fmt.Errorf("raft consenter: forward to %s: %w", leader, err)
 	}
 	return nil
 }
 
-// handleForward ingests envelopes forwarded from follower OSNs.
+// handleForward ingests envelopes forwarded from follower OSNs. The
+// payload is either a *SubmitArgs or a bare []byte for the default
+// channel.
 func (r *RaftConsenter) handleForward(ctx context.Context, _ string, payload any) (any, int, error) {
-	env, ok := payload.([]byte)
-	if !ok {
+	var channel string
+	var env []byte
+	switch p := payload.(type) {
+	case []byte:
+		channel = r.orderer.defaultChannel()
+		env = p
+	case *SubmitArgs:
+		channel = p.Channel
+		env = p.Env
+	default:
 		return nil, 0, fmt.Errorf("raft consenter: bad forward payload %T", payload)
 	}
-	if state, _ := r.node.State(); state != raft.Leader {
-		leader, _ := r.node.Leader()
+	g, ok := r.groups[channel]
+	if !ok {
+		return nil, 0, ErrUnknownChannel
+	}
+	if state, _ := g.node.State(); state != raft.Leader {
+		leader, _ := g.node.Leader()
 		return nil, 0, fmt.Errorf("raft consenter: not leader (leader is %q)", leader)
 	}
 	select {
-	case r.in <- env:
+	case g.in <- env:
 		return "ACK", 4, nil
 	case <-r.stopCh:
 		return nil, 0, ErrStopped
@@ -123,8 +189,22 @@ func (r *RaftConsenter) handleForward(ctx context.Context, _ string, payload any
 
 // Start implements Consenter.
 func (r *RaftConsenter) Start() error {
-	r.startOnce.Do(func() { go r.cutLoop() })
+	r.startOnce.Do(r.launch)
 	return nil
+}
+
+func (r *RaftConsenter) launch() {
+	for _, g := range r.groups {
+		r.wg.Add(1)
+		go func(g *raftGroup) {
+			defer r.wg.Done()
+			r.cutLoop(g)
+		}(g)
+	}
+	go func() {
+		r.wg.Wait()
+		close(r.done)
+	}()
 }
 
 // Stop implements Consenter.
@@ -135,17 +215,17 @@ func (r *RaftConsenter) Stop() {
 		return
 	}
 	r.stopped = true
-	r.startOnce.Do(func() { go r.cutLoop() })
+	r.startOnce.Do(r.launch)
 	close(r.stopCh)
 	r.stopMu.Unlock()
 	<-r.done
-	r.node.Stop()
+	r.stopNodes()
 }
 
-// cutLoop runs on every OSN but only acts while this node leads: it
-// batches incoming envelopes and proposes each cut batch to Raft.
-func (r *RaftConsenter) cutLoop() {
-	defer close(r.done)
+// cutLoop runs per channel on every OSN but only acts while this node
+// leads that channel's group: it batches incoming envelopes and
+// proposes each cut batch to the group.
+func (r *RaftConsenter) cutLoop(g *raftGroup) {
 	cutter := blockcutter.New(r.orderer.cfg.Cutter)
 	timeout := r.orderer.scaledTimeout()
 	var timer *time.Timer
@@ -164,7 +244,7 @@ func (r *RaftConsenter) cutLoop() {
 			return
 		}
 		data := encodeBatch(batch)
-		if _, err := r.node.Propose(data); err != nil {
+		if _, err := g.node.Propose(data); err != nil {
 			// Leadership lost mid-batch: the envelopes are dropped and
 			// their clients will hit the 3-second ordering timeout,
 			// which the paper counts as rejected transactions.
@@ -174,7 +254,7 @@ func (r *RaftConsenter) cutLoop() {
 
 	for {
 		select {
-		case env := <-r.in:
+		case env := <-g.in:
 			batches, pending := cutter.Ordered(env, time.Now())
 			for _, b := range batches {
 				propose(b)
@@ -195,17 +275,18 @@ func (r *RaftConsenter) cutLoop() {
 	}
 }
 
-// applyEntry is the Raft apply callback: decode the batch and emit it.
-// Raft applies entries from a single goroutine in log order on every
-// OSN, which keeps block numbering consistent cluster-wide.
-func (r *RaftConsenter) applyEntry(e raft.Entry) {
+// applyEntry is the Raft apply callback: decode the batch and emit it on
+// the group's channel. Raft applies entries from a single goroutine in
+// log order on every OSN, which keeps per-channel block numbering
+// consistent cluster-wide.
+func (r *RaftConsenter) applyEntry(g *raftGroup, e raft.Entry) {
 	batch, err := decodeBatch(e.Data)
 	if err != nil {
 		return // a malformed entry would indicate a bug, not input error
 	}
-	r.applyMu.Lock()
-	defer r.applyMu.Unlock()
-	r.orderer.emitBatch(batch)
+	g.applyMu.Lock()
+	defer g.applyMu.Unlock()
+	r.orderer.emitBatch(g.channel, batch)
 }
 
 // encodeBatch serializes a batch of envelopes into one Raft entry.

@@ -13,14 +13,24 @@ import (
 // the one OSN, blocks are cut on BatchSize or BatchTimeout. As the paper
 // notes, Solo has a single point of failure and is meant for development
 // and testing; the experiments use it as the consensus-free baseline.
+// Each channel gets its own cutter and ordering goroutine, so channels
+// order concurrently.
 type Solo struct {
 	orderer   *Orderer
-	cutter    *blockcutter.Cutter
-	in        chan []byte
+	chans     map[string]*soloChain
 	stopCh    chan struct{}
 	done      chan struct{}
+	wg        sync.WaitGroup
+	stopMu    sync.Mutex
 	stopped   bool
 	startOnce sync.Once
+}
+
+// soloChain is one channel's ordering lane.
+type soloChain struct {
+	channel string
+	cutter  *blockcutter.Cutter
+	in      chan []byte
 }
 
 var _ Consenter = (*Solo)(nil)
@@ -29,19 +39,29 @@ var _ Consenter = (*Solo)(nil)
 func NewSolo(o *Orderer) *Solo {
 	s := &Solo{
 		orderer: o,
-		cutter:  blockcutter.New(o.cfg.Cutter),
-		in:      make(chan []byte, 8192),
+		chans:   make(map[string]*soloChain),
 		stopCh:  make(chan struct{}),
 		done:    make(chan struct{}),
+	}
+	for _, ch := range o.Channels() {
+		s.chans[ch] = &soloChain{
+			channel: ch,
+			cutter:  blockcutter.New(o.cfg.Cutter),
+			in:      make(chan []byte, 8192),
+		}
 	}
 	o.SetConsenter(s)
 	return s
 }
 
 // Submit implements Consenter.
-func (s *Solo) Submit(ctx context.Context, env []byte) error {
+func (s *Solo) Submit(ctx context.Context, channel string, env []byte) error {
+	sc, ok := s.chans[channel]
+	if !ok {
+		return ErrUnknownChannel
+	}
 	select {
-	case s.in <- env:
+	case sc.in <- env:
 		return nil
 	case <-s.stopCh:
 		return ErrStopped
@@ -52,25 +72,42 @@ func (s *Solo) Submit(ctx context.Context, env []byte) error {
 
 // Start implements Consenter.
 func (s *Solo) Start() error {
-	s.startOnce.Do(func() { go s.run() })
+	s.startOnce.Do(s.launch)
 	return nil
 }
 
-// Stop implements Consenter. Safe to call without Start.
+func (s *Solo) launch() {
+	for _, sc := range s.chans {
+		s.wg.Add(1)
+		go func(sc *soloChain) {
+			defer s.wg.Done()
+			s.run(sc)
+		}(sc)
+	}
+	go func() {
+		s.wg.Wait()
+		close(s.done)
+	}()
+}
+
+// Stop implements Consenter. Safe to call without Start and from
+// concurrent goroutines.
 func (s *Solo) Stop() {
+	s.stopMu.Lock()
 	if s.stopped {
+		s.stopMu.Unlock()
 		return
 	}
 	s.stopped = true
-	s.startOnce.Do(func() { go s.run() })
+	s.startOnce.Do(s.launch)
 	close(s.stopCh)
+	s.stopMu.Unlock()
 	<-s.done
 }
 
-// run is the single ordering loop: it interleaves envelope arrival with
-// the batch timeout, exactly the two cut conditions of Section III.
-func (s *Solo) run() {
-	defer close(s.done)
+// run is one channel's ordering loop: it interleaves envelope arrival
+// with the batch timeout, exactly the two cut conditions of Section III.
+func (s *Solo) run(sc *soloChain) {
 	timeout := s.orderer.scaledTimeout()
 	var timer *time.Timer
 	var timerC <-chan time.Time
@@ -85,10 +122,10 @@ func (s *Solo) run() {
 
 	for {
 		select {
-		case env := <-s.in:
-			batches, pending := s.cutter.Ordered(env, time.Now())
+		case env := <-sc.in:
+			batches, pending := sc.cutter.Ordered(env, time.Now())
 			for _, b := range batches {
-				s.orderer.emitBatch(b)
+				s.orderer.emitBatch(sc.channel, b)
 			}
 			if pending && timer == nil {
 				timer = time.NewTimer(timeout)
@@ -99,8 +136,8 @@ func (s *Solo) run() {
 			}
 		case <-timerC:
 			stopTimer()
-			if batch := s.cutter.Cut(); batch != nil {
-				s.orderer.emitBatch(batch)
+			if batch := sc.cutter.Cut(); batch != nil {
+				s.orderer.emitBatch(sc.channel, batch)
 			}
 		case <-s.stopCh:
 			return

@@ -88,38 +88,75 @@ type Config struct {
 	VerifyCrypto bool
 	// OnCommit, when non-nil, observes every committed block.
 	OnCommit func(block *types.Block, committedAt time.Time)
+	// Channels lists the channels this peer joins; the peer keeps an
+	// independent ledger, state DB, and commit pipeline per channel, so
+	// validation on one channel never serializes behind another. Empty
+	// means the single orderer.DefaultChannel. The first entry is the
+	// default channel for untagged blocks and proposals.
+	Channels []string
+	// Policies optionally overrides the endorsement policy per channel;
+	// channels without an entry use Policy.
+	Policies map[string]policy.Policy
+}
+
+// channelState is one channel's ledger and commit pipeline on a peer.
+type channelState struct {
+	id     string
+	ledger *ledger.Ledger
+	policy policy.Policy
+
+	mu        sync.Mutex
+	nextBlock uint64
+	pending   map[uint64]*types.Block // out-of-order delivery buffer
+	commitCh  chan *types.Block
 }
 
 // Peer is one peer node.
 type Peer struct {
 	cfg Config
 
-	ledger    *ledger.Ledger
 	container *container
+
+	// channels is immutable after New.
+	channels    map[string]*channelState
+	channelList []string
 
 	mu          sync.Mutex
 	subscribers map[string]struct{}
-	nextBlock   uint64
-	pending     map[uint64]*types.Block // out-of-order delivery buffer
 	stopped     bool
 
-	commitCh  chan *types.Block
 	stopCh    chan struct{}
 	done      chan struct{}
+	wg        sync.WaitGroup
 	startOnce sync.Once
 }
 
 // New creates a peer and registers its transport handlers.
 func New(cfg Config) *Peer {
+	if len(cfg.Channels) == 0 {
+		cfg.Channels = []string{orderer.DefaultChannel}
+	}
 	p := &Peer{
 		cfg:         cfg,
-		ledger:      ledger.New(),
+		channels:    make(map[string]*channelState, len(cfg.Channels)),
+		channelList: append([]string(nil), cfg.Channels...),
 		subscribers: make(map[string]struct{}),
-		nextBlock:   1,
-		pending:     make(map[uint64]*types.Block),
-		commitCh:    make(chan *types.Block, 1024),
 		stopCh:      make(chan struct{}),
 		done:        make(chan struct{}),
+	}
+	for _, ch := range cfg.Channels {
+		pol := cfg.Policy
+		if override, ok := cfg.Policies[ch]; ok && override != nil {
+			pol = override
+		}
+		p.channels[ch] = &channelState{
+			id:        ch,
+			ledger:    ledger.New(),
+			policy:    pol,
+			nextBlock: 1,
+			pending:   make(map[uint64]*types.Block),
+			commitCh:  make(chan *types.Block, 1024),
+		}
 	}
 	p.container = newContainer(cfg.Model, cfg.CPU)
 	cfg.Endpoint.Handle(KindEndorse, p.handleEndorse)
@@ -131,13 +168,40 @@ func New(cfg Config) *Peer {
 // ID returns the peer's node identifier.
 func (p *Peer) ID() string { return p.cfg.ID }
 
-// Ledger exposes the peer's ledger for inspection.
-func (p *Peer) Ledger() *ledger.Ledger { return p.ledger }
+// Channels returns the channel IDs this peer joined, default first.
+func (p *Peer) Channels() []string {
+	return append([]string(nil), p.channelList...)
+}
 
-// Start launches the commit pipeline, instantiates the chaincode
-// container, and subscribes to the orderer's deliver service.
+// channelFor resolves a channel ID ("" means the default channel).
+func (p *Peer) channelFor(channel string) (*channelState, bool) {
+	if channel == "" {
+		channel = p.channelList[0]
+	}
+	cs, ok := p.channels[channel]
+	return cs, ok
+}
+
+// Ledger exposes the peer's default-channel ledger for inspection.
+func (p *Peer) Ledger() *ledger.Ledger {
+	cs, _ := p.channelFor("")
+	return cs.ledger
+}
+
+// LedgerFor exposes the ledger of one channel.
+func (p *Peer) LedgerFor(channel string) (*ledger.Ledger, bool) {
+	cs, ok := p.channelFor(channel)
+	if !ok {
+		return nil, false
+	}
+	return cs.ledger, true
+}
+
+// Start launches the per-channel commit pipelines, instantiates the
+// chaincode container, and subscribes to the orderer's deliver service
+// (one subscription covers every channel).
 func (p *Peer) Start(ctx context.Context) error {
-	p.startOnce.Do(func() { go p.commitLoop() })
+	p.startOnce.Do(p.launchCommitLoops)
 	if p.cfg.Endorsing {
 		if err := p.container.launch(ctx); err != nil {
 			return fmt.Errorf("peer %s: launch container: %w", p.cfg.ID, err)
@@ -151,6 +215,20 @@ func (p *Peer) Start(ctx context.Context) error {
 	return nil
 }
 
+func (p *Peer) launchCommitLoops() {
+	for _, cs := range p.channels {
+		p.wg.Add(1)
+		go func(cs *channelState) {
+			defer p.wg.Done()
+			p.commitLoop(cs)
+		}(cs)
+	}
+	go func() {
+		p.wg.Wait()
+		close(p.done)
+	}()
+}
+
 // Stop halts the peer. Safe to call on a peer that was never started.
 func (p *Peer) Stop() {
 	p.mu.Lock()
@@ -160,8 +238,8 @@ func (p *Peer) Stop() {
 	}
 	p.stopped = true
 	p.mu.Unlock()
-	// Ensure the commit loop exists so <-p.done terminates.
-	p.startOnce.Do(func() { go p.commitLoop() })
+	// Ensure the commit loops exist so <-p.done terminates.
+	p.startOnce.Do(p.launchCommitLoops)
 	close(p.stopCh)
 	<-p.done
 }
@@ -179,6 +257,10 @@ func (p *Peer) handleEndorse(ctx context.Context, _ string, payload any) (any, i
 		return nil, 0, fmt.Errorf("peer %s: not an endorsing peer", p.cfg.ID)
 	}
 	prop := req.Proposal
+	cs, ok := p.channelFor(prop.ChannelID)
+	if !ok {
+		return p.endorseFailure(prop, fmt.Sprintf("peer %s: not joined to channel %q", p.cfg.ID, prop.ChannelID))
+	}
 
 	// 1) Proposal checks: well-formed, signature, authorization,
 	// duplicate (the four checks of Section II).
@@ -195,7 +277,7 @@ func (p *Peer) handleEndorse(ctx context.Context, _ string, payload any) (any, i
 	} else if _, err := p.cfg.MSP.ValidateIdentity(prop.Creator); err != nil {
 		return p.endorseFailure(prop, "unknown creator: "+err.Error())
 	}
-	if p.ledger.HasTx(prop.TxID) {
+	if cs.ledger.HasTx(prop.TxID) {
 		return p.endorseFailure(prop, ErrDuplicateTx.Error())
 	}
 
@@ -208,7 +290,7 @@ func (p *Peer) handleEndorse(ctx context.Context, _ string, payload any) (any, i
 	for _, a := range prop.Args {
 		valueBytes += len(a)
 	}
-	sim := chaincode.NewSimulator(prop.TxID, prop.ChaincodeID, p.ledger.State())
+	sim := chaincode.NewSimulator(prop.TxID, prop.ChaincodeID, cs.ledger.State())
 	if err := p.container.invoke(ctx, valueBytes); err != nil {
 		return nil, 0, err
 	}
@@ -254,35 +336,42 @@ func (p *Peer) handleSubscribe(_ context.Context, from string, _ any) (any, int,
 	return "OK", 2, nil
 }
 
-// handleDeliverBlock ingests a block pushed by the orderer, restoring
-// order and filling gaps through catch-up fetches.
+// handleDeliverBlock ingests a block pushed by the orderer, routing it
+// to its channel's pipeline, restoring per-channel order, and filling
+// gaps through catch-up fetches.
 func (p *Peer) handleDeliverBlock(ctx context.Context, from string, payload any) (any, int, error) {
 	block, ok := payload.(*types.Block)
 	if !ok {
 		return nil, 0, fmt.Errorf("peer: bad deliver payload %T", payload)
 	}
+	cs, ok := p.channelFor(block.Metadata.ChannelID)
+	if !ok {
+		return nil, 0, fmt.Errorf("peer %s: block for unknown channel %q", p.cfg.ID, block.Metadata.ChannelID)
+	}
 	p.mu.Lock()
-	if p.stopped {
-		p.mu.Unlock()
+	stopped := p.stopped
+	p.mu.Unlock()
+	if stopped {
 		return nil, 0, ErrStopped
 	}
+	cs.mu.Lock()
 	num := block.Header.Number
 	switch {
-	case num < p.nextBlock:
-		p.mu.Unlock()
+	case num < cs.nextBlock:
+		cs.mu.Unlock()
 		return nil, 0, nil // already have it
-	case num > p.nextBlock:
-		p.pending[num] = block
-		missing := p.nextBlock
-		p.mu.Unlock()
-		go p.catchUp(ctx, from, missing, num)
+	case num > cs.nextBlock:
+		cs.pending[num] = block
+		missing := cs.nextBlock
+		cs.mu.Unlock()
+		go p.catchUp(ctx, from, cs.id, missing, num)
 		return nil, 0, nil
 	}
-	ready := p.drainReadyLocked(block)
-	p.mu.Unlock()
+	ready := drainReadyLocked(cs, block)
+	cs.mu.Unlock()
 	for _, b := range ready {
 		select {
-		case p.commitCh <- b:
+		case cs.commitCh <- b:
 		case <-p.stopCh:
 			return nil, 0, ErrStopped
 		}
@@ -290,27 +379,29 @@ func (p *Peer) handleDeliverBlock(ctx context.Context, from string, payload any)
 	return nil, 0, nil
 }
 
-// drainReadyLocked enqueues the in-order block plus any buffered
-// successors; callers hold p.mu.
-func (p *Peer) drainReadyLocked(block *types.Block) []*types.Block {
+// drainReadyLocked collects the in-order block plus any buffered
+// successors; callers hold cs.mu.
+func drainReadyLocked(cs *channelState, block *types.Block) []*types.Block {
 	ready := []*types.Block{block}
-	p.nextBlock = block.Header.Number + 1
+	cs.nextBlock = block.Header.Number + 1
 	for {
-		nxt, ok := p.pending[p.nextBlock]
+		nxt, ok := cs.pending[cs.nextBlock]
 		if !ok {
 			break
 		}
-		delete(p.pending, p.nextBlock)
+		delete(cs.pending, cs.nextBlock)
 		ready = append(ready, nxt)
-		p.nextBlock = nxt.Header.Number + 1
+		cs.nextBlock = nxt.Header.Number + 1
 	}
 	return ready
 }
 
-// catchUp fetches blocks [from, to) that the push path skipped.
-func (p *Peer) catchUp(ctx context.Context, ordererID string, from, to uint64) {
+// catchUp fetches one channel's blocks [from, to) that the push path
+// skipped.
+func (p *Peer) catchUp(ctx context.Context, ordererID, channel string, from, to uint64) {
 	for num := from; num < to; num++ {
-		raw, err := p.cfg.Endpoint.Call(ctx, ordererID, orderer.KindGetBlock, num, 16)
+		args := &orderer.GetBlockArgs{Channel: channel, Number: num}
+		raw, err := p.cfg.Endpoint.Call(ctx, ordererID, orderer.KindGetBlock, args, 24)
 		if err != nil {
 			return
 		}
@@ -322,17 +413,18 @@ func (p *Peer) catchUp(ctx context.Context, ordererID string, from, to uint64) {
 	}
 }
 
-// commitLoop validates and commits blocks strictly in order.
-func (p *Peer) commitLoop() {
-	defer close(p.done)
+// commitLoop validates and commits one channel's blocks strictly in
+// order; each channel's loop runs independently, so a slow validate on
+// one channel never stalls another.
+func (p *Peer) commitLoop(cs *channelState) {
 	ctx := context.Background()
 	for {
 		select {
 		case <-p.stopCh:
 			return
-		case block := <-p.commitCh:
-			if err := p.validateAndCommit(ctx, block); err != nil {
-				// A commit failure is fatal for the peer's chain; stop
+		case block := <-cs.commitCh:
+			if err := p.validateAndCommit(ctx, cs, block); err != nil {
+				// A commit failure is fatal for the channel's chain; stop
 				// consuming rather than corrupt state.
 				return
 			}
@@ -342,7 +434,7 @@ func (p *Peer) commitLoop() {
 
 // validateAndCommit runs the validate phase for one block: parallel
 // VSCC across the validator pool, then the serial MVCC + commit walk.
-func (p *Peer) validateAndCommit(ctx context.Context, block *types.Block) error {
+func (p *Peer) validateAndCommit(ctx context.Context, cs *channelState, block *types.Block) error {
 	txs, err := block.Transactions()
 	if err != nil {
 		return fmt.Errorf("peer %s: decode block %d: %w", p.cfg.ID, block.Header.Number, err)
@@ -386,7 +478,7 @@ func (p *Peer) validateAndCommit(ctx context.Context, block *types.Block) error 
 		go func() {
 			defer cwg.Done()
 			defer func() { <-sem }()
-			flags[i] = p.runVSCC(tx)
+			flags[i] = p.runVSCC(cs, tx)
 		}()
 	}
 	cwg.Wait()
@@ -405,12 +497,12 @@ func (p *Peer) validateAndCommit(ctx context.Context, block *types.Block) error 
 		if flags[i] != types.ValidationPending {
 			continue // VSCC already rejected
 		}
-		if _, dup := seen[tx.ID()]; dup || p.ledger.HasTx(tx.ID()) {
+		if _, dup := seen[tx.ID()]; dup || cs.ledger.HasTx(tx.ID()) {
 			flags[i] = types.ValidationDuplicateTxID
 			continue
 		}
 		seen[tx.ID()] = struct{}{}
-		if !p.mvccValid(tx, dirty) {
+		if !p.mvccValid(cs, tx, dirty) {
 			flags[i] = types.ValidationMVCCConflict
 			continue
 		}
@@ -428,11 +520,16 @@ func (p *Peer) validateAndCommit(ctx context.Context, block *types.Block) error 
 	// The in-memory transport shares one *types.Block among all peers;
 	// commit a per-peer copy so validation flags never alias.
 	committed := &types.Block{
-		Header:   block.Header,
-		Data:     block.Data,
-		Metadata: types.BlockMetadata{ValidationFlags: flags, OrderedTime: block.Metadata.OrderedTime, OrdererID: block.Metadata.OrdererID},
+		Header: block.Header,
+		Data:   block.Data,
+		Metadata: types.BlockMetadata{
+			ValidationFlags: flags,
+			OrderedTime:     block.Metadata.OrderedTime,
+			OrdererID:       block.Metadata.OrdererID,
+			ChannelID:       block.Metadata.ChannelID,
+		},
 	}
-	if err := p.ledger.Commit(committed, txs); err != nil {
+	if err := cs.ledger.Commit(committed, txs); err != nil {
 		return fmt.Errorf("peer %s: commit block %d: %w", p.cfg.ID, block.Header.Number, err)
 	}
 	now := time.Now()
@@ -447,7 +544,7 @@ func (p *Peer) validateAndCommit(ctx context.Context, block *types.Block) error 
 // policy and returns a rejection code, or ValidationPending to let the
 // serial walk continue. The modeled CPU cost is charged block-wide by
 // the caller; this function performs the real checks.
-func (p *Peer) runVSCC(tx *types.Transaction) types.ValidationCode {
+func (p *Peer) runVSCC(cs *channelState, tx *types.Transaction) types.ValidationCode {
 	if len(tx.Endorsements) == 0 {
 		return types.ValidationEndorsementPolicyFailure
 	}
@@ -469,7 +566,7 @@ func (p *Peer) runVSCC(tx *types.Transaction) types.ValidationCode {
 	for _, en := range tx.Endorsements {
 		ids = append(ids, en.EndorserID)
 	}
-	if !p.cfg.Policy.Satisfied(policy.NewPrincipalSet(ids...)) {
+	if !cs.policy.Satisfied(policy.NewPrincipalSet(ids...)) {
 		return types.ValidationEndorsementPolicyFailure
 	}
 	return types.ValidationPending
@@ -505,15 +602,17 @@ func (p *Peer) lookupEndorserCert(id string) (*ca.Certificate, error) {
 	return cert, nil
 }
 
-// mvccValid checks a transaction's read set against committed versions
-// and the keys already written by earlier valid txs in the same block.
-func (p *Peer) mvccValid(tx *types.Transaction, dirty map[string]struct{}) bool {
+// mvccValid checks a transaction's read set against the channel's
+// committed versions and the keys already written by earlier valid txs
+// in the same block. Channels have disjoint state DBs, so the same key
+// on two channels never conflicts.
+func (p *Peer) mvccValid(cs *channelState, tx *types.Transaction, dirty map[string]struct{}) bool {
 	ns := tx.Proposal.ChaincodeID
 	for _, r := range tx.Results.Reads {
 		if _, conflict := dirty[ns+"/"+r.Key]; conflict {
 			return false
 		}
-		committed, exists, err := p.ledger.State().Version(ns, r.Key)
+		committed, exists, err := cs.ledger.State().Version(ns, r.Key)
 		if err != nil {
 			return false
 		}

@@ -61,11 +61,16 @@ type Entry struct {
 	Data  []byte
 }
 
-// Message kinds on the transport.
+// Message kinds on the transport. A node configured with a Group name
+// suffixes its kinds ("raft.vote.<group>") so multiple independent Raft
+// groups — e.g. one ordering group per channel — can share one endpoint.
 const (
 	kindVote   = "raft.vote"
 	kindAppend = "raft.append"
 )
+
+func (n *Node) voteKind() string   { return kindVote + n.kindSuffix }
+func (n *Node) appendKind() string { return kindAppend + n.kindSuffix }
 
 // maxEntriesPerAppend bounds one AppendEntries batch (etcd/raft's
 // MaxSizePerMsg plays the same role).
@@ -122,6 +127,9 @@ type Config struct {
 	// AppendDelay optionally injects the cost model's per-append CPU
 	// cost (already scaled); nil means no delay.
 	AppendDelay func()
+	// Group optionally names an independent Raft group; nodes only talk
+	// to peers of the same group. Empty is the default (single) group.
+	Group string
 }
 
 // Node is one Raft cluster member.
@@ -147,6 +155,8 @@ type Node struct {
 	stopped bool
 	wg      sync.WaitGroup
 	rng     *rand.Rand
+
+	kindSuffix string // "" or "." + cfg.Group
 }
 
 // NewNode creates and starts a Raft node.
@@ -170,12 +180,15 @@ func NewNode(cfg Config) (*Node, error) {
 		lastContact: time.Now(),
 		applyCh:     make(chan struct{}, 1),
 		stopCh:      make(chan struct{}),
-		rng:         rand.New(rand.NewSource(int64(hashString(cfg.ID)))),
+		rng:         rand.New(rand.NewSource(int64(hashString(cfg.ID + "/" + cfg.Group)))),
+	}
+	if cfg.Group != "" {
+		n.kindSuffix = "." + cfg.Group
 	}
 	n.timeoutSpan = n.randomTimeout()
 
-	cfg.Endpoint.Handle(kindVote, n.handleVote)
-	cfg.Endpoint.Handle(kindAppend, n.handleAppend)
+	cfg.Endpoint.Handle(n.voteKind(), n.handleVote)
+	cfg.Endpoint.Handle(n.appendKind(), n.handleAppend)
 
 	n.wg.Add(2)
 	go func() {
@@ -351,7 +364,7 @@ func (n *Node) startElection() {
 		go func() {
 			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ElectionTimeout)
 			defer cancel()
-			raw, err := n.cfg.Endpoint.Call(ctx, peer, kindVote, args, 64)
+			raw, err := n.cfg.Endpoint.Call(ctx, peer, n.voteKind(), args, 64)
 			if err != nil {
 				return
 			}
@@ -472,7 +485,7 @@ func (n *Node) replicateTo(peer string, term uint64) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ElectionTimeout)
 	defer cancel()
-	raw, err := n.cfg.Endpoint.Call(ctx, peer, kindAppend, args, size)
+	raw, err := n.cfg.Endpoint.Call(ctx, peer, n.appendKind(), args, size)
 	if err != nil {
 		return
 	}

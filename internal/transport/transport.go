@@ -276,7 +276,11 @@ type MemEndpoint struct {
 	corr      atomic.Uint64
 
 	closed atomic.Bool
-	hwg    sync.WaitGroup
+	// closeMu orders the closed transition against handler-goroutine
+	// accounting: dispatchLoop's hwg.Add and Close's hwg.Wait must not
+	// race once the counter may be zero (sync.WaitGroup's reuse rule).
+	closeMu sync.Mutex
+	hwg     sync.WaitGroup
 }
 
 var _ Endpoint = (*MemEndpoint)(nil)
@@ -334,7 +338,13 @@ func (e *MemEndpoint) Call(ctx context.Context, to, kind string, payload any, si
 
 // Close detaches the endpoint and waits for in-flight handlers.
 func (e *MemEndpoint) Close() error {
-	if !e.closed.CompareAndSwap(false, true) {
+	// Flip closed under closeMu so dispatchLoop either observes the
+	// close before spawning a handler, or its hwg.Add happens strictly
+	// before this Wait.
+	e.closeMu.Lock()
+	swapped := e.closed.CompareAndSwap(false, true)
+	e.closeMu.Unlock()
+	if !swapped {
 		return nil
 	}
 	e.cancel()
@@ -370,7 +380,13 @@ func (e *MemEndpoint) dispatchLoop() {
 				}
 				continue
 			}
+			e.closeMu.Lock()
+			if e.closed.Load() {
+				e.closeMu.Unlock()
+				return
+			}
 			e.hwg.Add(1)
+			e.closeMu.Unlock()
 			go func(msg message) {
 				defer e.hwg.Done()
 				resp, respSize, err := h(e.ctx, msg.from, msg.payload)

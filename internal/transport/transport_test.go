@@ -233,3 +233,38 @@ func TestConcurrentCalls(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCloseDuringDispatch hammers the Close-vs-dispatch handoff: an
+// endpoint is closed while a flood of messages is still being dispatched
+// to its handler. Run with -race; the original implementation raced
+// hwg.Add in dispatchLoop against hwg.Wait in Close.
+func TestCloseDuringDispatch(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		n := NewNetwork(Config{})
+		a, err := n.Register("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := n.Register("b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Handle("work", func(context.Context, string, any) (any, int, error) {
+			return "ok", 2, nil
+		})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := a.Send("b", "work", i, 8); err != nil {
+					return
+				}
+			}
+		}()
+		// Close the receiving endpoint while sends are in flight.
+		_ = b.Close()
+		wg.Wait()
+		n.Close()
+	}
+}

@@ -41,6 +41,11 @@ type BlockMetadata struct {
 	OrderedTime int64
 	// OrdererID names the ordering-service node that cut the block.
 	OrdererID string
+	// ChannelID names the channel whose chain this block extends. Each
+	// channel numbers its blocks independently, so peers route delivered
+	// blocks to the matching per-channel commit pipeline by this field.
+	// Empty means the node's default (first configured) channel.
+	ChannelID string
 }
 
 // Block is the unit the ordering service emits and peers validate and
@@ -124,6 +129,7 @@ func (b *Block) Marshal() []byte {
 	}
 	enc.Int64(b.Metadata.OrderedTime)
 	enc.String(b.Metadata.OrdererID)
+	enc.String(b.Metadata.ChannelID)
 	return enc.Bytes()
 }
 
@@ -152,6 +158,7 @@ func UnmarshalBlock(buf []byte) (*Block, error) {
 	}
 	b.Metadata.OrderedTime = dec.Int64()
 	b.Metadata.OrdererID = dec.String()
+	b.Metadata.ChannelID = dec.String()
 	if err := dec.Finish(); err != nil {
 		return nil, fmt.Errorf("unmarshal block: %w", err)
 	}

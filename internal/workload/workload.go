@@ -55,6 +55,10 @@ type Config struct {
 	// MaxInFlight caps outstanding transactions per client to bound
 	// memory at extreme overload (0 = 4096).
 	MaxInFlight int
+	// Channels, when non-empty, sprays transactions round-robin across
+	// the named channels (the paper's channel-scaling axis); empty uses
+	// each client's default channel.
+	Channels []string
 }
 
 // Stats summarizes a finished run.
@@ -150,7 +154,14 @@ func Run(ctx context.Context, clients []*client.Client, cfg Config) (Stats, erro
 					defer cwg.Done()
 					defer func() { <-inFlight }()
 					args := [][]byte{[]byte(key), value}
-					if _, err := cl.Invoke(ctx, cfg.Chaincode, cfg.Fn, args); err != nil {
+					var err error
+					if len(cfg.Channels) > 0 {
+						channel := cfg.Channels[int(seq)%len(cfg.Channels)]
+						_, err = cl.InvokeOnChannel(ctx, channel, cfg.Chaincode, cfg.Fn, args)
+					} else {
+						_, err = cl.Invoke(ctx, cfg.Chaincode, cfg.Fn, args)
+					}
+					if err != nil {
 						atomic.AddInt64(&stats.Failed, 1)
 						return
 					}
