@@ -127,3 +127,8 @@ func BenchmarkEndToEndTx(b *testing.B) {
 // channels in quick mode) and reports the aggregate committed
 // throughput at each end, asserting the sharding axis actually scales.
 func BenchmarkFigChannelsSweep(b *testing.B) { runExperiment(b, "channels") }
+
+// BenchmarkFigPipelineSweep runs the in-flight window sweep (1, 8, and
+// 64 in quick mode): the gateway's windowed pipeline versus the legacy
+// one-blocking-Invoke-per-client loop at window 1.
+func BenchmarkFigPipelineSweep(b *testing.B) { runExperiment(b, "pipeline") }

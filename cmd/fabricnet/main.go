@@ -7,6 +7,7 @@
 // Usage:
 //
 //	fabricnet -orderer raft -osns 3 -peers 3 -rate 50 -duration 10s
+//	fabricnet -open-loop=false -inflight 32            # windowed pipeline
 package main
 
 import (
@@ -34,10 +35,12 @@ func run() int {
 		peers       = flag.Int("peers", 3, "endorsing peers (one per org)")
 		channels    = flag.Int("channels", 1, "concurrently-ordered channels (load is sprayed across them)")
 		policyStr   = flag.String("policy", "", "endorsement policy (default OR over all peers)")
-		rate        = flag.Float64("rate", 50, "arrival rate, tx/s (model time)")
+		rate        = flag.Float64("rate", 50, "arrival rate, tx/s (model time, open loop)")
 		duration    = flag.Duration("duration", 10*time.Second, "load duration (model time)")
 		scale       = flag.Float64("scale", 1.0, "time compression factor")
 		verify      = flag.Bool("verify", false, "real ECDSA signatures and full verification")
+		openLoop    = flag.Bool("open-loop", true, "open-loop load at -rate; false drives a windowed pipeline of -inflight txs per client")
+		inflight    = flag.Int("inflight", 0, "in-flight cap per client: open-loop drop threshold (0 = gateway default) or pipeline window (0 = 16)")
 	)
 	flag.Parse()
 
@@ -80,10 +83,22 @@ func run() int {
 		len(net.Orderers), cfg.Orderer, len(net.Peers), len(net.Clients), len(net.ChannelIDs()))
 
 	wcfg := workload.Config{
-		Rate:     *rate,
-		Duration: *duration,
-		Model:    model,
-		Seed:     1,
+		Rate:        *rate,
+		Duration:    *duration,
+		Model:       model,
+		Seed:        1,
+		MaxInFlight: *inflight,
+	}
+	if !*openLoop {
+		wcfg.Mode = workload.Pipeline
+		wcfg.Window = *inflight
+		if wcfg.Window <= 0 {
+			wcfg.Window = 16
+		}
+		wcfg.Rate = 0
+		fmt.Printf("load: windowed pipeline, %d in flight per client\n", wcfg.Window)
+	} else {
+		fmt.Printf("load: open loop at %.0f tx/s\n", *rate)
 	}
 	if *channels > 1 {
 		wcfg.Channels = net.ChannelIDs()

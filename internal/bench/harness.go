@@ -59,6 +59,7 @@ type Point struct {
 	OSNs     int
 	Channels int
 	Rate     float64
+	Window   int
 	Summary  metrics.Summary
 	Stats    workload.Stats
 }
@@ -79,6 +80,11 @@ type PointConfig struct {
 	Channels int
 	// Clients overrides the client-process count (0 = one per peer).
 	Clients int
+	// Window switches the load from the open-loop rate driver to the
+	// windowed pipeline: each client keeps Window transactions in
+	// flight through gateway.SubmitAsync and Rate is ignored. 0 keeps
+	// the open loop.
+	Window int
 }
 
 // RunPoint builds the network, applies the load, and reduces metrics.
@@ -113,6 +119,11 @@ func RunPoint(ctx context.Context, pc PointConfig, opt Options) (Point, error) {
 		Model:    model,
 		Seed:     opt.Seed,
 	}
+	if pc.Window > 0 {
+		wcfg.Mode = workload.Pipeline
+		wcfg.Window = pc.Window
+		wcfg.Rate = 0
+	}
 	if pc.Channels > 1 {
 		wcfg.Channels = net.ChannelIDs()
 	}
@@ -135,6 +146,7 @@ func RunPoint(ctx context.Context, pc PointConfig, opt Options) (Point, error) {
 		OSNs:     pc.OSNs,
 		Channels: channels,
 		Rate:     pc.Rate,
+		Window:   pc.Window,
 		Summary:  sum,
 		Stats:    stats,
 	}, nil
@@ -187,7 +199,7 @@ type Experiment struct {
 func All() []Experiment {
 	return []Experiment{
 		Fig2(), Fig3(), Fig4(), Fig5(), Fig6(), Fig7(),
-		Table2(), Table3(), Fig8(), FigChannels(),
+		Table2(), Table3(), Fig8(), FigChannels(), FigPipeline(),
 	}
 }
 

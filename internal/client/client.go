@@ -1,162 +1,78 @@
-// Package client implements the SDK client node: it prepares and signs
-// transaction proposals, collects endorsements from the peers the
-// endorsement policy requires, assembles envelopes, submits them to the
-// ordering service, and awaits commit events — the full transaction
-// life cycle the paper instruments. Each client emulates one of the
-// paper's Node.js SDK processes: single-threaded (one simulated core)
-// with a calibrated per-transaction CPU cost, which is what bounds the
-// execute phase's per-process rate near 50 tps.
+// Package client preserves the legacy blocking SDK surface — Invoke,
+// InvokeOnChannel, InvokeWithPolicy, Query — as a thin compatibility
+// facade over the staged gateway API (package gateway). Each client
+// still emulates one of the paper's Node.js SDK processes:
+// single-threaded (one simulated core) with a calibrated
+// per-transaction CPU cost; the gateway underneath additionally exposes
+// the decomposed Propose/Endorse/Submit/Status life cycle and
+// SubmitAsync pipelining that the open-loop workloads drive.
 package client
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"sync"
-	"sync/atomic"
-	"time"
 
-	"fabricsim/internal/costmodel"
-	"fabricsim/internal/fabcrypto"
-	"fabricsim/internal/metrics"
-	"fabricsim/internal/msp"
-	"fabricsim/internal/orderer"
-	"fabricsim/internal/peer"
+	"fabricsim/internal/gateway"
 	"fabricsim/internal/policy"
-	"fabricsim/internal/simcpu"
-	"fabricsim/internal/transport"
-	"fabricsim/internal/types"
 )
 
-// Errors returned by Invoke.
+// Errors returned by Invoke, re-exported from the gateway so existing
+// errors.Is checks keep working.
 var (
-	ErrEndorsementFailed = errors.New("client: endorsement failed")
-	ErrMismatchedResults = errors.New("client: endorsers returned different read-write sets")
-	ErrOrderingTimeout   = errors.New("client: ordering timeout (transaction rejected)")
-	ErrInvalidated       = errors.New("client: transaction invalidated at commit")
+	ErrEndorsementFailed = gateway.ErrEndorsementFailed
+	ErrMismatchedResults = gateway.ErrMismatchedResults
+	ErrOrderingTimeout   = gateway.ErrOrderingTimeout
+	ErrInvalidated       = gateway.ErrInvalidated
 )
 
-// Config parameterizes a client process.
-type Config struct {
-	// ID is the client's transport identifier.
-	ID string
-	// Endpoint is the client's network attachment.
-	Endpoint transport.Endpoint
-	// Identity is the client's signing identity.
-	Identity *msp.SigningIdentity
-	// Model is the calibrated cost model.
-	Model costmodel.Model
-	// CPU is the client process's simulated CPU (1 core: Node.js).
-	CPU *simcpu.CPU
-	// Orderers lists OSN IDs; broadcasts round-robin across them.
-	Orderers []string
-	// EventPeer is the peer whose commit events this client follows.
-	EventPeer string
-	// Policy is the channel endorsement policy.
-	Policy policy.Policy
-	// PeerByPrincipal maps policy principals (e.g. "Org1.peer0") to
-	// transport node IDs of the deployed endorsing peers.
-	PeerByPrincipal map[string]string
-	// Collector receives phase timestamps; may be nil.
-	Collector *metrics.Collector
-	// SignProposals enables real client signatures (VerifyCrypto runs).
-	SignProposals bool
-	// ChannelID names the default channel on proposals (used by Invoke;
-	// InvokeOnChannel overrides it per transaction).
-	ChannelID string
-	// Channels lists every channel this client may submit on; empty
-	// means just ChannelID. Workload generators spray load across it.
-	Channels []string
-	// PolicyByChannel optionally overrides the endorsement policy per
-	// channel; channels without an entry use Policy.
-	PolicyByChannel map[string]policy.Policy
-}
+// Config parameterizes a client process. It is the gateway's
+// configuration: the facade adds no knobs of its own, and an alias
+// (rather than a copied struct) means new gateway options are reachable
+// from the legacy surface without a field-mapping layer to forget.
+type Config = gateway.Config
 
-// Result is the outcome of one Invoke.
-type Result struct {
-	TxID      types.TxID
-	Code      types.ValidationCode
-	BlockNum  uint64
-	Committed bool
-	Payload   []byte
-}
+// Result is the outcome of one Invoke: the gateway's final transaction
+// status, aliased for the same no-drift reason as Config.
+type Result = gateway.Status
 
-type pendingTx struct {
-	ch chan peer.CommitEvent
-}
-
-// Client is one SDK client process.
+// Client is one SDK client process: a closed-loop facade over a
+// Gateway.
 type Client struct {
-	cfg Config
-
-	nonce atomic.Uint64
-	rr    atomic.Uint64 // round-robin cursor for OR targets
-	rrOrd atomic.Uint64 // round-robin cursor for orderers
-
-	mu      sync.Mutex
-	pending map[types.TxID]*pendingTx
-
-	subOnce sync.Once
-	subErr  error
+	gw *gateway.Gateway
 }
 
-// New creates a client and registers its event handler.
+// New creates a client (and its underlying gateway) and registers its
+// event handler.
 func New(cfg Config) (*Client, error) {
-	if len(cfg.Orderers) == 0 {
-		return nil, errors.New("client: no orderers configured")
+	gw, err := gateway.New(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.ChannelID == "" {
-		if len(cfg.Channels) > 0 {
-			cfg.ChannelID = cfg.Channels[0]
-		} else {
-			cfg.ChannelID = orderer.DefaultChannel
-		}
-	}
-	if len(cfg.Channels) == 0 {
-		cfg.Channels = []string{cfg.ChannelID}
-	}
-	c := &Client{cfg: cfg, pending: make(map[types.TxID]*pendingTx)}
-	cfg.Endpoint.Handle(peer.KindCommitEvent, c.handleCommitEvents)
-	return c, nil
+	return &Client{gw: gw}, nil
 }
+
+// Wrap exposes an existing gateway through the legacy client surface.
+func Wrap(gw *gateway.Gateway) *Client { return &Client{gw: gw} }
+
+// Gateway returns the staged-API gateway underneath this client.
+func (c *Client) Gateway() *gateway.Gateway { return c.gw }
 
 // ID returns the client's node identifier.
-func (c *Client) ID() string { return c.cfg.ID }
+func (c *Client) ID() string { return c.gw.ID() }
 
 // Channels returns every channel this client may submit on.
-func (c *Client) Channels() []string {
-	return append([]string(nil), c.cfg.Channels...)
-}
-
-// policyFor returns the endorsement policy governing one channel.
-func (c *Client) policyFor(channel string) policy.Policy {
-	if pol, ok := c.cfg.PolicyByChannel[channel]; ok && pol != nil {
-		return pol
-	}
-	return c.cfg.Policy
-}
+func (c *Client) Channels() []string { return c.gw.Channels() }
 
 // Connect subscribes to the event peer; it is called lazily by the
 // first Invoke but may be called eagerly at startup.
-func (c *Client) Connect(ctx context.Context) error {
-	c.subOnce.Do(func() {
-		if c.cfg.EventPeer == "" {
-			return
-		}
-		_, err := c.cfg.Endpoint.Call(ctx, c.cfg.EventPeer, peer.KindSubscribeEvents, c.cfg.ID, 16)
-		if err != nil {
-			c.subErr = fmt.Errorf("client %s: subscribe events: %w", c.cfg.ID, err)
-		}
-	})
-	return c.subErr
-}
+func (c *Client) Connect(ctx context.Context) error { return c.gw.Connect(ctx) }
 
 // Invoke runs one transaction through execute, order, and validate on
 // the client's default channel, and blocks until commit or the 3-second
 // (model time) ordering timeout. Call it from its own goroutine for the
-// paper's asynchronous invocation pattern.
+// paper's asynchronous invocation pattern — or use the gateway's
+// SubmitAsync for true pipelined submission.
 func (c *Client) Invoke(ctx context.Context, chaincodeID, fn string, args [][]byte) (*Result, error) {
-	return c.invoke(ctx, c.cfg.ChannelID, c.policyFor(c.cfg.ChannelID), chaincodeID, fn, args)
+	return c.gw.Invoke(ctx, "", chaincodeID, fn, args)
 }
 
 // InvokeOnChannel is Invoke on an explicit channel; the channel's
@@ -164,10 +80,7 @@ func (c *Client) Invoke(ctx context.Context, chaincodeID, fn string, args [][]by
 // channels multiplies throughput because channels order and commit
 // concurrently end to end.
 func (c *Client) InvokeOnChannel(ctx context.Context, channel, chaincodeID, fn string, args [][]byte) (*Result, error) {
-	if channel == "" {
-		channel = c.cfg.ChannelID
-	}
-	return c.invoke(ctx, channel, c.policyFor(channel), chaincodeID, fn, args)
+	return c.gw.Invoke(ctx, channel, chaincodeID, fn, args)
 }
 
 // InvokeWithPolicy is Invoke with an explicit endorsement-target policy.
@@ -175,292 +88,14 @@ func (c *Client) InvokeOnChannel(ctx context.Context, channel, chaincodeID, fn s
 // targets than the channel requires yields a transaction flagged
 // ENDORSEMENT_POLICY_FAILURE (useful for testing the VSCC path).
 func (c *Client) InvokeWithPolicy(ctx context.Context, pol policy.Policy, chaincodeID, fn string, args [][]byte) (*Result, error) {
-	return c.invoke(ctx, c.cfg.ChannelID, pol, chaincodeID, fn, args)
-}
-
-// invoke is the shared execute/order/await pipeline.
-func (c *Client) invoke(ctx context.Context, channel string, pol policy.Policy, chaincodeID, fn string, args [][]byte) (*Result, error) {
-	if err := c.Connect(ctx); err != nil {
-		return nil, err
-	}
-
-	// --- Execute phase ---
-	submitted := time.Now()
-	targets, err := c.selectTargets(pol)
-	if err != nil {
-		return nil, err
-	}
-	// The whole per-transaction client CPU cost (proposal build/sign
-	// plus verification of each expected endorsement response) is
-	// charged as a single reservation: splitting it across the response
-	// path would let a saturated client starve response processing
-	// behind the proposal backlog, which a fair event loop does not do.
-	if err := c.cfg.CPU.Execute(ctx, c.cfg.Model.ClientTxCost(len(targets))); err != nil {
-		return nil, err
-	}
-	prop, sig, err := c.buildProposal(channel, chaincodeID, fn, args)
-	if err != nil {
-		return nil, err
-	}
-	if c.cfg.Collector != nil {
-		c.cfg.Collector.Submitted(prop.TxID, submitted)
-	}
-	// Fixed SDK/gRPC overhead of the endorsement round trip.
-	base := c.cfg.Model.ScaledDelay(c.cfg.Model.ClientBaseLatency)
-	if base > 0 {
-		timer := time.NewTimer(base)
-		select {
-		case <-timer.C:
-		case <-ctx.Done():
-			timer.Stop()
-			return nil, ctx.Err()
-		}
-	}
-	responses, err := c.collectEndorsements(ctx, targets, prop, sig)
-	if err != nil {
-		if c.cfg.Collector != nil {
-			c.cfg.Collector.Rejected(prop.TxID)
-		}
-		return nil, err
-	}
-	rwset, endorsements, payload, err := c.checkResponses(responses)
-	if err != nil {
-		if c.cfg.Collector != nil {
-			c.cfg.Collector.Rejected(prop.TxID)
-		}
-		return nil, err
-	}
-	endorsed := time.Now()
-	if c.cfg.Collector != nil {
-		c.cfg.Collector.Endorsed(prop.TxID, endorsed)
-	}
-
-	// --- Order phase ---
-	tx := &types.Transaction{
-		Proposal:     *prop,
-		Results:      *rwset,
-		Endorsements: endorsements,
-		SubmitTime:   submitted.UnixNano(),
-	}
-	clientSig, err := c.cfg.Identity.Sign(fabcrypto.Digest(prop.Hash(), rwset.Marshal()))
-	if err != nil {
-		return nil, fmt.Errorf("client %s: sign envelope: %w", c.cfg.ID, err)
-	}
-	tx.ClientSig = clientSig
-	env := tx.Marshal()
-
-	pend := &pendingTx{ch: make(chan peer.CommitEvent, 1)}
-	c.mu.Lock()
-	c.pending[prop.TxID] = pend
-	c.mu.Unlock()
-	defer func() {
-		c.mu.Lock()
-		delete(c.pending, prop.TxID)
-		c.mu.Unlock()
-	}()
-
-	osn := c.cfg.Orderers[c.rrOrd.Add(1)%uint64(len(c.cfg.Orderers))]
-	bctx, cancel := context.WithTimeout(ctx, c.cfg.Model.ScaledDelay(c.cfg.Model.OrderTimeout))
-	benv := &orderer.BroadcastEnvelope{Channel: channel, Env: env}
-	_, err = c.cfg.Endpoint.Call(bctx, osn, orderer.KindBroadcast, benv, len(env)+len(channel)+16)
-	cancel()
-	if err != nil {
-		if c.cfg.Collector != nil {
-			c.cfg.Collector.Rejected(prop.TxID)
-		}
-		return nil, fmt.Errorf("client %s: broadcast: %w", c.cfg.ID, err)
-	}
-	if c.cfg.Collector != nil {
-		c.cfg.Collector.BroadcastAcked(prop.TxID, time.Now())
-	}
-
-	// --- Await validate phase outcome ---
-	timeout := time.NewTimer(c.cfg.Model.ScaledDelay(c.cfg.Model.OrderTimeout))
-	defer timeout.Stop()
-	select {
-	case ev := <-pend.ch:
-		if c.cfg.Collector != nil {
-			c.cfg.Collector.Ordered(prop.TxID, time.Unix(0, ev.OrderedTime))
-			c.cfg.Collector.Committed(prop.TxID, time.Unix(0, ev.CommitTime), ev.Code)
-		}
-		res := &Result{
-			TxID:      prop.TxID,
-			Code:      ev.Code,
-			BlockNum:  ev.BlockNum,
-			Committed: ev.Code.Valid(),
-			Payload:   payload,
-		}
-		if !res.Committed {
-			return res, fmt.Errorf("%w: %s", ErrInvalidated, ev.Code)
-		}
-		return res, nil
-	case <-timeout.C:
-		if c.cfg.Collector != nil {
-			c.cfg.Collector.Rejected(prop.TxID)
-		}
-		return nil, ErrOrderingTimeout
-	case <-ctx.Done():
-		if c.cfg.Collector != nil {
-			c.cfg.Collector.Rejected(prop.TxID)
-		}
-		return nil, ctx.Err()
-	}
+	return c.gw.InvokeWithPolicy(ctx, pol, chaincodeID, fn, args)
 }
 
 // Query runs the execute phase only (no ordering): it endorses on one
 // target and returns the chaincode payload, like an SDK evaluate call.
+// It is charged under the same cost model as Invoke (connection setup,
+// client CPU, SDK base latency).
 func (c *Client) Query(ctx context.Context, chaincodeID, fn string, args [][]byte) ([]byte, error) {
-	prop, sig, err := c.buildProposal(c.cfg.ChannelID, chaincodeID, fn, args)
-	if err != nil {
-		return nil, err
-	}
-	targets, err := c.selectTargets(c.cfg.Policy)
-	if err != nil {
-		return nil, err
-	}
-	responses, err := c.collectEndorsements(ctx, targets[:1], prop, sig)
-	if err != nil {
-		return nil, err
-	}
-	if !responses[0].OK() {
-		return nil, fmt.Errorf("%w: %s", ErrEndorsementFailed, responses[0].Message)
-	}
-	return responses[0].Payload, nil
+	return c.gw.Evaluate(ctx, chaincodeID, fn, args)
 }
 
-// buildProposal creates and signs one proposal. The caller has already
-// charged the client CPU cost.
-func (c *Client) buildProposal(channel, chaincodeID, fn string, args [][]byte) (*types.Proposal, []byte, error) {
-	n := c.nonce.Add(1)
-	nonce := []byte(fmt.Sprintf("%s-%d", c.cfg.ID, n))
-	creator := c.cfg.Identity.Serialized()
-	prop := &types.Proposal{
-		TxID:        types.ComputeTxID(nonce, creator),
-		ChannelID:   channel,
-		ChaincodeID: chaincodeID,
-		Fn:          fn,
-		Args:        args,
-		Creator:     creator,
-		Nonce:       nonce,
-		Timestamp:   time.Now().UnixNano(),
-	}
-	var sig []byte
-	if c.cfg.SignProposals {
-		s, err := c.cfg.Identity.Sign(prop.Hash())
-		if err != nil {
-			return nil, nil, fmt.Errorf("client %s: sign proposal: %w", c.cfg.ID, err)
-		}
-		sig = s
-	}
-	return prop, sig, nil
-}
-
-// selectTargets picks the endorsing peers for one transaction: the
-// minimal satisfying set of the policy, load-balanced round-robin when
-// the policy allows a choice (OR), or every named principal (AND).
-func (c *Client) selectTargets(pol policy.Policy) ([]string, error) {
-	principals := pol.Principals()
-	available := make([]string, 0, len(principals))
-	for _, pr := range principals {
-		if node, ok := c.cfg.PeerByPrincipal[pr]; ok {
-			available = append(available, node)
-		}
-	}
-	if len(available) == 0 {
-		return nil, errors.New("client: no deployed peers match the endorsement policy")
-	}
-	min := pol.MinEndorsements()
-	if min < 1 {
-		min = 1
-	}
-	if min >= len(available) {
-		return available, nil
-	}
-	// Round-robin the choice among available targets (OR/OutOf).
-	start := int(c.rr.Add(1)) % len(available)
-	targets := make([]string, 0, min)
-	for i := 0; i < min; i++ {
-		targets = append(targets, available[(start+i)%len(available)])
-	}
-	return targets, nil
-}
-
-// collectEndorsements fans the proposal out and gathers all responses.
-func (c *Client) collectEndorsements(ctx context.Context, targets []string, prop *types.Proposal, sig []byte) ([]*types.ProposalResponse, error) {
-	req := &peer.EndorseRequest{Proposal: prop, Sig: sig}
-	size := len(prop.Marshal()) + len(sig) + 32
-
-	type outcome struct {
-		resp *types.ProposalResponse
-		err  error
-	}
-	results := make([]outcome, len(targets))
-	var wg sync.WaitGroup
-	for i, t := range targets {
-		i, t := i, t
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			raw, err := c.cfg.Endpoint.Call(ctx, t, peer.KindEndorse, req, size)
-			if err != nil {
-				results[i] = outcome{err: err}
-				return
-			}
-			resp, ok := raw.(*types.ProposalResponse)
-			if !ok {
-				results[i] = outcome{err: fmt.Errorf("client: bad endorse reply %T", raw)}
-				return
-			}
-			results[i] = outcome{resp: resp}
-		}()
-	}
-	wg.Wait()
-
-	out := make([]*types.ProposalResponse, 0, len(targets))
-	for _, r := range results {
-		if r.err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrEndorsementFailed, r.err)
-		}
-		if !r.resp.OK() {
-			return nil, fmt.Errorf("%w: %s", ErrEndorsementFailed, r.resp.Message)
-		}
-		out = append(out, r.resp)
-	}
-	return out, nil
-}
-
-// checkResponses verifies all endorsers simulated identical results and
-// merges their endorsements.
-func (c *Client) checkResponses(responses []*types.ProposalResponse) (*types.RWSet, []types.Endorsement, []byte, error) {
-	if len(responses) == 0 {
-		return nil, nil, nil, ErrEndorsementFailed
-	}
-	first := responses[0]
-	endorsements := make([]types.Endorsement, 0, len(responses))
-	for _, r := range responses {
-		if string(r.ResultsHash) != string(first.ResultsHash) {
-			return nil, nil, nil, ErrMismatchedResults
-		}
-		endorsements = append(endorsements, r.Endorsement)
-	}
-	return first.Results, endorsements, first.Payload, nil
-}
-
-// handleCommitEvents matches batched commit events to pending invokes.
-func (c *Client) handleCommitEvents(_ context.Context, _ string, payload any) (any, int, error) {
-	events, ok := payload.([]peer.CommitEvent)
-	if !ok {
-		return nil, 0, fmt.Errorf("client: bad commit event payload %T", payload)
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, ev := range events {
-		if p, ok := c.pending[ev.TxID]; ok {
-			select {
-			case p.ch <- ev:
-			default:
-			}
-		}
-	}
-	return nil, 0, nil
-}

@@ -1,91 +1,43 @@
 package client
 
 import (
+	"errors"
 	"testing"
 
-	"fabricsim/internal/policy"
+	"fabricsim/internal/gateway"
 )
-
-// newTargetClient builds a client with only the fields selectTargets
-// reads.
-func newTargetClient(pol policy.Policy, deployed int) *Client {
-	m := make(map[string]string, deployed)
-	for i := 1; i <= deployed; i++ {
-		principal := "Org" + string(rune('0'+i)) + ".peer0"
-		m[principal] = "peer" + string(rune('0'+i))
-	}
-	return &Client{cfg: Config{Policy: pol, PeerByPrincipal: m}}
-}
-
-func TestSelectTargetsORPicksOne(t *testing.T) {
-	c := newTargetClient(policy.OrOverPeers(3), 3)
-	seen := make(map[string]int)
-	for i := 0; i < 30; i++ {
-		targets, err := c.selectTargets(c.cfg.Policy)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(targets) != 1 {
-			t.Fatalf("OR selected %d targets", len(targets))
-		}
-		seen[targets[0]]++
-	}
-	// Round-robin must spread load across all three deployed peers.
-	if len(seen) != 3 {
-		t.Errorf("OR load-balancing hit %d peers: %v", len(seen), seen)
-	}
-	for p, n := range seen {
-		if n != 10 {
-			t.Errorf("peer %s got %d of 30", p, n)
-		}
-	}
-}
-
-func TestSelectTargetsANDPicksAll(t *testing.T) {
-	c := newTargetClient(policy.AndOverPeers(3), 3)
-	targets, err := c.selectTargets(c.cfg.Policy)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(targets) != 3 {
-		t.Fatalf("AND3 selected %d targets", len(targets))
-	}
-}
-
-func TestSelectTargetsOutOf(t *testing.T) {
-	pol := policy.MustParse("OutOf(2,'Org1.peer0','Org2.peer0','Org3.peer0')")
-	c := newTargetClient(pol, 3)
-	targets, err := c.selectTargets(c.cfg.Policy)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(targets) != 2 {
-		t.Fatalf("OutOf(2,...) selected %d targets", len(targets))
-	}
-}
-
-func TestSelectTargetsDegradedDeployment(t *testing.T) {
-	// Policy names 10 peers, only 2 deployed (Table II's sparse rows):
-	// the client uses what exists.
-	c := newTargetClient(policy.OrOverPeers(10), 2)
-	targets, err := c.selectTargets(c.cfg.Policy)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(targets) != 1 {
-		t.Fatalf("selected %d targets", len(targets))
-	}
-}
-
-func TestSelectTargetsNoDeployment(t *testing.T) {
-	c := newTargetClient(policy.OrOverPeers(3), 0)
-	if _, err := c.selectTargets(c.cfg.Policy); err == nil {
-		t.Error("empty deployment accepted")
-	}
-}
 
 func TestNewRequiresOrderers(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("client without orderers accepted")
+	}
+}
+
+func TestErrorAliasesMatchGateway(t *testing.T) {
+	// errors.Is against either package's sentinel must keep working so
+	// callers migrating between surfaces see consistent failures.
+	pairs := []struct{ legacy, gw error }{
+		{ErrEndorsementFailed, gateway.ErrEndorsementFailed},
+		{ErrMismatchedResults, gateway.ErrMismatchedResults},
+		{ErrOrderingTimeout, gateway.ErrOrderingTimeout},
+		{ErrInvalidated, gateway.ErrInvalidated},
+	}
+	for _, p := range pairs {
+		if !errors.Is(p.legacy, p.gw) {
+			t.Errorf("legacy error %v is not the gateway's %v", p.legacy, p.gw)
+		}
+	}
+}
+
+func TestAliasedTypes(t *testing.T) {
+	// Config and Result are aliases of the gateway types, so the legacy
+	// surface can never drift from the gateway's fields.
+	var cfg Config = gateway.Config{ID: "c1"}
+	if cfg.ID != "c1" {
+		t.Errorf("Config alias broken: %+v", cfg)
+	}
+	var res *Result = &gateway.Status{TxID: "tx1", Committed: true}
+	if res.TxID != "tx1" || !res.Committed {
+		t.Errorf("Result alias broken: %+v", res)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fabricsim/internal/client"
 	"fabricsim/internal/costmodel"
 	"fabricsim/internal/fabcrypto"
+	"fabricsim/internal/gateway"
 	"fabricsim/internal/kafka"
 	"fabricsim/internal/metrics"
 	"fabricsim/internal/msp"
@@ -90,6 +91,10 @@ type Config struct {
 	// own chain numbering, so channels order and commit concurrently.
 	// Empty means one channel named ChannelID with policy Policy.
 	Channels []ChannelConfig
+	// ClientMaxInFlight bounds each client gateway's SubmitAsync
+	// in-flight window (0 = gateway.DefaultMaxInFlight). Workload
+	// generators resize it per run.
+	ClientMaxInFlight int
 	// UseTCP runs every node on real loopback TCP sockets (gob framing)
 	// instead of the in-memory emulated network. Latency/bandwidth then
 	// come from the real kernel path; used by cmd/fabricnet.
@@ -223,6 +228,7 @@ type Network struct {
 	// TCPNet is the TCP registry (nil unless UseTCP is set).
 	TCPNet   *transport.TCPNetwork
 	Clients  []*client.Client
+	Gateways []*gateway.Gateway
 	Peers    []*peer.Peer
 	Orderers []*orderer.Orderer
 	MSP      *msp.MSP
@@ -429,7 +435,10 @@ func Build(cfg Config) (*Network, error) {
 			return nil, fmt.Errorf("fabnet: %w", err)
 		}
 		eventPeer := n.Peers[(i-1)%len(n.Peers)].ID()
-		cl, err := client.New(client.Config{
+		// Each client process is one gateway — the staged-API connection
+		// owning proposal signing, endorsement fan-out, broadcast, and
+		// commit futures — wrapped in the legacy closed-loop facade.
+		gw, err := gateway.New(gateway.Config{
 			ID:              nodeID,
 			Endpoint:        ep,
 			Identity:        msp.NewSigningIdentity(enrollment),
@@ -444,11 +453,13 @@ func Build(cfg Config) (*Network, error) {
 			ChannelID:       cfg.ChannelID,
 			Channels:        channelIDs,
 			PolicyByChannel: channelPols,
+			MaxInFlight:     cfg.ClientMaxInFlight,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fabnet: %w", err)
 		}
-		n.Clients = append(n.Clients, cl)
+		n.Gateways = append(n.Gateways, gw)
+		n.Clients = append(n.Clients, client.Wrap(gw))
 	}
 	return n, nil
 }
@@ -611,6 +622,8 @@ func registerWireTypes() {
 			&peer.EndorseRequest{},
 			&types.ProposalResponse{},
 			[]peer.CommitEvent(nil),
+			&peer.CommitEvent{},
+			&peer.CommitStatusRequest{},
 			&orderer.BroadcastEnvelope{},
 			&orderer.GetBlockArgs{},
 			&orderer.SubmitArgs{},

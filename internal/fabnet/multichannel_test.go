@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fabricsim/internal/costmodel"
+	"fabricsim/internal/peer"
 	"fabricsim/internal/policy"
 	"fabricsim/internal/types"
 )
@@ -15,6 +16,27 @@ import (
 // fourChannels is the sweep topology of the acceptance criteria: four
 // channels sharing one OR policy.
 func fourChannels() []ChannelConfig { return NumberedChannels(4) }
+
+// waitValidTxs polls until one peer's channel ledger holds the expected
+// number of valid transactions. Invoke resolves on the client's event
+// peer's commit, so the other peers may still be a block behind at that
+// instant — asserting their ledgers without this grace window is a race.
+func waitValidTxs(t *testing.T, p *peer.Peer, ch string, want int) {
+	t.Helper()
+	l, ok := p.LedgerFor(ch)
+	if !ok {
+		t.Fatalf("peer %s missing channel %s", p.ID(), ch)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	got := l.Stats().ValidTxs
+	for got != want && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		got = l.Stats().ValidTxs
+	}
+	if got != want {
+		t.Errorf("peer %s channel %s: valid txs = %d, want %d", p.ID(), ch, got, want)
+	}
+}
 
 // TestMultiChannelConcurrentCommit drives transactions on all four
 // channels concurrently and checks every channel orders and commits on
@@ -60,13 +82,8 @@ func TestMultiChannelConcurrentCommit(t *testing.T) {
 
 	for _, p := range n.Peers {
 		for _, ch := range n.ChannelIDs() {
-			l, ok := p.LedgerFor(ch)
-			if !ok {
-				t.Fatalf("peer %s missing channel %s", p.ID(), ch)
-			}
-			if got := l.Stats().ValidTxs; got != perChannel {
-				t.Errorf("peer %s channel %s: valid txs = %d, want %d", p.ID(), ch, got, perChannel)
-			}
+			waitValidTxs(t, p, ch, perChannel)
+			l, _ := p.LedgerFor(ch)
 			if err := l.VerifyChain(); err != nil {
 				t.Errorf("peer %s channel %s: %v", p.ID(), ch, err)
 			}
@@ -247,10 +264,8 @@ func TestMultiChannelKafka(t *testing.T) {
 	}
 	for _, p := range n.Peers {
 		for _, ch := range n.ChannelIDs() {
+			waitValidTxs(t, p, ch, 3)
 			l, _ := p.LedgerFor(ch)
-			if got := l.Stats().ValidTxs; got != 3 {
-				t.Errorf("peer %s channel %s: valid txs = %d, want 3", p.ID(), ch, got)
-			}
 			if err := l.VerifyChain(); err != nil {
 				t.Errorf("peer %s channel %s: %v", p.ID(), ch, err)
 			}
@@ -288,10 +303,7 @@ func TestMultiChannelRaft(t *testing.T) {
 	}
 	for _, p := range n.Peers {
 		for _, ch := range n.ChannelIDs() {
-			l, _ := p.LedgerFor(ch)
-			if got := l.Stats().ValidTxs; got != 1 {
-				t.Errorf("peer %s channel %s: valid txs = %d, want 1", p.ID(), ch, got)
-			}
+			waitValidTxs(t, p, ch, 1)
 		}
 	}
 }

@@ -1,0 +1,400 @@
+// Package gateway exposes the Fabric transaction life cycle as
+// composable stages with futures, in the shape of Fabric v2.4's Gateway
+// API redesign: Propose builds and signs a proposal, Proposal.Endorse
+// collects endorsements into a Transaction, Transaction.Submit
+// broadcasts the envelope and returns a Commit handle, and
+// Commit.Status resolves when the commit event arrives (or the ordering
+// timeout fires). SubmitAsync runs the whole pipeline in the background
+// under a bounded in-flight window, which is what lets workload
+// generators drive open-loop arrival rates and windowed pipelines
+// instead of the blocking one-thread-one-transaction SDK life cycle the
+// paper identifies as the execute-phase ceiling.
+//
+// The legacy closed-loop SDK surface (client.Invoke and friends) is a
+// thin facade over this package.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/metrics"
+	"fabricsim/internal/msp"
+	"fabricsim/internal/orderer"
+	"fabricsim/internal/peer"
+	"fabricsim/internal/policy"
+	"fabricsim/internal/simcpu"
+	"fabricsim/internal/transport"
+	"fabricsim/internal/types"
+)
+
+// Errors returned by the gateway stages.
+var (
+	// ErrEndorsementFailed reports a failed or refused endorsement.
+	ErrEndorsementFailed = errors.New("gateway: endorsement failed")
+	// ErrMismatchedResults reports endorsers disagreeing on the
+	// simulated read-write set.
+	ErrMismatchedResults = errors.New("gateway: endorsers returned different read-write sets")
+	// ErrOrderingTimeout reports the paper's 3-second (model time)
+	// client-side ordering timeout: the transaction was broadcast but no
+	// commit event arrived in time.
+	ErrOrderingTimeout = errors.New("gateway: ordering timeout (transaction rejected)")
+	// ErrInvalidated reports a transaction that committed with a
+	// non-valid validation code (MVCC conflict, policy failure, ...).
+	ErrInvalidated = errors.New("gateway: transaction invalidated at commit")
+	// ErrWindowFull reports a TrySubmitAsync that found every in-flight
+	// window slot occupied.
+	ErrWindowFull = errors.New("gateway: in-flight window full")
+)
+
+// DefaultMaxInFlight bounds SubmitAsync's in-flight window when the
+// configuration does not set one.
+const DefaultMaxInFlight = 4096
+
+// Config parameterizes a gateway (one per SDK client process).
+type Config struct {
+	// ID is the gateway's transport identifier.
+	ID string
+	// Endpoint is the gateway's network attachment.
+	Endpoint transport.Endpoint
+	// Identity is the signing identity transactions are issued under.
+	Identity *msp.SigningIdentity
+	// Model is the calibrated cost model.
+	Model costmodel.Model
+	// CPU is the client process's simulated CPU (1 core: Node.js).
+	CPU *simcpu.CPU
+	// Orderers lists OSN IDs; broadcasts round-robin across them.
+	Orderers []string
+	// EventPeer is the peer whose commit events this gateway follows,
+	// and the peer its commit-status requests go to.
+	EventPeer string
+	// NoEventStream disables the standing commit-event subscription:
+	// every Commit future then resolves through the peer's commit-status
+	// request path instead (one blocking request per transaction).
+	NoEventStream bool
+	// Policy is the channel endorsement policy.
+	Policy policy.Policy
+	// PeerByPrincipal maps policy principals (e.g. "Org1.peer0") to
+	// transport node IDs of the deployed endorsing peers.
+	PeerByPrincipal map[string]string
+	// Collector receives phase timestamps; may be nil.
+	Collector *metrics.Collector
+	// SignProposals enables real client signatures (VerifyCrypto runs).
+	SignProposals bool
+	// ChannelID names the default channel on proposals.
+	ChannelID string
+	// Channels lists every channel this gateway may submit on; empty
+	// means just ChannelID.
+	Channels []string
+	// PolicyByChannel optionally overrides the endorsement policy per
+	// channel; channels without an entry use Policy.
+	PolicyByChannel map[string]policy.Policy
+	// MaxInFlight bounds the SubmitAsync in-flight window
+	// (default DefaultMaxInFlight).
+	MaxInFlight int
+}
+
+// pendingTx is one registered commit-event waiter.
+type pendingTx struct {
+	ch chan peer.CommitEvent
+}
+
+// Gateway is one client process's connection to the network: it signs
+// proposals, fans endorsement requests out, broadcasts envelopes, and
+// resolves commit futures from the event stream (or per-transaction
+// commit-status requests).
+type Gateway struct {
+	cfg Config
+
+	nonce atomic.Uint64
+	rr    atomic.Uint64 // round-robin cursor for OR targets
+	rrOrd atomic.Uint64 // round-robin cursor for orderers
+
+	mu      sync.Mutex
+	pending map[types.TxID]*pendingTx
+	window  chan struct{} // SubmitAsync in-flight slots
+
+	subOnce    sync.Once
+	subErr     error
+	subscribed atomic.Bool
+}
+
+// New creates a gateway and registers its commit-event handler.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Orderers) == 0 {
+		return nil, errors.New("gateway: no orderers configured")
+	}
+	if cfg.ChannelID == "" {
+		if len(cfg.Channels) > 0 {
+			cfg.ChannelID = cfg.Channels[0]
+		} else {
+			cfg.ChannelID = orderer.DefaultChannel
+		}
+	}
+	if len(cfg.Channels) == 0 {
+		cfg.Channels = []string{cfg.ChannelID}
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		pending: make(map[types.TxID]*pendingTx),
+		window:  make(chan struct{}, cfg.MaxInFlight),
+	}
+	cfg.Endpoint.Handle(peer.KindCommitEvent, g.handleCommitEvents)
+	return g, nil
+}
+
+// ID returns the gateway's node identifier.
+func (g *Gateway) ID() string { return g.cfg.ID }
+
+// Channels returns every channel this gateway may submit on.
+func (g *Gateway) Channels() []string {
+	return append([]string(nil), g.cfg.Channels...)
+}
+
+// MaxInFlight returns the current SubmitAsync window bound.
+func (g *Gateway) MaxInFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return cap(g.window)
+}
+
+// SetMaxInFlight resizes the SubmitAsync in-flight window. Call it
+// between runs, not concurrently with submissions: transactions
+// in flight under the old window finish against it, so a shrink takes
+// full effect only after they drain.
+func (g *Gateway) SetMaxInFlight(n int) {
+	if n <= 0 {
+		n = DefaultMaxInFlight
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if cap(g.window) != n {
+		g.window = make(chan struct{}, n)
+	}
+}
+
+// useStatusRequests reports whether commit futures resolve through the
+// per-transaction commit-status request path instead of the event
+// stream. The subscription state is settled by the Connect preceding
+// every submission, so the answer is stable for a transaction's
+// lifetime.
+func (g *Gateway) useStatusRequests() bool {
+	return !g.subscribed.Load() && g.cfg.EventPeer != ""
+}
+
+// policyFor returns the endorsement policy governing one channel.
+func (g *Gateway) policyFor(channel string) policy.Policy {
+	if pol, ok := g.cfg.PolicyByChannel[channel]; ok && pol != nil {
+		return pol
+	}
+	return g.cfg.Policy
+}
+
+// Connect establishes the commit-event subscription on the event peer;
+// it is called lazily by the first Propose but may be called eagerly at
+// startup. With NoEventStream set (or no event peer configured) it is a
+// no-op and commit futures resolve through status requests.
+func (g *Gateway) Connect(ctx context.Context) error {
+	g.subOnce.Do(func() {
+		if g.cfg.EventPeer == "" || g.cfg.NoEventStream {
+			return
+		}
+		_, err := g.cfg.Endpoint.Call(ctx, g.cfg.EventPeer, peer.KindSubscribeEvents, g.cfg.ID, 16)
+		if err != nil {
+			g.subErr = fmt.Errorf("gateway %s: subscribe events: %w", g.cfg.ID, err)
+			return
+		}
+		g.subscribed.Store(true)
+	})
+	return g.subErr
+}
+
+// buildProposal creates and signs one proposal. The caller has already
+// charged the client CPU cost.
+func (g *Gateway) buildProposal(channel, chaincodeID, fn string, args [][]byte) (*types.Proposal, []byte, error) {
+	n := g.nonce.Add(1)
+	nonce := []byte(fmt.Sprintf("%s-%d", g.cfg.ID, n))
+	creator := g.cfg.Identity.Serialized()
+	prop := &types.Proposal{
+		TxID:        types.ComputeTxID(nonce, creator),
+		ChannelID:   channel,
+		ChaincodeID: chaincodeID,
+		Fn:          fn,
+		Args:        args,
+		Creator:     creator,
+		Nonce:       nonce,
+		Timestamp:   time.Now().UnixNano(),
+	}
+	var sig []byte
+	if g.cfg.SignProposals {
+		s, err := g.cfg.Identity.Sign(prop.Hash())
+		if err != nil {
+			return nil, nil, fmt.Errorf("gateway %s: sign proposal: %w", g.cfg.ID, err)
+		}
+		sig = s
+	}
+	return prop, sig, nil
+}
+
+// selectTargets picks the endorsing peers for one transaction: the
+// minimal satisfying set of the policy, load-balanced round-robin when
+// the policy allows a choice (OR), or every named principal (AND).
+func (g *Gateway) selectTargets(pol policy.Policy) ([]string, error) {
+	principals := pol.Principals()
+	available := make([]string, 0, len(principals))
+	for _, pr := range principals {
+		if node, ok := g.cfg.PeerByPrincipal[pr]; ok {
+			available = append(available, node)
+		}
+	}
+	if len(available) == 0 {
+		return nil, errors.New("gateway: no deployed peers match the endorsement policy")
+	}
+	need := pol.MinEndorsements()
+	if need < 1 {
+		need = 1
+	}
+	if need >= len(available) {
+		return available, nil
+	}
+	// Round-robin the choice among available targets (OR/OutOf). The
+	// modulo runs in uint64 so the cursor never reaches int as a
+	// negative value, even after the counter wraps on 32-bit platforms.
+	start := int(g.rr.Add(1) % uint64(len(available)))
+	targets := make([]string, 0, need)
+	for i := 0; i < need; i++ {
+		targets = append(targets, available[(start+i)%len(available)])
+	}
+	return targets, nil
+}
+
+// baseLatency sleeps the fixed SDK/gRPC overhead of one endorsement
+// round trip (pure delay, not capacity-consuming).
+func (g *Gateway) baseLatency(ctx context.Context) error {
+	base := g.cfg.Model.ScaledDelay(g.cfg.Model.ClientBaseLatency)
+	if base <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(base)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// collectEndorsements fans the proposal out and gathers all responses.
+func (g *Gateway) collectEndorsements(ctx context.Context, targets []string, prop *types.Proposal, sig []byte) ([]*types.ProposalResponse, error) {
+	req := &peer.EndorseRequest{Proposal: prop, Sig: sig}
+	size := len(prop.Marshal()) + len(sig) + 32
+
+	type outcome struct {
+		resp *types.ProposalResponse
+		err  error
+	}
+	results := make([]outcome, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		i, t := i, t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			raw, err := g.cfg.Endpoint.Call(ctx, t, peer.KindEndorse, req, size)
+			if err != nil {
+				results[i] = outcome{err: err}
+				return
+			}
+			resp, ok := raw.(*types.ProposalResponse)
+			if !ok {
+				results[i] = outcome{err: fmt.Errorf("gateway: bad endorse reply %T", raw)}
+				return
+			}
+			results[i] = outcome{resp: resp}
+		}()
+	}
+	wg.Wait()
+
+	out := make([]*types.ProposalResponse, 0, len(targets))
+	for _, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrEndorsementFailed, r.err)
+		}
+		if !r.resp.OK() {
+			return nil, fmt.Errorf("%w: %s", ErrEndorsementFailed, r.resp.Message)
+		}
+		out = append(out, r.resp)
+	}
+	return out, nil
+}
+
+// checkResponses verifies all endorsers simulated identical results and
+// merges their endorsements.
+func checkResponses(responses []*types.ProposalResponse) (*types.RWSet, []types.Endorsement, []byte, error) {
+	if len(responses) == 0 {
+		return nil, nil, nil, ErrEndorsementFailed
+	}
+	first := responses[0]
+	endorsements := make([]types.Endorsement, 0, len(responses))
+	for _, r := range responses {
+		if string(r.ResultsHash) != string(first.ResultsHash) {
+			return nil, nil, nil, ErrMismatchedResults
+		}
+		endorsements = append(endorsements, r.Endorsement)
+	}
+	return first.Results, endorsements, first.Payload, nil
+}
+
+// registerPending installs a commit-event waiter for a TxID.
+func (g *Gateway) registerPending(id types.TxID) *pendingTx {
+	pend := &pendingTx{ch: make(chan peer.CommitEvent, 1)}
+	g.mu.Lock()
+	g.pending[id] = pend
+	g.mu.Unlock()
+	return pend
+}
+
+// unregisterPending removes a commit-event waiter.
+func (g *Gateway) unregisterPending(id types.TxID) {
+	g.mu.Lock()
+	delete(g.pending, id)
+	g.mu.Unlock()
+}
+
+// pendingCount reports the number of unresolved commit waiters.
+func (g *Gateway) pendingCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.pending)
+}
+
+// handleCommitEvents matches batched commit events to pending futures.
+// Events for unknown (never submitted or already resolved) TxIDs are
+// dropped; a duplicate event for a TxID whose buffered slot is already
+// full is likewise dropped rather than blocking the event stream.
+func (g *Gateway) handleCommitEvents(_ context.Context, _ string, payload any) (any, int, error) {
+	events, ok := payload.([]peer.CommitEvent)
+	if !ok {
+		return nil, 0, fmt.Errorf("gateway: bad commit event payload %T", payload)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, ev := range events {
+		if p, ok := g.pending[ev.TxID]; ok {
+			select {
+			case p.ch <- ev:
+			default:
+			}
+		}
+	}
+	return nil, 0, nil
+}

@@ -1,0 +1,467 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fabricsim/internal/ca"
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/msp"
+	"fabricsim/internal/orderer"
+	"fabricsim/internal/peer"
+	"fabricsim/internal/policy"
+	"fabricsim/internal/simcpu"
+	"fabricsim/internal/transport"
+	"fabricsim/internal/types"
+)
+
+// --- selectTargets (pure policy routing, no network) ---
+
+// newTargetGateway builds a gateway with only the fields selectTargets
+// reads.
+func newTargetGateway(pol policy.Policy, deployed int) *Gateway {
+	m := make(map[string]string, deployed)
+	for i := 1; i <= deployed; i++ {
+		principal := "Org" + string(rune('0'+i)) + ".peer0"
+		m[principal] = "peer" + string(rune('0'+i))
+	}
+	return &Gateway{cfg: Config{Policy: pol, PeerByPrincipal: m}}
+}
+
+func TestSelectTargetsORPicksOne(t *testing.T) {
+	g := newTargetGateway(policy.OrOverPeers(3), 3)
+	seen := make(map[string]int)
+	for i := 0; i < 30; i++ {
+		targets, err := g.selectTargets(g.cfg.Policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(targets) != 1 {
+			t.Fatalf("OR selected %d targets", len(targets))
+		}
+		seen[targets[0]]++
+	}
+	// Round-robin must spread load across all three deployed peers.
+	if len(seen) != 3 {
+		t.Errorf("OR load-balancing hit %d peers: %v", len(seen), seen)
+	}
+	for p, n := range seen {
+		if n != 10 {
+			t.Errorf("peer %s got %d of 30", p, n)
+		}
+	}
+}
+
+func TestSelectTargetsANDPicksAll(t *testing.T) {
+	g := newTargetGateway(policy.AndOverPeers(3), 3)
+	targets, err := g.selectTargets(g.cfg.Policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 3 {
+		t.Fatalf("AND3 selected %d targets", len(targets))
+	}
+}
+
+func TestSelectTargetsOutOf(t *testing.T) {
+	pol := policy.MustParse("OutOf(2,'Org1.peer0','Org2.peer0','Org3.peer0')")
+	g := newTargetGateway(pol, 3)
+	targets, err := g.selectTargets(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 2 {
+		t.Fatalf("OutOf(2,...) selected %d targets", len(targets))
+	}
+}
+
+func TestSelectTargetsDegradedDeployment(t *testing.T) {
+	g := newTargetGateway(policy.OrOverPeers(10), 2)
+	targets, err := g.selectTargets(g.cfg.Policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 1 {
+		t.Fatalf("selected %d targets", len(targets))
+	}
+}
+
+func TestSelectTargetsNoDeployment(t *testing.T) {
+	g := newTargetGateway(policy.OrOverPeers(3), 0)
+	if _, err := g.selectTargets(g.cfg.Policy); err == nil {
+		t.Error("empty deployment accepted")
+	}
+}
+
+func TestSelectTargetsCursorWrap(t *testing.T) {
+	// The round-robin cursor is reduced modulo the target count in
+	// uint64 space, so an overflowing counter must never produce a
+	// negative index (the int(...) % n form would, after wrap on 32-bit
+	// platforms).
+	g := newTargetGateway(policy.OrOverPeers(3), 3)
+	g.rr.Store(math.MaxUint64 - 1)
+	for i := 0; i < 4; i++ {
+		targets, err := g.selectTargets(g.cfg.Policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(targets) != 1 {
+			t.Fatalf("wrap iteration %d selected %d targets", i, len(targets))
+		}
+	}
+}
+
+func TestNewRequiresOrderers(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("gateway without orderers accepted")
+	}
+}
+
+// --- stub network harness for the staged life cycle ---
+
+// stubNet wires a gateway to a stub endorsing peer and a stub orderer
+// over the in-memory transport. The stubs implement just enough of the
+// peer/orderer surface to exercise the gateway stages; commit events
+// are injected by the test through the stub peer's endpoint.
+type stubNet struct {
+	t      *testing.T
+	gw     *Gateway
+	peerEP transport.Endpoint
+	// broadcasts counts envelopes the stub orderer accepted.
+	broadcasts atomic.Int64
+	// endorseDelay stalls the stub endorser (for window tests).
+	endorseDelay time.Duration
+	// statusReply, when non-nil, is the stub peer's commit-status
+	// answer (for the request-path tests).
+	statusReply func(req *peer.CommitStatusRequest) (*peer.CommitEvent, error)
+}
+
+func newStubNet(t *testing.T, mutate func(cfg *Config), opts func(s *stubNet)) *stubNet {
+	t.Helper()
+	s := &stubNet{t: t}
+	if opts != nil {
+		opts(s)
+	}
+	model := costmodel.Default(0.01) // 3s order timeout -> 30ms wall
+	net := transport.NewNetwork(transport.Config{TimeScale: model.TimeScale})
+	t.Cleanup(func() { net.Close() })
+
+	gwEP, err := net.Register("gw1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerEP, err := net.Register("peer1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	osnEP, err := net.Register("osn1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.peerEP = peerEP
+
+	peerEP.Handle(peer.KindSubscribeEvents, func(_ context.Context, _ string, _ any) (any, int, error) {
+		return "OK", 2, nil
+	})
+	peerEP.Handle(peer.KindEndorse, func(_ context.Context, _ string, payload any) (any, int, error) {
+		req := payload.(*peer.EndorseRequest)
+		if s.endorseDelay > 0 {
+			time.Sleep(s.endorseDelay)
+		}
+		return &types.ProposalResponse{
+			TxID:        req.Proposal.TxID,
+			Status:      200,
+			ResultsHash: []byte("h"),
+			Results:     &types.RWSet{},
+			Payload:     []byte("payload"),
+			Endorsement: types.Endorsement{EndorserID: "Org1.peer0", EndorserOrg: "Org1"},
+		}, 64, nil
+	})
+	peerEP.Handle(peer.KindCommitStatus, func(_ context.Context, _ string, payload any) (any, int, error) {
+		req := payload.(*peer.CommitStatusRequest)
+		if s.statusReply == nil {
+			return nil, 0, peer.ErrTxNotFound
+		}
+		ev, err := s.statusReply(req)
+		return ev, 48, err
+	})
+	osnEP.Handle(orderer.KindBroadcast, func(_ context.Context, _ string, _ any) (any, int, error) {
+		s.broadcasts.Add(1)
+		return "ACK", 3, nil
+	})
+
+	authority, err := ca.New("ClientOrg", "hmac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enrollment, err := authority.Enroll("user1", ca.RoleClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := simcpu.New(1, model.TimeScale)
+	t.Cleanup(cpu.Stop)
+
+	cfg := Config{
+		ID:              "gw1",
+		Endpoint:        gwEP,
+		Identity:        msp.NewSigningIdentity(enrollment),
+		Model:           model,
+		CPU:             cpu,
+		Orderers:        []string{"osn1"},
+		EventPeer:       "peer1",
+		Policy:          policy.OrOverPeers(1),
+		PeerByPrincipal: map[string]string{"Org1.peer0": "peer1"},
+		ChannelID:       "perf",
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	gw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.gw = gw
+	return s
+}
+
+// commitTx pushes a commit-event batch for one TxID to the gateway.
+func (s *stubNet) commitTx(id types.TxID, code types.ValidationCode) {
+	s.t.Helper()
+	now := time.Now().UnixNano()
+	err := s.peerEP.Send("gw1", peer.KindCommitEvent, []peer.CommitEvent{{
+		TxID: id, Code: code, BlockNum: 1, OrderedTime: now, CommitTime: now,
+	}}, 48)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+}
+
+func TestStagedLifecycle(t *testing.T) {
+	s := newStubNet(t, nil, nil)
+	ctx := context.Background()
+
+	prop, err := s.gw.Propose(ctx, "", "bench", "write", [][]byte{[]byte("k"), []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.TxID() == "" || prop.Channel() != "perf" {
+		t.Fatalf("bad proposal: txid=%q channel=%q", prop.TxID(), prop.Channel())
+	}
+	txn, err := prop.Endorse(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(txn.Payload()) != "payload" {
+		t.Fatalf("payload = %q", txn.Payload())
+	}
+	cmt, err := txn.Submit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.broadcasts.Load() != 1 {
+		t.Fatalf("broadcasts = %d", s.broadcasts.Load())
+	}
+	s.commitTx(prop.TxID(), types.ValidationValid)
+	st, err := cmt.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Committed || st.TxID != prop.TxID() || st.BlockNum != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	// The future is idempotent.
+	st2, err := cmt.Status(ctx)
+	if err != nil || st2 != st {
+		t.Fatalf("second Status = %+v, %v", st2, err)
+	}
+	if n := s.gw.pendingCount(); n != 0 {
+		t.Fatalf("pending entries leaked: %d", n)
+	}
+}
+
+func TestInvalidatedCommit(t *testing.T) {
+	s := newStubNet(t, nil, nil)
+	ctx := context.Background()
+	prop, err := s.gw.Propose(ctx, "", "bench", "write", [][]byte{[]byte("k"), []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn, err := prop.Endorse(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmt, err := txn.Submit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.commitTx(prop.TxID(), types.ValidationMVCCConflict)
+	st, err := cmt.Status(ctx)
+	if !errors.Is(err, ErrInvalidated) {
+		t.Fatalf("err = %v", err)
+	}
+	if st == nil || st.Committed || st.Code != types.ValidationMVCCConflict {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestStatusTimeoutCleansPending(t *testing.T) {
+	// The stub orderer acks broadcasts but nothing ever commits.
+	s := newStubNet(t, nil, nil)
+	ctx := context.Background()
+	st, err := s.gw.Invoke(ctx, "", "bench", "write", [][]byte{[]byte("k"), []byte("v")})
+	if !errors.Is(err, ErrOrderingTimeout) {
+		t.Fatalf("err = %v, status = %+v", err, st)
+	}
+	// unregisterPending runs before the future resolves, so by the time
+	// Invoke returned the map must be empty.
+	if n := s.gw.pendingCount(); n != 0 {
+		t.Fatalf("pending entries leaked after timeout: %d", n)
+	}
+}
+
+func TestCommitEventForUnknownTxID(t *testing.T) {
+	s := newStubNet(t, nil, nil)
+	// An event for a TxID that was never submitted (or has already been
+	// resolved) must be dropped without creating state.
+	if _, _, err := s.gw.handleCommitEvents(context.Background(), "peer1",
+		[]peer.CommitEvent{{TxID: "never-submitted", Code: types.ValidationValid}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.gw.pendingCount(); n != 0 {
+		t.Fatalf("unknown event created %d pending entries", n)
+	}
+}
+
+func TestDuplicateCommitEvents(t *testing.T) {
+	s := newStubNet(t, nil, nil)
+	pend := s.gw.registerPending("tx-dup")
+	defer s.gw.unregisterPending("tx-dup")
+	events := []peer.CommitEvent{{TxID: "tx-dup", Code: types.ValidationValid, BlockNum: 2}}
+	// Two deliveries (e.g. a redundant event peer): the second must be
+	// dropped rather than blocking the event-stream handler.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2; i++ {
+			if _, _, err := s.gw.handleCommitEvents(context.Background(), "peer1", events); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("duplicate event delivery blocked")
+	}
+	ev := <-pend.ch
+	if ev.BlockNum != 2 {
+		t.Fatalf("event = %+v", ev)
+	}
+	select {
+	case ev := <-pend.ch:
+		t.Fatalf("duplicate event delivered: %+v", ev)
+	default:
+	}
+}
+
+func TestBadCommitEventPayload(t *testing.T) {
+	s := newStubNet(t, nil, nil)
+	if _, _, err := s.gw.handleCommitEvents(context.Background(), "peer1", "not-events"); err == nil {
+		t.Error("bad payload accepted")
+	}
+}
+
+func TestSubmitAsyncResolves(t *testing.T) {
+	s := newStubNet(t, nil, nil)
+	ctx := context.Background()
+	cmt, err := s.gw.SubmitAsync(ctx, "", "bench", "write", [][]byte{[]byte("k"), []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the background pipeline has broadcast, then commit it.
+	deadline := time.Now().Add(5 * time.Second)
+	for cmt.TxID() == "" || s.broadcasts.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("async submission never broadcast")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.commitTx(cmt.TxID(), types.ValidationValid)
+	st, err := cmt.Status(ctx)
+	if err != nil || !st.Committed {
+		t.Fatalf("status = %+v, %v", st, err)
+	}
+}
+
+func TestTrySubmitAsyncWindowFull(t *testing.T) {
+	s := newStubNet(t, func(cfg *Config) { cfg.MaxInFlight = 1 },
+		func(s *stubNet) { s.endorseDelay = 50 * time.Millisecond })
+	ctx := context.Background()
+	first, err := s.gw.TrySubmitAsync(ctx, "", "bench", "write", [][]byte{[]byte("k"), []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.gw.TrySubmitAsync(ctx, "", "bench", "write", [][]byte{[]byte("k2"), []byte("v")}); !errors.Is(err, ErrWindowFull) {
+		t.Fatalf("second submit err = %v, want ErrWindowFull", err)
+	}
+	// Drain the first so the cleanup doesn't race the in-flight tx.
+	if _, err := first.Status(ctx); !errors.Is(err, ErrOrderingTimeout) {
+		t.Fatalf("first status err = %v", err)
+	}
+}
+
+func TestSetMaxInFlightResizesWindow(t *testing.T) {
+	s := newStubNet(t, nil, nil)
+	if got := s.gw.MaxInFlight(); got != DefaultMaxInFlight {
+		t.Fatalf("default window = %d", got)
+	}
+	s.gw.SetMaxInFlight(7)
+	if got := s.gw.MaxInFlight(); got != 7 {
+		t.Fatalf("window = %d after SetMaxInFlight(7)", got)
+	}
+}
+
+func TestCommitStatusRequestPath(t *testing.T) {
+	// NoEventStream: the future resolves through the peer's
+	// commit-status request instead of a standing subscription.
+	s := newStubNet(t, func(cfg *Config) { cfg.NoEventStream = true }, nil)
+	s.statusReply = func(req *peer.CommitStatusRequest) (*peer.CommitEvent, error) {
+		if req.WaitNanos <= 0 {
+			t.Errorf("commit future sent a non-waiting status request")
+		}
+		return &peer.CommitEvent{TxID: req.TxID, Code: types.ValidationValid, BlockNum: 3}, nil
+	}
+	st, err := s.gw.Invoke(context.Background(), "", "bench", "write", [][]byte{[]byte("k"), []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Committed || st.BlockNum != 3 {
+		t.Fatalf("status = %+v", st)
+	}
+	if n := s.gw.pendingCount(); n != 0 {
+		t.Fatalf("pending entries leaked: %d", n)
+	}
+}
+
+func TestEvaluateChargesCostModel(t *testing.T) {
+	s := newStubNet(t, nil, nil)
+	model := costmodel.Default(0.01)
+	start := time.Now()
+	out, err := s.gw.Evaluate(context.Background(), "bench", "read", [][]byte{[]byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "payload" {
+		t.Fatalf("payload = %q", out)
+	}
+	// The query must pay at least the SDK base latency plus the client
+	// CPU cost — it may not return in ~zero time like the old Query.
+	floor := model.ScaledDelay(model.ClientBaseLatency)
+	if elapsed := time.Since(start); elapsed < floor {
+		t.Fatalf("query returned in %v, below the %v cost-model floor", elapsed, floor)
+	}
+}

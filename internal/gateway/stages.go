@@ -1,0 +1,494 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"fabricsim/internal/fabcrypto"
+	"fabricsim/internal/orderer"
+	"fabricsim/internal/peer"
+	"fabricsim/internal/policy"
+	"fabricsim/internal/types"
+)
+
+// Status is the final outcome of one transaction.
+type Status struct {
+	// TxID identifies the transaction.
+	TxID types.TxID
+	// Code is the validation code the committing peer assigned.
+	Code types.ValidationCode
+	// BlockNum is the block the transaction committed in.
+	BlockNum uint64
+	// Committed reports whether the transaction committed as valid.
+	Committed bool
+	// Payload is the chaincode response payload from endorsement.
+	Payload []byte
+}
+
+// Proposal is a signed transaction proposal: the output of the Propose
+// stage and the input of the Endorse stage.
+type Proposal struct {
+	gw        *Gateway
+	prop      *types.Proposal
+	sig       []byte
+	channel   string
+	targets   []string
+	submitted time.Time
+}
+
+// TxID returns the proposal's transaction ID.
+func (p *Proposal) TxID() types.TxID { return p.prop.TxID }
+
+// Channel returns the channel the proposal targets.
+func (p *Proposal) Channel() string { return p.channel }
+
+// Transaction is an endorsed transaction envelope: the output of the
+// Endorse stage and the input of the Submit stage.
+type Transaction struct {
+	gw        *Gateway
+	prop      *types.Proposal
+	channel   string
+	env       []byte
+	payload   []byte
+	submitted time.Time
+}
+
+// TxID returns the transaction's ID.
+func (t *Transaction) TxID() types.TxID { return t.prop.TxID }
+
+// Payload returns the chaincode response payload from endorsement.
+func (t *Transaction) Payload() []byte { return t.payload }
+
+// Commit is a future for one submitted transaction's final outcome. It
+// resolves when the commit event arrives, when the ordering timeout
+// fires, or — for SubmitAsync — when an earlier stage fails.
+type Commit struct {
+	gw *Gateway
+
+	mu      sync.Mutex
+	txID    types.TxID
+	payload []byte
+
+	done   chan struct{}
+	status *Status
+	err    error
+}
+
+func newCommit(g *Gateway) *Commit {
+	return &Commit{gw: g, done: make(chan struct{})}
+}
+
+// TxID returns the transaction ID, or "" while a SubmitAsync submission
+// has not yet built its proposal.
+func (c *Commit) TxID() types.TxID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.txID
+}
+
+func (c *Commit) setTxID(id types.TxID) {
+	c.mu.Lock()
+	c.txID = id
+	c.mu.Unlock()
+}
+
+// Done returns a channel closed when the future has resolved.
+func (c *Commit) Done() <-chan struct{} { return c.done }
+
+// complete resolves the future exactly once.
+func (c *Commit) complete(st *Status, err error) {
+	c.mu.Lock()
+	c.status, c.err = st, err
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// Status blocks until the future resolves or ctx expires, and returns
+// the transaction's final outcome. After resolution it returns the same
+// result on every call; ctx expiry does not consume the future.
+func (c *Commit) Status(ctx context.Context) (*Status, error) {
+	select {
+	case <-c.done:
+		return c.status, c.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Propose runs the Propose stage on one channel ("" = the default
+// channel): it charges the client CPU cost for the transaction, builds
+// the proposal, and signs it. The channel's endorsement policy selects
+// the endorsement targets.
+func (g *Gateway) Propose(ctx context.Context, channel, chaincodeID, fn string, args [][]byte) (*Proposal, error) {
+	if channel == "" {
+		channel = g.cfg.ChannelID
+	}
+	return g.propose(ctx, channel, g.policyFor(channel), chaincodeID, fn, args, false)
+}
+
+// ProposeWithPolicy is Propose with an explicit endorsement-target
+// policy. The committing peers still enforce the channel policy, so
+// selecting fewer targets than the channel requires yields a
+// transaction flagged ENDORSEMENT_POLICY_FAILURE (the VSCC test path).
+func (g *Gateway) ProposeWithPolicy(ctx context.Context, channel string, pol policy.Policy, chaincodeID, fn string, args [][]byte) (*Proposal, error) {
+	if channel == "" {
+		channel = g.cfg.ChannelID
+	}
+	return g.propose(ctx, channel, pol, chaincodeID, fn, args, false)
+}
+
+// propose is the shared Propose stage. query trims the endorsement to a
+// single target and keeps the transaction out of the collector (an
+// evaluate call never orders or commits).
+func (g *Gateway) propose(ctx context.Context, channel string, pol policy.Policy, chaincodeID, fn string, args [][]byte, query bool) (*Proposal, error) {
+	if err := g.Connect(ctx); err != nil {
+		return nil, err
+	}
+	submitted := time.Now()
+	targets, err := g.selectTargets(pol)
+	if err != nil {
+		return nil, err
+	}
+	if query {
+		targets = targets[:1]
+	}
+	// The whole per-transaction client CPU cost (proposal build/sign
+	// plus verification of each expected endorsement response) is
+	// charged as a single reservation: splitting it across the response
+	// path would let a saturated client starve response processing
+	// behind the proposal backlog, which a fair event loop does not do.
+	if err := g.cfg.CPU.Execute(ctx, g.cfg.Model.ClientTxCost(len(targets))); err != nil {
+		return nil, err
+	}
+	prop, sig, err := g.buildProposal(channel, chaincodeID, fn, args)
+	if err != nil {
+		return nil, err
+	}
+	if g.cfg.Collector != nil && !query {
+		g.cfg.Collector.Submitted(prop.TxID, submitted)
+	}
+	return &Proposal{
+		gw:        g,
+		prop:      prop,
+		sig:       sig,
+		channel:   channel,
+		targets:   targets,
+		submitted: submitted,
+	}, nil
+}
+
+// Endorse runs the Endorse stage: it pays the fixed SDK round-trip
+// latency, fans the proposal out to the selected targets, verifies the
+// responses agree, and assembles the signed transaction envelope.
+func (p *Proposal) Endorse(ctx context.Context) (*Transaction, error) {
+	g := p.gw
+	if err := g.baseLatency(ctx); err != nil {
+		return nil, err
+	}
+	responses, err := g.collectEndorsements(ctx, p.targets, p.prop, p.sig)
+	if err != nil {
+		if g.cfg.Collector != nil {
+			g.cfg.Collector.Rejected(p.prop.TxID)
+		}
+		return nil, err
+	}
+	rwset, endorsements, payload, err := checkResponses(responses)
+	if err != nil {
+		if g.cfg.Collector != nil {
+			g.cfg.Collector.Rejected(p.prop.TxID)
+		}
+		return nil, err
+	}
+	if g.cfg.Collector != nil {
+		g.cfg.Collector.Endorsed(p.prop.TxID, time.Now())
+	}
+
+	tx := &types.Transaction{
+		Proposal:     *p.prop,
+		Results:      *rwset,
+		Endorsements: endorsements,
+		SubmitTime:   p.submitted.UnixNano(),
+	}
+	clientSig, err := g.cfg.Identity.Sign(fabcrypto.Digest(p.prop.Hash(), rwset.Marshal()))
+	if err != nil {
+		return nil, fmt.Errorf("gateway %s: sign envelope: %w", g.cfg.ID, err)
+	}
+	tx.ClientSig = clientSig
+	return &Transaction{
+		gw:        g,
+		prop:      p.prop,
+		channel:   p.channel,
+		env:       tx.Marshal(),
+		payload:   payload,
+		submitted: p.submitted,
+	}, nil
+}
+
+// Submit runs the Submit stage: it broadcasts the envelope to the
+// ordering service and returns a Commit future that resolves on the
+// commit event or the ordering timeout. The pending registration is
+// installed before the broadcast so the event can never outrace it.
+func (t *Transaction) Submit(ctx context.Context) (*Commit, error) {
+	g := t.gw
+	// A gateway resolving futures through commit-status requests never
+	// reads the event stream, so skip the pending registration (and its
+	// per-transaction contention on the shared mutex) entirely.
+	var pend *pendingTx
+	if !g.useStatusRequests() {
+		pend = g.registerPending(t.prop.TxID)
+	}
+
+	osn := g.cfg.Orderers[g.rrOrd.Add(1)%uint64(len(g.cfg.Orderers))]
+	bctx, cancel := context.WithTimeout(ctx, g.cfg.Model.ScaledDelay(g.cfg.Model.OrderTimeout))
+	benv := &orderer.BroadcastEnvelope{Channel: t.channel, Env: t.env}
+	_, err := g.cfg.Endpoint.Call(bctx, osn, orderer.KindBroadcast, benv, len(t.env)+len(t.channel)+16)
+	cancel()
+	if err != nil {
+		if pend != nil {
+			g.unregisterPending(t.prop.TxID)
+		}
+		if g.cfg.Collector != nil {
+			g.cfg.Collector.Rejected(t.prop.TxID)
+		}
+		return nil, fmt.Errorf("gateway %s: broadcast: %w", g.cfg.ID, err)
+	}
+	if g.cfg.Collector != nil {
+		g.cfg.Collector.BroadcastAcked(t.prop.TxID, time.Now())
+	}
+
+	c := newCommit(g)
+	c.txID = t.prop.TxID
+	c.payload = t.payload
+	go g.awaitCommit(c, t.channel, pend)
+	return c, nil
+}
+
+// awaitCommit resolves one Commit future in the background: from the
+// event stream when subscribed, otherwise through the peer's
+// commit-status request path. Running it detached from Status callers
+// guarantees the pending map is cleaned up after the ordering timeout
+// even for fire-and-forget submissions nobody ever awaits.
+func (g *Gateway) awaitCommit(c *Commit, channel string, pend *pendingTx) {
+	wait := g.cfg.Model.ScaledDelay(g.cfg.Model.OrderTimeout)
+
+	if pend == nil {
+		g.awaitCommitStatus(c, channel, wait)
+		return
+	}
+
+	timeout := time.NewTimer(wait)
+	defer timeout.Stop()
+	// The pending entry is removed before the future resolves, so a
+	// resolved future implies no leaked map entry.
+	select {
+	case ev := <-pend.ch:
+		g.unregisterPending(c.txID)
+		g.resolve(c, ev)
+	case <-timeout.C:
+		g.unregisterPending(c.txID)
+		g.resolveTimeout(c, nil)
+	}
+}
+
+// awaitCommitStatus resolves one future through the peer's blocking
+// commit-status request path, retrying transient failures (transport
+// errors, a restarting peer) until the ordering-timeout budget runs
+// out. The last request error is attached to the timeout so a
+// persistent misconfiguration (e.g. an event peer not joined to the
+// channel) stays diagnosable instead of masquerading as ordering lag.
+func (g *Gateway) awaitCommitStatus(c *Commit, channel string, wait time.Duration) {
+	deadline := time.Now().Add(wait)
+	retryGap := g.cfg.Model.ScaledDelay(50 * time.Millisecond)
+	var lastErr error
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			g.resolveTimeout(c, lastErr)
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), remaining)
+		req := &peer.CommitStatusRequest{TxID: c.txID, Channel: channel, WaitNanos: int64(remaining)}
+		raw, err := g.cfg.Endpoint.Call(ctx, g.cfg.EventPeer, peer.KindCommitStatus, req, 64)
+		cancel()
+		if err == nil {
+			if ev, ok := raw.(*peer.CommitEvent); ok {
+				g.resolve(c, *ev)
+				return
+			}
+			err = fmt.Errorf("gateway: bad commit-status reply %T", raw)
+		}
+		lastErr = err
+		gap := retryGap
+		if gap <= 0 {
+			gap = time.Millisecond
+		}
+		if r := time.Until(deadline); gap > r {
+			gap = r
+		}
+		if gap > 0 {
+			time.Sleep(gap)
+		}
+	}
+}
+
+// resolve completes a future from a commit event.
+func (g *Gateway) resolve(c *Commit, ev peer.CommitEvent) {
+	if g.cfg.Collector != nil {
+		if ev.OrderedTime != 0 {
+			g.cfg.Collector.Ordered(c.txID, time.Unix(0, ev.OrderedTime))
+		}
+		committedAt := time.Now()
+		if ev.CommitTime != 0 {
+			committedAt = time.Unix(0, ev.CommitTime)
+		}
+		g.cfg.Collector.Committed(c.txID, committedAt, ev.Code)
+	}
+	st := &Status{
+		TxID:      c.txID,
+		Code:      ev.Code,
+		BlockNum:  ev.BlockNum,
+		Committed: ev.Code.Valid(),
+		Payload:   c.payload,
+	}
+	if !st.Committed {
+		c.complete(st, fmt.Errorf("%w: %s", ErrInvalidated, ev.Code))
+		return
+	}
+	c.complete(st, nil)
+}
+
+// resolveTimeout completes a future as rejected by the ordering
+// timeout; cause, when non-nil, is the last commit-status failure and
+// is attached for diagnosis.
+func (g *Gateway) resolveTimeout(c *Commit, cause error) {
+	if g.cfg.Collector != nil {
+		g.cfg.Collector.Rejected(c.txID)
+	}
+	if cause != nil {
+		c.complete(nil, fmt.Errorf("%w (last commit-status error: %v)", ErrOrderingTimeout, cause))
+		return
+	}
+	c.complete(nil, ErrOrderingTimeout)
+}
+
+// Invoke runs the full staged pipeline closed-loop: Propose, Endorse,
+// Submit, then block on Status — the legacy SDK transaction life cycle.
+func (g *Gateway) Invoke(ctx context.Context, channel, chaincodeID, fn string, args [][]byte) (*Status, error) {
+	prop, err := g.Propose(ctx, channel, chaincodeID, fn, args)
+	if err != nil {
+		return nil, err
+	}
+	return g.finishInvoke(ctx, prop)
+}
+
+// InvokeWithPolicy is Invoke with an explicit endorsement-target policy
+// on the default channel.
+func (g *Gateway) InvokeWithPolicy(ctx context.Context, pol policy.Policy, chaincodeID, fn string, args [][]byte) (*Status, error) {
+	prop, err := g.ProposeWithPolicy(ctx, "", pol, chaincodeID, fn, args)
+	if err != nil {
+		return nil, err
+	}
+	return g.finishInvoke(ctx, prop)
+}
+
+func (g *Gateway) finishInvoke(ctx context.Context, prop *Proposal) (*Status, error) {
+	txn, err := prop.Endorse(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cmt, err := txn.Submit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// A caller abandoning Status early does not orphan the transaction:
+	// the background waiter still resolves (and accounts) the future.
+	return cmt.Status(ctx)
+}
+
+// SubmitAsync runs the whole Propose/Endorse/Submit pipeline in the
+// background and returns a Commit future immediately. It blocks only
+// while every in-flight window slot is occupied; the slot is released
+// when the returned future resolves. This is the open-loop submission
+// path: arrivals are never coupled to completions beyond the window.
+func (g *Gateway) SubmitAsync(ctx context.Context, channel, chaincodeID, fn string, args [][]byte) (*Commit, error) {
+	return g.submitAsync(ctx, true, channel, chaincodeID, fn, args)
+}
+
+// TrySubmitAsync is SubmitAsync without blocking: when every in-flight
+// window slot is occupied it fails fast with ErrWindowFull, which
+// open-loop generators count as a dropped arrival.
+func (g *Gateway) TrySubmitAsync(ctx context.Context, channel, chaincodeID, fn string, args [][]byte) (*Commit, error) {
+	return g.submitAsync(ctx, false, channel, chaincodeID, fn, args)
+}
+
+func (g *Gateway) submitAsync(ctx context.Context, block bool, channel, chaincodeID, fn string, args [][]byte) (*Commit, error) {
+	g.mu.Lock()
+	window := g.window
+	g.mu.Unlock()
+	if block {
+		select {
+		case window <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	} else {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		select {
+		case window <- struct{}{}:
+		default:
+			return nil, ErrWindowFull
+		}
+	}
+
+	c := newCommit(g)
+	go func() {
+		defer func() { <-window }()
+		prop, err := g.Propose(ctx, channel, chaincodeID, fn, args)
+		if err != nil {
+			c.complete(nil, err)
+			return
+		}
+		c.setTxID(prop.TxID())
+		txn, err := prop.Endorse(ctx)
+		if err != nil {
+			c.complete(nil, err)
+			return
+		}
+		inner, err := txn.Submit(ctx)
+		if err != nil {
+			c.complete(nil, err)
+			return
+		}
+		// The inner future resolves within the ordering timeout even if
+		// ctx is long gone; forward its resolution.
+		st, err := inner.Status(context.Background())
+		c.complete(st, err)
+	}()
+	return c, nil
+}
+
+// Evaluate runs the execute phase only (no ordering) and returns the
+// chaincode payload, like an SDK evaluate/query call. It goes through
+// the same cost model as Invoke — connection setup, client CPU for one
+// endorsement, and the fixed SDK round-trip latency — so query latency
+// is comparable with invoke latency instead of unrealistically zero.
+func (g *Gateway) Evaluate(ctx context.Context, chaincodeID, fn string, args [][]byte) ([]byte, error) {
+	prop, err := g.propose(ctx, g.cfg.ChannelID, g.policyFor(g.cfg.ChannelID), chaincodeID, fn, args, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.baseLatency(ctx); err != nil {
+		return nil, err
+	}
+	// collectEndorsements rejects any non-OK response, so a returned
+	// slice always carries a usable payload.
+	responses, err := g.collectEndorsements(ctx, prop.targets, prop.prop, prop.sig)
+	if err != nil {
+		return nil, err
+	}
+	return responses[0].Payload, nil
+}

@@ -36,13 +36,32 @@ const (
 	KindSubscribeEvents = "peer.subscribe"
 	// KindCommitEvent is the peer -> client batched commit notification.
 	KindCommitEvent = "peer.commitevent"
+	// KindCommitStatus is the client -> peer commit-status request: the
+	// reply is the transaction's CommitEvent, resolved immediately from
+	// the ledger index or — when the request asks to wait — when the
+	// transaction commits. It lets a commit future resolve without a
+	// standing event subscription.
+	KindCommitStatus = "peer.commitstatus"
 )
 
 // Errors returned by the endorser.
 var (
 	ErrDuplicateTx = errors.New("peer: duplicate transaction ID")
 	ErrStopped     = errors.New("peer: stopped")
+	ErrTxNotFound  = errors.New("peer: transaction not committed")
 )
+
+// CommitStatusRequest asks one peer for a transaction's final outcome.
+type CommitStatusRequest struct {
+	// TxID identifies the transaction.
+	TxID types.TxID
+	// Channel is the transaction's channel ("" = the default channel).
+	Channel string
+	// WaitNanos is the maximum wall-clock time the peer may hold the
+	// request open waiting for the commit; 0 answers from the ledger
+	// index only.
+	WaitNanos int64
+}
 
 // EndorseRequest is the execute-phase request.
 type EndorseRequest struct {
@@ -109,6 +128,10 @@ type channelState struct {
 	nextBlock uint64
 	pending   map[uint64]*types.Block // out-of-order delivery buffer
 	commitCh  chan *types.Block
+
+	// waiters holds parked commit-status requests by TxID; each entry
+	// is satisfied (and removed) by the commit that indexes the TxID.
+	waiters map[types.TxID][]chan CommitEvent
 }
 
 // Peer is one peer node.
@@ -156,11 +179,13 @@ func New(cfg Config) *Peer {
 			nextBlock: 1,
 			pending:   make(map[uint64]*types.Block),
 			commitCh:  make(chan *types.Block, 1024),
+			waiters:   make(map[types.TxID][]chan CommitEvent),
 		}
 	}
 	p.container = newContainer(cfg.Model, cfg.CPU)
 	cfg.Endpoint.Handle(KindEndorse, p.handleEndorse)
 	cfg.Endpoint.Handle(KindSubscribeEvents, p.handleSubscribe)
+	cfg.Endpoint.Handle(KindCommitStatus, p.handleCommitStatus)
 	cfg.Endpoint.Handle(orderer.KindDeliverBlock, p.handleDeliverBlock)
 	return p
 }
@@ -334,6 +359,100 @@ func (p *Peer) handleSubscribe(_ context.Context, from string, _ any) (any, int,
 	defer p.mu.Unlock()
 	p.subscribers[from] = struct{}{}
 	return "OK", 2, nil
+}
+
+// handleCommitStatus answers one transaction's commit-status request:
+// from the ledger index when the transaction already committed, or by
+// parking the request on the channel's waiter registry until the commit
+// (bounded by the request's wait budget). Handlers run in their own
+// goroutine, so blocking here never stalls dispatch.
+func (p *Peer) handleCommitStatus(ctx context.Context, _ string, payload any) (any, int, error) {
+	req, ok := payload.(*CommitStatusRequest)
+	if !ok {
+		return nil, 0, fmt.Errorf("peer: bad commit-status payload %T", payload)
+	}
+	cs, ok := p.channelFor(req.Channel)
+	if !ok {
+		return nil, 0, fmt.Errorf("peer %s: not joined to channel %q", p.cfg.ID, req.Channel)
+	}
+	if ev, ok := p.lookupCommit(cs, req.TxID); ok {
+		return ev, 48, nil
+	}
+	if req.WaitNanos <= 0 {
+		return nil, 0, fmt.Errorf("%w: %s", ErrTxNotFound, req.TxID)
+	}
+
+	ch := make(chan CommitEvent, 1)
+	cs.mu.Lock()
+	cs.waiters[req.TxID] = append(cs.waiters[req.TxID], ch)
+	cs.mu.Unlock()
+	defer p.dropWaiter(cs, req.TxID, ch)
+	// Close the race with a commit that landed between the lookup and
+	// the registration: the committer only notifies registered waiters.
+	if ev, ok := p.lookupCommit(cs, req.TxID); ok {
+		return ev, 48, nil
+	}
+
+	timeout := time.NewTimer(time.Duration(req.WaitNanos))
+	defer timeout.Stop()
+	select {
+	case ev := <-ch:
+		return &ev, 48, nil
+	case <-timeout.C:
+		return nil, 0, fmt.Errorf("%w: %s", ErrTxNotFound, req.TxID)
+	case <-p.stopCh:
+		return nil, 0, ErrStopped
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}
+
+// lookupCommit resolves a committed transaction into its CommitEvent.
+// Ordered/commit timestamps are unknown for historical lookups and left
+// zero.
+func (p *Peer) lookupCommit(cs *channelState, id types.TxID) (*CommitEvent, bool) {
+	info, err := cs.ledger.GetTx(id)
+	if err != nil {
+		return nil, false
+	}
+	return &CommitEvent{TxID: id, Code: info.Code, BlockNum: info.BlockNum}, true
+}
+
+// dropWaiter removes one parked commit-status request.
+func (p *Peer) dropWaiter(cs *channelState, id types.TxID, ch chan CommitEvent) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	ws := cs.waiters[id]
+	for i, w := range ws {
+		if w == ch {
+			ws = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(ws) == 0 {
+		delete(cs.waiters, id)
+	} else {
+		cs.waiters[id] = ws
+	}
+}
+
+// notifyWaiters satisfies parked commit-status requests for one block's
+// transactions.
+func (p *Peer) notifyWaiters(cs *channelState, events []CommitEvent) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if len(cs.waiters) == 0 {
+		return
+	}
+	for _, ev := range events {
+		for _, ch := range cs.waiters[ev.TxID] {
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+		delete(cs.waiters, ev.TxID)
+	}
 }
 
 // handleDeliverBlock ingests a block pushed by the orderer, routing it
@@ -536,7 +655,7 @@ func (p *Peer) validateAndCommit(ctx context.Context, cs *channelState, block *t
 	if p.cfg.OnCommit != nil {
 		p.cfg.OnCommit(committed, now)
 	}
-	p.emitCommitEvents(committed, txs, now)
+	p.emitCommitEvents(cs, committed, txs, now)
 	return nil
 }
 
@@ -626,8 +745,9 @@ func (p *Peer) mvccValid(cs *channelState, tx *types.Transaction, dirty map[stri
 	return true
 }
 
-// emitCommitEvents pushes one batched event message per subscriber.
-func (p *Peer) emitCommitEvents(block *types.Block, txs []*types.Transaction, committedAt time.Time) {
+// emitCommitEvents pushes one batched event message per subscriber and
+// satisfies parked commit-status requests.
+func (p *Peer) emitCommitEvents(cs *channelState, block *types.Block, txs []*types.Transaction, committedAt time.Time) {
 	events := make([]CommitEvent, 0, len(txs))
 	for i, tx := range txs {
 		events = append(events, CommitEvent{
@@ -638,6 +758,7 @@ func (p *Peer) emitCommitEvents(block *types.Block, txs []*types.Transaction, co
 			CommitTime:  committedAt.UnixNano(),
 		})
 	}
+	p.notifyWaiters(cs, events)
 	p.mu.Lock()
 	subs := make([]string, 0, len(p.subscribers))
 	for s := range p.subscribers {

@@ -1,13 +1,23 @@
-// Package workload implements the open-loop transaction generator the
-// paper's experiments drive Fabric with: a target arrival rate split
-// across the client processes (Fig. 1's per-peer load fractions), with
-// transactions invoked asynchronously — new transactions are issued
-// without waiting for the responses of previous ones (Section IV-A,
-// design principle 3).
+// Package workload drives transaction load through the gateway's
+// asynchronous submission API in two shapes:
+//
+//   - OpenLoop reproduces the paper's experiment driver: a target
+//     arrival rate split across the client processes (Fig. 1's per-peer
+//     load fractions), with new transactions issued without waiting for
+//     the responses of previous ones (Section IV-A, design principle 3).
+//     Arrivals that find the in-flight window full are dropped, so the
+//     generator's rate is never coupled to the network's service rate.
+//
+//   - Pipeline is the windowed closed loop the Gateway API enables: each
+//     client keeps exactly W transactions in flight and submits the next
+//     the moment one resolves. W=1 is the legacy blocking SDK life cycle
+//     (one thread, one transaction); growing W measures how much
+//     throughput the staged API recovers from the same client process.
 package workload
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -16,9 +26,10 @@ import (
 
 	"fabricsim/internal/client"
 	"fabricsim/internal/costmodel"
+	"fabricsim/internal/gateway"
 )
 
-// Arrival selects the inter-arrival process.
+// Arrival selects the inter-arrival process of the open loop.
 type Arrival uint8
 
 // Arrival processes.
@@ -29,14 +40,31 @@ const (
 	Poisson
 )
 
+// Mode selects how load is generated.
+type Mode uint8
+
+// Load-generation modes.
+const (
+	// OpenLoop issues arrivals at Config.Rate regardless of completions.
+	OpenLoop Mode = iota + 1
+	// Pipeline keeps Config.Window transactions in flight per client.
+	Pipeline
+)
+
 // Config parameterizes one load run.
 type Config struct {
+	// Mode selects open-loop (rate-driven) or pipeline (window-driven)
+	// generation (default OpenLoop).
+	Mode Mode
 	// Rate is the aggregate arrival rate in transactions per second of
-	// model time.
+	// model time (OpenLoop only).
 	Rate float64
+	// Window is the per-client in-flight window (Pipeline only,
+	// default 1 — the legacy blocking SDK loop).
+	Window int
 	// Duration is the run length in model time.
 	Duration time.Duration
-	// Arrival is the inter-arrival process (default Uniform).
+	// Arrival is the inter-arrival process (OpenLoop, default Uniform).
 	Arrival Arrival
 	// TxSize is the value size written per transaction (the paper's
 	// transaction-size parameter, default 1 byte).
@@ -52,8 +80,9 @@ type Config struct {
 	KeySpace int
 	// Seed makes Poisson arrivals and key choice reproducible.
 	Seed int64
-	// MaxInFlight caps outstanding transactions per client to bound
-	// memory at extreme overload (0 = 4096).
+	// MaxInFlight caps outstanding transactions per client in OpenLoop
+	// mode to bound memory at extreme overload
+	// (0 = gateway.DefaultMaxInFlight).
 	MaxInFlight int
 	// Channels, when non-empty, sprays transactions round-robin across
 	// the named channels (the paper's channel-scaling axis); empty uses
@@ -61,116 +90,201 @@ type Config struct {
 	Channels []string
 }
 
+func (c *Config) applyDefaults() error {
+	if c.Mode == 0 {
+		c.Mode = OpenLoop
+	}
+	switch c.Mode {
+	case OpenLoop:
+		if c.Rate <= 0 {
+			return fmt.Errorf("workload: non-positive rate %f", c.Rate)
+		}
+	case Pipeline:
+		if c.Window < 1 {
+			c.Window = 1
+		}
+	default:
+		return fmt.Errorf("workload: unknown mode %d", c.Mode)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("workload: non-positive duration %s", c.Duration)
+	}
+	if c.Chaincode == "" {
+		c.Chaincode = "bench"
+	}
+	if c.Fn == "" {
+		c.Fn = "write"
+	}
+	if c.TxSize < 1 {
+		c.TxSize = 1
+	}
+	if c.Arrival == 0 {
+		c.Arrival = Uniform
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = gateway.DefaultMaxInFlight
+	}
+	return nil
+}
+
 // Stats summarizes a finished run.
 type Stats struct {
 	Submitted int64
 	Succeeded int64
 	Failed    int64
-	// Skipped counts arrivals dropped because the in-flight cap was
-	// reached (severe overload only).
+	// Skipped counts open-loop arrivals dropped because the in-flight
+	// window was full (severe overload only).
 	Skipped int64
 }
 
-// Run drives the clients at the configured rate and blocks until all
-// in-flight transactions resolve (commit, rejection, or timeout).
+// runState is the shared bookkeeping of one load run. Counters are
+// atomic.Int64 (not Stats directly) so their 64-bit alignment is
+// guaranteed on 32-bit platforms too.
+type runState struct {
+	cfg   Config
+	txSeq atomic.Int64
+	value []byte
+
+	submitted atomic.Int64
+	succeeded atomic.Int64
+	failed    atomic.Int64
+	skipped   atomic.Int64
+}
+
+// snapshot reduces the counters into the exported Stats shape.
+func (st *runState) snapshot() Stats {
+	return Stats{
+		Submitted: st.submitted.Load(),
+		Succeeded: st.succeeded.Load(),
+		Failed:    st.failed.Load(),
+		Skipped:   st.skipped.Load(),
+	}
+}
+
+// Run drives the clients' gateways in the configured mode and blocks
+// until all in-flight transactions resolve (commit, rejection, or
+// timeout).
 func Run(ctx context.Context, clients []*client.Client, cfg Config) (Stats, error) {
 	if len(clients) == 0 {
 		return Stats{}, fmt.Errorf("workload: no clients")
 	}
-	if cfg.Rate <= 0 {
-		return Stats{}, fmt.Errorf("workload: non-positive rate %f", cfg.Rate)
-	}
-	if cfg.Duration <= 0 {
-		return Stats{}, fmt.Errorf("workload: non-positive duration %s", cfg.Duration)
-	}
-	if cfg.Chaincode == "" {
-		cfg.Chaincode = "bench"
-	}
-	if cfg.Fn == "" {
-		cfg.Fn = "write"
-	}
-	if cfg.TxSize < 1 {
-		cfg.TxSize = 1
-	}
-	if cfg.Arrival == 0 {
-		cfg.Arrival = Uniform
-	}
-	if cfg.MaxInFlight <= 0 {
-		cfg.MaxInFlight = 4096
+	if err := cfg.applyDefaults(); err != nil {
+		return Stats{}, err
 	}
 
-	var stats Stats
+	st := &runState{cfg: cfg, value: make([]byte, cfg.TxSize)}
+	for i := range st.value {
+		st.value[i] = byte('a' + i%26)
+	}
+
 	var wg sync.WaitGroup
-	perClientRate := cfg.Rate / float64(len(clients))
-	wallDuration := cfg.Model.ScaledDelay(cfg.Duration)
-
-	value := make([]byte, cfg.TxSize)
-	for i := range value {
-		value[i] = byte('a' + i%26)
-	}
-
-	var txSeq atomic.Int64
 	for ci, cl := range clients {
-		ci, cl := ci, cl
+		ci, gw := ci, cl.Gateway()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919 + 1))
-			meanGap := time.Duration(float64(time.Second) / perClientRate)
-			wallGap := cfg.Model.ScaledDelay(meanGap)
-			inFlight := make(chan struct{}, cfg.MaxInFlight)
-			var cwg sync.WaitGroup
-
-			end := time.Now().Add(wallDuration)
-			next := time.Now()
-			for time.Now().Before(end) {
-				if ctx.Err() != nil {
-					break
-				}
-				// Open loop: sleep to the next arrival, then fire
-				// without waiting for the previous response.
-				gap := wallGap
-				if cfg.Arrival == Poisson {
-					gap = time.Duration(rng.ExpFloat64() * float64(wallGap))
-				}
-				next = next.Add(gap)
-				if d := time.Until(next); d > 0 {
-					time.Sleep(d)
-				}
-				select {
-				case inFlight <- struct{}{}:
-				default:
-					atomic.AddInt64(&stats.Skipped, 1)
-					continue
-				}
-				seq := txSeq.Add(1)
-				key := fmt.Sprintf("k%d", seq)
-				if cfg.KeySpace > 0 {
-					key = fmt.Sprintf("k%d", rng.Intn(cfg.KeySpace))
-				}
-				atomic.AddInt64(&stats.Submitted, 1)
-				cwg.Add(1)
-				go func() {
-					defer cwg.Done()
-					defer func() { <-inFlight }()
-					args := [][]byte{[]byte(key), value}
-					var err error
-					if len(cfg.Channels) > 0 {
-						channel := cfg.Channels[int(seq)%len(cfg.Channels)]
-						_, err = cl.InvokeOnChannel(ctx, channel, cfg.Chaincode, cfg.Fn, args)
-					} else {
-						_, err = cl.Invoke(ctx, cfg.Chaincode, cfg.Fn, args)
-					}
-					if err != nil {
-						atomic.AddInt64(&stats.Failed, 1)
-						return
-					}
-					atomic.AddInt64(&stats.Succeeded, 1)
-				}()
+			switch cfg.Mode {
+			case Pipeline:
+				st.runPipelineClient(ctx, gw, ci)
+			default:
+				st.runOpenLoopClient(ctx, gw, ci, len(clients))
 			}
-			cwg.Wait()
 		}()
 	}
 	wg.Wait()
-	return stats, ctx.Err()
+	return st.snapshot(), ctx.Err()
+}
+
+// nextArgs picks the next transaction's key and channel.
+func (st *runState) nextArgs(rng *rand.Rand) (channel string, args [][]byte) {
+	seq := st.txSeq.Add(1)
+	key := fmt.Sprintf("k%d", seq)
+	if st.cfg.KeySpace > 0 {
+		key = fmt.Sprintf("k%d", rng.Intn(st.cfg.KeySpace))
+	}
+	if len(st.cfg.Channels) > 0 {
+		channel = st.cfg.Channels[int(seq)%len(st.cfg.Channels)]
+	}
+	return channel, [][]byte{[]byte(key), st.value}
+}
+
+// await counts one commit future's resolution.
+func (st *runState) await(cmt *gateway.Commit, cwg *sync.WaitGroup) {
+	st.submitted.Add(1)
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		// The future resolves within the ordering timeout even after
+		// the run context ends, so the drain below is bounded.
+		if _, err := cmt.Status(context.Background()); err != nil {
+			st.failed.Add(1)
+			return
+		}
+		st.succeeded.Add(1)
+	}()
+}
+
+// runOpenLoopClient fires arrivals at the client's rate share and drops
+// the ones that find the in-flight window full.
+func (st *runState) runOpenLoopClient(ctx context.Context, gw *gateway.Gateway, ci, numClients int) {
+	cfg := st.cfg
+	gw.SetMaxInFlight(cfg.MaxInFlight)
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919 + 1))
+	perClientRate := cfg.Rate / float64(numClients)
+	meanGap := time.Duration(float64(time.Second) / perClientRate)
+	wallGap := cfg.Model.ScaledDelay(meanGap)
+	var cwg sync.WaitGroup
+
+	end := time.Now().Add(cfg.Model.ScaledDelay(cfg.Duration))
+	next := time.Now()
+	for time.Now().Before(end) {
+		if ctx.Err() != nil {
+			break
+		}
+		// Open loop: sleep to the next arrival, then fire without
+		// waiting for the previous response.
+		gap := wallGap
+		if cfg.Arrival == Poisson {
+			gap = time.Duration(rng.ExpFloat64() * float64(wallGap))
+		}
+		next = next.Add(gap)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		channel, args := st.nextArgs(rng)
+		cmt, err := gw.TrySubmitAsync(ctx, channel, cfg.Chaincode, cfg.Fn, args)
+		if err != nil {
+			if errors.Is(err, gateway.ErrWindowFull) {
+				st.skipped.Add(1)
+				continue
+			}
+			break // context canceled
+		}
+		st.await(cmt, &cwg)
+	}
+	cwg.Wait()
+}
+
+// runPipelineClient keeps Window transactions in flight: SubmitAsync
+// blocks exactly while the window is full, so each completion
+// immediately admits the next submission.
+func (st *runState) runPipelineClient(ctx context.Context, gw *gateway.Gateway, ci int) {
+	cfg := st.cfg
+	gw.SetMaxInFlight(cfg.Window)
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919 + 1))
+	var cwg sync.WaitGroup
+
+	end := time.Now().Add(cfg.Model.ScaledDelay(cfg.Duration))
+	for time.Now().Before(end) {
+		if ctx.Err() != nil {
+			break
+		}
+		channel, args := st.nextArgs(rng)
+		cmt, err := gw.SubmitAsync(ctx, channel, cfg.Chaincode, cfg.Fn, args)
+		if err != nil {
+			break // context canceled
+		}
+		st.await(cmt, &cwg)
+	}
+	cwg.Wait()
 }

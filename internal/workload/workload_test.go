@@ -70,6 +70,37 @@ func TestRunPoissonArrivals(t *testing.T) {
 	}
 }
 
+func TestRunPipelineWindowScalesThroughput(t *testing.T) {
+	// The same network must commit strictly more transactions when each
+	// client pipelines 16 in flight than when it runs the legacy
+	// one-at-a-time closed loop (window=1).
+	committed := make(map[int]int64)
+	for _, window := range []int{1, 16} {
+		n := testNet(t, nil)
+		stats, err := Run(context.Background(), n.Clients, Config{
+			Mode:     Pipeline,
+			Window:   window,
+			Duration: 3 * time.Second,
+			Model:    costmodel.Default(0.05),
+			Seed:     1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Submitted == 0 || stats.Succeeded == 0 {
+			t.Fatalf("window %d: nothing committed: %+v", window, stats)
+		}
+		if stats.Submitted != stats.Succeeded+stats.Failed {
+			t.Fatalf("window %d: accounting mismatch: %+v", window, stats)
+		}
+		committed[window] = stats.Succeeded
+	}
+	if committed[16] <= committed[1] {
+		t.Errorf("pipelining did not scale: window=1 committed %d, window=16 committed %d",
+			committed[1], committed[16])
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	n := testNet(t, nil)
 	if _, err := Run(context.Background(), n.Clients, Config{Rate: 0, Duration: time.Second}); err == nil {
