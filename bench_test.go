@@ -132,3 +132,9 @@ func BenchmarkFigChannelsSweep(b *testing.B) { runExperiment(b, "channels") }
 // 64 in quick mode): the gateway's windowed pipeline versus the legacy
 // one-blocking-Invoke-per-client loop at window 1.
 func BenchmarkFigPipelineSweep(b *testing.B) { runExperiment(b, "pipeline") }
+
+// BenchmarkFigCommitSweep runs the committer sweep (pool 1/depth 1 and
+// pool 4/depth 2 in quick mode) on the low- and high-conflict
+// workloads: the staged, dependency-parallel committer versus the
+// legacy serial commit walk.
+func BenchmarkFigCommitSweep(b *testing.B) { runExperiment(b, "commit") }

@@ -8,6 +8,7 @@
 //
 //	fabricnet -orderer raft -osns 3 -peers 3 -rate 50 -duration 10s
 //	fabricnet -open-loop=false -inflight 32            # windowed pipeline
+//	fabricnet -committers 4 -commit-depth 2            # staged committer
 package main
 
 import (
@@ -41,6 +42,8 @@ func run() int {
 		verify      = flag.Bool("verify", false, "real ECDSA signatures and full verification")
 		openLoop    = flag.Bool("open-loop", true, "open-loop load at -rate; false drives a windowed pipeline of -inflight txs per client")
 		inflight    = flag.Int("inflight", 0, "in-flight cap per client: open-loop drop threshold (0 = gateway default) or pipeline window (0 = 16)")
+		committers  = flag.Int("committers", 0, "committer-pool width: parallel state-apply workers per channel commit pipeline (0 = serial)")
+		commitDepth = flag.Int("commit-depth", 0, "commit-pipeline depth: blocks in flight per channel (0 = 1, strictly serial)")
 	)
 	flag.Parse()
 
@@ -53,6 +56,8 @@ func run() int {
 		Model:             model,
 		Collector:         col,
 		UseTCP:            true,
+		CommitterPool:     *committers,
+		CommitDepth:       *commitDepth,
 	}
 	if *verify {
 		cfg.Scheme = "ecdsa"

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"context"
+	"io"
+
+	"fabricsim/internal/fabnet"
+	"fabricsim/internal/policy"
+)
+
+// Commit-sweep configuration: the pipeline sweep's topology (4
+// endorsing peers, OR policy, one channel) with enough deeply-windowed
+// clients that the committer — not the clients or the orderer — is the
+// bottleneck at every point. The swept variables are the
+// committer-pool width and the commit-pipeline depth, so the curve
+// isolates what the staged, dependency-parallel committer recovers
+// from the legacy serial commitLoop. The windowed pipeline load is
+// used (rather than an overloading open loop) so committed throughput
+// reads the committer's service capacity instead of a
+// rejection-distorted overload figure.
+const (
+	commitSweepPeers   = 4
+	commitSweepClients = 16
+	commitSweepWindow  = 32
+	// commitHotKeys confines the high-conflict workload to one hot key:
+	// every transaction of a block lands in a single conflict group, so
+	// the dependency analyzer finds nothing to parallelize and the
+	// pipeline degrades gracefully toward the serial numbers.
+	commitHotKeys = 1
+)
+
+// commitSweepPoints is the (pool, depth) grid (trimmed in quick mode).
+// (1, 1) is the legacy serial committer and must reproduce today's
+// ~300 tps validate cap within noise.
+func commitSweepPoints(quick bool) [][2]int {
+	if quick {
+		return [][2]int{{1, 1}, {4, 2}}
+	}
+	return [][2]int{{1, 1}, {2, 1}, {2, 2}, {4, 2}, {8, 2}, {8, 4}}
+}
+
+// FigCommit measures committed throughput and the per-stage validate
+// breakdown as the committer grows from the serial walk (pool 1, depth
+// 1 — the paper's bottleneck) to a deep, wide pipeline. On the
+// low-conflict workload (fresh key per transaction) every transaction
+// is its own conflict group, so the apply stage fans out across the
+// pool while pipelining overlaps block N+1's VSCC with block N's apply
+// and append; on the high-conflict workload (all writes on one hot
+// key) the whole block is one dependency chain and the extra workers
+// sit idle, degrading gracefully toward the serial numbers.
+func FigCommit() Experiment {
+	return Experiment{
+		ID:    "commit",
+		Title: "Commit sweep: Throughput vs. Committer Pool x Pipeline Depth",
+		Run: func(ctx context.Context, opt Options, w io.Writer) error {
+			header(w, "Commit sweep — Throughput and Validate-Stage Breakdown vs. Pool x Depth")
+			fprintf(w, "(orderer=solo, peers=%d, clients=%d, channels=1, policy=OR, windowed pipeline, %d in flight per client)\n",
+				commitSweepPeers, commitSweepClients, commitSweepWindow)
+			for _, wl := range []struct {
+				label    string
+				keySpace int
+			}{
+				{"low-conflict (fresh key per tx)", 0},
+				{"high-conflict (single hot key)", commitHotKeys},
+			} {
+				fprintf(w, "\n-- workload: %s --\n", wl.label)
+				fprintf(w, "%-6s %-6s %12s %10s %10s %10s %8s %12s\n",
+					"pool", "depth", "throughput", "vscc(s)", "apply(s)", "append(s)", "groups", "validate(s)")
+				for _, pd := range commitSweepPoints(opt.Quick) {
+					p, err := RunPoint(ctx, PointConfig{
+						Orderer:     fabnet.Solo,
+						OSNs:        1,
+						Peers:       commitSweepPeers,
+						Clients:     commitSweepClients,
+						Policy:      policy.OrOverPeers(commitSweepPeers),
+						PolicyLabel: "OR",
+						Window:      commitSweepWindow,
+						Committers:  pd[0],
+						Depth:       pd[1],
+						KeySpace:    wl.keySpace,
+					}, opt)
+					if err != nil {
+						return err
+					}
+					fprintf(w, "%-6d %-6d %12.1f %10s %10s %10s %8.1f %12s\n",
+						pd[0], pd[1], p.Summary.ValidateTPS,
+						secs(p.Summary.VSCCStage.Avg),
+						secs(p.Summary.ApplyStage.Avg),
+						secs(p.Summary.AppendStage.Avg),
+						p.Summary.AvgConflictGroups,
+						secs(p.Summary.ValidateLatency.Avg))
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -85,6 +85,17 @@ type PointConfig struct {
 	// flight through gateway.SubmitAsync and Rate is ignored. 0 keeps
 	// the open loop.
 	Window int
+	// Committers sets the committer-pool width (parallel state-apply
+	// workers per channel commit pipeline); 0 keeps the model default
+	// (1, the serial committer).
+	Committers int
+	// Depth sets the commit-pipeline depth (blocks in flight per
+	// channel); 0 keeps the model default (1, strictly serial).
+	Depth int
+	// KeySpace confines every transaction's writes to this many hot
+	// keys, chaining them into shared conflict groups; 0 writes one
+	// fresh key per transaction (the paper's no-contention workload).
+	KeySpace int
 }
 
 // RunPoint builds the network, applies the load, and reduces metrics.
@@ -102,6 +113,8 @@ func RunPoint(ctx context.Context, pc PointConfig, opt Options) (Point, error) {
 		Policy:            pc.Policy,
 		Model:             model,
 		Collector:         col,
+		CommitterPool:     pc.Committers,
+		CommitDepth:       pc.Depth,
 	}
 	cfg.Channels = fabnet.NumberedChannels(pc.Channels)
 	net, err := fabnet.Build(cfg)
@@ -118,6 +131,7 @@ func RunPoint(ctx context.Context, pc PointConfig, opt Options) (Point, error) {
 		TxSize:   opt.TxSize,
 		Model:    model,
 		Seed:     opt.Seed,
+		KeySpace: pc.KeySpace,
 	}
 	if pc.Window > 0 {
 		wcfg.Mode = workload.Pipeline
@@ -200,6 +214,7 @@ func All() []Experiment {
 	return []Experiment{
 		Fig2(), Fig3(), Fig4(), Fig5(), Fig6(), Fig7(),
 		Table2(), Table3(), Fig8(), FigChannels(), FigPipeline(),
+		FigCommit(),
 	}
 }
 

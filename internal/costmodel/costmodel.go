@@ -88,6 +88,19 @@ type Model struct {
 	// ValidatorPool is the number of parallel VSCC workers per peer
 	// (Fabric's validator pool defaults to the core count).
 	ValidatorPool int
+	// CommitterPool is the number of parallel state-apply workers per
+	// channel commit pipeline. The dependency analyzer partitions each
+	// block into conflict-free transaction groups; independent groups
+	// fan out across the pool while each dependency chain still pays
+	// its MVCC+commit cost serially. 1 (the default) is Fabric's
+	// strictly serial committer.
+	CommitterPool int
+	// CommitDepth is the number of blocks one channel's commit pipeline
+	// holds in flight: with depth d, block N+d-1's VSCC may overlap
+	// block N's state apply and block-store append. 1 (the default)
+	// processes blocks strictly one at a time, the legacy commitLoop
+	// shape.
+	CommitDepth int
 
 	// --- Network (1 Gbps Ethernet substitute) ---
 
@@ -129,6 +142,8 @@ func Default(timeScale float64) Model {
 		CommitPerTxCPU: 2 * time.Millisecond,
 		BlockCommitCPU: 15 * time.Millisecond,
 		ValidatorPool:  4,
+		CommitterPool:  1,
+		CommitDepth:    1,
 
 		LinkLatency:   200 * time.Microsecond,
 		LinkBandwidth: 125e6, // 1 Gbps

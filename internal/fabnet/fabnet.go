@@ -95,6 +95,13 @@ type Config struct {
 	// in-flight window (0 = gateway.DefaultMaxInFlight). Workload
 	// generators resize it per run.
 	ClientMaxInFlight int
+	// CommitterPool overrides Model.CommitterPool when positive: the
+	// parallel state-apply workers each peer's commit pipeline fans
+	// conflict-free transaction groups across.
+	CommitterPool int
+	// CommitDepth overrides Model.CommitDepth when positive: the blocks
+	// each peer channel's commit pipeline holds in flight.
+	CommitDepth int
 	// UseTCP runs every node on real loopback TCP sockets (gob framing)
 	// instead of the in-memory emulated network. Latency/bandwidth then
 	// come from the real kernel path; used by cmd/fabricnet.
@@ -167,6 +174,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Model.TimeScale == 0 {
 		c.Model = costmodel.Default(1)
+	}
+	if c.CommitterPool > 0 {
+		c.Model.CommitterPool = c.CommitterPool
+	}
+	if c.CommitDepth > 0 {
+		c.Model.CommitDepth = c.CommitDepth
 	}
 }
 
@@ -380,6 +393,10 @@ func Build(cfg Config) (*Network, error) {
 	}
 
 	// --- Peers ---
+	// One certificate store per network: endorser certs must not leak
+	// across networks in one process (two networks with colliding peer
+	// IDs would otherwise silently share certificates).
+	certs := peer.NewCertStore()
 	peerByPrincipal := make(map[string]string)
 	totalPeers := cfg.NumEndorsingPeers + cfg.NumCommitOnlyPeers
 	for i := 1; i <= totalPeers; i++ {
@@ -397,12 +414,12 @@ func Build(cfg Config) (*Network, error) {
 			return nil, fmt.Errorf("fabnet: %w", err)
 		}
 		identity := msp.NewSigningIdentity(enrollment)
-		peer.RegisterEndorserCert(identity.ID(), identity.Serialized())
+		certs.Register(identity.ID(), identity.Serialized())
 		ep, err := n.register(nodeID)
 		if err != nil {
 			return nil, fmt.Errorf("fabnet: %w", err)
 		}
-		p := peer.New(peer.Config{
+		pcfg := peer.Config{
 			ID:           nodeID,
 			Endpoint:     ep,
 			Identity:     identity,
@@ -414,9 +431,28 @@ func Build(cfg Config) (*Network, error) {
 			Endorsing:    endorsing,
 			OrdererID:    ordererIDs[(i-1)%len(ordererIDs)],
 			VerifyCrypto: cfg.VerifyCrypto,
+			Certs:        certs,
 			Channels:     channelIDs,
 			Policies:     channelPols,
-		})
+		}
+		if i == 1 && cfg.Collector != nil {
+			// One peer reports commit-stage timings, mirroring the single
+			// block-event observer on OSN 1.
+			col := cfg.Collector
+			pcfg.StageObserver = func(st peer.StageTimings) {
+				col.CommitStage(metrics.CommitStageEvent{
+					Number:      st.Block,
+					Channel:     st.Channel,
+					Txs:         st.Txs,
+					Groups:      st.Groups,
+					VSCC:        st.VSCC,
+					Apply:       st.Apply,
+					Append:      st.Append,
+					CommittedAt: st.CommittedAt,
+				})
+			}
+		}
+		p := peer.New(pcfg)
 		n.Peers = append(n.Peers, p)
 		if endorsing {
 			peerByPrincipal[identity.ID()] = nodeID

@@ -1,6 +1,7 @@
 package fabnet
 
 import (
+	"bytes"
 	"context"
 	"testing"
 	"time"
@@ -79,5 +80,135 @@ func TestEndToEndANDPolicy(t *testing.T) {
 	sum := runSmoke(t, Solo, policy.AndOverPeers(3), 3)
 	if sum.ValidateTPS < 30 {
 		t.Errorf("validate throughput %.1f tps, want >= 30", sum.ValidateTPS)
+	}
+}
+
+// TestPipelinedCommitterCrossPeerAgreement drives a network whose peers
+// run the widest staged committer (pool 4, depth 4) and checks the
+// invariants pipelining must preserve: every peer's hash chain
+// verifies, all peers converge to the same height and tip hash, and the
+// committed world state is byte-identical across endorsing and
+// commit-only peers.
+func TestPipelinedCommitterCrossPeerAgreement(t *testing.T) {
+	col := metrics.NewCollector()
+	model := costmodel.Default(0.1)
+	cfg := Config{
+		Orderer:            Solo,
+		NumEndorsingPeers:  3,
+		NumCommitOnlyPeers: 1,
+		Policy:             policy.OrOverPeers(3),
+		Model:              model,
+		Collector:          col,
+		CommitterPool:      4,
+		CommitDepth:        4,
+	}
+	n, err := Build(cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	defer n.Stop()
+	ctx := context.Background()
+	if err := n.Start(ctx); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	stats, err := workload.Run(ctx, n.Clients, workload.Config{
+		Rate:     120,
+		Duration: 3 * time.Second,
+		Model:    model,
+	})
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	if stats.Succeeded == 0 {
+		t.Fatalf("no transactions committed (failed=%d)", stats.Failed)
+	}
+
+	// Commit-only peers lag the event peers slightly; wait for every
+	// peer to drain to the same height.
+	deadline := time.Now().Add(5 * time.Second)
+	converged := false
+	for time.Now().Before(deadline) && !converged {
+		want := n.Peers[0].Ledger().Height()
+		converged = want > 1
+		for _, p := range n.Peers[1:] {
+			if p.Ledger().Height() != want {
+				converged = false
+			}
+		}
+		if !converged {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if !converged {
+		t.Fatal("peers never converged to one height")
+	}
+	refHash := n.Peers[0].Ledger().LastHash()
+	refState := n.Peers[0].Ledger().State().DumpString()
+	if refState == "" {
+		t.Fatal("reference peer has empty state")
+	}
+	for _, p := range n.Peers {
+		if err := p.Ledger().VerifyChain(); err != nil {
+			t.Errorf("peer %s chain: %v", p.ID(), err)
+		}
+		if !bytes.Equal(p.Ledger().LastHash(), refHash) {
+			t.Errorf("peer %s tip hash diverges", p.ID())
+		}
+		if got := p.Ledger().State().DumpString(); got != refState {
+			t.Errorf("peer %s state diverges from peer %s", p.ID(), n.Peers[0].ID())
+		}
+	}
+	sum := col.Summarize(metrics.SummaryOptions{TimeScale: model.TimeScale})
+	if sum.VSCCStage.Count == 0 {
+		t.Error("no commit-stage samples collected from the observing peer")
+	}
+}
+
+// TestCertStoreScopedPerNetwork is the regression for the old
+// package-global endorser-certificate registry: two networks with
+// colliding peer IDs live in one process, and the second network's
+// registrations must not clobber the first's certificates. Under the
+// global registry the first network's committers would verify
+// endorsements against the second network's keys and reject every
+// transaction with BAD_SIGNATURE.
+func TestCertStoreScopedPerNetwork(t *testing.T) {
+	build := func() *Network {
+		n, err := Build(Config{
+			Orderer:           Solo,
+			NumEndorsingPeers: 2,
+			Policy:            policy.OrOverPeers(2),
+			Model:             costmodel.Default(0.1),
+			Scheme:            "ecdsa",
+			VerifyCrypto:      true,
+		})
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		return n
+	}
+	a := build()
+	defer a.Stop()
+	b := build() // same peer IDs, fresh keys: would overwrite a global registry
+	defer b.Stop()
+
+	ctx := context.Background()
+	for _, n := range []*Network{a, b} {
+		if err := n.Start(ctx); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+	}
+	for name, n := range map[string]*Network{"first": a, "second": b} {
+		stats, err := workload.Run(ctx, n.Clients, workload.Config{
+			Rate:     40,
+			Duration: 1500 * time.Millisecond,
+			Model:    n.Cfg.Model,
+		})
+		if err != nil {
+			t.Fatalf("%s network workload: %v", name, err)
+		}
+		if stats.Succeeded == 0 {
+			t.Errorf("%s network committed nothing (failed=%d) — endorser certs leaked across networks?",
+				name, stats.Failed)
+		}
 	}
 }

@@ -20,6 +20,7 @@ var (
 	ErrBadPrevHash  = errors.New("ledger: previous-hash mismatch")
 	ErrBadNumber    = errors.New("ledger: unexpected block number")
 	ErrNotValidated = errors.New("ledger: block has no validation flags")
+	ErrNotStaged    = errors.New("ledger: block was not staged by ApplyState")
 )
 
 // TxInfo is the indexed location and outcome of a committed transaction.
@@ -30,9 +31,17 @@ type TxInfo struct {
 }
 
 // Ledger is one peer's ledger for one channel.
+//
+// Committing a block is two separable stages so the peer's commit
+// pipeline can overlap them across consecutive blocks: ApplyState
+// verifies the hash chain, indexes the transactions, and applies valid
+// writes to the world state; Append later moves the staged block into
+// the block store (the real counterpart of the modeled fsync). Commit
+// composes both for callers that do not pipeline.
 type Ledger struct {
 	mu      sync.RWMutex
-	blocks  []*types.Block
+	blocks  []*types.Block // appended blocks (the block store)
+	staged  []*types.Block // state-applied blocks awaiting Append
 	txIndex map[types.TxID]TxInfo
 	history map[string][]types.Version // ns/key -> committed write versions
 	state   *statedb.DB
@@ -54,18 +63,40 @@ func New() *Ledger {
 // State returns the ledger's world-state database.
 func (l *Ledger) State() *statedb.DB { return l.state }
 
-// Height returns the number of blocks on the chain (genesis included).
+// Height returns the number of blocks in the block store (genesis
+// included). Blocks that are state-applied but not yet appended do not
+// count; see StagedHeight.
 func (l *Ledger) Height() uint64 {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return uint64(len(l.blocks))
 }
 
-// LastHash returns the hash of the latest block header.
+// StagedHeight returns the number of blocks whose state has been
+// applied (genesis included): Height plus the blocks still staged in
+// the commit pipeline between ApplyState and Append.
+func (l *Ledger) StagedHeight() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return uint64(len(l.blocks) + len(l.staged))
+}
+
+// LastHash returns the hash of the chain tip's header — the newest
+// staged block when the commit pipeline holds any, else the newest
+// appended block — i.e. the PrevHash the next block must carry.
 func (l *Ledger) LastHash() []byte {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	return l.blocks[len(l.blocks)-1].Header.Hash()
+	return l.tipHeaderLocked().Hash()
+}
+
+// tipHeaderLocked returns the newest known block header; callers hold
+// l.mu.
+func (l *Ledger) tipHeaderLocked() *types.BlockHeader {
+	if n := len(l.staged); n > 0 {
+		return &l.staged[n-1].Header
+	}
+	return &l.blocks[len(l.blocks)-1].Header
 }
 
 // GetBlock returns the block at the given number.
@@ -108,12 +139,16 @@ func (l *Ledger) History(ns, key string) []types.Version {
 	return out
 }
 
-// Commit appends a validated block: it verifies the hash chain, indexes
-// every transaction with its validation flag, applies the writes of
-// valid transactions to the world state, and records history. The block
-// must carry validation flags for each transaction (set by the
-// committer's VSCC/MVCC pipeline before Commit is called).
-func (l *Ledger) Commit(block *types.Block, txs []*types.Transaction) error {
+// ApplyState runs the first commit stage: it verifies the hash chain
+// (in chain order, against the newest staged or appended header),
+// indexes every transaction with its validation flag, applies the
+// writes of valid transactions to the world state, records history, and
+// stages the block for a later Append. The block must carry validation
+// flags for each transaction (set by the committer's VSCC/MVCC pipeline
+// before ApplyState is called). The state height advances here even for
+// blocks with no valid transactions, matching Fabric where an
+// all-invalid block still moves the ledger height.
+func (l *Ledger) ApplyState(block *types.Block, txs []*types.Transaction) error {
 	if len(block.Metadata.ValidationFlags) != len(block.Data) {
 		return ErrNotValidated
 	}
@@ -124,11 +159,11 @@ func (l *Ledger) Commit(block *types.Block, txs []*types.Transaction) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 
-	next := uint64(len(l.blocks))
+	next := uint64(len(l.blocks) + len(l.staged))
 	if block.Header.Number != next {
 		return fmt.Errorf("%w: got %d want %d", ErrBadNumber, block.Header.Number, next)
 	}
-	prevHash := l.blocks[len(l.blocks)-1].Header.Hash()
+	prevHash := l.tipHeaderLocked().Hash()
 	if !bytes.Equal(block.Header.PrevHash, prevHash) {
 		return fmt.Errorf("%w at block %d", ErrBadPrevHash, block.Header.Number)
 	}
@@ -155,8 +190,33 @@ func (l *Ledger) Commit(block *types.Block, txs []*types.Transaction) error {
 	if err := l.state.ApplyUpdates(batch, types.Version{BlockNum: block.Header.Number, TxNum: uint64(len(txs))}); err != nil {
 		return fmt.Errorf("ledger: apply state updates: %w", err)
 	}
+	l.staged = append(l.staged, block)
+	return nil
+}
+
+// Append runs the second commit stage: it moves the oldest staged block
+// into the block store. Blocks append strictly in ApplyState order;
+// passing any block but the oldest staged one is an error, so a
+// misordered pipeline fails loudly instead of silently breaking the
+// hash chain.
+func (l *Ledger) Append(block *types.Block) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.staged) == 0 || l.staged[0] != block {
+		return fmt.Errorf("%w: block %d", ErrNotStaged, block.Header.Number)
+	}
+	l.staged = l.staged[1:]
 	l.blocks = append(l.blocks, block)
 	return nil
+}
+
+// Commit applies and appends a validated block in one call — the
+// non-pipelined path used by tests and callers that do not stage.
+func (l *Ledger) Commit(block *types.Block, txs []*types.Transaction) error {
+	if err := l.ApplyState(block, txs); err != nil {
+		return err
+	}
+	return l.Append(block)
 }
 
 // VerifyChain walks the whole chain and checks every hash link and data

@@ -166,3 +166,93 @@ func TestVersionAssignmentWithinBlock(t *testing.T) {
 		t.Errorf("final state = %+v", vv)
 	}
 }
+
+// mkStagedBlock assembles a block chained onto the ledger tip including
+// staged (applied-but-not-appended) blocks.
+func mkStagedBlock(l *Ledger, txs []*types.Transaction, flags []types.ValidationCode) *types.Block {
+	data := make([][]byte, len(txs))
+	for i, tx := range txs {
+		data[i] = tx.Marshal()
+	}
+	b := types.NewBlock(l.StagedHeight(), l.LastHash(), data)
+	b.Metadata.ValidationFlags = flags
+	return b
+}
+
+func TestApplyStateThenAppendSplitsCommit(t *testing.T) {
+	l := New()
+	valid := []types.ValidationCode{types.ValidationValid}
+	txs1 := []*types.Transaction{mkTx("s1", "a")}
+	b1 := mkStagedBlock(l, txs1, valid)
+	if err := l.ApplyState(b1, txs1); err != nil {
+		t.Fatal(err)
+	}
+	// State, index, and tip advance at ApplyState; the block store does
+	// not until Append.
+	if l.Height() != 1 || l.StagedHeight() != 2 {
+		t.Errorf("Height=%d StagedHeight=%d, want 1 and 2", l.Height(), l.StagedHeight())
+	}
+	if !l.HasTx("s1") {
+		t.Error("applied tx not indexed before Append")
+	}
+	if _, ok, _ := l.State().Get("cc", "a"); !ok {
+		t.Error("applied write not visible before Append")
+	}
+	// A second block chains onto the staged tip while b1 awaits append —
+	// the overlap the commit pipeline exploits.
+	txs2 := []*types.Transaction{mkTx("s2", "b")}
+	b2 := mkStagedBlock(l, txs2, valid)
+	if err := l.ApplyState(b2, txs2); err != nil {
+		t.Fatal(err)
+	}
+	// Appending out of order is rejected; in order succeeds.
+	if err := l.Append(b2); !errors.Is(err, ErrNotStaged) {
+		t.Errorf("out-of-order Append = %v, want ErrNotStaged", err)
+	}
+	if err := l.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(b2); err != nil {
+		t.Fatal(err)
+	}
+	if l.Height() != 3 || l.StagedHeight() != 3 {
+		t.Errorf("Height=%d StagedHeight=%d, want 3 and 3", l.Height(), l.StagedHeight())
+	}
+	if err := l.VerifyChain(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyStateChecksChainAgainstStagedTip(t *testing.T) {
+	l := New()
+	valid := []types.ValidationCode{types.ValidationValid}
+	txs1 := []*types.Transaction{mkTx("c1", "a")}
+	b1 := mkStagedBlock(l, txs1, valid)
+	if err := l.ApplyState(b1, txs1); err != nil {
+		t.Fatal(err)
+	}
+	// A block numbered after the staged tip but chained to the wrong
+	// hash must be rejected even though b1 is not yet appended.
+	txs2 := []*types.Transaction{mkTx("c2", "b")}
+	data := [][]byte{txs2[0].Marshal()}
+	wrong := types.NewBlock(2, l.blocks[0].Header.Hash(), data) // genesis hash, not b1's
+	wrong.Metadata.ValidationFlags = valid
+	if err := l.ApplyState(wrong, txs2); !errors.Is(err, ErrBadPrevHash) {
+		t.Errorf("ApplyState = %v, want ErrBadPrevHash", err)
+	}
+	// And a replay of the staged number is rejected.
+	dup := mkStagedBlock(l, txs2, valid)
+	dup.Header.Number = 1
+	if err := l.ApplyState(dup, txs2); !errors.Is(err, ErrBadNumber) {
+		t.Errorf("ApplyState replay = %v, want ErrBadNumber", err)
+	}
+}
+
+func TestAppendWithoutApplyStateRejected(t *testing.T) {
+	l := New()
+	txs := []*types.Transaction{mkTx("x1", "a")}
+	b := mkBlock(l, txs, []types.ValidationCode{types.ValidationValid})
+	if err := l.Append(b); !errors.Is(err, ErrNotStaged) {
+		t.Errorf("Append unstaged = %v, want ErrNotStaged", err)
+	}
+}

@@ -174,3 +174,67 @@ func TestBlocksSorted(t *testing.T) {
 		}
 	}
 }
+
+// TestBlockTPSExcludesFirstBlock is the regression for the block-TPS
+// overcount: n in-window blocks span only n-1 inter-block intervals, so
+// the first block's transactions must not count toward the rate. With
+// an outsized first block the old avg-size/block-time formula read an
+// order of magnitude high.
+func TestBlockTPSExcludesFirstBlock(t *testing.T) {
+	c := NewCollector()
+	base := time.Now()
+	// Submissions spanning 10s so the trimmed window [1.5s, 8.5s] holds
+	// all three blocks.
+	for i := 0; i < 100; i++ {
+		at := time.Duration(i) * 100 * time.Millisecond
+		record(c, fmt.Sprintf("t%d", i), base, at, at, at, at, types.ValidationValid)
+	}
+	c.Block(BlockEvent{Number: 1, CutAt: base.Add(3 * time.Second), Txs: 300})
+	c.Block(BlockEvent{Number: 2, CutAt: base.Add(4 * time.Second), Txs: 10})
+	c.Block(BlockEvent{Number: 3, CutAt: base.Add(5 * time.Second), Txs: 10})
+	s := c.Summarize(SummaryOptions{TimeScale: 1.0})
+	if s.Blocks != 3 {
+		t.Fatalf("blocks in window = %d, want 3", s.Blocks)
+	}
+	// 20 txs committed over the 2s span between block 1 and block 3.
+	if s.BlockTPS < 9 || s.BlockTPS > 11 {
+		t.Errorf("block tps = %.1f, want ~10 (first block's 300 txs excluded)", s.BlockTPS)
+	}
+	if s.BlockTime < 990*time.Millisecond || s.BlockTime > 1010*time.Millisecond {
+		t.Errorf("block time = %s, want ~1s", s.BlockTime)
+	}
+}
+
+func TestCommitStageBreakdown(t *testing.T) {
+	c := NewCollector()
+	base := time.Now()
+	for i := 0; i < 100; i++ {
+		at := time.Duration(i) * 100 * time.Millisecond
+		record(c, fmt.Sprintf("t%d", i), base, at, at, at, at, types.ValidationValid)
+	}
+	// Two blocks inside the window, one far outside it.
+	for i, at := range []time.Duration{3 * time.Second, 4 * time.Second, time.Hour} {
+		c.CommitStage(CommitStageEvent{
+			Number:      uint64(i + 1),
+			Txs:         100,
+			Groups:      50,
+			VSCC:        60 * time.Millisecond,
+			Apply:       250 * time.Millisecond,
+			Append:      15 * time.Millisecond,
+			CommittedAt: base.Add(at),
+		})
+	}
+	s := c.Summarize(SummaryOptions{TimeScale: 1.0})
+	if s.VSCCStage.Count != 2 {
+		t.Fatalf("in-window stage samples = %d, want 2", s.VSCCStage.Count)
+	}
+	if s.VSCCStage.Avg != 60*time.Millisecond || s.ApplyStage.Avg != 250*time.Millisecond || s.AppendStage.Avg != 15*time.Millisecond {
+		t.Errorf("stage avgs = %s/%s/%s", s.VSCCStage.Avg, s.ApplyStage.Avg, s.AppendStage.Avg)
+	}
+	if s.AvgConflictGroups != 50 {
+		t.Errorf("avg groups = %.1f, want 50", s.AvgConflictGroups)
+	}
+	if got := c.CommitStages(); len(got) != 3 {
+		t.Errorf("CommitStages snapshot = %d events, want 3", len(got))
+	}
+}

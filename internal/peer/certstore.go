@@ -1,0 +1,36 @@
+package peer
+
+import "sync"
+
+// CertStore holds endorser certificates for VerifyCrypto mode, scoped
+// to one network: fabnet builds one store per Network and shares it
+// across that network's peers (standing in for Fabric's channel
+// configuration distribution). Scoping the registry to the network —
+// instead of the old package-global map — keeps two networks in one
+// process from silently sharing certificates when their endorser IDs
+// collide, and keeps tests from leaking certs into each other.
+type CertStore struct {
+	mu    sync.RWMutex
+	certs map[string][]byte
+}
+
+// NewCertStore returns an empty certificate registry.
+func NewCertStore() *CertStore {
+	return &CertStore{certs: make(map[string][]byte)}
+}
+
+// Register publishes an endorser's serialized certificate so committing
+// peers can verify endorsement signatures.
+func (s *CertStore) Register(id string, serialized []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.certs[id] = append([]byte(nil), serialized...)
+}
+
+// get returns the serialized certificate registered under id.
+func (s *CertStore) get(id string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	raw, ok := s.certs[id]
+	return raw, ok
+}

@@ -1,0 +1,333 @@
+package peer
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"fabricsim/internal/types"
+)
+
+// This file is the committer: the validate phase rebuilt as a staged,
+// dependency-parallel pipeline (the FastFabric-style committer shape).
+// Each channel runs three stage loops connected by ordered channels:
+//
+//	deliver ─▶ vsccLoop ─▶ applyLoop ─▶ appendLoop ─▶ events
+//	            (VSCC)      (dup scan,     (block-store
+//	                         conflict       append, the
+//	                         groups,        modeled fsync)
+//	                         state apply)
+//
+// A token bucket of Model.CommitDepth slots bounds how many blocks are
+// in flight between VSCC start and append completion, so depth 1
+// reproduces the legacy strictly-serial commitLoop while depth d lets
+// block N+d-1's VSCC overlap block N's apply and append. Within the
+// apply stage, the dependency analyzer (depgraph.go) partitions the
+// block into conflict-free groups that fan out across
+// Model.CommitterPool workers; only true dependency chains pay their
+// MVCC+commit cost serially.
+
+// StageTimings reports one block's trip through a channel's commit
+// pipeline: wall-clock stage durations (simulated-CPU queueing
+// included) plus the conflict-group count the dependency analyzer
+// found. Observers receive it after the block is fully committed.
+type StageTimings struct {
+	Channel string
+	Block   uint64
+	Txs     int
+	// Groups is the number of conflict-free transaction groups (0 when
+	// no transaction passed VSCC).
+	Groups int
+	// VSCC, Apply, Append are the wall durations of the three stages.
+	VSCC   time.Duration
+	Apply  time.Duration
+	Append time.Duration
+	// CommittedAt is when the append stage finished.
+	CommittedAt time.Time
+}
+
+// pipelinedBlock carries one block through the commit stages.
+type pipelinedBlock struct {
+	block    *types.Block
+	vsccDone chan struct{} // closed when the VSCC stage finishes
+
+	// Written by the VSCC stage (readable after vsccDone).
+	txs   []*types.Transaction
+	flags []types.ValidationCode
+	err   error
+
+	// Written by the apply stage.
+	committed *types.Block // per-peer copy carrying the final flags
+	groups    int
+
+	vsccDur  time.Duration
+	applyDur time.Duration
+}
+
+// vsccLoop admits one channel's blocks into the pipeline in delivery
+// order: it acquires a depth token, launches the block's VSCC stage
+// concurrently, and hands the in-flight block to the apply loop. The
+// token is released by the append loop, so at most Model.CommitDepth
+// blocks are in flight per channel.
+func (p *Peer) vsccLoop(cs *channelState) {
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case block := <-cs.commitCh:
+			select {
+			case cs.tokens <- struct{}{}:
+			case <-p.stopCh:
+				return
+			}
+			pb := &pipelinedBlock{block: block, vsccDone: make(chan struct{})}
+			p.wg.Add(1) // Stop waits for in-flight VSCC stages too
+			go p.runVSCCStage(cs, pb)
+			select {
+			case cs.applyCh <- pb:
+			case <-p.stopCh:
+				return
+			}
+		}
+	}
+}
+
+// runVSCCStage decodes the block and runs endorsement-policy validation
+// per transaction, fanned out across the validator pool. Cost scales
+// with the endorsement count (signature verifications), which is why
+// AND policies slow this phase down — the paper's central bottleneck
+// observation.
+//
+// The modeled CPU cost is charged per block rather than per tx: the
+// block's total VSCC cost is split across the pool workers, each
+// reserving one Execute. This is arithmetically identical to per-tx
+// charging under the pool but immune to host-timer granularity (see the
+// simcpu package comment). Integer division would silently drop up to
+// pool-1 nanoseconds of modeled cost per block, so the remainder is
+// charged to the first worker.
+func (p *Peer) runVSCCStage(cs *channelState, pb *pipelinedBlock) {
+	defer p.wg.Done()
+	defer close(pb.vsccDone)
+	start := time.Now()
+	ctx := context.Background()
+
+	txs, err := pb.block.Transactions()
+	if err != nil {
+		pb.err = fmt.Errorf("peer %s: decode block %d: %w", p.cfg.ID, pb.block.Header.Number, err)
+		return
+	}
+	pb.txs = txs
+	pb.flags = make([]types.ValidationCode, len(txs))
+
+	pool := p.cfg.Model.ValidatorPool
+	if pool < 1 {
+		pool = 1
+	}
+	var vsccTotal time.Duration
+	for _, tx := range txs {
+		vsccTotal += p.cfg.Model.VSCCCost(len(tx.Endorsements))
+	}
+	share := vsccTotal / time.Duration(pool)
+	remainder := vsccTotal - share*time.Duration(pool)
+	var wg sync.WaitGroup
+	for w := 0; w < pool; w++ {
+		cost := share
+		if w == 0 {
+			cost += remainder
+		}
+		wg.Add(1)
+		go func(cost time.Duration) {
+			defer wg.Done()
+			_ = p.cfg.CPU.Execute(ctx, cost)
+		}(cost)
+	}
+	// The real policy checks run concurrently with the modeled cost.
+	sem := make(chan struct{}, pool)
+	var cwg sync.WaitGroup
+	for i, tx := range txs {
+		i, tx := i, tx
+		cwg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer cwg.Done()
+			defer func() { <-sem }()
+			pb.flags[i] = p.runVSCC(cs, tx)
+		}()
+	}
+	cwg.Wait()
+	wg.Wait()
+	pb.vsccDur = time.Since(start)
+}
+
+// applyLoop runs the MVCC + state-apply stage for one channel's blocks
+// strictly in order: the pre-pass and the ledger apply of block N
+// complete before block N+1's begin, so within-channel MVCC semantics
+// and duplicate detection across pipelined blocks are identical to the
+// legacy serial walk. A commit failure is fatal for the channel's
+// chain; the loop stops consuming rather than corrupt state.
+func (p *Peer) applyLoop(cs *channelState) {
+	ctx := context.Background()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case pb := <-cs.applyCh:
+			select {
+			case <-pb.vsccDone:
+			case <-p.stopCh:
+				return
+			}
+			if pb.err != nil {
+				return
+			}
+			if err := p.applyStage(ctx, cs, pb); err != nil {
+				return
+			}
+			select {
+			case cs.appendCh <- pb:
+			case <-p.stopCh:
+				return
+			}
+		}
+	}
+}
+
+// applyStage runs the serial duplicate pre-pass, partitions the block
+// into conflict groups, fans the groups out across the committer pool,
+// and applies the resulting writes to the channel's world state.
+func (p *Peer) applyStage(ctx context.Context, cs *channelState, pb *pipelinedBlock) error {
+	start := time.Now()
+	txs, flags := pb.txs, pb.flags
+
+	// Duplicate-TxID detection must see the whole block (and the
+	// already-applied chain) in order, so it runs serially before the
+	// groups fan out: two same-ID transactions may carry different
+	// read/write sets and land in different groups, where a racing
+	// "first one wins" would be nondeterministic.
+	seen := make(map[types.TxID]struct{}, len(txs))
+	billable := make([]bool, len(txs)) // passed VSCC -> pays the MVCC walk
+	for i, tx := range txs {
+		if flags[i] != types.ValidationPending {
+			continue // VSCC already rejected; Fabric never MVCC-checks it
+		}
+		billable[i] = true
+		if _, dup := seen[tx.ID()]; dup || cs.ledger.HasTx(tx.ID()) {
+			flags[i] = types.ValidationDuplicateTxID
+			continue
+		}
+		seen[tx.ID()] = struct{}{}
+	}
+
+	groups := conflictGroups(txs, billable)
+	pb.groups = len(groups)
+	pool := p.cfg.Model.CommitterPool
+	if pool < 1 {
+		pool = 1
+	}
+	var wg sync.WaitGroup
+	for _, bin := range partitionGroups(groups, pool) {
+		if len(bin) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(bin [][]int) {
+			defer wg.Done()
+			var cost time.Duration
+			for _, group := range bin {
+				cost += p.walkGroup(cs, txs, flags, group)
+			}
+			_ = p.cfg.CPU.Execute(ctx, cost)
+		}(bin)
+	}
+	wg.Wait()
+
+	// The in-memory transport shares one *types.Block among all peers;
+	// commit a per-peer copy so validation flags never alias.
+	committed := &types.Block{
+		Header: pb.block.Header,
+		Data:   pb.block.Data,
+		Metadata: types.BlockMetadata{
+			ValidationFlags: flags,
+			OrderedTime:     pb.block.Metadata.OrderedTime,
+			OrdererID:       pb.block.Metadata.OrdererID,
+			ChannelID:       pb.block.Metadata.ChannelID,
+		},
+	}
+	if err := cs.ledger.ApplyState(committed, txs); err != nil {
+		return fmt.Errorf("peer %s: commit block %d: %w", p.cfg.ID, pb.block.Header.Number, err)
+	}
+	pb.committed = committed
+	pb.applyDur = time.Since(start)
+	return nil
+}
+
+// walkGroup runs the MVCC read-conflict walk for one conflict group in
+// block order and returns the group's modeled serial cost. Groups touch
+// disjoint keys, so a group-local dirty set equals the legacy
+// block-wide one restricted to the group's keys and different groups
+// may walk concurrently; flags entries are per-transaction, so writers
+// never alias across groups. Every transaction that passed VSCC pays
+// MVCCPerTxCPU — including duplicates, which Fabric still checks —
+// while only transactions that become valid pay CommitPerTxCPU.
+func (p *Peer) walkGroup(cs *channelState, txs []*types.Transaction, flags []types.ValidationCode, group []int) time.Duration {
+	dirty := make(map[string]struct{})
+	var cost time.Duration
+	for _, i := range group {
+		cost += p.cfg.Model.MVCCPerTxCPU
+		if flags[i] != types.ValidationPending {
+			continue // flagged duplicate by the pre-pass
+		}
+		tx := txs[i]
+		if !p.mvccValid(cs, tx, dirty) {
+			flags[i] = types.ValidationMVCCConflict
+			continue
+		}
+		flags[i] = types.ValidationValid
+		ns := tx.Proposal.ChaincodeID
+		for _, w := range tx.Results.Writes {
+			dirty[ns+"/"+w.Key] = struct{}{}
+		}
+		cost += p.cfg.Model.CommitPerTxCPU
+	}
+	return cost
+}
+
+// appendLoop runs the final stage: the modeled block-store fsync
+// (BlockCommitCPU) and the ordered append, then commit-event delivery.
+// It releases the block's pipeline token, admitting the next block.
+func (p *Peer) appendLoop(cs *channelState) {
+	ctx := context.Background()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case pb := <-cs.appendCh:
+			start := time.Now()
+			if err := p.cfg.CPU.Execute(ctx, p.cfg.Model.BlockCommitCPU); err != nil {
+				return
+			}
+			if err := cs.ledger.Append(pb.committed); err != nil {
+				return
+			}
+			now := time.Now()
+			if p.cfg.OnCommit != nil {
+				p.cfg.OnCommit(pb.committed, now)
+			}
+			p.emitCommitEvents(cs, pb.committed, pb.txs, now)
+			if p.cfg.StageObserver != nil {
+				p.cfg.StageObserver(StageTimings{
+					Channel:     cs.id,
+					Block:       pb.committed.Header.Number,
+					Txs:         len(pb.txs),
+					Groups:      pb.groups,
+					VSCC:        pb.vsccDur,
+					Apply:       pb.applyDur,
+					Append:      now.Sub(start),
+					CommittedAt: now,
+				})
+			}
+			<-cs.tokens
+		}
+	}
+}

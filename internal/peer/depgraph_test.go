@@ -1,0 +1,131 @@
+package peer
+
+import (
+	"fmt"
+	"testing"
+
+	"fabricsim/internal/types"
+)
+
+// depTx builds a bare transaction reading and writing the given keys in
+// namespace "bench".
+func depTx(id string, reads, writes []string) *types.Transaction {
+	tx := &types.Transaction{
+		Proposal: types.Proposal{TxID: types.TxID(id), ChaincodeID: "bench"},
+	}
+	for _, r := range reads {
+		tx.Results.Reads = append(tx.Results.Reads, types.KVRead{Key: r})
+	}
+	for _, w := range writes {
+		tx.Results.Writes = append(tx.Results.Writes, types.KVWrite{Key: w, Value: []byte("v")})
+	}
+	return tx
+}
+
+func allParticipate(n int) []bool {
+	p := make([]bool, n)
+	for i := range p {
+		p[i] = true
+	}
+	return p
+}
+
+func TestConflictGroupsDisjointKeys(t *testing.T) {
+	txs := make([]*types.Transaction, 5)
+	for i := range txs {
+		k := fmt.Sprintf("k%d", i)
+		txs[i] = depTx(fmt.Sprintf("tx%d", i), nil, []string{k})
+	}
+	groups := conflictGroups(txs, allParticipate(len(txs)))
+	if len(groups) != 5 {
+		t.Fatalf("groups = %d, want 5 singletons", len(groups))
+	}
+	for i, g := range groups {
+		if len(g) != 1 || g[0] != i {
+			t.Errorf("group %d = %v", i, g)
+		}
+	}
+}
+
+func TestConflictGroupsTransitiveChain(t *testing.T) {
+	// tx0 writes a, tx1 reads a writes b, tx2 reads b: one chain even
+	// though tx0 and tx2 share no key directly. tx3 is independent.
+	txs := []*types.Transaction{
+		depTx("tx0", nil, []string{"a"}),
+		depTx("tx1", []string{"a"}, []string{"b"}),
+		depTx("tx2", []string{"b"}, nil),
+		depTx("tx3", nil, []string{"z"}),
+	}
+	groups := conflictGroups(txs, allParticipate(len(txs)))
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want chain + singleton", groups)
+	}
+	if len(groups[0]) != 3 || groups[0][0] != 0 || groups[0][1] != 1 || groups[0][2] != 2 {
+		t.Errorf("chain group = %v, want [0 1 2] in block order", groups[0])
+	}
+	if len(groups[1]) != 1 || groups[1][0] != 3 {
+		t.Errorf("singleton group = %v, want [3]", groups[1])
+	}
+}
+
+func TestConflictGroupsIgnoreVSCCRejected(t *testing.T) {
+	// tx1 touches both a and b but failed VSCC: it must not glue the
+	// two otherwise-independent groups together.
+	txs := []*types.Transaction{
+		depTx("tx0", nil, []string{"a"}),
+		depTx("tx1", []string{"a"}, []string{"b"}),
+		depTx("tx2", nil, []string{"b"}),
+	}
+	participates := []bool{true, false, true}
+	groups := conflictGroups(txs, participates)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want 2 (rejected tx must not merge them)", groups)
+	}
+}
+
+func TestConflictGroupsNamespaceQualified(t *testing.T) {
+	// Same key name in different chaincode namespaces never conflicts.
+	a := depTx("tx0", nil, []string{"k"})
+	b := depTx("tx1", nil, []string{"k"})
+	b.Proposal.ChaincodeID = "other"
+	groups := conflictGroups([]*types.Transaction{a, b}, allParticipate(2))
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want 2 (namespaces are disjoint)", groups)
+	}
+}
+
+func TestPartitionGroupsSpreadsAndKeepsChains(t *testing.T) {
+	groups := [][]int{{0, 1, 2, 3}, {4}, {5}, {6}, {7}}
+	bins := partitionGroups(groups, 2)
+	if len(bins) != 2 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	// The 4-chain goes to one bin; the four singletons balance the other
+	// bin first (LPT), so loads end up 4 vs 4.
+	load := func(bin [][]int) int {
+		n := 0
+		for _, g := range bin {
+			n += len(g)
+		}
+		return n
+	}
+	if load(bins[0]) != 4 || load(bins[1]) != 4 {
+		t.Errorf("loads = %d, %d, want 4 and 4", load(bins[0]), load(bins[1]))
+	}
+	// Every group lands in exactly one bin.
+	total := 0
+	for _, bin := range bins {
+		total += len(bin)
+	}
+	if total != len(groups) {
+		t.Errorf("distributed %d groups, want %d", total, len(groups))
+	}
+}
+
+func TestPartitionGroupsSingleBin(t *testing.T) {
+	groups := [][]int{{0}, {1}, {2}}
+	bins := partitionGroups(groups, 1)
+	if len(bins) != 1 || len(bins[0]) != 3 {
+		t.Fatalf("bins = %v, want all groups in one bin", bins)
+	}
+}

@@ -105,8 +105,15 @@ type Config struct {
 	// modeled CPU cost. Correctness tests enable it; large sweeps rely
 	// on the cost model alone.
 	VerifyCrypto bool
+	// Certs resolves endorser certificates in VerifyCrypto mode. All
+	// peers of one network share one store (fabnet builds it); nil gets
+	// a private empty store, so VerifyCrypto rejects every endorsement.
+	Certs *CertStore
 	// OnCommit, when non-nil, observes every committed block.
 	OnCommit func(block *types.Block, committedAt time.Time)
+	// StageObserver, when non-nil, receives each committed block's
+	// pipeline stage breakdown (metrics wiring).
+	StageObserver func(StageTimings)
 	// Channels lists the channels this peer joins; the peer keeps an
 	// independent ledger, state DB, and commit pipeline per channel, so
 	// validation on one channel never serializes behind another. Empty
@@ -128,6 +135,13 @@ type channelState struct {
 	nextBlock uint64
 	pending   map[uint64]*types.Block // out-of-order delivery buffer
 	commitCh  chan *types.Block
+
+	// Commit-pipeline plumbing (see committer.go): applyCh and appendCh
+	// carry in-flight blocks between the stage loops in delivery order;
+	// tokens bounds the blocks in flight to Model.CommitDepth.
+	applyCh  chan *pipelinedBlock
+	appendCh chan *pipelinedBlock
+	tokens   chan struct{}
 
 	// waiters holds parked commit-status requests by TxID; each entry
 	// is satisfied (and removed) by the commit that indexes the TxID.
@@ -159,6 +173,9 @@ func New(cfg Config) *Peer {
 	if len(cfg.Channels) == 0 {
 		cfg.Channels = []string{orderer.DefaultChannel}
 	}
+	if cfg.Certs == nil {
+		cfg.Certs = NewCertStore()
+	}
 	p := &Peer{
 		cfg:         cfg,
 		channels:    make(map[string]*channelState, len(cfg.Channels)),
@@ -166,6 +183,10 @@ func New(cfg Config) *Peer {
 		subscribers: make(map[string]struct{}),
 		stopCh:      make(chan struct{}),
 		done:        make(chan struct{}),
+	}
+	depth := cfg.Model.CommitDepth
+	if depth < 1 {
+		depth = 1
 	}
 	for _, ch := range cfg.Channels {
 		pol := cfg.Policy
@@ -179,6 +200,9 @@ func New(cfg Config) *Peer {
 			nextBlock: 1,
 			pending:   make(map[uint64]*types.Block),
 			commitCh:  make(chan *types.Block, 1024),
+			applyCh:   make(chan *pipelinedBlock, depth),
+			appendCh:  make(chan *pipelinedBlock, depth),
+			tokens:    make(chan struct{}, depth),
 			waiters:   make(map[types.TxID][]chan CommitEvent),
 		}
 	}
@@ -242,11 +266,13 @@ func (p *Peer) Start(ctx context.Context) error {
 
 func (p *Peer) launchCommitLoops() {
 	for _, cs := range p.channels {
-		p.wg.Add(1)
-		go func(cs *channelState) {
-			defer p.wg.Done()
-			p.commitLoop(cs)
-		}(cs)
+		for _, loop := range []func(*channelState){p.vsccLoop, p.applyLoop, p.appendLoop} {
+			p.wg.Add(1)
+			go func(loop func(*channelState), cs *channelState) {
+				defer p.wg.Done()
+				loop(cs)
+			}(loop, cs)
+		}
 	}
 	go func() {
 		p.wg.Wait()
@@ -532,133 +558,6 @@ func (p *Peer) catchUp(ctx context.Context, ordererID, channel string, from, to 
 	}
 }
 
-// commitLoop validates and commits one channel's blocks strictly in
-// order; each channel's loop runs independently, so a slow validate on
-// one channel never stalls another.
-func (p *Peer) commitLoop(cs *channelState) {
-	ctx := context.Background()
-	for {
-		select {
-		case <-p.stopCh:
-			return
-		case block := <-cs.commitCh:
-			if err := p.validateAndCommit(ctx, cs, block); err != nil {
-				// A commit failure is fatal for the channel's chain; stop
-				// consuming rather than corrupt state.
-				return
-			}
-		}
-	}
-}
-
-// validateAndCommit runs the validate phase for one block: parallel
-// VSCC across the validator pool, then the serial MVCC + commit walk.
-func (p *Peer) validateAndCommit(ctx context.Context, cs *channelState, block *types.Block) error {
-	txs, err := block.Transactions()
-	if err != nil {
-		return fmt.Errorf("peer %s: decode block %d: %w", p.cfg.ID, block.Header.Number, err)
-	}
-	flags := make([]types.ValidationCode, len(txs))
-
-	// VSCC: endorsement-policy validation per transaction, fanned out
-	// across the validator pool. Cost scales with the endorsement count
-	// (signature verifications), which is why AND policies slow this
-	// phase down — the paper's central bottleneck observation.
-	//
-	// The modeled CPU cost is charged per block rather than per tx: the
-	// block's total VSCC cost is split evenly across the pool workers,
-	// each reserving one Execute. This is arithmetically identical to
-	// per-tx charging under the pool but immune to host-timer
-	// granularity (see the simcpu package comment).
-	pool := p.cfg.Model.ValidatorPool
-	if pool < 1 {
-		pool = 1
-	}
-	var vsccTotal time.Duration
-	for _, tx := range txs {
-		vsccTotal += p.cfg.Model.VSCCCost(len(tx.Endorsements))
-	}
-	share := vsccTotal / time.Duration(pool)
-	var wg sync.WaitGroup
-	for w := 0; w < pool; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			_ = p.cfg.CPU.Execute(ctx, share)
-		}()
-	}
-	// The real policy checks run concurrently with the modeled cost.
-	sem := make(chan struct{}, pool)
-	var cwg sync.WaitGroup
-	for i, tx := range txs {
-		i, tx := i, tx
-		cwg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer cwg.Done()
-			defer func() { <-sem }()
-			flags[i] = p.runVSCC(cs, tx)
-		}()
-	}
-	cwg.Wait()
-	wg.Wait()
-
-	// Serial walk: duplicate TxID, MVCC read-conflict, world-state
-	// apply. Order inside the block matters: an earlier valid tx's
-	// writes invalidate later reads of the same keys. The modeled
-	// serial cost (block overhead + per-tx MVCC and state write) is
-	// charged as one reservation for the whole block.
-	seen := make(map[types.TxID]struct{}, len(txs))
-	dirty := make(map[string]struct{})
-	serialCost := p.cfg.Model.BlockCommitCPU
-	for i, tx := range txs {
-		serialCost += p.cfg.Model.MVCCPerTxCPU
-		if flags[i] != types.ValidationPending {
-			continue // VSCC already rejected
-		}
-		if _, dup := seen[tx.ID()]; dup || cs.ledger.HasTx(tx.ID()) {
-			flags[i] = types.ValidationDuplicateTxID
-			continue
-		}
-		seen[tx.ID()] = struct{}{}
-		if !p.mvccValid(cs, tx, dirty) {
-			flags[i] = types.ValidationMVCCConflict
-			continue
-		}
-		flags[i] = types.ValidationValid
-		ns := tx.Proposal.ChaincodeID
-		for _, w := range tx.Results.Writes {
-			dirty[ns+"/"+w.Key] = struct{}{}
-		}
-		serialCost += p.cfg.Model.CommitPerTxCPU
-	}
-	if err := p.cfg.CPU.Execute(ctx, serialCost); err != nil {
-		return err
-	}
-
-	// The in-memory transport shares one *types.Block among all peers;
-	// commit a per-peer copy so validation flags never alias.
-	committed := &types.Block{
-		Header: block.Header,
-		Data:   block.Data,
-		Metadata: types.BlockMetadata{
-			ValidationFlags: flags,
-			OrderedTime:     block.Metadata.OrderedTime,
-			OrdererID:       block.Metadata.OrdererID,
-			ChannelID:       block.Metadata.ChannelID,
-		},
-	}
-	if err := cs.ledger.Commit(committed, txs); err != nil {
-		return fmt.Errorf("peer %s: commit block %d: %w", p.cfg.ID, block.Header.Number, err)
-	}
-	now := time.Now()
-	if p.cfg.OnCommit != nil {
-		p.cfg.OnCommit(committed, now)
-	}
-	p.emitCommitEvents(cs, committed, txs, now)
-	return nil
-}
-
 // runVSCC validates one transaction's endorsements against the channel
 // policy and returns a rejection code, or ValidationPending to let the
 // serial walk continue. The modeled CPU cost is charged block-wide by
@@ -691,26 +590,8 @@ func (p *Peer) runVSCC(cs *channelState, tx *types.Transaction) types.Validation
 	return types.ValidationPending
 }
 
-// endorserCerts caches endorser certificates by ID for VerifyCrypto
-// mode; populated lazily via the MSP when first seen in a transaction.
-var (
-	endorserCertsMu sync.RWMutex
-	endorserCerts   = make(map[string][]byte)
-)
-
-// RegisterEndorserCert publishes an endorser's serialized certificate so
-// committing peers can verify endorsement signatures in VerifyCrypto
-// mode (standing in for Fabric's channel configuration distribution).
-func RegisterEndorserCert(id string, serialized []byte) {
-	endorserCertsMu.Lock()
-	defer endorserCertsMu.Unlock()
-	endorserCerts[id] = append([]byte(nil), serialized...)
-}
-
 func (p *Peer) lookupEndorserCert(id string) (*ca.Certificate, error) {
-	endorserCertsMu.RLock()
-	raw, ok := endorserCerts[id]
-	endorserCertsMu.RUnlock()
+	raw, ok := p.cfg.Certs.get(id)
 	if !ok {
 		return nil, fmt.Errorf("peer: no registered certificate for %s", id)
 	}

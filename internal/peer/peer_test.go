@@ -24,12 +24,25 @@ type env struct {
 	net     *transport.Network
 	peers   []*Peer
 	peerIDs []*msp.SigningIdentity
+	cpus    []*simcpu.CPU
 	client  *msp.SigningIdentity
 	m       *msp.MSP
 	sender  transport.Endpoint
 }
 
 func newEnv(t *testing.T, numPeers int, pol policy.Policy, verify bool) *env {
+	return newEnvModel(t, numPeers, pol, verify, nil)
+}
+
+// newEnvModel builds the environment with an optional cost-model tweak
+// (committer pool, pipeline depth, ...) applied before peers start.
+func newEnvModel(t *testing.T, numPeers int, pol policy.Policy, verify bool, tweak func(*costmodel.Model)) *env {
+	return newEnvChannels(t, numPeers, pol, verify, tweak, nil)
+}
+
+// newEnvChannels additionally joins every peer to the given channels
+// (nil = the single default channel "perf").
+func newEnvChannels(t *testing.T, numPeers int, pol policy.Policy, verify bool, tweak func(*costmodel.Model), channels []string) *env {
 	t.Helper()
 	e := &env{
 		t:   t,
@@ -37,6 +50,9 @@ func newEnv(t *testing.T, numPeers int, pol policy.Policy, verify bool) *env {
 	}
 	t.Cleanup(e.net.Close)
 	model := costmodel.Default(0.01) // fast
+	if tweak != nil {
+		tweak(&model)
+	}
 
 	cas := make([]*ca.CA, 0, numPeers+1)
 	for i := 1; i <= numPeers; i++ {
@@ -54,18 +70,21 @@ func newEnv(t *testing.T, numPeers int, pol policy.Policy, verify bool) *env {
 	e.m = msp.New(cas...)
 
 	registry := chaincode.NewRegistry(chaincode.NewKVStore("bench"), chaincode.NewCounter("ctr"))
+	certs := NewCertStore()
 	for i := 1; i <= numPeers; i++ {
 		enr, err := cas[i-1].Enroll("peer0", ca.RolePeer)
 		if err != nil {
 			t.Fatal(err)
 		}
 		identity := msp.NewSigningIdentity(enr)
-		RegisterEndorserCert(identity.ID(), identity.Serialized())
+		certs.Register(identity.ID(), identity.Serialized())
 		e.peerIDs = append(e.peerIDs, identity)
 		ep, err := e.net.Register(peerID(i))
 		if err != nil {
 			t.Fatal(err)
 		}
+		cpu := simcpu.New(model.PeerCores, model.TimeScale)
+		e.cpus = append(e.cpus, cpu)
 		p := New(Config{
 			ID:           peerID(i),
 			Endpoint:     ep,
@@ -74,9 +93,11 @@ func newEnv(t *testing.T, numPeers int, pol policy.Policy, verify bool) *env {
 			Registry:     registry,
 			Policy:       pol,
 			Model:        model,
-			CPU:          simcpu.New(model.PeerCores, model.TimeScale),
+			CPU:          cpu,
 			Endorsing:    true,
 			VerifyCrypto: verify,
+			Certs:        certs,
+			Channels:     channels,
 		})
 		if err := p.Start(context.Background()); err != nil {
 			t.Fatal(err)
