@@ -138,3 +138,9 @@ func BenchmarkFigPipelineSweep(b *testing.B) { runExperiment(b, "pipeline") }
 // workloads: the staged, dependency-parallel committer versus the
 // legacy serial commit walk.
 func BenchmarkFigCommitSweep(b *testing.B) { runExperiment(b, "commit") }
+
+// BenchmarkFigEndorseSweep runs the endorser-replication sweep (1 and 4
+// replicas per org under OR, round-robin and power-of-two-choices in
+// quick mode): horizontal execute-phase scaling under a compute-heavy
+// contract.
+func BenchmarkFigEndorseSweep(b *testing.B) { runExperiment(b, "endorse") }

@@ -37,6 +37,7 @@ func run() int {
 		quick      = flag.Bool("quick", false, "trimmed sweeps for smoke runs")
 		txSize     = flag.Int("txsize", 1, "transaction value size in bytes")
 		seed       = flag.Int64("seed", 1, "workload random seed")
+		jsonDir    = flag.String("json", "", "directory for machine-readable BENCH_<id>.json output (empty = disabled)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -52,6 +53,7 @@ func run() int {
 		Quick:    *quick,
 		TxSize:   *txSize,
 		Seed:     *seed,
+		JSONDir:  *jsonDir,
 	}
 
 	var exps []bench.Experiment

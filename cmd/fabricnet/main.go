@@ -33,7 +33,9 @@ func run() int {
 	var (
 		ordererType = flag.String("orderer", "solo", "ordering service: solo | kafka | raft")
 		osns        = flag.Int("osns", 3, "ordering service nodes (solo forces 1)")
-		peers       = flag.Int("peers", 3, "endorsing peers (one per org)")
+		peers       = flag.Int("peers", 3, "endorsing organizations (one org principal each)")
+		endorsers   = flag.Int("endorsers-per-org", 1, "interchangeable endorsing replicas per org (shared org identity)")
+		balancer    = flag.String("balancer", "roundrobin", "endorsement replica balancer: roundrobin | random | p2c | ewma")
 		channels    = flag.Int("channels", 1, "concurrently-ordered channels (load is sprayed across them)")
 		policyStr   = flag.String("policy", "", "endorsement policy (default OR over all peers)")
 		rate        = flag.Float64("rate", 50, "arrival rate, tx/s (model time, open loop)")
@@ -53,6 +55,8 @@ func run() int {
 		Orderer:           fabnet.OrdererType(*ordererType),
 		NumOrderers:       *osns,
 		NumEndorsingPeers: *peers,
+		EndorsersPerOrg:   *endorsers,
+		Balancer:          *balancer,
 		Model:             model,
 		Collector:         col,
 		UseTCP:            true,

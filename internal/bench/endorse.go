@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fabricsim/internal/fabnet"
+	"fabricsim/internal/policy"
+)
+
+// Endorse-sweep configuration. After the staged committer (PR 3) the
+// validate phase sustains ~800+ tps, so the execute phase is the
+// system bottleneck again — exactly the paper's Table II wall. The
+// sweep models a compute-heavy contract (endorseChaincodeExec of
+// contract logic per invocation), which pins one replica's endorsement
+// capacity near ~100 tps — far below both the committer's ceiling and
+// the client pool's aggregate CPU — so the only way throughput moves is
+// by adding endorsing replicas. The swept variables are
+// EndorsersPerOrg (1 -> 8) and the gateway balancer, under OR and AND2
+// policies over two orgs.
+const (
+	endorseSweepOrgs    = 2
+	endorseSweepClients = 24
+	endorseSweepWindow  = 40
+	// endorseChaincodeExec is the modeled contract-logic CPU per
+	// invocation: heavy enough that a single replica saturates around
+	// ~75 tps while 8 cores x (cost/replicas + commit tax) keeps
+	// scaling past 500 tps at 8 replicas per org.
+	endorseChaincodeExec = 200 * time.Millisecond
+	// The staged committer keeps the validate phase out of the way.
+	endorseCommitters  = 4
+	endorseCommitDepth = 2
+	// endorsePerturbCores throttles one replica in the perturbation
+	// section (a quarter of Model.PeerCores' 8): the scenario where
+	// load-aware balancers must beat blind rotation.
+	endorsePerturbCores = 2
+	// endorsePerturbWindow shrinks the per-client window for the
+	// perturbation rows. Blind rotation keeps assigning 1/(2*replicas)
+	// of all arrivals to the throttled replica, so its queue strands
+	// window slots faster than it serves them; with a shallow window
+	// those stranded slots quickly starve submission, while a
+	// load-aware balancer routes around the backlog and keeps the
+	// window turning.
+	endorsePerturbWindow = 8
+)
+
+// endorseReplicaCounts is the replicas-per-org sweep (trimmed in quick
+// mode to the 1-replica baseline and the 4-replica scaling point).
+func endorseReplicaCounts(quick bool) []int {
+	if quick {
+		return []int{1, 4}
+	}
+	return []int{1, 2, 4, 8}
+}
+
+// endorseBalancers picks the strategies compared per policy: the full
+// OR sweep runs all four, AND2 just the default against
+// power-of-two-choices.
+func endorseBalancers(quick bool, policyLabel string) []string {
+	if quick || policyLabel == "AND2" {
+		return []string{"roundrobin", "p2c"}
+	}
+	return []string{"roundrobin", "random", "p2c", "ewma"}
+}
+
+// EndorsePoint is one machine-readable endorse-sweep measurement
+// (BENCH_endorse.json rows).
+type EndorsePoint struct {
+	Policy            string  `json:"policy"`
+	Balancer          string  `json:"balancer"`
+	ReplicasPerOrg    int     `json:"replicas_per_org"`
+	Perturbed         int     `json:"perturbed,omitempty"`
+	ThroughputTPS     float64 `json:"throughput_tps"`
+	ExecuteTPS        float64 `json:"execute_tps"`
+	EndorseP50Seconds float64 `json:"endorse_p50_s"`
+	EndorseP99Seconds float64 `json:"endorse_p99_s"`
+	EndorseSkew       float64 `json:"endorse_skew"`
+}
+
+// FigEndorse measures committed throughput, per-call endorsement
+// latency (p50/p99), and balance skew as each org's endorser is
+// replicated 1 -> 8 times. One replica per org with the round-robin
+// balancer is wire-identical to the classic topology and must reproduce
+// its numbers within noise; under OR, throughput then scales
+// near-linearly with replicas until the staged committer or the client
+// pool binds. The perturbation section throttles one replica's CPU and
+// compares blind rotation against power-of-two-choices, whose in-flight
+// signal routes around the slow replica.
+func FigEndorse() Experiment {
+	return Experiment{
+		ID:    "endorse",
+		Title: "Endorse sweep: Throughput vs. Endorser Replicas x Balancer",
+		Run: func(ctx context.Context, opt Options, w io.Writer) error {
+			header(w, "Endorse sweep — Throughput and Endorse Latency vs. Replicas x Balancer")
+			fprintf(w, "(orderer=solo, orgs=%d, clients=%d, window=%d, committers=%d, depth=%d, chaincode=%s of contract logic)\n",
+				endorseSweepOrgs, endorseSweepClients, endorseSweepWindow,
+				endorseCommitters, endorseCommitDepth, endorseChaincodeExec)
+			var points []EndorsePoint
+			run := func(label string, pol policy.Policy, balancer string, replicas, perturbed, window int) (EndorsePoint, error) {
+				p, err := RunPoint(ctx, PointConfig{
+					Orderer:         fabnet.Solo,
+					OSNs:            1,
+					Peers:           endorseSweepOrgs,
+					Clients:         endorseSweepClients,
+					Policy:          pol,
+					PolicyLabel:     label,
+					Window:          window,
+					Committers:      endorseCommitters,
+					Depth:           endorseCommitDepth,
+					EndorsersPerOrg: replicas,
+					Balancer:        balancer,
+					ChaincodeExec:   endorseChaincodeExec,
+					Perturbed:       perturbed,
+					PerturbedCores:  endorsePerturbCores,
+				}, opt)
+				if err != nil {
+					return EndorsePoint{}, err
+				}
+				ep := EndorsePoint{
+					Policy:            label,
+					Balancer:          balancer,
+					ReplicasPerOrg:    replicas,
+					Perturbed:         perturbed,
+					ThroughputTPS:     p.Summary.ValidateTPS,
+					ExecuteTPS:        p.Summary.ExecuteTPS,
+					EndorseP50Seconds: p.Summary.EndorseLatency.P50.Seconds(),
+					EndorseP99Seconds: p.Summary.EndorseLatency.P99.Seconds(),
+					EndorseSkew:       p.Summary.EndorseSkew,
+				}
+				points = append(points, ep)
+				return ep, nil
+			}
+			row := func(ep EndorsePoint) {
+				fprintf(w, "%-7s %-11s %9d %12.1f %12.1f %12.2f %12.2f %8.2f\n",
+					ep.Policy, ep.Balancer, ep.ReplicasPerOrg,
+					ep.ThroughputTPS, ep.ExecuteTPS,
+					ep.EndorseP50Seconds, ep.EndorseP99Seconds, ep.EndorseSkew)
+			}
+
+			policies := []struct {
+				label string
+				pol   policy.Policy
+			}{
+				{"OR", policy.OrOverPeers(endorseSweepOrgs)},
+				{"AND2", policy.AndOverPeers(endorseSweepOrgs)},
+			}
+			if opt.Quick {
+				policies = policies[:1]
+			}
+			for _, pc := range policies {
+				for _, balancer := range endorseBalancers(opt.Quick, pc.label) {
+					fprintf(w, "\n-- policy=%s balancer=%s --\n", pc.label, balancer)
+					fprintf(w, "%-7s %-11s %9s %12s %12s %12s %12s %8s\n",
+						"policy", "balancer", "reps/org", "throughput", "execute", "endorse p50", "endorse p99", "skew")
+					for _, replicas := range endorseReplicaCounts(opt.Quick) {
+						ep, err := run(pc.label, pc.pol, balancer, replicas, 0, endorseSweepWindow)
+						if err != nil {
+							return err
+						}
+						row(ep)
+					}
+				}
+			}
+
+			if !opt.Quick {
+				fprintf(w, "\n-- perturbation: 4 replicas/org under OR, one replica at %d cores, window %d --\n",
+					endorsePerturbCores, endorsePerturbWindow)
+				fprintf(w, "%-7s %-11s %9s %12s %12s %12s %12s %8s\n",
+					"policy", "balancer", "reps/org", "throughput", "execute", "endorse p50", "endorse p99", "skew")
+				for _, balancer := range []string{"roundrobin", "p2c"} {
+					ep, err := run("OR", policy.OrOverPeers(endorseSweepOrgs), balancer, 4, 1, endorsePerturbWindow)
+					if err != nil {
+						return err
+					}
+					row(ep)
+				}
+			}
+
+			if opt.JSONDir != "" {
+				path := filepath.Join(opt.JSONDir, "BENCH_endorse.json")
+				raw, err := json.MarshalIndent(points, "", "  ")
+				if err != nil {
+					return fmt.Errorf("bench: marshal endorse points: %w", err)
+				}
+				if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+					return fmt.Errorf("bench: write %s: %w", path, err)
+				}
+				fprintf(w, "\n[machine-readable points written to %s]\n", path)
+			}
+			return nil
+		},
+	}
+}

@@ -33,6 +33,10 @@ type Options struct {
 	TxSize int
 	// Seed fixes workload randomness.
 	Seed int64
+	// JSONDir, when non-empty, makes experiments that support
+	// machine-readable output write a BENCH_<id>.json file there, so
+	// the performance trajectory can be tracked across commits.
+	JSONDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -96,25 +100,45 @@ type PointConfig struct {
 	// keys, chaining them into shared conflict groups; 0 writes one
 	// fresh key per transaction (the paper's no-contention workload).
 	KeySpace int
+	// EndorsersPerOrg deploys this many interchangeable endorsing
+	// replicas per org (0 = 1, the classic one-peer-per-org topology).
+	EndorsersPerOrg int
+	// Balancer names the gateway replica-routing strategy
+	// ("" = roundrobin).
+	Balancer string
+	// ChaincodeExec overrides Model.ChaincodeExecCPU when positive —
+	// the compute-heavy-contract workloads of the endorse sweep.
+	ChaincodeExec time.Duration
+	// Perturbed slows the last N endorsing replicas down to
+	// PerturbedCores cores (0 = homogeneous hardware).
+	Perturbed      int
+	PerturbedCores int
 }
 
 // RunPoint builds the network, applies the load, and reduces metrics.
 func RunPoint(ctx context.Context, pc PointConfig, opt Options) (Point, error) {
 	opt = opt.withDefaults()
 	model := costmodel.Default(opt.Scale)
+	if pc.ChaincodeExec > 0 {
+		model.ChaincodeExecCPU = pc.ChaincodeExec
+	}
 	col := metrics.NewCollector()
 	cfg := fabnet.Config{
-		Orderer:           pc.Orderer,
-		NumOrderers:       pc.OSNs,
-		NumKafkaBrokers:   pc.Brokers,
-		NumZooKeepers:     pc.ZooKeepers,
-		NumEndorsingPeers: pc.Peers,
-		NumClients:        pc.Clients,
-		Policy:            pc.Policy,
-		Model:             model,
-		Collector:         col,
-		CommitterPool:     pc.Committers,
-		CommitDepth:       pc.Depth,
+		Orderer:                pc.Orderer,
+		NumOrderers:            pc.OSNs,
+		NumKafkaBrokers:        pc.Brokers,
+		NumZooKeepers:          pc.ZooKeepers,
+		NumEndorsingPeers:      pc.Peers,
+		EndorsersPerOrg:        pc.EndorsersPerOrg,
+		Balancer:               pc.Balancer,
+		PerturbedEndorsers:     pc.Perturbed,
+		PerturbedEndorserCores: pc.PerturbedCores,
+		NumClients:             pc.Clients,
+		Policy:                 pc.Policy,
+		Model:                  model,
+		Collector:              col,
+		CommitterPool:          pc.Committers,
+		CommitDepth:            pc.Depth,
 	}
 	cfg.Channels = fabnet.NumberedChannels(pc.Channels)
 	net, err := fabnet.Build(cfg)
@@ -214,7 +238,7 @@ func All() []Experiment {
 	return []Experiment{
 		Fig2(), Fig3(), Fig4(), Fig5(), Fig6(), Fig7(),
 		Table2(), Table3(), Fig8(), FigChannels(), FigPipeline(),
-		FigCommit(),
+		FigCommit(), FigEndorse(),
 	}
 }
 

@@ -82,7 +82,9 @@ func (s *Simulator) GetState(key string) ([]byte, error) {
 		}
 		return append([]byte(nil), w.Value...), nil
 	}
-	vv, exists, err := s.state.Get(s.ns, key)
+	// The zero-copy view keeps the allocation and copy out of the state
+	// DB's read lock, which endorsement reads share with block commits.
+	vv, exists, err := s.state.GetVersioned(s.ns, key)
 	if err != nil {
 		return nil, fmt.Errorf("chaincode %s get %q: %w", s.ns, key, err)
 	}
@@ -97,7 +99,9 @@ func (s *Simulator) GetState(key string) ([]byte, error) {
 	if !exists {
 		return nil, nil
 	}
-	return vv.Value, nil
+	// The view aliases committed state; hand the (untrusted) chaincode a
+	// private copy so no Invoke can scribble on the world state.
+	return append([]byte(nil), vv.Value...), nil
 }
 
 // PutState implements Stub.

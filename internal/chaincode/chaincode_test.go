@@ -214,3 +214,57 @@ func TestRegistry(t *testing.T) {
 		t.Errorf("Names = %v", names)
 	}
 }
+
+// mutatorChaincode reads a key and scribbles on the returned bytes —
+// the rogue-chaincode case the simulator's read path must contain.
+type mutatorChaincode struct{}
+
+func (mutatorChaincode) Name() string { return "mut" }
+
+func (mutatorChaincode) Invoke(stub Stub, fn string, args [][]byte) ([]byte, error) {
+	v, err := stub.GetState(string(args[0]))
+	if err != nil {
+		return nil, err
+	}
+	for i := range v {
+		v[i] = 'X'
+	}
+	return v, nil
+}
+
+// TestMutatingChaincodeCannotCorruptCommittedState proves committed
+// state cannot be mutated through the simulator's zero-copy read view:
+// the simulator records reads through statedb.GetVersioned but hands
+// the chaincode a private copy, so a chaincode scribbling on GetState's
+// result never reaches the world state.
+func TestMutatingChaincodeCannotCorruptCommittedState(t *testing.T) {
+	db := statedb.New()
+	b := statedb.NewUpdateBatch()
+	b.Put("mut", "k", []byte("committed"), types.Version{BlockNum: 1})
+	if err := db.ApplyUpdates(b, types.Version{BlockNum: 1, TxNum: 1}); err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator("tx1", "mut", db)
+	out, err := mutatorChaincode{}.Invoke(sim, "mutate", [][]byte{[]byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "XXXXXXXXX" {
+		t.Fatalf("mutator output = %q", out)
+	}
+	vv, ok, err := db.GetVersioned("mut", "k")
+	if err != nil || !ok {
+		t.Fatalf("GetVersioned: ok=%v err=%v", ok, err)
+	}
+	if string(vv.Value) != "committed" {
+		t.Errorf("committed state corrupted through the read view: %q", vv.Value)
+	}
+	// The read was still recorded with its committed version.
+	rw := sim.RWSet()
+	if len(rw.Reads) != 1 || rw.Reads[0].Key != "k" || !rw.Reads[0].Exists {
+		t.Errorf("read set = %+v", rw.Reads)
+	}
+	if rw.Reads[0].Version.BlockNum != 1 {
+		t.Errorf("read version = %+v", rw.Reads[0].Version)
+	}
+}

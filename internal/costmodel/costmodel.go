@@ -156,10 +156,21 @@ func (m *Model) ClientTxCost(endorsements int) time.Duration {
 	return m.ClientPerTxCPU + time.Duration(endorsements)*m.ClientPerEndorsementCPU
 }
 
+// ChaincodeCost returns the peer CPU for one chaincode execution in the
+// container: the base invocation cost plus the cost proportional to the
+// written value size. It is the container's share of EndorseCost, named
+// explicitly so callers never reconstruct it by subtraction (the old
+// EndorseCost-minus-EndorseVerifyCPU form would silently go negative if
+// the verify constant were ever recalibrated past the sum).
+func (m *Model) ChaincodeCost(valueBytes int) time.Duration {
+	return m.ChaincodeExecCPU + time.Duration(valueBytes)*m.ChaincodePerByteCPU
+}
+
 // EndorseCost returns the peer CPU for endorsing one proposal whose
-// chaincode writes valueBytes of state.
+// chaincode writes valueBytes of state: the proposal checks plus the
+// chaincode execution.
 func (m *Model) EndorseCost(valueBytes int) time.Duration {
-	return m.EndorseVerifyCPU + m.ChaincodeExecCPU + time.Duration(valueBytes)*m.ChaincodePerByteCPU
+	return m.EndorseVerifyCPU + m.ChaincodeCost(valueBytes)
 }
 
 // VSCCCost returns the validate-phase policy-check CPU for one

@@ -85,3 +85,25 @@ func TestCostHelpers(t *testing.T) {
 		t.Error("endorse cost does not grow with value size")
 	}
 }
+
+// TestChaincodeCostComposition pins the EndorseCost = verify-checks +
+// chaincode-execution split: the container charges ChaincodeCost
+// directly, so no caller ever reconstructs it by subtraction (which
+// could silently go negative after a recalibration).
+func TestChaincodeCostComposition(t *testing.T) {
+	m := Default(1.0)
+	for _, bytes := range []int{0, 1, 1 << 20} {
+		if got, want := m.EndorseCost(bytes), m.EndorseVerifyCPU+m.ChaincodeCost(bytes); got != want {
+			t.Errorf("EndorseCost(%d) = %s, want verify+chaincode = %s", bytes, got, want)
+		}
+		if m.ChaincodeCost(bytes) <= 0 {
+			t.Errorf("ChaincodeCost(%d) = %s, not positive", bytes, m.ChaincodeCost(bytes))
+		}
+	}
+	// Even a pathological recalibration cannot push the container's
+	// charge negative: ChaincodeCost never depends on EndorseVerifyCPU.
+	m.EndorseVerifyCPU = time.Hour
+	if m.ChaincodeCost(1) <= 0 {
+		t.Errorf("ChaincodeCost went non-positive after recalibration: %s", m.ChaincodeCost(1))
+	}
+}

@@ -55,9 +55,30 @@ type Config struct {
 	NumZooKeepers   int
 	// KafkaReplication is the partition replication factor (default 3).
 	KafkaReplication int
-	// NumEndorsingPeers deploys one endorsing peer per organization
-	// (Org1.peer0 ... OrgN.peer0).
+	// NumEndorsingPeers is the number of endorsing organizations
+	// (Org1 ... OrgN), each contributing one org principal
+	// (Org<i>.peer0) to endorsement policies.
 	NumEndorsingPeers int
+	// EndorsersPerOrg deploys this many interchangeable endorsing
+	// replicas per organization (default 1). Replicas share the org
+	// principal's MSP identity ("Org1.peer0") under distinct keys; the
+	// gateway balancer picks exactly one replica per required principal
+	// for every transaction, so endorsement capacity scales
+	// horizontally without touching channel policies.
+	EndorsersPerOrg int
+	// Balancer selects the gateways' replica-routing strategy by name:
+	// "roundrobin" (default), "random", "p2c" (power-of-two-choices
+	// over in-flight counts), or "ewma" (least expected latency). One
+	// balancer and one load tracker are shared across all gateways.
+	Balancer string
+	// PerturbedEndorsers, when positive, deploys the last N endorsing
+	// replicas with PerturbedEndorserCores cores instead of
+	// Model.PeerCores — the heterogeneous-hardware scenario the
+	// load-aware balancers exist for. Bench/chaos knob.
+	PerturbedEndorsers int
+	// PerturbedEndorserCores is the core count of perturbed replicas
+	// (default 2).
+	PerturbedEndorserCores int
 	// NumCommitOnlyPeers adds peers that validate and commit but never
 	// endorse.
 	NumCommitOnlyPeers int
@@ -144,6 +165,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.NumEndorsingPeers < 1 {
 		c.NumEndorsingPeers = 1
+	}
+	if c.EndorsersPerOrg < 1 {
+		c.EndorsersPerOrg = 1
+	}
+	if c.PerturbedEndorsers > 0 && c.PerturbedEndorserCores < 1 {
+		c.PerturbedEndorserCores = 2
 	}
 	if c.NumClients < 1 {
 		c.NumClients = c.NumEndorsingPeers
@@ -395,47 +422,78 @@ func Build(cfg Config) (*Network, error) {
 	// --- Peers ---
 	// One certificate store per network: endorser certs must not leak
 	// across networks in one process (two networks with colliding peer
-	// IDs would otherwise silently share certificates).
+	// IDs would otherwise silently share certificates). Replicated
+	// endorsers register one certificate each under the shared org
+	// principal.
 	certs := peer.NewCertStore()
-	peerByPrincipal := make(map[string]string)
-	totalPeers := cfg.NumEndorsingPeers + cfg.NumCommitOnlyPeers
-	for i := 1; i <= totalPeers; i++ {
-		endorsing := i <= cfg.NumEndorsingPeers
-		var org, nodeID string
-		if endorsing {
-			org = fmt.Sprintf("Org%d", i)
-			nodeID = fmt.Sprintf("peer%d", i)
-		} else {
-			org = fmt.Sprintf("CommitOrg%d", i-cfg.NumEndorsingPeers)
-			nodeID = fmt.Sprintf("vpeer%d", i-cfg.NumEndorsingPeers)
+	peersByPrincipal := make(map[string][]string)
+	type peerSpec struct {
+		org       string
+		nodeID    string
+		endorsing bool
+		cores     int
+	}
+	var specs []peerSpec
+	for i := 1; i <= cfg.NumEndorsingPeers; i++ {
+		for r := 1; r <= cfg.EndorsersPerOrg; r++ {
+			// Replica 1 keeps the classic "peer<i>" node ID so
+			// single-replica topologies are wire-identical to before.
+			nodeID := fmt.Sprintf("peer%d", i)
+			if r > 1 {
+				nodeID = fmt.Sprintf("peer%dr%d", i, r)
+			}
+			specs = append(specs, peerSpec{
+				org:       fmt.Sprintf("Org%d", i),
+				nodeID:    nodeID,
+				endorsing: true,
+				cores:     model.PeerCores,
+			})
 		}
-		enrollment, err := n.CAs[org].Enroll("peer0", ca.RolePeer)
+	}
+	for j := 1; j <= cfg.NumCommitOnlyPeers; j++ {
+		specs = append(specs, peerSpec{
+			org:    fmt.Sprintf("CommitOrg%d", j),
+			nodeID: fmt.Sprintf("vpeer%d", j),
+			cores:  model.PeerCores,
+		})
+	}
+	if cfg.PerturbedEndorsers > 0 {
+		// Slow down the LAST endorsing replicas so "peer1" (the classic
+		// observer/event peer) keeps its full capacity.
+		slowed := 0
+		for k := cfg.NumEndorsingPeers*cfg.EndorsersPerOrg - 1; k >= 0 && slowed < cfg.PerturbedEndorsers; k-- {
+			specs[k].cores = cfg.PerturbedEndorserCores
+			slowed++
+		}
+	}
+	for idx, spec := range specs {
+		enrollment, err := n.CAs[spec.org].Enroll("peer0", ca.RolePeer)
 		if err != nil {
 			return nil, fmt.Errorf("fabnet: %w", err)
 		}
 		identity := msp.NewSigningIdentity(enrollment)
 		certs.Register(identity.ID(), identity.Serialized())
-		ep, err := n.register(nodeID)
+		ep, err := n.register(spec.nodeID)
 		if err != nil {
 			return nil, fmt.Errorf("fabnet: %w", err)
 		}
 		pcfg := peer.Config{
-			ID:           nodeID,
+			ID:           spec.nodeID,
 			Endpoint:     ep,
 			Identity:     identity,
 			MSP:          n.MSP,
 			Registry:     registry,
 			Policy:       cfg.Policy,
 			Model:        model,
-			CPU:          newCPU(model.PeerCores),
-			Endorsing:    endorsing,
-			OrdererID:    ordererIDs[(i-1)%len(ordererIDs)],
+			CPU:          newCPU(spec.cores),
+			Endorsing:    spec.endorsing,
+			OrdererID:    ordererIDs[idx%len(ordererIDs)],
 			VerifyCrypto: cfg.VerifyCrypto,
 			Certs:        certs,
 			Channels:     channelIDs,
 			Policies:     channelPols,
 		}
-		if i == 1 && cfg.Collector != nil {
+		if idx == 0 && cfg.Collector != nil {
 			// One peer reports commit-stage timings, mirroring the single
 			// block-event observer on OSN 1.
 			col := cfg.Collector
@@ -454,12 +512,20 @@ func Build(cfg Config) (*Network, error) {
 		}
 		p := peer.New(pcfg)
 		n.Peers = append(n.Peers, p)
-		if endorsing {
-			peerByPrincipal[identity.ID()] = nodeID
+		if spec.endorsing {
+			peersByPrincipal[identity.ID()] = append(peersByPrincipal[identity.ID()], spec.nodeID)
 		}
 	}
 
 	// --- Clients ---
+	// All gateways share one balancer and one load tracker, so replica
+	// routing reacts to the whole client population's in-flight calls
+	// and observed latencies, not one client's private view.
+	balancer, err := gateway.NewBalancer(cfg.Balancer, 1)
+	if err != nil {
+		return nil, fmt.Errorf("fabnet: %w", err)
+	}
+	loads := gateway.NewLoadTracker()
 	for i := 1; i <= cfg.NumClients; i++ {
 		nodeID := fmt.Sprintf("client%d", i)
 		enrollment, err := n.CAs["ClientOrg"].Enroll(fmt.Sprintf("user%d", i), ca.RoleClient)
@@ -475,21 +541,23 @@ func Build(cfg Config) (*Network, error) {
 		// owning proposal signing, endorsement fan-out, broadcast, and
 		// commit futures — wrapped in the legacy closed-loop facade.
 		gw, err := gateway.New(gateway.Config{
-			ID:              nodeID,
-			Endpoint:        ep,
-			Identity:        msp.NewSigningIdentity(enrollment),
-			Model:           model,
-			CPU:             newCPU(model.ClientCores),
-			Orderers:        ordererIDs,
-			EventPeer:       eventPeer,
-			Policy:          cfg.Policy,
-			PeerByPrincipal: peerByPrincipal,
-			Collector:       cfg.Collector,
-			SignProposals:   cfg.VerifyCrypto,
-			ChannelID:       cfg.ChannelID,
-			Channels:        channelIDs,
-			PolicyByChannel: channelPols,
-			MaxInFlight:     cfg.ClientMaxInFlight,
+			ID:               nodeID,
+			Endpoint:         ep,
+			Identity:         msp.NewSigningIdentity(enrollment),
+			Model:            model,
+			CPU:              newCPU(model.ClientCores),
+			Orderers:         ordererIDs,
+			EventPeer:        eventPeer,
+			Policy:           cfg.Policy,
+			PeersByPrincipal: peersByPrincipal,
+			Balancer:         balancer,
+			Loads:            loads,
+			Collector:        cfg.Collector,
+			SignProposals:    cfg.VerifyCrypto,
+			ChannelID:        cfg.ChannelID,
+			Channels:         channelIDs,
+			PolicyByChannel:  channelPols,
+			MaxInFlight:      cfg.ClientMaxInFlight,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fabnet: %w", err)

@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,9 +80,20 @@ type Config struct {
 	NoEventStream bool
 	// Policy is the channel endorsement policy.
 	Policy policy.Policy
-	// PeerByPrincipal maps policy principals (e.g. "Org1.peer0") to
-	// transport node IDs of the deployed endorsing peers.
-	PeerByPrincipal map[string]string
+	// PeersByPrincipal maps policy principals (e.g. "Org1.peer0") to
+	// the transport node IDs of the deployed endorsing replicas carrying
+	// that principal, in deployment order. Replicated endorsers share
+	// the principal's MSP identity; the gateway picks exactly one
+	// replica per required principal through Balancer.
+	PeersByPrincipal map[string][]string
+	// Balancer picks which replica of a principal serves each
+	// endorsement (nil = a private round-robin). fabnet shares one
+	// balancer — and one Loads tracker — across a network's gateways so
+	// load signals aggregate over the whole client population.
+	Balancer Balancer
+	// Loads is the per-target load accounting the balancer consults and
+	// collectEndorsements maintains (nil = a private tracker).
+	Loads *LoadTracker
 	// Collector receives phase timestamps; may be nil.
 	Collector *metrics.Collector
 	// SignProposals enables real client signatures (VerifyCrypto runs).
@@ -122,6 +134,13 @@ type Gateway struct {
 	subOnce    sync.Once
 	subErr     error
 	subscribed atomic.Bool
+
+	// defOnce lazily builds the private balancer and load tracker used
+	// when the configuration shares neither (direct-construction tests
+	// included, which never go through New).
+	defOnce  sync.Once
+	defBal   Balancer
+	defLoads *LoadTracker
 }
 
 // New creates a gateway and registers its commit-event handler.
@@ -244,34 +263,114 @@ func (g *Gateway) buildProposal(channel, chaincodeID, fn string, args [][]byte) 
 	return prop, sig, nil
 }
 
-// selectTargets picks the endorsing peers for one transaction: the
-// minimal satisfying set of the policy, load-balanced round-robin when
-// the policy allows a choice (OR), or every named principal (AND).
-func (g *Gateway) selectTargets(pol policy.Policy) ([]string, error) {
-	principals := pol.Principals()
-	available := make([]string, 0, len(principals))
-	for _, pr := range principals {
-		if node, ok := g.cfg.PeerByPrincipal[pr]; ok {
-			available = append(available, node)
+// endorseTarget is one selected endorsing peer together with the policy
+// principal it carries; the principal keys replica-set lookups when a
+// call fails and the endorsement falls back to a sibling replica.
+type endorseTarget struct {
+	principal string
+	node      string
+}
+
+// initDefaults builds the private balancer and load tracker for
+// gateways whose configuration shares neither.
+func (g *Gateway) initDefaults() {
+	g.defOnce.Do(func() {
+		g.defBal = NewRoundRobin()
+		g.defLoads = NewLoadTracker()
+	})
+}
+
+// balancer returns the replica balancer (the shared one, or a private
+// round-robin).
+func (g *Gateway) balancer() Balancer {
+	if g.cfg.Balancer != nil {
+		return g.cfg.Balancer
+	}
+	g.initDefaults()
+	return g.defBal
+}
+
+// loads returns the per-target load tracker (the shared one, or a
+// private tracker).
+func (g *Gateway) loads() *LoadTracker {
+	if g.cfg.Loads != nil {
+		return g.cfg.Loads
+	}
+	g.initDefaults()
+	return g.defLoads
+}
+
+// replicasFor resolves one policy principal to its deployed endorsing
+// replicas: a direct replica set, or — for org wildcard principals
+// ("Org1.*", bare "Org1") — the union of every matching principal's
+// replicas, sorted for determinism.
+func (g *Gateway) replicasFor(principal string) []string {
+	if reps, ok := g.cfg.PeersByPrincipal[principal]; ok && len(reps) > 0 {
+		return reps
+	}
+	seen := make(map[string]struct{})
+	var out []string
+	for pr, reps := range g.cfg.PeersByPrincipal {
+		if !policy.Matches(principal, pr) {
+			continue
+		}
+		for _, n := range reps {
+			if _, dup := seen[n]; !dup {
+				seen[n] = struct{}{}
+				out = append(out, n)
+			}
 		}
 	}
-	if len(available) == 0 {
+	sort.Strings(out)
+	return out
+}
+
+// selectTargets picks the endorsing peers for one transaction. The
+// policy decides which principals must sign: the minimal satisfying
+// count, rotated round-robin when the policy allows a choice (OR /
+// OutOf), or every named principal (AND). The balancer then picks
+// exactly one replica per required principal — an AND over orgs with
+// replicated endorsers selects one peer per org, never "all available".
+func (g *Gateway) selectTargets(pol policy.Policy) ([]endorseTarget, error) {
+	principals := pol.Principals()
+	type replicaSet struct {
+		principal string
+		replicas  []string
+	}
+	avail := make([]replicaSet, 0, len(principals))
+	for _, pr := range principals {
+		if reps := g.replicasFor(pr); len(reps) > 0 {
+			avail = append(avail, replicaSet{principal: pr, replicas: reps})
+		}
+	}
+	if len(avail) == 0 {
 		return nil, errors.New("gateway: no deployed peers match the endorsement policy")
 	}
 	need := pol.MinEndorsements()
 	if need < 1 {
 		need = 1
 	}
-	if need >= len(available) {
-		return available, nil
+	if need > len(avail) {
+		need = len(avail) // degraded deployment: best effort, VSCC decides
 	}
-	// Round-robin the choice among available targets (OR/OutOf). The
-	// modulo runs in uint64 so the cursor never reaches int as a
-	// negative value, even after the counter wraps on 32-bit platforms.
-	start := int(g.rr.Add(1) % uint64(len(available)))
-	targets := make([]string, 0, need)
-	for i := 0; i < need; i++ {
-		targets = append(targets, available[(start+i)%len(available)])
+	chosen := avail
+	if need < len(avail) {
+		// Round-robin the principal choice (OR/OutOf). The modulo runs
+		// in uint64 so the cursor never reaches int as a negative value,
+		// even after the counter wraps on 32-bit platforms.
+		start := int(g.rr.Add(1) % uint64(len(avail)))
+		chosen = make([]replicaSet, 0, need)
+		for i := 0; i < need; i++ {
+			chosen = append(chosen, avail[(start+i)%len(avail)])
+		}
+	}
+	targets := make([]endorseTarget, 0, len(chosen))
+	for _, rs := range chosen {
+		node := rs.replicas[0]
+		if len(rs.replicas) > 1 {
+			node = g.balancer().Pick(rs.principal, rs.replicas, g.loads())
+		}
+		targets = append(targets, endorseTarget{principal: rs.principal, node: node})
 	}
 	return targets, nil
 }
@@ -293,33 +392,27 @@ func (g *Gateway) baseLatency(ctx context.Context) error {
 	}
 }
 
-// collectEndorsements fans the proposal out and gathers all responses.
-func (g *Gateway) collectEndorsements(ctx context.Context, targets []string, prop *types.Proposal, sig []byte) ([]*types.ProposalResponse, error) {
+// endorseOutcome is one target's endorsement result.
+type endorseOutcome struct {
+	resp *types.ProposalResponse
+	err  error
+}
+
+// collectEndorsements fans the proposal out — one call per selected
+// target, each maintaining the shared load accounting — and gathers all
+// responses.
+func (g *Gateway) collectEndorsements(ctx context.Context, targets []endorseTarget, prop *types.Proposal, sig []byte) ([]*types.ProposalResponse, error) {
 	req := &peer.EndorseRequest{Proposal: prop, Sig: sig}
 	size := len(prop.Marshal()) + len(sig) + 32
 
-	type outcome struct {
-		resp *types.ProposalResponse
-		err  error
-	}
-	results := make([]outcome, len(targets))
+	results := make([]endorseOutcome, len(targets))
 	var wg sync.WaitGroup
 	for i, t := range targets {
 		i, t := i, t
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			raw, err := g.cfg.Endpoint.Call(ctx, t, peer.KindEndorse, req, size)
-			if err != nil {
-				results[i] = outcome{err: err}
-				return
-			}
-			resp, ok := raw.(*types.ProposalResponse)
-			if !ok {
-				results[i] = outcome{err: fmt.Errorf("gateway: bad endorse reply %T", raw)}
-				return
-			}
-			results[i] = outcome{resp: resp}
+			results[i] = g.endorseOne(ctx, t, req, size)
 		}()
 	}
 	wg.Wait()
@@ -335,6 +428,62 @@ func (g *Gateway) collectEndorsements(ctx context.Context, targets []string, pro
 		out = append(out, r.resp)
 	}
 	return out, nil
+}
+
+// endorseOne calls one selected replica, recording in-flight counts and
+// round-trip latency in the shared tracker, and falls back to the
+// principal's remaining replicas when the call itself fails (a down or
+// unreachable peer, which the tracker marks so balancers route around
+// it). A caller-side context cancellation only releases the in-flight
+// slot — it says nothing about the replica's health, so it must never
+// down-mark a peer in the tracker every gateway shares.
+// Application-level refusals (status != 200) are never retried: every
+// replica of a principal would refuse the same proposal the same way.
+func (g *Gateway) endorseOne(ctx context.Context, t endorseTarget, req *peer.EndorseRequest, size int) endorseOutcome {
+	lt := g.loads()
+	node := t.node
+	var tried map[string]bool
+	for {
+		lt.Begin(node)
+		start := time.Now()
+		raw, err := g.cfg.Endpoint.Call(ctx, node, peer.KindEndorse, req, size)
+		rtt := time.Since(start)
+		switch {
+		case err == nil:
+			lt.Done(node, rtt, true)
+			resp, ok := raw.(*types.ProposalResponse)
+			if !ok {
+				return endorseOutcome{err: fmt.Errorf("gateway: bad endorse reply %T", raw)}
+			}
+			if g.cfg.Collector != nil && resp.OK() {
+				g.cfg.Collector.Endorse(node, rtt)
+			}
+			return endorseOutcome{resp: resp}
+		case ctx.Err() != nil:
+			lt.Abort(node)
+			return endorseOutcome{err: err}
+		default:
+			lt.Done(node, rtt, false)
+		}
+		if tried == nil {
+			tried = make(map[string]bool, 2)
+		}
+		tried[node] = true
+		// Fall back through the balancer over the untried replicas so
+		// the failover load spreads (and respects down-marks) instead of
+		// herding every gateway onto the first sibling in deployment
+		// order.
+		var rest []string
+		for _, r := range g.replicasFor(t.principal) {
+			if !tried[r] {
+				rest = append(rest, r)
+			}
+		}
+		if len(rest) == 0 {
+			return endorseOutcome{err: err}
+		}
+		node = g.balancer().Pick(t.principal, rest, lt)
+	}
 }
 
 // checkResponses verifies all endorsers simulated identical results and

@@ -3,6 +3,7 @@ package gateway
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"sync/atomic"
 	"testing"
@@ -22,14 +23,28 @@ import (
 // --- selectTargets (pure policy routing, no network) ---
 
 // newTargetGateway builds a gateway with only the fields selectTargets
-// reads.
+// reads. Each org principal gets one replica — the classic
+// one-peer-per-org topology.
 func newTargetGateway(pol policy.Policy, deployed int) *Gateway {
-	m := make(map[string]string, deployed)
+	m := make(map[string][]string, deployed)
 	for i := 1; i <= deployed; i++ {
 		principal := "Org" + string(rune('0'+i)) + ".peer0"
-		m[principal] = "peer" + string(rune('0'+i))
+		m[principal] = []string{"peer" + string(rune('0'+i))}
 	}
-	return &Gateway{cfg: Config{Policy: pol, PeerByPrincipal: m}}
+	return &Gateway{cfg: Config{Policy: pol, PeersByPrincipal: m}}
+}
+
+// newReplicatedGateway builds a gateway where each of the orgs'
+// principals is carried by the given number of replicas.
+func newReplicatedGateway(pol policy.Policy, orgs, replicas int) *Gateway {
+	m := make(map[string][]string, orgs)
+	for i := 1; i <= orgs; i++ {
+		principal := fmt.Sprintf("Org%d.peer0", i)
+		for r := 1; r <= replicas; r++ {
+			m[principal] = append(m[principal], fmt.Sprintf("peer%dr%d", i, r))
+		}
+	}
+	return &Gateway{cfg: Config{Policy: pol, PeersByPrincipal: m}}
 }
 
 func TestSelectTargetsORPicksOne(t *testing.T) {
@@ -43,7 +58,7 @@ func TestSelectTargetsORPicksOne(t *testing.T) {
 		if len(targets) != 1 {
 			t.Fatalf("OR selected %d targets", len(targets))
 		}
-		seen[targets[0]]++
+		seen[targets[0].node]++
 	}
 	// Round-robin must spread load across all three deployed peers.
 	if len(seen) != 3 {
@@ -64,6 +79,61 @@ func TestSelectTargetsANDPicksAll(t *testing.T) {
 	}
 	if len(targets) != 3 {
 		t.Fatalf("AND3 selected %d targets", len(targets))
+	}
+}
+
+// TestSelectTargetsANDOneReplicaPerOrg is the AND-over-orgs behavior
+// change of endorser replication: with every org principal carried by
+// several replicas, an AND policy must select exactly one replica per
+// org — never "all available" peers.
+func TestSelectTargetsANDOneReplicaPerOrg(t *testing.T) {
+	g := newReplicatedGateway(policy.AndOverPeers(2), 2, 3)
+	for i := 0; i < 20; i++ {
+		targets, err := g.selectTargets(g.cfg.Policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(targets) != 2 {
+			t.Fatalf("AND2 over replicated orgs selected %d targets: %v", len(targets), targets)
+		}
+		orgs := make(map[string]bool)
+		for _, tg := range targets {
+			if orgs[tg.principal] {
+				t.Fatalf("principal %s selected twice: %v", tg.principal, targets)
+			}
+			orgs[tg.principal] = true
+			if !policy.Matches(tg.principal, tg.principal) {
+				t.Fatalf("bad principal %q", tg.principal)
+			}
+		}
+		if !orgs["Org1.peer0"] || !orgs["Org2.peer0"] {
+			t.Fatalf("AND2 did not cover both orgs: %v", targets)
+		}
+	}
+}
+
+// TestSelectTargetsORSpreadsReplicas drives OR over one replicated org
+// and checks the default round-robin balancer rotates the replicas.
+func TestSelectTargetsORSpreadsReplicas(t *testing.T) {
+	g := newReplicatedGateway(policy.OrOverPeers(1), 1, 4)
+	seen := make(map[string]int)
+	for i := 0; i < 40; i++ {
+		targets, err := g.selectTargets(g.cfg.Policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(targets) != 1 {
+			t.Fatalf("OR selected %d targets", len(targets))
+		}
+		seen[targets[0].node]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("replicas hit = %v, want all 4", seen)
+	}
+	for node, n := range seen {
+		if n != 10 {
+			t.Errorf("replica %s got %d of 40", node, n)
+		}
 	}
 }
 
@@ -206,16 +276,16 @@ func newStubNet(t *testing.T, mutate func(cfg *Config), opts func(s *stubNet)) *
 	t.Cleanup(cpu.Stop)
 
 	cfg := Config{
-		ID:              "gw1",
-		Endpoint:        gwEP,
-		Identity:        msp.NewSigningIdentity(enrollment),
-		Model:           model,
-		CPU:             cpu,
-		Orderers:        []string{"osn1"},
-		EventPeer:       "peer1",
-		Policy:          policy.OrOverPeers(1),
-		PeerByPrincipal: map[string]string{"Org1.peer0": "peer1"},
-		ChannelID:       "perf",
+		ID:               "gw1",
+		Endpoint:         gwEP,
+		Identity:         msp.NewSigningIdentity(enrollment),
+		Model:            model,
+		CPU:              cpu,
+		Orderers:         []string{"osn1"},
+		EventPeer:        "peer1",
+		Policy:           policy.OrOverPeers(1),
+		PeersByPrincipal: map[string][]string{"Org1.peer0": {"peer1"}},
+		ChannelID:        "perf",
 	}
 	if mutate != nil {
 		mutate(&cfg)

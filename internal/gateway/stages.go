@@ -34,7 +34,7 @@ type Proposal struct {
 	prop      *types.Proposal
 	sig       []byte
 	channel   string
-	targets   []string
+	targets   []endorseTarget
 	submitted time.Time
 }
 

@@ -64,13 +64,22 @@ type CommitStageEvent struct {
 	CommittedAt time.Time
 }
 
+// endorseSample is one successful endorsement round trip as observed by
+// a gateway: which peer served it, when, and the wall round-trip time.
+type endorseSample struct {
+	peer string
+	at   time.Time
+	rtt  time.Duration
+}
+
 // Collector accumulates records; safe for concurrent use.
 type Collector struct {
-	mu     sync.Mutex
-	byTx   map[types.TxID]*TxRecord
-	blocks []BlockEvent
-	stages []CommitStageEvent
-	start  time.Time
+	mu       sync.Mutex
+	byTx     map[types.TxID]*TxRecord
+	blocks   []BlockEvent
+	stages   []CommitStageEvent
+	endorses []endorseSample
+	start    time.Time
 }
 
 // NewCollector creates an empty collector anchored at now.
@@ -141,6 +150,14 @@ func (c *Collector) Block(ev BlockEvent) {
 	c.blocks = append(c.blocks, ev)
 }
 
+// Endorse records one successful endorsement round trip served by the
+// named peer (wall-clock rtt; summaries unscale it to model time).
+func (c *Collector) Endorse(peer string, rtt time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.endorses = append(c.endorses, endorseSample{peer: peer, at: time.Now(), rtt: rtt})
+}
+
 // CommitStage records one committed block's pipeline stage breakdown.
 func (c *Collector) CommitStage(ev CommitStageEvent) {
 	c.mu.Lock()
@@ -190,6 +207,7 @@ type LatencyStats struct {
 	Avg   time.Duration
 	P50   time.Duration
 	P95   time.Duration
+	P99   time.Duration
 	Max   time.Duration
 }
 
@@ -235,6 +253,19 @@ type Summary struct {
 	// block (≈ block size on a no-contention workload, 1 when every
 	// transaction chains on the same keys).
 	AvgConflictGroups float64
+
+	// Endorsements counts in-window endorsement round trips and
+	// EndorseLatency summarizes their distribution (model time): the
+	// per-call service view of the execute phase, one sample per
+	// (transaction, endorsing peer) pair.
+	Endorsements   int
+	EndorseLatency LatencyStats
+	// EndorsesPerPeer breaks the in-window endorsement count down by
+	// serving peer, and EndorseSkew is the max/mean ratio of those
+	// counts (1.0 = perfectly balanced across the replicas that served
+	// at least one endorsement).
+	EndorsesPerPeer map[string]int
+	EndorseSkew     float64
 }
 
 // SummaryOptions controls the reduction.
@@ -414,6 +445,37 @@ func (c *Collector) Summarize(opts SummaryOptions) Summary {
 	if len(vsccSt) > 0 {
 		s.AvgConflictGroups = float64(groupsTotal) / float64(len(vsccSt))
 	}
+
+	// Per-peer endorsement breakdown over in-window round trips.
+	c.mu.Lock()
+	endorses := make([]endorseSample, len(c.endorses))
+	copy(endorses, c.endorses)
+	c.mu.Unlock()
+	var endorseLat []time.Duration
+	perPeer := make(map[string]int)
+	for _, e := range endorses {
+		if !inWin(e.at) {
+			continue
+		}
+		endorseLat = append(endorseLat, unscale(e.rtt))
+		perPeer[e.peer]++
+	}
+	s.Endorsements = len(endorseLat)
+	s.EndorseLatency = reduceLatency(endorseLat)
+	if len(perPeer) > 0 {
+		s.EndorsesPerPeer = perPeer
+		maxCount, total := 0, 0
+		for _, n := range perPeer {
+			total += n
+			if n > maxCount {
+				maxCount = n
+			}
+		}
+		mean := float64(total) / float64(len(perPeer))
+		if mean > 0 {
+			s.EndorseSkew = float64(maxCount) / mean
+		}
+	}
 	return s
 }
 
@@ -435,6 +497,7 @@ func reduceLatency(lats []time.Duration) LatencyStats {
 		Avg:   sum / time.Duration(len(lats)),
 		P50:   idx(0.50),
 		P95:   idx(0.95),
+		P99:   idx(0.99),
 		Max:   lats[len(lats)-1],
 	}
 }

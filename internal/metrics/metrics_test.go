@@ -140,6 +140,9 @@ func TestLatencyStatsPercentiles(t *testing.T) {
 	if st.P95 < 94*time.Millisecond || st.P95 > 97*time.Millisecond {
 		t.Errorf("p95 = %s", st.P95)
 	}
+	if st.P99 < 98*time.Millisecond || st.P99 > 100*time.Millisecond {
+		t.Errorf("p99 = %s", st.P99)
+	}
 	if st.Max != 100*time.Millisecond {
 		t.Errorf("max = %s", st.Max)
 	}
@@ -236,5 +239,48 @@ func TestCommitStageBreakdown(t *testing.T) {
 	}
 	if got := c.CommitStages(); len(got) != 3 {
 		t.Errorf("CommitStages snapshot = %d events, want 3", len(got))
+	}
+}
+
+// TestEndorseBreakdown checks the per-peer endorsement statistics: the
+// in-window sample count, model-time latency percentiles (p99
+// included), the per-peer counts, and the max/mean balance skew.
+func TestEndorseBreakdown(t *testing.T) {
+	c := NewCollector()
+	base := time.Now()
+	// Anchor the measurement window around now: submissions span
+	// [-10s, +2s], so after the 15% trim the window still contains the
+	// samples Endorse stamps with the current time.
+	c.Submitted("tx-a", base.Add(-10*time.Second))
+	c.Submitted("tx-b", base.Add(2*time.Second))
+	// 3 endorsements on peer1, 1 on peer2. Latencies are wall-clock at
+	// TimeScale 0.5, so 50ms wall = 100ms model.
+	for i := 0; i < 3; i++ {
+		c.Endorse("peer1", 50*time.Millisecond)
+	}
+	c.Endorse("peer2", 150*time.Millisecond)
+
+	sum := c.Summarize(SummaryOptions{TimeScale: 0.5})
+	if sum.Endorsements != 4 {
+		t.Fatalf("Endorsements = %d, want 4", sum.Endorsements)
+	}
+	if got := sum.EndorsesPerPeer["peer1"]; got != 3 {
+		t.Errorf("peer1 endorsements = %d, want 3", got)
+	}
+	if got := sum.EndorsesPerPeer["peer2"]; got != 1 {
+		t.Errorf("peer2 endorsements = %d, want 1", got)
+	}
+	// max/mean = 3 / ((3+1)/2) = 1.5
+	if sum.EndorseSkew < 1.49 || sum.EndorseSkew > 1.51 {
+		t.Errorf("EndorseSkew = %f, want 1.5", sum.EndorseSkew)
+	}
+	if sum.EndorseLatency.P50 != 100*time.Millisecond {
+		t.Errorf("endorse p50 = %s, want 100ms (model time)", sum.EndorseLatency.P50)
+	}
+	if sum.EndorseLatency.P99 < sum.EndorseLatency.P50 {
+		t.Errorf("endorse p99 = %s below p50 %s", sum.EndorseLatency.P99, sum.EndorseLatency.P50)
+	}
+	if sum.EndorseLatency.Max != 300*time.Millisecond {
+		t.Errorf("endorse max = %s, want 300ms", sum.EndorseLatency.Max)
 	}
 }

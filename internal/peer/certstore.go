@@ -9,28 +9,37 @@ import "sync"
 // instead of the old package-global map — keeps two networks in one
 // process from silently sharing certificates when their endorser IDs
 // collide, and keeps tests from leaking certs into each other.
+//
+// One identity may hold several certificates: replicated endorsers
+// share their org principal's MSP identity ("Org1.peer0" carried by N
+// interchangeable peers), each replica enrolling with its own key.
+// Committers verifying an endorsement try each registered certificate
+// until one matches.
 type CertStore struct {
 	mu    sync.RWMutex
-	certs map[string][]byte
+	certs map[string][][]byte
 }
 
 // NewCertStore returns an empty certificate registry.
 func NewCertStore() *CertStore {
-	return &CertStore{certs: make(map[string][]byte)}
+	return &CertStore{certs: make(map[string][][]byte)}
 }
 
 // Register publishes an endorser's serialized certificate so committing
-// peers can verify endorsement signatures.
+// peers can verify endorsement signatures. Registering the same
+// identity again adds a certificate (a further replica) rather than
+// replacing the earlier one.
 func (s *CertStore) Register(id string, serialized []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.certs[id] = append([]byte(nil), serialized...)
+	s.certs[id] = append(s.certs[id], append([]byte(nil), serialized...))
 }
 
-// get returns the serialized certificate registered under id.
-func (s *CertStore) get(id string) ([]byte, bool) {
+// get returns the serialized certificates registered under id. The
+// returned slice is a stable snapshot: entries are append-only and
+// never mutated.
+func (s *CertStore) get(id string) [][]byte {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	raw, ok := s.certs[id]
-	return raw, ok
+	return s.certs[id]
 }

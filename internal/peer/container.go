@@ -13,16 +13,32 @@ import (
 // invocation execution cost charged against the peer's CPU. System
 // chaincodes (ESCC/VSCC) run in-process and are charged directly by the
 // endorse/validate paths.
+//
+// Concurrent invocations are bounded by an executor pool sized to the
+// peer's core count. The bound matters for scheduling fairness, not
+// capacity: the simulated CPU is a FIFO reservation ledger, so letting
+// every queued proposal reserve a core slot up front would push the
+// committer's validate-phase work behind the entire endorse backlog —
+// seconds of head-of-line blocking a real peer never exhibits, because
+// its OS time-slices endorsement and validation fairly. Excess
+// proposals instead wait in the container's request queue and only
+// reserve CPU when an executor frees up, keeping the reservation
+// horizon within one invocation of the present.
 type container struct {
 	model costmodel.Model
 	cpu   *simcpu.CPU
+	slots chan struct{}
 
 	launchOnce sync.Once
 	launchErr  error
 }
 
 func newContainer(model costmodel.Model, cpu *simcpu.CPU) *container {
-	return &container{model: model, cpu: cpu}
+	return &container{
+		model: model,
+		cpu:   cpu,
+		slots: make(chan struct{}, cpu.Cores()),
+	}
 }
 
 // launch charges the one-time container start; peers call it at startup
@@ -40,5 +56,11 @@ func (c *container) invoke(ctx context.Context, valueBytes int) error {
 	if err := c.launch(ctx); err != nil {
 		return err
 	}
-	return c.cpu.Execute(ctx, c.model.EndorseCost(valueBytes)-c.model.EndorseVerifyCPU)
+	select {
+	case c.slots <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-c.slots }()
+	return c.cpu.Execute(ctx, c.model.ChaincodeCost(valueBytes))
 }

@@ -15,7 +15,6 @@ import (
 	"sync"
 	"time"
 
-	"fabricsim/internal/ca"
 	"fabricsim/internal/chaincode"
 	"fabricsim/internal/costmodel"
 	"fabricsim/internal/fabcrypto"
@@ -314,12 +313,15 @@ func (p *Peer) handleEndorse(ctx context.Context, _ string, payload any) (any, i
 	}
 
 	// 1) Proposal checks: well-formed, signature, authorization,
-	// duplicate (the four checks of Section II).
-	if err := p.cfg.CPU.Execute(ctx, p.cfg.Model.EndorseVerifyCPU); err != nil {
-		return nil, 0, err
-	}
+	// duplicate (the four checks of Section II). Malformedness is
+	// checked before any cost is charged: real Fabric drops garbage
+	// while decoding the request, before signature verification, so a
+	// flood of malformed proposals must not burn modeled endorser CPU.
 	if prop.TxID == "" || prop.ChaincodeID == "" {
 		return p.endorseFailure(prop, "malformed proposal")
+	}
+	if err := p.cfg.CPU.Execute(ctx, p.cfg.Model.EndorseVerifyCPU); err != nil {
+		return nil, 0, err
 	}
 	if p.cfg.VerifyCrypto {
 		if _, err := p.cfg.MSP.VerifySignature(prop.Creator, prop.Hash(), req.Sig); err != nil {
@@ -571,11 +573,7 @@ func (p *Peer) runVSCC(cs *channelState, tx *types.Transaction) types.Validation
 		resultsHash := fabcrypto.Digest(rwBytes)
 		signedMsg := fabcrypto.Digest(tx.Proposal.Hash(), resultsHash)
 		for _, en := range tx.Endorsements {
-			cert, err := p.lookupEndorserCert(en.EndorserID)
-			if err != nil {
-				return types.ValidationBadSignature
-			}
-			if err := p.cfg.MSP.VerifyByID(en.EndorserID, cert, signedMsg, en.Signature); err != nil {
+			if !p.verifyEndorsement(en.EndorserID, signedMsg, en.Signature) {
 				return types.ValidationBadSignature
 			}
 		}
@@ -590,16 +588,21 @@ func (p *Peer) runVSCC(cs *channelState, tx *types.Transaction) types.Validation
 	return types.ValidationPending
 }
 
-func (p *Peer) lookupEndorserCert(id string) (*ca.Certificate, error) {
-	raw, ok := p.cfg.Certs.get(id)
-	if !ok {
-		return nil, fmt.Errorf("peer: no registered certificate for %s", id)
+// verifyEndorsement checks one endorsement signature against the
+// certificates registered for the endorser identity. Replicated
+// endorsers share an identity with distinct keys, so every registered
+// certificate is tried until one verifies.
+func (p *Peer) verifyEndorsement(id string, msg, sig []byte) bool {
+	for _, raw := range p.cfg.Certs.get(id) {
+		cert, err := p.cfg.MSP.ValidateIdentity(raw)
+		if err != nil {
+			continue
+		}
+		if p.cfg.MSP.VerifyByID(id, cert, msg, sig) == nil {
+			return true
+		}
 	}
-	cert, err := p.cfg.MSP.ValidateIdentity(raw)
-	if err != nil {
-		return nil, err
-	}
-	return cert, nil
+	return false
 }
 
 // mvccValid checks a transaction's read set against the channel's

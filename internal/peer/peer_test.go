@@ -2,6 +2,7 @@ package peer
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -464,5 +465,84 @@ func TestCommitStatusUnknownChannel(t *testing.T) {
 		&CommitStatusRequest{TxID: "x", Channel: "nope"}, 64)
 	if err == nil {
 		t.Error("unknown channel accepted")
+	}
+}
+
+// TestMalformedProposalChargesNoCPU is the cost-accounting regression
+// for the endorse path: a flood of malformed proposals must be rejected
+// before EndorseVerifyCPU is charged — real Fabric drops garbage while
+// decoding the request, before signature verification — so modeled peer
+// CPU busy time stays untouched.
+func TestMalformedProposalChargesNoCPU(t *testing.T) {
+	e := newEnv(t, 1, policy.OrOverPeers(1), false)
+	// Account for the container launch charged at Start.
+	base := e.cpus[0].Stats().BusyScaled
+	for i := 0; i < 50; i++ {
+		resp := e.endorse(0, &types.Proposal{ChannelID: "perf", Creator: e.client.Serialized()})
+		if resp.OK() {
+			t.Fatal("malformed proposal endorsed")
+		}
+		if resp.Message != "malformed proposal" {
+			t.Fatalf("rejection message = %q", resp.Message)
+		}
+	}
+	if busy := e.cpus[0].Stats().BusyScaled - base; busy != 0 {
+		t.Errorf("malformed flood burned %s of modeled peer CPU, want 0", busy)
+	}
+	// A well-formed proposal still pays the full endorse cost.
+	resp := e.endorse(0, e.proposal("write", "k-cost", "v"))
+	if !resp.OK() {
+		t.Fatalf("valid proposal rejected: %s", resp.Message)
+	}
+	model := costmodel.Default(0.01)
+	// Sub-nanosecond per-byte cost rounds away under the test's time
+	// scale; the verify + chaincode-exec floor is what matters here.
+	want := model.EndorseVerifyCPU + model.ChaincodeExecCPU
+	if busy := model.UnscaledDuration(e.cpus[0].Stats().BusyScaled - base); busy < want {
+		t.Errorf("valid endorsement charged %s, want >= %s", busy, want)
+	}
+}
+
+// TestContainerBoundsConcurrentInvocations is the scheduling-fairness
+// regression for the chaincode executor pool: queued proposals must
+// wait in the container, not as timed reservations on the simulated
+// CPU's FIFO ledger, or the committer's validate-phase work would queue
+// behind the entire endorse backlog. The probe models a commit-stage
+// Execute issued while a large endorse backlog is queued: it must
+// complete within a few invocation times, not after the whole backlog.
+func TestContainerBoundsConcurrentInvocations(t *testing.T) {
+	model := costmodel.Default(1.0)
+	model.ChaincodeExecCPU = 10 * time.Millisecond
+	model.ContainerLaunch = 0
+	cpu := simcpu.New(1, 1.0)
+	t.Cleanup(cpu.Stop)
+	c := newContainer(model, cpu)
+	ctx := context.Background()
+	if err := c.launch(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = c.invoke(ctx, 0)
+		}()
+	}
+	// Let the backlog queue up, then probe with committer-style work.
+	time.Sleep(20 * time.Millisecond)
+	start := time.Now()
+	if err := cpu.Execute(ctx, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	probe := time.Since(start)
+	wg.Wait()
+	// Unbounded admission would reserve ~50 x 10ms ahead of the probe
+	// (~500ms); the executor pool keeps at most Cores() invocations on
+	// the ledger, so the probe completes within a small multiple of one
+	// invocation. The bound is generous for CI-scheduler jitter.
+	if probe > 150*time.Millisecond {
+		t.Errorf("probe waited %s behind the endorse backlog, want bounded by the executor pool", probe)
 	}
 }

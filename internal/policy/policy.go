@@ -48,21 +48,30 @@ func (s PrincipalSet) Has(principal string) bool {
 	if _, ok := s[principal]; ok {
 		return true
 	}
+	for id := range s {
+		if Matches(principal, id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Matches reports whether the endorser identity id satisfies one
+// principal string: exactly ("Org1.peer0"), or as any member of the org
+// for wildcard principals ("Org1.*" or bare "Org1"). This is the single
+// matching rule shared by policy evaluation (PrincipalSet.Has) and the
+// gateway's principal-to-endorser-replica routing.
+func Matches(principal, id string) bool {
+	if principal == id {
+		return true
+	}
 	// An org wildcard principal ("Org1.*" or bare "Org1") is satisfied
 	// by any endorser from that org.
 	org, wildcard := strings.CutSuffix(principal, ".*")
 	if !wildcard && !strings.Contains(principal, ".") {
 		org, wildcard = principal, true
 	}
-	if wildcard {
-		prefix := org + "."
-		for id := range s {
-			if strings.HasPrefix(id, prefix) {
-				return true
-			}
-		}
-	}
-	return false
+	return wildcard && strings.HasPrefix(id, org+".")
 }
 
 // signedBy requires an endorsement from one principal.

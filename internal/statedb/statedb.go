@@ -119,6 +119,31 @@ func (db *DB) Get(ns, key string) (VersionedValue, bool, error) {
 	return out, true, nil
 }
 
+// GetVersioned returns the versioned value for (ns, key) as a zero-copy
+// read-only view: the returned Value aliases the database's committed
+// bytes instead of copying them under the read lock the way Get does.
+// The view is stable across later commits — ApplyUpdates copies
+// incoming values and replaces whole entries, never mutating a stored
+// slice in place — but callers MUST NOT modify it. It exists for the
+// peer's internal hot paths (the chaincode simulator's reads during
+// endorsement, MVCC checks); external callers keep the copying Get.
+func (db *DB) GetVersioned(ns, key string) (VersionedValue, bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return VersionedValue{}, false, ErrClosed
+	}
+	m, ok := db.data[ns]
+	if !ok {
+		return VersionedValue{}, false, nil
+	}
+	vv, ok := m[key]
+	if !ok {
+		return VersionedValue{}, false, nil
+	}
+	return VersionedValue{Value: vv.Value, Version: vv.Version}, true, nil
+}
+
 // Version returns the committed version of (ns, key); exists=false when
 // the key has never been written or was deleted.
 func (db *DB) Version(ns, key string) (types.Version, bool, error) {

@@ -200,3 +200,76 @@ func TestNamespaces(t *testing.T) {
 		t.Errorf("Namespaces = %v", ns)
 	}
 }
+
+// TestGetVersionedZeroCopyView checks the split read API: GetVersioned
+// returns a view aliasing the committed bytes (no per-read allocation),
+// while Get keeps returning a private copy external callers may
+// scribble on without corrupting committed state.
+func TestGetVersionedZeroCopyView(t *testing.T) {
+	db := New()
+	b := NewUpdateBatch()
+	b.Put("cc", "k", []byte("value"), v(1, 0))
+	if err := db.ApplyUpdates(b, v(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two views share one backing array: the read is zero-copy.
+	v1, ok, err := db.GetVersioned("cc", "k")
+	if err != nil || !ok {
+		t.Fatalf("GetVersioned: ok=%v err=%v", ok, err)
+	}
+	v2, _, _ := db.GetVersioned("cc", "k")
+	if &v1.Value[0] != &v2.Value[0] {
+		t.Error("GetVersioned copied the value")
+	}
+
+	// Get returns a fresh copy every time; mutating it must not reach
+	// committed state (or the view).
+	g1, ok, err := db.Get("cc", "k")
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if &g1.Value[0] == &v1.Value[0] {
+		t.Fatal("Get aliases committed state")
+	}
+	g1.Value[0] = 'X'
+	after, _, _ := db.Get("cc", "k")
+	if string(after.Value) != "value" {
+		t.Errorf("committed state mutated through Get copy: %q", after.Value)
+	}
+	if string(v1.Value) != "value" {
+		t.Errorf("view mutated through Get copy: %q", v1.Value)
+	}
+
+	// A later commit of the same key replaces the entry; the old view
+	// stays stable (ApplyUpdates copies on write, never in place).
+	b2 := NewUpdateBatch()
+	b2.Put("cc", "k", []byte("other"), v(2, 0))
+	if err := db.ApplyUpdates(b2, v(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if string(v1.Value) != "value" {
+		t.Errorf("old view changed by a later commit: %q", v1.Value)
+	}
+	// The batch's value buffer is also private to the DB.
+	b3 := NewUpdateBatch()
+	buf := []byte("third")
+	b3.Put("cc", "k", buf, v(3, 0))
+	if err := db.ApplyUpdates(b3, v(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'Z'
+	cur, _, _ := db.GetVersioned("cc", "k")
+	if string(cur.Value) != "third" {
+		t.Errorf("committed state aliases the batch buffer: %q", cur.Value)
+	}
+
+	// Missing keys and closed databases behave like Get.
+	if _, ok, err := db.GetVersioned("cc", "absent"); ok || err != nil {
+		t.Errorf("absent key: ok=%v err=%v", ok, err)
+	}
+	db.Close()
+	if _, _, err := db.GetVersioned("cc", "k"); err == nil {
+		t.Error("closed database served a view")
+	}
+}
