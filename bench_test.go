@@ -144,3 +144,9 @@ func BenchmarkFigCommitSweep(b *testing.B) { runExperiment(b, "commit") }
 // quick mode): horizontal execute-phase scaling under a compute-heavy
 // contract.
 func BenchmarkFigEndorseSweep(b *testing.B) { runExperiment(b, "endorse") }
+
+// BenchmarkFigDisseminationSweep runs the block-dissemination sweep (4
+// and 16 peers in quick mode): per-peer direct deliver versus the
+// gossip layer's org-leader deliver + push gossip + anti-entropy,
+// comparing committed throughput, orderer egress, and commit lag.
+func BenchmarkFigDisseminationSweep(b *testing.B) { runExperiment(b, "dissemination") }

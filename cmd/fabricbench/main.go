@@ -7,6 +7,7 @@
 //	fabricbench -experiment fig2 -quick    # one artifact, trimmed sweep
 //	fabricbench -experiment pipeline       # in-flight window sweep (gateway API)
 //	fabricbench -experiment commit         # committer pool x pipeline depth sweep
+//	fabricbench -experiment dissemination  # direct-deliver vs gossip egress sweep
 //	fabricbench -list                      # show available experiments
 //
 // The -scale flag compresses model time (0.1 = 10x faster than the

@@ -9,6 +9,7 @@
 //	fabricnet -orderer raft -osns 3 -peers 3 -rate 50 -duration 10s
 //	fabricnet -open-loop=false -inflight 32            # windowed pipeline
 //	fabricnet -committers 4 -commit-depth 2            # staged committer
+//	fabricnet -gossip -endorsers-per-org 4             # gossip dissemination
 package main
 
 import (
@@ -46,6 +47,9 @@ func run() int {
 		inflight    = flag.Int("inflight", 0, "in-flight cap per client: open-loop drop threshold (0 = gateway default) or pipeline window (0 = 16)")
 		committers  = flag.Int("committers", 0, "committer-pool width: parallel state-apply workers per channel commit pipeline (0 = serial)")
 		commitDepth = flag.Int("commit-depth", 0, "commit-pipeline depth: blocks in flight per channel (0 = 1, strictly serial)")
+		gossipOn    = flag.Bool("gossip", false, "disseminate blocks via gossip (org-leader deliver, push gossip, anti-entropy) instead of per-peer direct deliver")
+		gossipFan   = flag.Int("gossip-fanout", 0, "gossip push fanout per fresh block (0 = 3)")
+		antiEntropy = flag.Duration("anti-entropy", 0, "gossip anti-entropy digest interval in model time (0 = 500ms)")
 	)
 	flag.Parse()
 
@@ -62,6 +66,11 @@ func run() int {
 		UseTCP:            true,
 		CommitterPool:     *committers,
 		CommitDepth:       *commitDepth,
+		Gossip: fabnet.GossipConfig{
+			Enabled:             *gossipOn,
+			Fanout:              *gossipFan,
+			AntiEntropyInterval: *antiEntropy,
+		},
 	}
 	if *verify {
 		cfg.Scheme = "ecdsa"
@@ -127,6 +136,12 @@ func run() int {
 	fmt.Printf("latency: avg=%.3fs p95=%.3fs   block time: %.3fs (avg %0.1f tx/block)\n",
 		sum.TotalLatency.Avg.Seconds(), sum.TotalLatency.P95.Seconds(),
 		sum.BlockTime.Seconds(), sum.AvgBlockSize)
+	egressBlocks, egressBytes := net.OrdererEgress()
+	fmt.Printf("orderer egress: %d blocks, %.2f MB\n", egressBlocks, float64(egressBytes)/(1<<20))
+	if *gossipOn {
+		fmt.Printf("gossip: %d blocks via push (%.2f mean hops), %d via anti-entropy, %d duplicates suppressed, %d elections\n",
+			sum.GossipBlocks, sum.MeanGossipHops, sum.AntiEntropyBlocks, sum.GossipDuplicates, sum.LeaderElections)
+	}
 	for _, p := range net.Peers {
 		for _, ch := range net.ChannelIDs() {
 			l, ok := p.LedgerFor(ch)

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"fabricsim/internal/fabnet"
+	"fabricsim/internal/policy"
+)
+
+// Dissemination-sweep configuration. After replicated endorsers (PR 4)
+// the execute and validate phases both scale out, which leaves the
+// ordering service's deliver fan-out as the last per-peer serial cost:
+// direct deliver pushes every block to every peer, so orderer egress
+// grows O(peers) and caps how far EndorsersPerOrg can be pushed. The
+// sweep grows one topology 4 -> 32 peers (a fixed set of orgs, each
+// org's endorser replicated) and compares direct deliver against the
+// gossip layer, whose org-leader subscription holds orderer egress at
+// O(orgs) while push gossip + anti-entropy carry blocks the rest of
+// the way.
+const (
+	dissOrgs       = 4
+	dissClients    = 8
+	dissWindow     = 8
+	dissCommitters = 4
+	dissDepth      = 2
+)
+
+// dissReplicaCounts is the replicas-per-org sweep: peers = orgs * reps.
+func dissReplicaCounts(quick bool) []int {
+	if quick {
+		return []int{1, 4}
+	}
+	return []int{1, 2, 4, 8}
+}
+
+// DisseminationPoint is one machine-readable sweep measurement
+// (BENCH_dissemination.json rows).
+type DisseminationPoint struct {
+	Mode                string  `json:"mode"` // "direct" | "gossip"
+	Orgs                int     `json:"orgs"`
+	Peers               int     `json:"peers"`
+	ThroughputTPS       float64 `json:"throughput_tps"`
+	OrdererEgressBlocks uint64  `json:"orderer_egress_blocks"`
+	OrdererEgressMB     float64 `json:"orderer_egress_mb"`
+	MeanGossipHops      float64 `json:"mean_gossip_hops,omitempty"`
+	AntiEntropyBlocks   int     `json:"anti_entropy_blocks,omitempty"`
+	CommitLagP99Seconds float64 `json:"commit_lag_p99_s"`
+}
+
+// FigDissemination measures committed throughput, orderer egress
+// (blocks and bytes), mean gossip hop count, and cluster-wide commit
+// lag p99 as the peer count grows 4 -> 32 under direct deliver versus
+// gossip. Committed throughput should match between the modes (the
+// committer, not dissemination, is the bottleneck at equal load) while
+// direct deliver's egress grows with the peer count and gossip's stays
+// pinned near the org count.
+func FigDissemination() Experiment {
+	return Experiment{
+		ID:    "dissemination",
+		Title: "Dissemination sweep: Orderer Egress vs. Peers, Direct vs. Gossip",
+		Run: func(ctx context.Context, opt Options, w io.Writer) error {
+			header(w, "Dissemination sweep — Direct Deliver vs. Gossip")
+			fprintf(w, "(orderer=solo, orgs=%d, clients=%d, window=%d, committers=%d, depth=%d; peers = orgs x replicas)\n",
+				dissOrgs, dissClients, dissWindow, dissCommitters, dissDepth)
+			var points []DisseminationPoint
+			for _, mode := range []string{"direct", "gossip"} {
+				fprintf(w, "\n-- mode=%s --\n", mode)
+				fprintf(w, "%-8s %6s %12s %12s %12s %8s %10s %12s\n",
+					"mode", "peers", "throughput", "egr.blocks", "egr.MB", "hops", "ae.blocks", "lag p99(s)")
+				for _, reps := range dissReplicaCounts(opt.Quick) {
+					p, err := RunPoint(ctx, PointConfig{
+						Orderer:         fabnet.Solo,
+						OSNs:            1,
+						Peers:           dissOrgs,
+						Clients:         dissClients,
+						Policy:          policy.OrOverPeers(dissOrgs),
+						PolicyLabel:     "OR",
+						Window:          dissWindow,
+						Committers:      dissCommitters,
+						Depth:           dissDepth,
+						EndorsersPerOrg: reps,
+						Gossip:          mode == "gossip",
+					}, opt)
+					if err != nil {
+						return err
+					}
+					dp := DisseminationPoint{
+						Mode:                mode,
+						Orgs:                dissOrgs,
+						Peers:               dissOrgs * reps,
+						ThroughputTPS:       p.Summary.ValidateTPS,
+						OrdererEgressBlocks: p.OrdererEgressBlocks,
+						OrdererEgressMB:     float64(p.OrdererEgressBytes) / (1 << 20),
+						MeanGossipHops:      p.Summary.MeanGossipHops,
+						AntiEntropyBlocks:   p.Summary.AntiEntropyBlocks,
+						CommitLagP99Seconds: p.Summary.CommitLag.P99.Seconds(),
+					}
+					points = append(points, dp)
+					fprintf(w, "%-8s %6d %12.1f %12d %12.2f %8.2f %10d %12.2f\n",
+						dp.Mode, dp.Peers, dp.ThroughputTPS, dp.OrdererEgressBlocks,
+						dp.OrdererEgressMB, dp.MeanGossipHops, dp.AntiEntropyBlocks,
+						dp.CommitLagP99Seconds)
+				}
+			}
+
+			// Egress ratio per peer count: the paper-style punchline row.
+			fprintf(w, "\n-- gossip egress as a fraction of direct (same peer count) --\n")
+			fprintf(w, "%6s %14s %14s %8s\n", "peers", "direct blocks", "gossip blocks", "ratio")
+			byMode := map[string]map[int]DisseminationPoint{"direct": {}, "gossip": {}}
+			for _, dp := range points {
+				byMode[dp.Mode][dp.Peers] = dp
+			}
+			for _, reps := range dissReplicaCounts(opt.Quick) {
+				peers := dissOrgs * reps
+				d, g := byMode["direct"][peers], byMode["gossip"][peers]
+				ratio := 0.0
+				if d.OrdererEgressBlocks > 0 {
+					ratio = float64(g.OrdererEgressBlocks) / float64(d.OrdererEgressBlocks)
+				}
+				fprintf(w, "%6d %14d %14d %8.2f\n",
+					peers, d.OrdererEgressBlocks, g.OrdererEgressBlocks, ratio)
+			}
+
+			if opt.JSONDir != "" {
+				path := filepath.Join(opt.JSONDir, "BENCH_dissemination.json")
+				raw, err := json.MarshalIndent(points, "", "  ")
+				if err != nil {
+					return fmt.Errorf("bench: marshal dissemination points: %w", err)
+				}
+				if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+					return fmt.Errorf("bench: write %s: %w", path, err)
+				}
+				fprintf(w, "\n[machine-readable points written to %s]\n", path)
+			}
+			return nil
+		},
+	}
+}

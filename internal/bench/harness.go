@@ -66,6 +66,11 @@ type Point struct {
 	Window   int
 	Summary  metrics.Summary
 	Stats    workload.Stats
+	// OrdererEgressBlocks/Bytes total the ordering service's deliver
+	// pushes and catch-up fetches over the whole run — the dissemination
+	// sweep's cost axis (O(peers) direct vs O(orgs) gossip).
+	OrdererEgressBlocks uint64
+	OrdererEgressBytes  uint64
 }
 
 // PointConfig describes one network + load combination.
@@ -113,6 +118,11 @@ type PointConfig struct {
 	// PerturbedCores cores (0 = homogeneous hardware).
 	Perturbed      int
 	PerturbedCores int
+	// Gossip switches block dissemination from per-peer direct deliver
+	// to org-leader deliver + push gossip + anti-entropy.
+	Gossip bool
+	// GossipFanout overrides the push fanout when positive.
+	GossipFanout int
 }
 
 // RunPoint builds the network, applies the load, and reduces metrics.
@@ -139,6 +149,10 @@ func RunPoint(ctx context.Context, pc PointConfig, opt Options) (Point, error) {
 		Collector:              col,
 		CommitterPool:          pc.Committers,
 		CommitDepth:            pc.Depth,
+		Gossip: fabnet.GossipConfig{
+			Enabled: pc.Gossip,
+			Fanout:  pc.GossipFanout,
+		},
 	}
 	cfg.Channels = fabnet.NumberedChannels(pc.Channels)
 	net, err := fabnet.Build(cfg)
@@ -177,16 +191,19 @@ func RunPoint(ctx context.Context, pc PointConfig, opt Options) (Point, error) {
 	if channels < 1 {
 		channels = 1
 	}
+	egressBlocks, egressBytes := net.OrdererEgress()
 	return Point{
-		Orderer:  pc.Orderer,
-		Policy:   pc.PolicyLabel,
-		Peers:    pc.Peers,
-		OSNs:     pc.OSNs,
-		Channels: channels,
-		Rate:     pc.Rate,
-		Window:   pc.Window,
-		Summary:  sum,
-		Stats:    stats,
+		Orderer:             pc.Orderer,
+		Policy:              pc.PolicyLabel,
+		Peers:               pc.Peers,
+		OSNs:                pc.OSNs,
+		Channels:            channels,
+		Rate:                pc.Rate,
+		Window:              pc.Window,
+		Summary:             sum,
+		Stats:               stats,
+		OrdererEgressBlocks: egressBlocks,
+		OrdererEgressBytes:  egressBytes,
 	}, nil
 }
 
@@ -238,7 +255,7 @@ func All() []Experiment {
 	return []Experiment{
 		Fig2(), Fig3(), Fig4(), Fig5(), Fig6(), Fig7(),
 		Table2(), Table3(), Fig8(), FigChannels(), FigPipeline(),
-		FigCommit(), FigEndorse(),
+		FigCommit(), FigEndorse(), FigDissemination(),
 	}
 }
 

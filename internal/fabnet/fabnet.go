@@ -19,6 +19,7 @@ import (
 	"fabricsim/internal/costmodel"
 	"fabricsim/internal/fabcrypto"
 	"fabricsim/internal/gateway"
+	"fabricsim/internal/gossip"
 	"fabricsim/internal/kafka"
 	"fabricsim/internal/metrics"
 	"fabricsim/internal/msp"
@@ -123,10 +124,35 @@ type Config struct {
 	// CommitDepth overrides Model.CommitDepth when positive: the blocks
 	// each peer channel's commit pipeline holds in flight.
 	CommitDepth int
+	// Gossip configures peer-to-peer block dissemination. When enabled,
+	// only one elected leader peer per org subscribes to the orderer's
+	// deliver service; org members spread blocks by push gossip and
+	// converge through anti-entropy, holding orderer egress at O(orgs)
+	// instead of O(peers).
+	Gossip GossipConfig
 	// UseTCP runs every node on real loopback TCP sockets (gob framing)
 	// instead of the in-memory emulated network. Latency/bandwidth then
 	// come from the real kernel path; used by cmd/fabricnet.
 	UseTCP bool
+}
+
+// GossipConfig tunes the gossip dissemination layer. All durations are
+// model time (scaled by the cost model before reaching the nodes).
+type GossipConfig struct {
+	// Enabled switches dissemination from per-peer direct deliver to
+	// org-leader deliver + gossip.
+	Enabled bool
+	// Fanout is how many org members each fresh block is pushed to
+	// (default 3).
+	Fanout int
+	// MaxHops bounds a gossip message's path length (default 4).
+	MaxHops int
+	// AntiEntropyInterval is the digest-exchange period (default 500ms
+	// model time).
+	AntiEntropyInterval time.Duration
+	// LeaderLease is the leader heartbeat lease (default 2s model time);
+	// a dead leader is replaced roughly one lease after its last beat.
+	LeaderLease time.Duration
 }
 
 // ChannelConfig describes one channel of a multi-channel network.
@@ -197,6 +223,20 @@ func (c *Config) applyDefaults() {
 	for i := range c.Channels {
 		if c.Channels[i].Policy == nil {
 			c.Channels[i].Policy = c.Policy
+		}
+	}
+	if c.Gossip.Enabled {
+		if c.Gossip.Fanout < 1 {
+			c.Gossip.Fanout = 3
+		}
+		if c.Gossip.MaxHops < 1 {
+			c.Gossip.MaxHops = 4
+		}
+		if c.Gossip.AntiEntropyInterval <= 0 {
+			c.Gossip.AntiEntropyInterval = 500 * time.Millisecond
+		}
+		if c.Gossip.LeaderLease <= 0 {
+			c.Gossip.LeaderLease = 2 * time.Second
 		}
 	}
 	if c.Model.TimeScale == 0 {
@@ -280,8 +320,20 @@ type Network struct {
 	zk           *zookeeper.Ensemble
 	raftCons     []*orderer.RaftConsenter
 	cpus         []*simcpu.CPU
-	started      bool
+	// peerCfgs retains each peer's build configuration (indexed like
+	// Peers) so RestartPeer can rebuild a crashed peer from scratch.
+	peerCfgs []peer.Config
+	started  bool
 }
+
+// gossipMetrics adapts the metrics collector to the gossip.Observer
+// interface.
+type gossipMetrics struct{ col *metrics.Collector }
+
+func (g gossipMetrics) BlockReceived(source string, hops int) { g.col.GossipBlock(source, hops) }
+func (g gossipMetrics) DuplicateSuppressed()                  { g.col.GossipDuplicate() }
+func (g gossipMetrics) AntiEntropyPull(n int)                 { g.col.AntiEntropyPull(n) }
+func (g gossipMetrics) LeaderElected(string, uint64)          { g.col.LeaderElection() }
 
 // ChaincodeBench is the installed name of the benchmark KV chaincode.
 const ChaincodeBench = "bench"
@@ -388,6 +440,10 @@ func Build(cfg Config) (*Network, error) {
 		if i == 0 {
 			ocfg.Observer = observer // one OSN reports block events
 		}
+		if cfg.Collector != nil {
+			col := cfg.Collector
+			ocfg.OnEvict = func(string) { col.SubscriberEvicted() }
+		}
 		n.Orderers = append(n.Orderers, orderer.New(ocfg))
 	}
 
@@ -466,6 +522,15 @@ func Build(cfg Config) (*Network, error) {
 			slowed++
 		}
 	}
+	// Gossip membership: push gossip and leader election are org-scoped,
+	// anti-entropy spans the whole peer set. Computed up front so every
+	// peer's config can carry the full rosters.
+	orgMembers := make(map[string][]string)
+	allPeerIDs := make([]string, 0, len(specs))
+	for _, spec := range specs {
+		orgMembers[spec.org] = append(orgMembers[spec.org], spec.nodeID)
+		allPeerIDs = append(allPeerIDs, spec.nodeID)
+	}
 	for idx, spec := range specs {
 		enrollment, err := n.CAs[spec.org].Enroll("peer0", ca.RolePeer)
 		if err != nil {
@@ -493,6 +558,21 @@ func Build(cfg Config) (*Network, error) {
 			Channels:     channelIDs,
 			Policies:     channelPols,
 		}
+		if cfg.Gossip.Enabled {
+			pcfg.Gossip = &gossip.Config{
+				Org:                 spec.org,
+				OrgMembers:          orgMembers[spec.org],
+				ChannelPeers:        allPeerIDs,
+				Fanout:              cfg.Gossip.Fanout,
+				MaxHops:             cfg.Gossip.MaxHops,
+				AntiEntropyInterval: model.ScaledDelay(cfg.Gossip.AntiEntropyInterval),
+				LeaderLease:         model.ScaledDelay(cfg.Gossip.LeaderLease),
+				Seed:                int64(idx + 1),
+			}
+			if cfg.Collector != nil {
+				pcfg.Gossip.Observer = gossipMetrics{col: cfg.Collector}
+			}
+		}
 		if idx == 0 && cfg.Collector != nil {
 			// One peer reports commit-stage timings, mirroring the single
 			// block-event observer on OSN 1.
@@ -510,8 +590,19 @@ func Build(cfg Config) (*Network, error) {
 				})
 			}
 		}
+		if cfg.Collector != nil {
+			// Every peer reports block commits so the commit-lag summary
+			// sees dissemination stragglers, not just the event peer.
+			col := cfg.Collector
+			pcfg.OnCommit = func(b *types.Block, at time.Time) {
+				if ot := b.Metadata.OrderedTime; ot > 0 {
+					col.PeerCommit(at.Sub(time.Unix(0, ot)), at)
+				}
+			}
+		}
 		p := peer.New(pcfg)
 		n.Peers = append(n.Peers, p)
+		n.peerCfgs = append(n.peerCfgs, pcfg)
 		if spec.endorsing {
 			peersByPrincipal[identity.ID()] = append(peersByPrincipal[identity.ID()], spec.nodeID)
 		}
@@ -691,6 +782,53 @@ func (n *Network) ChannelIDs() []string {
 // KafkaCluster exposes the Kafka substrate (failover tests).
 func (n *Network) KafkaCluster() *kafka.Cluster { return n.kafkaCluster }
 
+// OrdererEgress sums the deliver/catch-up egress of every OSN: how many
+// blocks (and bytes) the ordering service pushed or served to peers.
+func (n *Network) OrdererEgress() (blocks, bytes uint64) {
+	for _, o := range n.Orderers {
+		b, by := o.EgressStats()
+		blocks += b
+		bytes += by
+	}
+	return blocks, bytes
+}
+
+// RestartPeer simulates a peer crash + restart: the named peer is
+// stopped, its node ID released, and a fresh peer built from the same
+// configuration (same identity, CPU, and gossip membership) with an
+// empty ledger, then started. The restarted peer converges back to the
+// cluster tip through the catch-up path — subscribe tips under direct
+// deliver, anti-entropy under gossip. In-memory transport only.
+func (n *Network) RestartPeer(ctx context.Context, id string) (*peer.Peer, error) {
+	if n.Transport == nil {
+		return nil, errors.New("fabnet: RestartPeer requires the in-memory transport")
+	}
+	idx := -1
+	for i, p := range n.Peers {
+		if p.ID() == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("fabnet: unknown peer %q", id)
+	}
+	n.Peers[idx].Stop()
+	n.Transport.Deregister(id)
+	ep, err := n.Transport.Register(id)
+	if err != nil {
+		return nil, fmt.Errorf("fabnet: restart %s: %w", id, err)
+	}
+	pcfg := n.peerCfgs[idx]
+	pcfg.Endpoint = ep
+	p := peer.New(pcfg)
+	if err := p.Start(ctx); err != nil {
+		return nil, fmt.Errorf("fabnet: restart %s: %w", id, err)
+	}
+	n.Peers[idx] = p
+	return p, nil
+}
+
 // Stop tears the network down in dependency order.
 func (n *Network) Stop() {
 	for _, p := range n.Peers {
@@ -730,7 +868,12 @@ func registerWireTypes() {
 			&peer.CommitStatusRequest{},
 			&orderer.BroadcastEnvelope{},
 			&orderer.GetBlockArgs{},
+			&orderer.GetBlocksArgs{}, &orderer.GetBlocksReply{},
+			&orderer.SubscribeArgs{}, &orderer.SubscribeReply{},
 			&orderer.SubmitArgs{},
+			&gossip.BlockMsg{}, &gossip.DigestMsg{},
+			&gossip.PullArgs{}, &gossip.PullReply{},
+			&gossip.Beat{},
 			&kafka.ProduceArgs{}, &kafka.ProduceReply{},
 			&kafka.ReplicateArgs{}, &kafka.ReplicateReply{},
 			&kafka.FetchArgs{}, &kafka.FetchReply{},

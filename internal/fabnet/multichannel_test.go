@@ -205,6 +205,13 @@ func TestMultiChannelBlockNumbering(t *testing.T) {
 		for ci, ch := range n.ChannelIDs() {
 			l, _ := p.LedgerFor(ch)
 			wantHeight := uint64(perChannel[ci] + 1) // + genesis
+			// Invoke futures resolve on the client's event peer; the
+			// other peers commit the same block asynchronously, so give
+			// them a bounded moment to catch up.
+			deadline := time.Now().Add(2 * time.Second)
+			for l.Height() != wantHeight && time.Now().Before(deadline) {
+				time.Sleep(2 * time.Millisecond)
+			}
 			if got := l.Height(); got != wantHeight {
 				t.Errorf("peer %s channel %s: height = %d, want %d", p.ID(), ch, got, wantHeight)
 				continue

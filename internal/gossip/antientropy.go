@@ -1,0 +1,204 @@
+package gossip
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fabricsim/internal/orderer"
+	"fabricsim/internal/types"
+)
+
+// This file is the anti-entropy (pull) side of the protocol: push
+// gossip is fast but lossy — a peer that was down, partitioned, or
+// simply unlucky with fanout selection ends up behind. Every
+// AntiEntropyInterval each node exchanges a digest of ledger heights
+// with one random peer (org boundaries ignored: any peer can repair
+// any other) and closes observed gaps with ranged block pulls served
+// from the remote ledger. The exchange repairs both directions: the
+// requester pulls what it is missing, and the responder — seeing the
+// requester's digest — pulls what *it* is missing, so one contact
+// converges both nodes.
+
+// antiEntropyLoop periodically reconciles with one random peer.
+func (n *Node) antiEntropyLoop() {
+	defer n.wg.Done()
+	if len(n.others) == 0 {
+		return
+	}
+	for {
+		// Jitter ±25% so the fleet's rounds do not synchronize.
+		n.mu.Lock()
+		jitter := time.Duration(n.rng.Int63n(int64(n.cfg.AntiEntropyInterval)/2 + 1))
+		n.mu.Unlock()
+		wait := n.cfg.AntiEntropyInterval*3/4 + jitter
+		select {
+		case <-n.stopCh:
+			return
+		case <-time.After(wait):
+		}
+		n.mu.Lock()
+		partner := n.others[n.rng.Intn(len(n.others))]
+		n.mu.Unlock()
+		n.reconcileWith(partner)
+	}
+}
+
+// digest snapshots the local heights (next needed block per channel).
+func (n *Node) digest() *DigestMsg {
+	heights := make(map[string]uint64, len(n.cfg.Channels))
+	for _, ch := range n.cfg.Channels {
+		heights[ch] = n.cfg.Sink.NextBlock(ch)
+	}
+	return &DigestMsg{Heights: heights}
+}
+
+// reconcileWith exchanges digests with one peer and pulls every range
+// the peer is ahead on.
+func (n *Node) reconcileWith(partner string) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.AntiEntropyInterval)
+	raw, err := n.cfg.Endpoint.Call(ctx, partner, KindDigest, n.digest(), 8*(len(n.cfg.Channels)+1))
+	cancel()
+	if err != nil {
+		return
+	}
+	remote, ok := raw.(*DigestMsg)
+	if !ok {
+		return
+	}
+	for _, ch := range n.cfg.Channels {
+		theirs := remote.Heights[ch]
+		if mine := n.cfg.Sink.NextBlock(ch); theirs > mine {
+			n.pullRange(partner, ch, mine, theirs)
+		}
+	}
+}
+
+// handleDigest serves the anti-entropy exchange: reply with our
+// heights, and if the requester's digest shows it ahead of us, repair
+// ourselves from it in the background.
+func (n *Node) handleDigest(_ context.Context, from string, payload any) (any, int, error) {
+	msg, ok := payload.(*DigestMsg)
+	if !ok {
+		return nil, 0, fmt.Errorf("gossip: bad digest payload %T", payload)
+	}
+	if n.isStopped() {
+		return nil, 0, fmt.Errorf("gossip %s: stopped", n.cfg.ID)
+	}
+	for _, ch := range n.cfg.Channels {
+		theirs := msg.Heights[ch]
+		if mine := n.cfg.Sink.NextBlock(ch); theirs > mine {
+			channel, gapFrom, gapTo := ch, mine, theirs
+			n.goRun(func() { n.pullRange(from, channel, gapFrom, gapTo) })
+		}
+	}
+	mine := n.digest()
+	return mine, 8 * (len(mine.Heights) + 1), nil
+}
+
+// handlePull serves committed blocks [From, To) from the local ledger,
+// truncated at the committed height and at maxPullBatch.
+func (n *Node) handlePull(_ context.Context, _ string, payload any) (any, int, error) {
+	args, ok := payload.(*PullArgs)
+	if !ok {
+		return nil, 0, fmt.Errorf("gossip: bad pull payload %T", payload)
+	}
+	reply := &PullReply{}
+	size := 8
+	to := args.To
+	if to > args.From+maxPullBatch {
+		to = args.From + maxPullBatch
+	}
+	for num := args.From; num < to; num++ {
+		b, ok := n.cfg.Sink.BlockAt(args.Channel, num)
+		if !ok {
+			break // past our committed height (or pipeline still staging)
+		}
+		reply.Blocks = append(reply.Blocks, b)
+		size += b.Size()
+	}
+	return reply, size, nil
+}
+
+// pullRange pages channel blocks [from, to) out of a peer's ledger and
+// ingests them in order. One puller per channel at a time: overlapping
+// gap triggers (several gossip blocks running ahead at once) collapse
+// into the first pull instead of duplicating traffic.
+func (n *Node) pullRange(peer, channel string, from, to uint64) {
+	n.mu.Lock()
+	if n.pulling == nil {
+		n.pulling = make(map[string]bool)
+	}
+	if n.pulling[channel] {
+		n.mu.Unlock()
+		return
+	}
+	n.pulling[channel] = true
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.pulling, channel)
+		n.mu.Unlock()
+	}()
+
+	for from < to {
+		if n.isStopped() {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.AntiEntropyInterval)
+		raw, err := n.cfg.Endpoint.Call(ctx, peer, KindPull,
+			&PullArgs{Channel: channel, From: from, To: to}, 24)
+		cancel()
+		if err != nil {
+			return
+		}
+		reply, ok := raw.(*PullReply)
+		if !ok || len(reply.Blocks) == 0 {
+			return // remote cannot serve (yet); the next round retries
+		}
+		if o := n.cfg.Observer; o != nil {
+			o.AntiEntropyPull(len(reply.Blocks))
+		}
+		for _, b := range reply.Blocks {
+			n.ingestPulled(b, peer)
+		}
+		from += uint64(len(reply.Blocks))
+	}
+}
+
+// pullFromOrderer pages a missed range out of the ordering service
+// (leader catch-up after an election or a push gap).
+func (n *Node) pullFromOrderer(channel string, from, to uint64) {
+	if n.cfg.OrdererID == "" {
+		return
+	}
+	for from < to {
+		if n.isStopped() {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*n.cfg.LeaderLease)
+		raw, err := n.cfg.Endpoint.Call(ctx, n.cfg.OrdererID, orderer.KindGetBlocks,
+			&orderer.GetBlocksArgs{Channel: channel, From: from, To: to}, 24)
+		cancel()
+		if err != nil {
+			return
+		}
+		reply, ok := raw.(*orderer.GetBlocksReply)
+		if !ok || len(reply.Blocks) == 0 {
+			return
+		}
+		for _, b := range reply.Blocks {
+			// Orderer backfill counts (and spreads) as deliver: these
+			// blocks are new to the whole org, not a private repair.
+			n.acceptBlock(b, 0, "", SourceDeliver)
+		}
+		from += uint64(len(reply.Blocks))
+	}
+}
+
+// ingestPulled routes one peer-pulled block through the normal accept
+// path (dedup + sink) with a zero hop count; acceptBlock suppresses
+// re-forwarding for this source.
+func (n *Node) ingestPulled(block *types.Block, from string) {
+	n.acceptBlock(block, 0, from, SourceAntiEntropy)
+}

@@ -1,0 +1,326 @@
+package gossip
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"fabricsim/internal/orderer"
+)
+
+// This file is the org-leader election: per channel, the org member
+// with the lowest rotated rank that is alive holds the deliver
+// subscription, renews it with lease heartbeats, and is replaced when
+// its beats stop.
+//
+// Ranks rotate per channel (a hash of the channel ID offsets the sorted
+// member list), so in multi-channel deployments different members lead
+// different channels and the deliver load spreads across the org.
+//
+// The protocol is deliberately small: a leader broadcasts
+// Beat{channel, term, leader} every LeaderLease/4; a member whose lease
+// expired probes every lower-ranked member, and claims the leadership
+// with an incremented term only when all of them are unreachable.
+// Members adopt the beat with the highest term (ties: lowest rank), so
+// a recovered old leader that still beats on a stale term resigns the
+// moment it hears the new leader.
+
+// electionState tracks one channel's leadership as seen by this node.
+type electionState struct {
+	term     uint64
+	leader   string
+	lastBeat time.Time
+	// electing guards against overlapping takeover probes.
+	electing bool
+	// subscribed reports whether this node, as the channel's leader,
+	// currently holds the orderer deliver subscription; subscribing
+	// guards against overlapping subscribe attempts. The election loop
+	// retries a failed subscribe and refreshes a held one every few
+	// leases — the refresh also re-registers a leader the orderer
+	// evicted during a transient outage (eviction resets on subscribe).
+	subscribed  bool
+	subscribing bool
+	lastSub     time.Time
+}
+
+// rankOf returns a node's election rank for a channel: its index in the
+// sorted member list, rotated by a hash of the channel ID. Rank 0 is
+// the channel's preferred leader.
+func (n *Node) rankOf(channel, id string) int {
+	total := len(n.members)
+	if total == 0 {
+		return 0
+	}
+	pos := -1
+	for i, m := range n.members {
+		if m == id {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return total // not an org member: ranks below every member
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(channel))
+	offset := int(h.Sum32()) % total
+	if offset < 0 {
+		offset += total
+	}
+	return (pos - offset + total) % total
+}
+
+// IsLeader reports whether this node currently leads the channel's org
+// delivery.
+func (n *Node) IsLeader(channel string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	es, ok := n.elections[channel]
+	return ok && es.leader == n.cfg.ID
+}
+
+// Leader returns the channel's current leader as seen by this node.
+func (n *Node) Leader(channel string) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	es, ok := n.elections[channel]
+	if !ok || es.leader == "" {
+		return "", false
+	}
+	return es.leader, true
+}
+
+// electionLoop renews this node's leases and watches the others'.
+func (n *Node) electionLoop() {
+	defer n.wg.Done()
+	tick := n.cfg.LeaderLease / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-ticker.C:
+		}
+		for _, ch := range n.cfg.Channels {
+			n.mu.Lock()
+			es := n.elections[ch]
+			var action func()
+			switch {
+			case es.leader == n.cfg.ID:
+				es.lastBeat = time.Now()
+				beat := &Beat{Channel: ch, Org: n.cfg.Org, Leader: n.cfg.ID, Term: es.term}
+				needSub := n.cfg.OrdererID != "" && !es.subscribing &&
+					(!es.subscribed || time.Since(es.lastSub) > 4*n.cfg.LeaderLease)
+				if needSub {
+					es.subscribing = true
+				}
+				channel := ch
+				action = func() {
+					n.broadcastBeat(beat)
+					if needSub {
+						n.goRun(func() { n.ensureSubscribed(channel) })
+					}
+				}
+			case time.Since(es.lastBeat) > n.cfg.LeaderLease && !es.electing:
+				es.electing = true
+				term := es.term
+				channel := ch
+				action = func() {
+					n.goRun(func() { n.tryTakeover(channel, term) })
+				}
+			}
+			n.mu.Unlock()
+			if action != nil {
+				action()
+			}
+		}
+	}
+}
+
+// broadcastBeat sends one lease heartbeat to every org member.
+func (n *Node) broadcastBeat(beat *Beat) {
+	for _, m := range n.members {
+		if m == n.cfg.ID {
+			continue
+		}
+		_ = n.cfg.Endpoint.Send(m, KindBeat, beat, 48)
+	}
+}
+
+// tryTakeover runs when the local lease on a channel expired: probe
+// every member ranked below us; if one answers, it is the rightful
+// next leader — reset the lease and wait for its claim. If none do,
+// claim the leadership ourselves.
+func (n *Node) tryTakeover(channel string, sawTerm uint64) {
+	defer func() {
+		n.mu.Lock()
+		n.elections[channel].electing = false
+		n.mu.Unlock()
+	}()
+	probeTimeout := n.cfg.LeaderLease / 4
+	if probeTimeout < 5*time.Millisecond {
+		probeTimeout = 5 * time.Millisecond
+	}
+	myRank := n.rankOf(channel, n.cfg.ID)
+	for _, m := range n.members {
+		if m == n.cfg.ID || n.rankOf(channel, m) > myRank {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+		_, err := n.cfg.Endpoint.Call(ctx, m, KindPing, nil, 4)
+		cancel()
+		if err == nil {
+			// A better-ranked member is alive; give it one more lease
+			// to claim before we re-probe.
+			n.mu.Lock()
+			n.elections[channel].lastBeat = time.Now()
+			n.mu.Unlock()
+			return
+		}
+	}
+	n.mu.Lock()
+	es := n.elections[channel]
+	if es.term != sawTerm || es.leader == n.cfg.ID {
+		// A claim (ours or a rival's) landed while we probed.
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	_ = n.becomeLeader(context.Background(), channel)
+}
+
+// becomeLeader claims a channel's org leadership: bump the term, start
+// beating, subscribe to the orderer's deliver for the channel, and pull
+// whatever the chain tip says we missed. A failed subscribe does not
+// void the claim — the election loop retries it every tick until it
+// lands.
+func (n *Node) becomeLeader(ctx context.Context, channel string) error {
+	n.mu.Lock()
+	es := n.elections[channel]
+	es.term++
+	es.leader = n.cfg.ID
+	es.lastBeat = time.Now()
+	es.subscribed = false
+	beat := &Beat{Channel: channel, Org: n.cfg.Org, Leader: n.cfg.ID, Term: es.term}
+	n.mu.Unlock()
+
+	if o := n.cfg.Observer; o != nil {
+		o.LeaderElected(channel, beat.Term)
+	}
+	n.broadcastBeat(beat)
+	if n.cfg.OrdererID == "" {
+		return nil
+	}
+	return n.subscribeLeader(ctx, channel)
+}
+
+// ensureSubscribed is the election loop's subscription keeper: while
+// this node leads the channel it (re)establishes the orderer deliver
+// subscription, retrying failures and refreshing held subscriptions.
+func (n *Node) ensureSubscribed(channel string) {
+	defer func() {
+		n.mu.Lock()
+		n.elections[channel].subscribing = false
+		n.mu.Unlock()
+	}()
+	n.mu.Lock()
+	stillLeader := n.elections[channel].leader == n.cfg.ID
+	n.mu.Unlock()
+	if !stillLeader {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*n.cfg.LeaderLease)
+	defer cancel()
+	_ = n.subscribeLeader(ctx, channel)
+}
+
+// subscribeLeader performs the channel-scoped subscribe call, marks the
+// subscription held, and backfills whatever the reported chain tip says
+// the org missed. If leadership was lost while the call was in flight
+// (a higher-term beat resigned us), the stray subscription is undone —
+// otherwise a deposed leader would stay subscribed forever and the
+// O(orgs) egress invariant would silently break.
+func (n *Node) subscribeLeader(ctx context.Context, channel string) error {
+	raw, err := n.cfg.Endpoint.Call(ctx, n.cfg.OrdererID, orderer.KindSubscribe,
+		&orderer.SubscribeArgs{Channels: []string{channel}}, 16)
+	if err != nil {
+		return fmt.Errorf("subscribe: %w", err)
+	}
+	n.mu.Lock()
+	es := n.elections[channel]
+	stillLeader := es.leader == n.cfg.ID
+	if stillLeader {
+		es.subscribed = true
+		es.lastSub = time.Now()
+	}
+	n.mu.Unlock()
+	if !stillLeader {
+		// Sent after our subscribe on the same link, so FIFO ordering
+		// guarantees the orderer ends unsubscribed.
+		n.resignLeader(channel)
+		return nil
+	}
+	if reply, ok := raw.(*orderer.SubscribeReply); ok {
+		tip := reply.Tips[channel]
+		if next := n.cfg.Sink.NextBlock(channel); tip >= next {
+			// The org missed blocks while leaderless; fetch the gap from
+			// the orderer once, then let gossip spread it.
+			n.goRun(func() { n.pullFromOrderer(channel, next, tip+1) })
+		}
+	}
+	return nil
+}
+
+// resignLeader drops the deliver subscription after losing a channel's
+// leadership to a higher-term claim.
+func (n *Node) resignLeader(channel string) {
+	if n.cfg.OrdererID == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.LeaderLease)
+	defer cancel()
+	_, _ = n.cfg.Endpoint.Call(ctx, n.cfg.OrdererID, orderer.KindUnsubscribe,
+		&orderer.SubscribeArgs{Channels: []string{channel}}, 16)
+}
+
+// handleBeat ingests a leader heartbeat.
+func (n *Node) handleBeat(_ context.Context, _ string, payload any) (any, int, error) {
+	beat, ok := payload.(*Beat)
+	if !ok {
+		return nil, 0, fmt.Errorf("gossip: bad beat payload %T", payload)
+	}
+	n.mu.Lock()
+	es, ok := n.elections[beat.Channel]
+	if !ok {
+		n.mu.Unlock()
+		return nil, 0, nil
+	}
+	adopt := beat.Term > es.term ||
+		(beat.Term == es.term && es.leader != beat.Leader &&
+			n.rankOf(beat.Channel, beat.Leader) < n.rankOf(beat.Channel, es.leader))
+	switch {
+	case adopt:
+		resign := es.leader == n.cfg.ID && beat.Leader != n.cfg.ID
+		es.term = beat.Term
+		es.leader = beat.Leader
+		es.lastBeat = time.Now()
+		if resign {
+			es.subscribed = false
+		}
+		n.mu.Unlock()
+		if resign {
+			n.resignLeader(beat.Channel)
+		}
+	case beat.Term == es.term && beat.Leader == es.leader:
+		es.lastBeat = time.Now()
+		n.mu.Unlock()
+	default:
+		n.mu.Unlock() // stale claim from a deposed leader
+	}
+	return nil, 0, nil
+}

@@ -1,0 +1,447 @@
+// Package gossip implements peer-to-peer block dissemination, the layer
+// real Fabric uses to keep ordering-service egress independent of the
+// peer count. Per channel and per organization, one elected leader peer
+// subscribes to the orderer's deliver service (lease-based re-election
+// replaces a dead leader); every other peer receives blocks via push
+// gossip from org members — fanout-bounded, hop-count-tagged messages
+// with duplicate suppression keyed on channel + block number — and runs
+// periodic anti-entropy: a digest exchange of ledger heights with a
+// random peer followed by ranged block pulls, so crashed or lagging
+// peers converge without orderer involvement.
+//
+// The package is deliberately ignorant of validation and commit: it
+// moves blocks between nodes and hands them to a Sink (the peer's
+// commit pipeline). The orderer remains the only source of truth for
+// ordering; gossip only changes who carries the bytes.
+package gossip
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"fabricsim/internal/orderer"
+	"fabricsim/internal/transport"
+	"fabricsim/internal/types"
+)
+
+// Message kinds on the transport.
+const (
+	// KindBlock is the peer -> peer push-gossip block message.
+	KindBlock = "gossip.block"
+	// KindDigest is the anti-entropy height exchange (request/response,
+	// both directions carry a DigestMsg).
+	KindDigest = "gossip.digest"
+	// KindPull is the anti-entropy ranged block fetch.
+	KindPull = "gossip.pull"
+	// KindBeat is the org-leader lease heartbeat.
+	KindBeat = "gossip.beat"
+	// KindPing probes liveness during leader election.
+	KindPing = "gossip.ping"
+)
+
+// Block sources reported to the Observer.
+const (
+	// SourceDeliver is a block pushed by the orderer (leaders only).
+	SourceDeliver = "deliver"
+	// SourceGossip is a block pushed by an org member.
+	SourceGossip = "gossip"
+	// SourceAntiEntropy is a block pulled while closing a height gap.
+	SourceAntiEntropy = "antientropy"
+)
+
+// BlockMsg is the KindBlock payload: a block plus the number of gossip
+// hops it has already traveled (0 = sent by the peer that received it
+// from the orderer).
+type BlockMsg struct {
+	Block *types.Block
+	Hops  int
+}
+
+// DigestMsg carries one node's ledger heights (next needed block number
+// per channel) during anti-entropy.
+type DigestMsg struct {
+	Heights map[string]uint64
+}
+
+// PullArgs requests channel blocks [From, To) from a peer's ledger.
+type PullArgs struct {
+	Channel string
+	From    uint64
+	To      uint64
+}
+
+// PullReply carries the pulled blocks, ascending from From, truncated
+// at the serving peer's committed height and at maxPullBatch.
+type PullReply struct {
+	Blocks []*types.Block
+}
+
+// Beat is the org leader's lease heartbeat for one channel.
+type Beat struct {
+	Channel string
+	Org     string
+	Leader  string
+	Term    uint64
+}
+
+// maxPullBatch caps one KindPull reply; a far-behind peer pages.
+const maxPullBatch = 64
+
+// IngestResult reports what a Sink did with a handed-over block.
+type IngestResult struct {
+	// Fresh is true when the block was new to the sink (queued for
+	// commit or buffered out of order) — the signal to keep gossiping
+	// it. False means the sink already had it.
+	Fresh bool
+	// MissFrom/MissTo name the gap [MissFrom, MissTo) the block ran
+	// ahead of; equal values mean no gap.
+	MissFrom uint64
+	MissTo   uint64
+}
+
+// Sink is the gossip node's hand-off to the local peer: block ingest
+// into the commit pipeline plus the ledger reads that serve digests and
+// pulls.
+type Sink interface {
+	// IngestBlock routes one block toward the commit pipeline.
+	IngestBlock(block *types.Block) (IngestResult, error)
+	// NextBlock returns the next block number the channel needs (blocks
+	// below it are owned; buffered out-of-order blocks do not count).
+	NextBlock(channel string) uint64
+	// BlockAt returns a committed channel block, if available.
+	BlockAt(channel string, num uint64) (*types.Block, bool)
+}
+
+// Observer receives gossip-layer events (metrics wiring). Methods must
+// be safe for concurrent use. All methods are optional via NopObserver
+// embedding — a nil Observer disables reporting entirely.
+type Observer interface {
+	// BlockReceived is one freshly accepted block: its source and the
+	// gossip hop count it arrived with (0 for deliver and anti-entropy).
+	BlockReceived(source string, hops int)
+	// DuplicateSuppressed is one block dropped by the dedup cache.
+	DuplicateSuppressed()
+	// AntiEntropyPull is one ranged pull that returned n blocks.
+	AntiEntropyPull(n int)
+	// LeaderElected reports this node taking leadership of a channel.
+	LeaderElected(channel string, term uint64)
+}
+
+// Config parameterizes a gossip node. All durations are wall-clock; the
+// caller scales model time beforehand (costmodel.ScaledDelay).
+type Config struct {
+	// ID is the local node's transport identifier.
+	ID string
+	// Org names the node's organization (the push-gossip scope).
+	Org string
+	// Endpoint is the node's network attachment (shared with the peer).
+	Endpoint transport.Endpoint
+	// Channels lists the channels the node participates in; the first
+	// entry is the default channel for untagged blocks.
+	Channels []string
+	// OrgMembers lists the node IDs of the local org's peers, self
+	// included. Push gossip and leader election run over this set.
+	OrgMembers []string
+	// ChannelPeers lists every peer in the network; anti-entropy picks
+	// its partners here, so convergence crosses org boundaries.
+	ChannelPeers []string
+	// OrdererID is the OSN the elected leader subscribes to.
+	OrdererID string
+	// Sink is the local peer's ingest/serve surface.
+	Sink Sink
+	// Fanout is how many org members each fresh block is pushed to
+	// (default 3, clamped to the org size).
+	Fanout int
+	// MaxHops bounds a block message's gossip path length (default 4).
+	MaxHops int
+	// AntiEntropyInterval is the digest-exchange period (default 250ms).
+	AntiEntropyInterval time.Duration
+	// LeaderLease is how long a leader's heartbeat holds off
+	// re-election (default 1s); beats go out every LeaderLease/4.
+	LeaderLease time.Duration
+	// Observer, when non-nil, sees gossip-layer events.
+	Observer Observer
+	// Seed fixes the node's randomness (peer/fanout selection); 0
+	// derives one from the node ID.
+	Seed int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Fanout < 1 {
+		c.Fanout = 3
+	}
+	if c.MaxHops < 1 {
+		c.MaxHops = 4
+	}
+	if c.AntiEntropyInterval <= 0 {
+		c.AntiEntropyInterval = 250 * time.Millisecond
+	}
+	if c.LeaderLease <= 0 {
+		c.LeaderLease = time.Second
+	}
+	if c.Seed == 0 {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(c.ID))
+		c.Seed = int64(h.Sum64())
+	}
+}
+
+// Node is one peer's gossip agent.
+type Node struct {
+	cfg Config
+
+	// members is OrgMembers sorted; rank arithmetic indexes into it.
+	members []string
+	// others is ChannelPeers minus self (anti-entropy partners).
+	others []string
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	seen      map[string]map[uint64]struct{} // channel -> block numbers
+	elections map[string]*electionState
+	pulling   map[string]bool // channel -> a ranged pull is in flight
+	stopped   bool
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// goRun launches a tracked background task unless the node is stopped.
+// The stopped check and the WaitGroup Add share the node mutex so Stop's
+// Wait can never race an Add on a drained counter.
+func (n *Node) goRun(f func()) {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.wg.Add(1)
+	n.mu.Unlock()
+	go func() {
+		defer n.wg.Done()
+		f()
+	}()
+}
+
+// NewNode creates a gossip node and registers its transport handlers.
+// Call Start to begin electing and disseminating.
+func NewNode(cfg Config) *Node {
+	cfg.applyDefaults()
+	if len(cfg.Channels) == 0 {
+		cfg.Channels = []string{orderer.DefaultChannel}
+	}
+	n := &Node{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		seen:      make(map[string]map[uint64]struct{}, len(cfg.Channels)),
+		elections: make(map[string]*electionState, len(cfg.Channels)),
+		stopCh:    make(chan struct{}),
+	}
+	n.members = append([]string(nil), cfg.OrgMembers...)
+	sort.Strings(n.members)
+	for _, p := range cfg.ChannelPeers {
+		if p != cfg.ID {
+			n.others = append(n.others, p)
+		}
+	}
+	for _, ch := range cfg.Channels {
+		n.seen[ch] = make(map[uint64]struct{})
+		n.elections[ch] = &electionState{}
+	}
+	cfg.Endpoint.Handle(KindBlock, n.handleBlock)
+	cfg.Endpoint.Handle(KindDigest, n.handleDigest)
+	cfg.Endpoint.Handle(KindPull, n.handlePull)
+	cfg.Endpoint.Handle(KindBeat, n.handleBeat)
+	cfg.Endpoint.Handle(KindPing, n.handlePing)
+	return n
+}
+
+// ID returns the node's transport identifier.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// Start claims initial leaderships and launches the election and
+// anti-entropy loops.
+func (n *Node) Start(ctx context.Context) error {
+	for _, ch := range n.cfg.Channels {
+		if n.rankOf(ch, n.cfg.ID) == 0 {
+			if err := n.becomeLeader(ctx, ch); err != nil {
+				return fmt.Errorf("gossip %s: initial leadership of %s: %w", n.cfg.ID, ch, err)
+			}
+		} else {
+			es := n.elections[ch]
+			n.mu.Lock()
+			es.lastBeat = time.Now()
+			n.mu.Unlock()
+		}
+	}
+	n.wg.Add(2)
+	go n.electionLoop()
+	go n.antiEntropyLoop()
+	return nil
+}
+
+// Stop halts the loops. Safe to call more than once; safe on a node
+// that was never started.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	n.mu.Unlock()
+	close(n.stopCh)
+	n.wg.Wait()
+}
+
+func (n *Node) isStopped() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stopped
+}
+
+// channelOf resolves a block's channel tag ("" = default channel).
+func (n *Node) channelOf(block *types.Block) string {
+	if ch := block.Metadata.ChannelID; ch != "" {
+		return ch
+	}
+	return n.cfg.Channels[0]
+}
+
+// OnDeliver ingests a block the orderer pushed to this (leader) node
+// and spreads it into the org.
+func (n *Node) OnDeliver(block *types.Block) {
+	n.acceptBlock(block, 0, "", SourceDeliver)
+}
+
+// handleBlock ingests one pushed gossip message.
+func (n *Node) handleBlock(_ context.Context, from string, payload any) (any, int, error) {
+	msg, ok := payload.(*BlockMsg)
+	if !ok {
+		return nil, 0, fmt.Errorf("gossip: bad block payload %T", payload)
+	}
+	if n.isStopped() {
+		return nil, 0, nil
+	}
+	n.acceptBlock(msg.Block, msg.Hops, from, SourceGossip)
+	return nil, 0, nil
+}
+
+// acceptBlock is the single entry point for every block the node sees:
+// dedup, sink hand-off, gap-triggered pulls, and fanout forwarding.
+func (n *Node) acceptBlock(block *types.Block, hops int, from, source string) {
+	ch := n.channelOf(block)
+	num := block.Header.Number
+
+	n.mu.Lock()
+	seen, ok := n.seen[ch]
+	if !ok {
+		n.mu.Unlock()
+		return // channel we do not participate in
+	}
+	if _, dup := seen[num]; dup {
+		n.mu.Unlock()
+		if o := n.cfg.Observer; o != nil {
+			o.DuplicateSuppressed()
+		}
+		return
+	}
+	seen[num] = struct{}{}
+	if len(seen) > 8192 {
+		n.pruneSeenLocked(ch, seen)
+	}
+	n.mu.Unlock()
+
+	res, err := n.cfg.Sink.IngestBlock(block)
+	if err != nil {
+		return
+	}
+	if res.Fresh {
+		if o := n.cfg.Observer; o != nil {
+			o.BlockReceived(source, hops)
+		}
+	}
+	if res.MissFrom < res.MissTo {
+		// The block ran ahead of the chain: close the gap without
+		// waiting for the next anti-entropy round. A leader that heard
+		// it from the orderer pulls the range there; a follower pulls
+		// from whichever peer pushed the block (it owns the range or
+		// knows who does by the same recursion).
+		gapFrom, gapTo := res.MissFrom, res.MissTo
+		n.goRun(func() {
+			if source == SourceDeliver {
+				n.pullFromOrderer(ch, gapFrom, gapTo)
+			} else if from != "" {
+				n.pullRange(from, ch, gapFrom, gapTo)
+			}
+		})
+	}
+	// Fresh blocks keep spreading — except anti-entropy pulls: a peer
+	// repairing itself from another peer's ledger is usually the LAST
+	// to learn those blocks, and re-pushing a whole pulled chain into
+	// the org would pay full block bandwidth just to be dropped by
+	// everyone's dedup cache. Orderer backfills (leader election
+	// catch-up) arrive as SourceDeliver and do fan out, so org mates
+	// converge without issuing their own pulls.
+	if res.Fresh && hops < n.cfg.MaxHops && source != SourceAntiEntropy {
+		n.forward(block, hops+1, from)
+	}
+}
+
+// pruneSeenLocked drops dedup entries the ledger already owns; callers
+// hold n.mu.
+func (n *Node) pruneSeenLocked(ch string, seen map[uint64]struct{}) {
+	floor := n.cfg.Sink.NextBlock(ch)
+	for num := range seen {
+		if num < floor {
+			delete(seen, num)
+		}
+	}
+}
+
+// forward pushes a block to Fanout random org members, skipping self
+// and the member it came from.
+func (n *Node) forward(block *types.Block, hops int, exclude string) {
+	targets := n.pickTargets(n.members, n.cfg.Fanout, exclude)
+	if len(targets) == 0 {
+		return
+	}
+	msg := &BlockMsg{Block: block, Hops: hops}
+	size := block.Size() + 8
+	for _, t := range targets {
+		_ = n.cfg.Endpoint.Send(t, KindBlock, msg, size)
+	}
+}
+
+// pickTargets samples up to k distinct members, excluding self and the
+// given node.
+func (n *Node) pickTargets(pool []string, k int, exclude string) []string {
+	candidates := make([]string, 0, len(pool))
+	for _, m := range pool {
+		if m != n.cfg.ID && m != exclude {
+			candidates = append(candidates, m)
+		}
+	}
+	if len(candidates) <= k {
+		return candidates
+	}
+	n.mu.Lock()
+	n.rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	n.mu.Unlock()
+	return candidates[:k]
+}
+
+// handlePing answers liveness probes.
+func (n *Node) handlePing(_ context.Context, _ string, _ any) (any, int, error) {
+	if n.isStopped() {
+		return nil, 0, fmt.Errorf("gossip %s: stopped", n.cfg.ID)
+	}
+	return "OK", 2, nil
+}

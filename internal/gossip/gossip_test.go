@@ -1,0 +1,539 @@
+package gossip
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fabricsim/internal/orderer"
+	"fabricsim/internal/transport"
+	"fabricsim/internal/types"
+)
+
+// fakeSink mimics the peer's ingest semantics: strictly ordered commit
+// from block 1, an out-of-order pending buffer, and gap reporting.
+type fakeSink struct {
+	mu     sync.Mutex
+	chains map[string]*fakeChain
+}
+
+type fakeChain struct {
+	next    uint64
+	blocks  map[uint64]*types.Block
+	pending map[uint64]*types.Block
+}
+
+func newFakeSink(channels ...string) *fakeSink {
+	if len(channels) == 0 {
+		channels = []string{orderer.DefaultChannel}
+	}
+	s := &fakeSink{chains: make(map[string]*fakeChain)}
+	for _, ch := range channels {
+		s.chains[ch] = &fakeChain{
+			next:    1,
+			blocks:  make(map[uint64]*types.Block),
+			pending: make(map[uint64]*types.Block),
+		}
+	}
+	return s
+}
+
+func (s *fakeSink) chain(channel string) *fakeChain {
+	if channel == "" {
+		channel = orderer.DefaultChannel
+	}
+	return s.chains[channel]
+}
+
+func (s *fakeSink) IngestBlock(block *types.Block) (IngestResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.chain(block.Metadata.ChannelID)
+	if c == nil {
+		return IngestResult{}, fmt.Errorf("fakeSink: unknown channel %q", block.Metadata.ChannelID)
+	}
+	num := block.Header.Number
+	switch {
+	case num < c.next:
+		return IngestResult{}, nil
+	case num > c.next:
+		if _, buffered := c.pending[num]; buffered {
+			return IngestResult{}, nil
+		}
+		c.pending[num] = block
+		return IngestResult{Fresh: true, MissFrom: c.next, MissTo: num}, nil
+	}
+	c.blocks[num] = block
+	c.next = num + 1
+	for {
+		nxt, ok := c.pending[c.next]
+		if !ok {
+			break
+		}
+		delete(c.pending, c.next)
+		c.blocks[c.next] = nxt
+		c.next = nxt.Header.Number + 1
+	}
+	return IngestResult{Fresh: true}, nil
+}
+
+func (s *fakeSink) NextBlock(channel string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.chain(channel)
+	if c == nil {
+		return 0
+	}
+	return c.next
+}
+
+func (s *fakeSink) BlockAt(channel string, num uint64) (*types.Block, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.chain(channel)
+	if c == nil {
+		return nil, false
+	}
+	b, ok := c.blocks[num]
+	return b, ok
+}
+
+// seed commits blocks 1..n directly into the sink.
+func (s *fakeSink) seed(channel string, n uint64) {
+	for num := uint64(1); num <= n; num++ {
+		_, _ = s.IngestBlock(testBlock(channel, num))
+	}
+}
+
+func testBlock(channel string, num uint64) *types.Block {
+	b := types.NewBlock(num, []byte("prev"), [][]byte{[]byte(fmt.Sprintf("%s/%d", channel, num))})
+	b.Metadata.ChannelID = channel
+	return b
+}
+
+// countingObserver records gossip events.
+type countingObserver struct {
+	mu         sync.Mutex
+	received   map[string]int // source -> count
+	hops       []int
+	duplicates int
+	pulls      int
+	elected    int
+}
+
+func (o *countingObserver) BlockReceived(source string, hops int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.received == nil {
+		o.received = make(map[string]int)
+	}
+	o.received[source]++
+	o.hops = append(o.hops, hops)
+}
+
+func (o *countingObserver) DuplicateSuppressed() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.duplicates++
+}
+
+func (o *countingObserver) AntiEntropyPull(n int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.pulls += n
+}
+
+func (o *countingObserver) LeaderElected(string, uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.elected++
+}
+
+// fakeOrderer is a deliver-service stub: it records subscriptions and
+// serves a static chain over KindGetBlocks.
+type fakeOrderer struct {
+	mu     sync.Mutex
+	subs   map[string]bool
+	unsubs []string
+	blocks []*types.Block // index 0 unused; blocks[i] has number i
+}
+
+func newFakeOrderer(t *testing.T, net *transport.Network, id string, height uint64) *fakeOrderer {
+	t.Helper()
+	f := &fakeOrderer{subs: make(map[string]bool)}
+	f.blocks = append(f.blocks, nil)
+	for num := uint64(1); num <= height; num++ {
+		f.blocks = append(f.blocks, testBlock(orderer.DefaultChannel, num))
+	}
+	ep, err := net.Register(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Handle(orderer.KindSubscribe, func(_ context.Context, from string, _ any) (any, int, error) {
+		f.mu.Lock()
+		f.subs[from] = true
+		tip := uint64(len(f.blocks) - 1)
+		f.mu.Unlock()
+		return &orderer.SubscribeReply{Tips: map[string]uint64{orderer.DefaultChannel: tip}}, 16, nil
+	})
+	ep.Handle(orderer.KindUnsubscribe, func(_ context.Context, from string, _ any) (any, int, error) {
+		f.mu.Lock()
+		delete(f.subs, from)
+		f.unsubs = append(f.unsubs, from)
+		f.mu.Unlock()
+		return "OK", 2, nil
+	})
+	ep.Handle(orderer.KindGetBlocks, func(_ context.Context, _ string, payload any) (any, int, error) {
+		args := payload.(*orderer.GetBlocksArgs)
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		reply := &orderer.GetBlocksReply{}
+		to := args.To
+		if height := uint64(len(f.blocks)); to > height {
+			to = height
+		}
+		for num := args.From; num < to && num < uint64(len(f.blocks)); num++ {
+			if num == 0 {
+				continue
+			}
+			reply.Blocks = append(reply.Blocks, f.blocks[num])
+		}
+		return reply, 64, nil
+	})
+	return f
+}
+
+func (f *fakeOrderer) subscribed() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.subs))
+	for s := range f.subs {
+		out = append(out, s)
+	}
+	return out
+}
+
+// cluster is a one-org gossip test fixture.
+type cluster struct {
+	t     *testing.T
+	net   *transport.Network
+	nodes []*Node
+	sinks []*fakeSink
+	obs   []*countingObserver
+}
+
+func newCluster(t *testing.T, size int, ordererID string, tweak func(*Config)) *cluster {
+	t.Helper()
+	c := &cluster{
+		t:   t,
+		net: transport.NewNetwork(transport.Config{TimeScale: 1.0}),
+	}
+	t.Cleanup(c.net.Close)
+	members := make([]string, size)
+	for i := range members {
+		members[i] = fmt.Sprintf("peer%d", i+1)
+	}
+	for i := 0; i < size; i++ {
+		ep, err := c.net.Register(members[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := newFakeSink()
+		obs := &countingObserver{}
+		cfg := Config{
+			ID:                  members[i],
+			Org:                 "Org1",
+			Endpoint:            ep,
+			OrgMembers:          members,
+			ChannelPeers:        members,
+			OrdererID:           ordererID,
+			Sink:                sink,
+			Fanout:              2,
+			MaxHops:             4,
+			AntiEntropyInterval: 40 * time.Millisecond,
+			LeaderLease:         120 * time.Millisecond,
+			Observer:            obs,
+			Seed:                int64(i + 1),
+		}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		c.sinks = append(c.sinks, sink)
+		c.obs = append(c.obs, obs)
+		c.nodes = append(c.nodes, NewNode(cfg))
+	}
+	return c
+}
+
+func (c *cluster) start() {
+	c.t.Helper()
+	for _, n := range c.nodes {
+		if err := n.Start(context.Background()); err != nil {
+			c.t.Fatal(err)
+		}
+		c.t.Cleanup(n.Stop)
+	}
+}
+
+func (c *cluster) waitConverged(height uint64, d time.Duration) {
+	c.t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, s := range c.sinks {
+			if s.NextBlock("") != height+1 {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for i, s := range c.sinks {
+		c.t.Errorf("node %d next = %d, want %d", i+1, s.NextBlock(""), height+1)
+	}
+	c.t.FailNow()
+}
+
+// leaderOf finds the node currently leading the default channel.
+func (c *cluster) leaderOf() *Node {
+	c.t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, n := range c.nodes {
+			if n.IsLeader(orderer.DefaultChannel) {
+				return n
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.t.Fatal("no leader emerged")
+	return nil
+}
+
+// TestPushGossipSpreadsBlocks checks that a block handed to one member
+// reaches the whole org via fanout-bounded pushes, each block accepted
+// exactly once per node.
+func TestPushGossipSpreadsBlocks(t *testing.T) {
+	c := newCluster(t, 5, "", nil)
+	c.start()
+	lead := c.leaderOf()
+	for num := uint64(1); num <= 3; num++ {
+		lead.OnDeliver(testBlock(orderer.DefaultChannel, num))
+	}
+	c.waitConverged(3, 3*time.Second)
+	for i, s := range c.sinks {
+		for num := uint64(1); num <= 3; num++ {
+			if _, ok := s.BlockAt("", num); !ok {
+				t.Errorf("node %d missing block %d", i+1, num)
+			}
+		}
+	}
+	// Each node accepted each block exactly once: 3 fresh accepts each.
+	for i, o := range c.obs {
+		o.mu.Lock()
+		total := 0
+		for _, n := range o.received {
+			total += n
+		}
+		o.mu.Unlock()
+		if total != 3 {
+			t.Errorf("node %d accepted %d blocks, want 3", i+1, total)
+		}
+	}
+}
+
+// TestHopCountsBounded checks that forwarded messages carry increasing
+// hop counts and never exceed MaxHops.
+func TestHopCountsBounded(t *testing.T) {
+	c := newCluster(t, 6, "", func(cfg *Config) {
+		cfg.Fanout = 1 // force long gossip paths
+		cfg.MaxHops = 3
+	})
+	c.start()
+	lead := c.leaderOf()
+	for num := uint64(1); num <= 5; num++ {
+		lead.OnDeliver(testBlock(orderer.DefaultChannel, num))
+	}
+	c.waitConverged(5, 5*time.Second) // anti-entropy covers past MaxHops
+	sawForwarded := false
+	for _, o := range c.obs {
+		o.mu.Lock()
+		for _, h := range o.hops {
+			if h > 3 {
+				t.Errorf("hop count %d exceeds MaxHops 3", h)
+			}
+			if h > 0 {
+				sawForwarded = true
+			}
+		}
+		o.mu.Unlock()
+	}
+	if !sawForwarded {
+		t.Error("no block traveled a gossip hop")
+	}
+}
+
+// TestDuplicateSuppression checks the dedup cache: re-pushing an
+// already-seen block is dropped without re-ingesting.
+func TestDuplicateSuppression(t *testing.T) {
+	c := newCluster(t, 2, "", nil)
+	c.start()
+	lead := c.leaderOf()
+	b := testBlock(orderer.DefaultChannel, 1)
+	lead.OnDeliver(b)
+	c.waitConverged(1, 2*time.Second)
+	lead.OnDeliver(b) // replay
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		var dup int
+		for i, n := range c.nodes {
+			if n == lead {
+				c.obs[i].mu.Lock()
+				dup = c.obs[i].duplicates
+				c.obs[i].mu.Unlock()
+			}
+		}
+		if dup >= 1 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Error("replayed block not suppressed as duplicate")
+}
+
+// TestInitialLeaderSubscribesAndCatchesUp checks the deliver side: the
+// rank-0 member claims leadership, subscribes to the orderer, pulls the
+// chain it missed, and gossip spreads it to the whole org — the orderer
+// sees exactly one subscriber for the org.
+func TestInitialLeaderSubscribesAndCatchesUp(t *testing.T) {
+	c := newCluster(t, 4, "osn1", nil)
+	fo := newFakeOrderer(t, c.net, "osn1", 5)
+	c.start()
+	c.waitConverged(5, 5*time.Second)
+	subs := fo.subscribed()
+	if len(subs) != 1 {
+		t.Errorf("orderer subscribers = %v, want exactly 1 (the org leader)", subs)
+	}
+	lead := c.leaderOf()
+	if len(subs) == 1 && subs[0] != lead.ID() {
+		t.Errorf("subscriber %s is not the leader %s", subs[0], lead.ID())
+	}
+}
+
+// TestLeaderFailoverReelectsAndResubscribes kills the leader and checks
+// that a surviving member claims the lease, subscribes, and that the
+// recovered old leader resigns on hearing the higher-term beat.
+func TestLeaderFailoverReelectsAndResubscribes(t *testing.T) {
+	c := newCluster(t, 3, "osn1", nil)
+	fo := newFakeOrderer(t, c.net, "osn1", 0)
+	c.start()
+	old := c.leaderOf()
+	c.net.SetNodeDown(old.ID(), true)
+
+	deadline := time.Now().Add(5 * time.Second)
+	var newLead *Node
+	for time.Now().Before(deadline) {
+		for _, n := range c.nodes {
+			if n != old && n.IsLeader(orderer.DefaultChannel) {
+				newLead = n
+				break
+			}
+		}
+		if newLead != nil {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if newLead == nil {
+		t.Fatal("no new leader elected after crash")
+	}
+	waitSubscribed := func(id string) {
+		t.Helper()
+		subDeadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(subDeadline) {
+			for _, s := range fo.subscribed() {
+				if s == id {
+					return
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("%s never subscribed", id)
+	}
+	waitSubscribed(newLead.ID())
+
+	// Recovery: the whole org converges on exactly one self-claiming
+	// leader. Which node wins is not asserted — the recovered old
+	// leader resigns on the higher-term beat, but as the channel's
+	// preferred (rank-0) member it may legitimately re-claim the lease
+	// afterwards (preferred-leader failback).
+	c.net.SetNodeDown(old.ID(), false)
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		views := make(map[string]bool)
+		selfClaims := 0
+		for _, n := range c.nodes {
+			if l, ok := n.Leader(orderer.DefaultChannel); ok {
+				views[l] = true
+			}
+			if n.IsLeader(orderer.DefaultChannel) {
+				selfClaims++
+			}
+		}
+		if len(views) == 1 && selfClaims == 1 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Error("org never converged on a single leader after the old one recovered")
+}
+
+// TestAntiEntropyClosesGap checks pull-based repair: a node that missed
+// every push converges through digest exchange + ranged pulls alone.
+func TestAntiEntropyClosesGap(t *testing.T) {
+	// The blocks are seeded straight into node 1's ledger and never
+	// pushed, so digest exchange + ranged pulls are the only way node 2
+	// can learn of them.
+	c := newCluster(t, 2, "", nil)
+	c.sinks[0].seed(orderer.DefaultChannel, 6)
+	c.start()
+	c.waitConverged(6, 5*time.Second)
+	found := false
+	for _, o := range c.obs {
+		o.mu.Lock()
+		if o.pulls > 0 {
+			found = true
+		}
+		o.mu.Unlock()
+	}
+	if !found {
+		t.Error("convergence happened without any anti-entropy pull")
+	}
+}
+
+// TestGossipGapTriggersImmediatePull checks that a block running ahead
+// of the chain triggers a targeted pull from its sender instead of
+// waiting for the next anti-entropy round.
+func TestGossipGapTriggersImmediatePull(t *testing.T) {
+	c := newCluster(t, 2, "", func(cfg *Config) {
+		cfg.AntiEntropyInterval = time.Hour // rule out periodic repair
+	})
+	c.sinks[0].seed(orderer.DefaultChannel, 4)
+	c.start()
+	lead := c.nodes[0]
+	// Push only block 5: node 2 sees the gap [1,5) and pulls it.
+	lead.OnDeliver(testBlock(orderer.DefaultChannel, 5))
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.sinks[1].NextBlock("") == 6 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("node 2 next = %d, want 6 (gap pull from sender)", c.sinks[1].NextBlock(""))
+}

@@ -72,14 +72,34 @@ type endorseSample struct {
 	rtt  time.Duration
 }
 
+// gossipSample is one block accepted by a peer's gossip layer: how it
+// arrived (deliver / gossip / antientropy) and the hop count it carried.
+type gossipSample struct {
+	source string
+	hops   int
+}
+
+// commitLagSample is one (peer, block) commit: the wall lag from block
+// cut to that peer's commit, and when the commit happened (windowing).
+type commitLagSample struct {
+	at  time.Time
+	lag time.Duration
+}
+
 // Collector accumulates records; safe for concurrent use.
 type Collector struct {
-	mu       sync.Mutex
-	byTx     map[types.TxID]*TxRecord
-	blocks   []BlockEvent
-	stages   []CommitStageEvent
-	endorses []endorseSample
-	start    time.Time
+	mu         sync.Mutex
+	byTx       map[types.TxID]*TxRecord
+	blocks     []BlockEvent
+	stages     []CommitStageEvent
+	endorses   []endorseSample
+	gossips    []gossipSample
+	commitLags []commitLagSample
+	gossipDups int
+	aePulled   int
+	evictions  int
+	elections  int
+	start      time.Time
 }
 
 // NewCollector creates an empty collector anchored at now.
@@ -163,6 +183,53 @@ func (c *Collector) CommitStage(ev CommitStageEvent) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stages = append(c.stages, ev)
+}
+
+// GossipBlock records one block accepted by a peer's gossip layer with
+// its arrival source and gossip hop count.
+func (c *Collector) GossipBlock(source string, hops int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gossips = append(c.gossips, gossipSample{source: source, hops: hops})
+}
+
+// GossipDuplicate counts one block suppressed by a gossip dedup cache.
+func (c *Collector) GossipDuplicate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gossipDups++
+}
+
+// AntiEntropyPull counts n blocks transferred by one anti-entropy pull.
+func (c *Collector) AntiEntropyPull(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.aePulled += n
+}
+
+// LeaderElection counts one gossip org-leader (re-)election.
+func (c *Collector) LeaderElection() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.elections++
+}
+
+// SubscriberEvicted counts one deliver subscriber pruned by an orderer
+// after consecutive failed pushes.
+func (c *Collector) SubscriberEvicted() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictions++
+}
+
+// PeerCommit records one peer's commit of one block: the wall-clock lag
+// from block cut to this peer's commit. Unlike per-transaction commit
+// records (taken on the event peer only), these samples come from every
+// peer, so the summary's commit lag captures dissemination stragglers.
+func (c *Collector) PeerCommit(lag time.Duration, at time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.commitLags = append(c.commitLags, commitLagSample{at: at, lag: lag})
 }
 
 // CommitStages returns a snapshot copy of the recorded stage events.
@@ -266,6 +333,27 @@ type Summary struct {
 	// at least one endorsement).
 	EndorsesPerPeer map[string]int
 	EndorseSkew     float64
+
+	// Gossip-dissemination breakdown (whole run, not windowed):
+	// GossipBlocks counts blocks peers accepted via push gossip,
+	// DeliverBlocks via a direct orderer push, AntiEntropyBlocks via
+	// ranged pulls. MeanGossipHops averages the hop counts of
+	// gossip-accepted blocks; GossipDuplicates counts dedup-cache drops;
+	// LeaderElections counts org-leader (re-)elections; and
+	// SubscriberEvictions counts deliver subscribers the orderers pruned.
+	GossipBlocks        int
+	DeliverBlocks       int
+	AntiEntropyBlocks   int
+	MeanGossipHops      float64
+	GossipDuplicates    int
+	LeaderElections     int
+	SubscriberEvictions int
+
+	// CommitLag is the block-cut -> per-peer-commit distribution over
+	// every (peer, block) pair committed inside the window (model time):
+	// the cluster-wide dissemination + validation tail, where a lagging
+	// gossip path shows up even though the event peer stays fast.
+	CommitLag LatencyStats
 }
 
 // SummaryOptions controls the reduction.
@@ -445,6 +533,38 @@ func (c *Collector) Summarize(opts SummaryOptions) Summary {
 	if len(vsccSt) > 0 {
 		s.AvgConflictGroups = float64(groupsTotal) / float64(len(vsccSt))
 	}
+
+	// Gossip-dissemination breakdown and cluster-wide commit lag.
+	c.mu.Lock()
+	gossips := make([]gossipSample, len(c.gossips))
+	copy(gossips, c.gossips)
+	commitLags := make([]commitLagSample, len(c.commitLags))
+	copy(commitLags, c.commitLags)
+	s.GossipDuplicates = c.gossipDups
+	s.AntiEntropyBlocks = c.aePulled
+	s.LeaderElections = c.elections
+	s.SubscriberEvictions = c.evictions
+	c.mu.Unlock()
+	hopTotal := 0
+	for _, g := range gossips {
+		switch g.source {
+		case "gossip":
+			s.GossipBlocks++
+			hopTotal += g.hops
+		case "deliver":
+			s.DeliverBlocks++
+		}
+	}
+	if s.GossipBlocks > 0 {
+		s.MeanGossipHops = float64(hopTotal) / float64(s.GossipBlocks)
+	}
+	var lagSamples []time.Duration
+	for _, cl := range commitLags {
+		if inWin(cl.at) {
+			lagSamples = append(lagSamples, unscale(cl.lag))
+		}
+	}
+	s.CommitLag = reduceLatency(lagSamples)
 
 	// Per-peer endorsement breakdown over in-window round trips.
 	c.mu.Lock()

@@ -284,3 +284,51 @@ func TestEndorseBreakdown(t *testing.T) {
 		t.Errorf("endorse max = %s, want 300ms", sum.EndorseLatency.Max)
 	}
 }
+
+// TestGossipAndCommitLagSummary checks the dissemination reductions:
+// source counting, mean hop count, duplicate/eviction counters, and the
+// windowed cluster-wide commit-lag distribution.
+func TestGossipAndCommitLagSummary(t *testing.T) {
+	c := NewCollector()
+	base := time.Now()
+	// Anchor the measurement window with submissions 10s apart.
+	c.Submitted("tx1", base)
+	c.Submitted("tx2", base.Add(10*time.Second))
+
+	c.GossipBlock("deliver", 0)
+	c.GossipBlock("gossip", 1)
+	c.GossipBlock("gossip", 3)
+	c.GossipDuplicate()
+	c.GossipDuplicate()
+	c.AntiEntropyPull(5)
+	c.LeaderElection()
+	c.SubscriberEvicted()
+
+	mid := base.Add(5 * time.Second) // inside the trimmed window
+	c.PeerCommit(100*time.Millisecond, mid)
+	c.PeerCommit(300*time.Millisecond, mid)
+	c.PeerCommit(time.Hour, base) // outside the window: excluded
+
+	s := c.Summarize(SummaryOptions{TimeScale: 1})
+	if s.GossipBlocks != 2 || s.DeliverBlocks != 1 {
+		t.Errorf("gossip/deliver blocks = %d/%d, want 2/1", s.GossipBlocks, s.DeliverBlocks)
+	}
+	if s.MeanGossipHops != 2.0 {
+		t.Errorf("mean hops = %v, want 2.0", s.MeanGossipHops)
+	}
+	if s.GossipDuplicates != 2 || s.AntiEntropyBlocks != 5 {
+		t.Errorf("dups/pulled = %d/%d, want 2/5", s.GossipDuplicates, s.AntiEntropyBlocks)
+	}
+	if s.LeaderElections != 1 || s.SubscriberEvictions != 1 {
+		t.Errorf("elections/evictions = %d/%d, want 1/1", s.LeaderElections, s.SubscriberEvictions)
+	}
+	if s.CommitLag.Count != 2 {
+		t.Fatalf("commit-lag samples = %d, want 2 (out-of-window excluded)", s.CommitLag.Count)
+	}
+	if s.CommitLag.Avg != 200*time.Millisecond {
+		t.Errorf("commit-lag avg = %v, want 200ms", s.CommitLag.Avg)
+	}
+	if s.CommitLag.Max != 300*time.Millisecond {
+		t.Errorf("commit-lag max = %v, want 300ms", s.CommitLag.Max)
+	}
+}

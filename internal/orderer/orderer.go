@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fabricsim/internal/costmodel"
@@ -31,16 +32,35 @@ import (
 const (
 	// KindBroadcast is the client -> OSN transaction submission.
 	KindBroadcast = "orderer.broadcast"
-	// KindSubscribe registers a peer for block delivery (all channels).
+	// KindSubscribe registers a peer for block delivery. A nil payload
+	// subscribes to every channel (the classic per-peer deliver); a
+	// *SubscribeArgs payload narrows the subscription to named channels
+	// (the gossip org-leader deliver).
 	KindSubscribe = "orderer.subscribe"
+	// KindUnsubscribe removes a peer's deliver subscription, entirely
+	// (nil payload) or for the named channels (*SubscribeArgs). A gossip
+	// leader that loses its lease hands the subscription off this way.
+	KindUnsubscribe = "orderer.unsubscribe"
 	// KindGetBlock fetches one block by number (deliver catch-up).
 	KindGetBlock = "orderer.getblock"
+	// KindGetBlocks fetches a block range in one round trip (batched
+	// catch-up); the single-block kind stays for compatibility.
+	KindGetBlocks = "orderer.getblocks"
 	// KindSubmit is the intra-cluster Raft forward from follower OSNs
 	// to the leader.
 	KindSubmit = "orderer.submit"
 	// KindDeliverBlock is the OSN -> peer block push.
 	KindDeliverBlock = "orderer.deliverblock"
 )
+
+// maxGetBlocksBatch caps one KindGetBlocks reply so a peer that is very
+// far behind pages through the range instead of provoking one giant
+// message.
+const maxGetBlocksBatch = 256
+
+// defaultMaxSendFailures is how many consecutive failed deliver pushes
+// evict a subscriber (Config.MaxSendFailures overrides).
+const defaultMaxSendFailures = 3
 
 // DefaultChannel is the channel assumed when a node is configured
 // without an explicit channel list (single-channel deployments).
@@ -64,6 +84,34 @@ type BroadcastEnvelope struct {
 type GetBlockArgs struct {
 	Channel string
 	Number  uint64
+}
+
+// GetBlocksArgs is the KindGetBlocks payload: fetch channel blocks
+// [From, To). An empty channel means the default channel.
+type GetBlocksArgs struct {
+	Channel string
+	From    uint64
+	To      uint64
+}
+
+// GetBlocksReply carries a KindGetBlocks response. Blocks holds the
+// ascending range starting at From, truncated at the chain tip and at
+// the orderer's batch cap — callers page until the reply runs dry.
+type GetBlocksReply struct {
+	Blocks []*types.Block
+}
+
+// SubscribeArgs scopes a KindSubscribe or KindUnsubscribe to named
+// channels. Nil or empty Channels means every channel.
+type SubscribeArgs struct {
+	Channels []string
+}
+
+// SubscribeReply reports each subscribed channel's current chain tip so
+// a (re)joining peer can catch up immediately instead of waiting for
+// the next push.
+type SubscribeReply struct {
+	Tips map[string]uint64
 }
 
 // SubmitArgs is the channel-tagged KindSubmit payload (Raft forward).
@@ -110,6 +158,30 @@ type Config struct {
 	// single channel named DefaultChannel. The first entry is the
 	// default channel for untagged payloads.
 	Channels []string
+	// MaxSendFailures is how many consecutive failed deliver pushes
+	// evict a subscriber (default 3). A crashed peer therefore stops
+	// consuming orderer egress after a handful of blocks instead of
+	// being pushed to forever.
+	MaxSendFailures int
+	// OnEvict, when non-nil, is called once per evicted subscriber
+	// (metrics wiring).
+	OnEvict func(peer string)
+}
+
+// subscription is one peer's deliver registration.
+type subscription struct {
+	// channels is the subscribed channel set; nil means every channel.
+	channels map[string]struct{}
+	// fails counts consecutive failed pushes (reset on success).
+	fails int
+}
+
+func (s *subscription) wants(channel string) bool {
+	if s.channels == nil {
+		return true
+	}
+	_, ok := s.channels[channel]
+	return ok
 }
 
 // chain is one channel's hash chain on this OSN.
@@ -143,8 +215,15 @@ type Orderer struct {
 	channelList []string
 
 	mu          sync.Mutex
-	subscribers map[string]struct{}
+	subscribers map[string]*subscription
 	stopped     bool
+
+	// Egress accounting: blocks and bytes this OSN sent to peers via
+	// deliver pushes and catch-up fetches. The dissemination bench reads
+	// these to show gossip holding orderer egress at O(orgs).
+	egressBlocks atomic.Uint64
+	egressBytes  atomic.Uint64
+	evictions    atomic.Uint64
 }
 
 // New creates an OSN; the caller attaches a consenter with SetConsenter
@@ -153,18 +232,23 @@ func New(cfg Config) *Orderer {
 	if len(cfg.Channels) == 0 {
 		cfg.Channels = []string{DefaultChannel}
 	}
+	if cfg.MaxSendFailures < 1 {
+		cfg.MaxSendFailures = defaultMaxSendFailures
+	}
 	o := &Orderer{
 		cfg:         cfg,
 		chains:      make(map[string]*chain, len(cfg.Channels)),
 		channelList: append([]string(nil), cfg.Channels...),
-		subscribers: make(map[string]struct{}),
+		subscribers: make(map[string]*subscription),
 	}
 	for _, ch := range cfg.Channels {
 		o.chains[ch] = newChain(ch)
 	}
 	cfg.Endpoint.Handle(KindBroadcast, o.handleBroadcast)
 	cfg.Endpoint.Handle(KindSubscribe, o.handleSubscribe)
+	cfg.Endpoint.Handle(KindUnsubscribe, o.handleUnsubscribe)
 	cfg.Endpoint.Handle(KindGetBlock, o.handleGetBlock)
+	cfg.Endpoint.Handle(KindGetBlocks, o.handleGetBlocks)
 	return o
 }
 
@@ -252,16 +336,97 @@ func (o *Orderer) handleBroadcast(ctx context.Context, _ string, payload any) (a
 	return "ACK", 4, nil
 }
 
-// handleSubscribe registers a peer for block pushes on every channel.
-func (o *Orderer) handleSubscribe(_ context.Context, from string, _ any) (any, int, error) {
+// parseSubscribeArgs extracts the channel scope of a subscribe or
+// unsubscribe payload. Legacy callers send nil or their node ID string;
+// both mean "every channel".
+func parseSubscribeArgs(payload any) (*SubscribeArgs, error) {
+	switch p := payload.(type) {
+	case nil, string, []byte:
+		return &SubscribeArgs{}, nil
+	case *SubscribeArgs:
+		return p, nil
+	default:
+		return nil, fmt.Errorf("orderer: bad subscribe payload %T", payload)
+	}
+}
+
+// handleSubscribe registers a peer for block pushes — on every channel
+// (nil payload) or on the channels named in a *SubscribeArgs. Repeat
+// subscriptions widen the channel set and reset the failure count. The
+// reply carries each subscribed channel's chain tip so the peer can
+// catch up without waiting for the next push.
+func (o *Orderer) handleSubscribe(_ context.Context, from string, payload any) (any, int, error) {
+	args, err := parseSubscribeArgs(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, ch := range args.Channels {
+		if _, err := o.chainFor(ch); err != nil {
+			return nil, 0, err
+		}
+	}
 	o.mu.Lock()
-	o.subscribers[from] = struct{}{}
+	sub, ok := o.subscribers[from]
+	if !ok {
+		sub = &subscription{}
+		o.subscribers[from] = sub
+	}
+	sub.fails = 0
+	if len(args.Channels) == 0 {
+		sub.channels = nil // all channels
+	} else if !ok || sub.channels != nil {
+		if sub.channels == nil {
+			sub.channels = make(map[string]struct{}, len(args.Channels))
+		}
+		for _, ch := range args.Channels {
+			sub.channels[ch] = struct{}{}
+		}
+	}
 	o.mu.Unlock()
-	c, _ := o.chainFor("")
-	c.mu.Lock()
-	tip := uint64(len(c.blocks) - 1)
-	c.mu.Unlock()
-	return tip, 8, nil // default channel's current chain tip
+
+	scope := args.Channels
+	if len(scope) == 0 {
+		scope = o.channelList
+	}
+	tips := make(map[string]uint64, len(scope))
+	for _, ch := range scope {
+		c, err := o.chainFor(ch)
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		tips[c.id] = uint64(len(c.blocks) - 1)
+		c.mu.Unlock()
+	}
+	return &SubscribeReply{Tips: tips}, 8 * (len(tips) + 1), nil
+}
+
+// handleUnsubscribe removes a peer's deliver registration, entirely or
+// for the named channels.
+func (o *Orderer) handleUnsubscribe(_ context.Context, from string, payload any) (any, int, error) {
+	args, err := parseSubscribeArgs(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	sub, ok := o.subscribers[from]
+	if !ok {
+		return "OK", 2, nil
+	}
+	if len(args.Channels) == 0 || sub.channels == nil {
+		// Full removal: either the caller asked for everything, or the
+		// subscription was unscoped and has no per-channel remainder.
+		delete(o.subscribers, from)
+		return "OK", 2, nil
+	}
+	for _, ch := range args.Channels {
+		delete(sub.channels, ch)
+	}
+	if len(sub.channels) == 0 {
+		delete(o.subscribers, from)
+	}
+	return "OK", 2, nil
 }
 
 // handleGetBlock serves catch-up fetches by channel and block number.
@@ -289,7 +454,50 @@ func (o *Orderer) handleGetBlock(_ context.Context, _ string, payload any) (any,
 		return nil, 0, fmt.Errorf("orderer %s: channel %s block %d not yet cut", o.cfg.ID, c.id, num)
 	}
 	b := c.blocks[num]
+	o.egressBlocks.Add(1)
+	o.egressBytes.Add(uint64(b.Size()))
 	return b, b.Size(), nil
+}
+
+// handleGetBlocks serves a ranged catch-up fetch: channel blocks
+// [From, To), truncated at the chain tip and at maxGetBlocksBatch. A
+// peer N blocks behind pays one round trip instead of N.
+func (o *Orderer) handleGetBlocks(_ context.Context, _ string, payload any) (any, int, error) {
+	args, ok := payload.(*GetBlocksArgs)
+	if !ok {
+		return nil, 0, fmt.Errorf("orderer: bad getblocks payload %T", payload)
+	}
+	c, err := o.chainFor(args.Channel)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Snapshot the range under the lock, then assemble the reply (and
+	// walk block sizes) outside it: blocks are immutable once cut, and
+	// emitBatch needs the same mutex to append the next block, so
+	// catch-up load must not throttle ordering.
+	from, to := args.From, args.To
+	c.mu.Lock()
+	if height := uint64(len(c.blocks)); to > height {
+		to = height
+	}
+	if from >= to {
+		c.mu.Unlock()
+		return &GetBlocksReply{}, 8, nil
+	}
+	if to-from > maxGetBlocksBatch {
+		to = from + maxGetBlocksBatch
+	}
+	blocks := make([]*types.Block, to-from)
+	copy(blocks, c.blocks[from:to])
+	c.mu.Unlock()
+
+	size := 0
+	for _, b := range blocks {
+		size += b.Size()
+	}
+	o.egressBlocks.Add(uint64(len(blocks)))
+	o.egressBytes.Add(uint64(size))
+	return &GetBlocksReply{Blocks: blocks}, size, nil
 }
 
 // emitBatch turns one ordered batch into the channel's next block and
@@ -310,8 +518,10 @@ func (o *Orderer) emitBatch(channel string, batch [][]byte) {
 		return
 	}
 	subs := make([]string, 0, len(o.subscribers))
-	for s := range o.subscribers {
-		subs = append(subs, s)
+	for s, sub := range o.subscribers {
+		if sub.wants(c.id) {
+			subs = append(subs, s)
+		}
 	}
 	o.mu.Unlock()
 
@@ -333,9 +543,72 @@ func (o *Orderer) emitBatch(channel string, batch [][]byte) {
 	size := block.Size()
 	for _, peer := range subs {
 		// Push delivery; a congested or crashed peer fills the gap
-		// later through KindGetBlock.
-		_ = o.cfg.Endpoint.Send(peer, KindDeliverBlock, block, size)
+		// later through KindGetBlock(s). The transport reports a down
+		// or unknown node synchronously, so consecutive failures here
+		// are the crash signal the pruning rule keys on.
+		if err := o.cfg.Endpoint.Send(peer, KindDeliverBlock, block, size); err != nil {
+			o.noteSendFailure(peer)
+			continue
+		}
+		o.noteSendSuccess(peer)
+		o.egressBlocks.Add(1)
+		o.egressBytes.Add(uint64(size))
 	}
+}
+
+// noteSendFailure counts one failed deliver push and evicts the
+// subscriber after MaxSendFailures consecutive failures, so a crashed
+// peer stops consuming egress until it resubscribes.
+func (o *Orderer) noteSendFailure(peer string) {
+	o.mu.Lock()
+	sub, ok := o.subscribers[peer]
+	if !ok {
+		o.mu.Unlock()
+		return
+	}
+	sub.fails++
+	evict := sub.fails >= o.cfg.MaxSendFailures
+	if evict {
+		delete(o.subscribers, peer)
+	}
+	o.mu.Unlock()
+	if evict {
+		o.evictions.Add(1)
+		if o.cfg.OnEvict != nil {
+			o.cfg.OnEvict(peer)
+		}
+	}
+}
+
+// noteSendSuccess resets a subscriber's consecutive-failure count.
+func (o *Orderer) noteSendSuccess(peer string) {
+	o.mu.Lock()
+	if sub, ok := o.subscribers[peer]; ok {
+		sub.fails = 0
+	}
+	o.mu.Unlock()
+}
+
+// EgressStats reports the blocks and bytes this OSN has pushed or
+// served to peers (deliver pushes plus catch-up fetches).
+func (o *Orderer) EgressStats() (blocks, bytes uint64) {
+	return o.egressBlocks.Load(), o.egressBytes.Load()
+}
+
+// Evictions reports how many subscribers this OSN has pruned for
+// consecutive failed pushes.
+func (o *Orderer) Evictions() uint64 { return o.evictions.Load() }
+
+// Subscribers returns the IDs of currently subscribed peers (tests and
+// diagnostics).
+func (o *Orderer) Subscribers() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	subs := make([]string, 0, len(o.subscribers))
+	for s := range o.subscribers {
+		subs = append(subs, s)
+	}
+	return subs
 }
 
 // scaledTimeout converts the configured BatchTimeout into wall time.

@@ -194,3 +194,282 @@ func TestBatchEncodeDecode(t *testing.T) {
 		t.Error("garbage decoded")
 	}
 }
+
+// waitFor polls cond until it returns true or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// broadcastN submits n one-byte envelopes on the default channel.
+func (h *testHarness) broadcastN(o *Orderer, n int) {
+	h.t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := h.client.Call(context.Background(), o.ID(), KindBroadcast, []byte{byte(i)}, 1); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+}
+
+// TestGetBlocksRanged checks the batched catch-up fetch: one round trip
+// returns the whole [From, To) range, clamped at the chain tip.
+func TestGetBlocksRanged(t *testing.T) {
+	h := newHarness(t)
+	o := h.newOrderer("osn1", 1, time.Minute)
+	NewSolo(o)
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+	h.broadcastN(o, 4)
+	waitFor(t, 2*time.Second, func() bool {
+		_, err := h.client.Call(context.Background(), "osn1", KindGetBlock, uint64(4), 8)
+		return err == nil
+	}, "block 4 never became fetchable")
+
+	raw, err := h.client.Call(context.Background(), "osn1", KindGetBlocks,
+		&GetBlocksArgs{From: 1, To: 99}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := raw.(*GetBlocksReply)
+	if len(reply.Blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4 (range clamped at tip)", len(reply.Blocks))
+	}
+	for i, b := range reply.Blocks {
+		if b.Header.Number != uint64(i+1) {
+			t.Errorf("block[%d].Number = %d, want %d", i, b.Header.Number, i+1)
+		}
+	}
+	// An empty range replies with no blocks rather than an error.
+	raw, err = h.client.Call(context.Background(), "osn1", KindGetBlocks,
+		&GetBlocksArgs{From: 50, To: 60}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(raw.(*GetBlocksReply).Blocks); n != 0 {
+		t.Errorf("future range returned %d blocks", n)
+	}
+}
+
+// TestSubscribeChannelScoped checks that a *SubscribeArgs subscription
+// receives pushes only for its channels, and that the reply reports the
+// subscribed channels' tips.
+func TestSubscribeChannelScoped(t *testing.T) {
+	h := newHarness(t)
+	ep, err := h.net.Register("osn1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := costmodel.Default(1.0)
+	o := New(Config{
+		ID:       "osn1",
+		Endpoint: ep,
+		Cutter:   blockcutter.Config{BatchSize: 1, BatchTimeout: time.Minute},
+		Model:    model,
+		CPU:      simcpu.New(model.OrdererCores, 1.0),
+		Channels: []string{"chA", "chB"},
+	})
+	NewSolo(o)
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+
+	var mu sync.Mutex
+	var got []*types.Block
+	h.client.Handle(KindDeliverBlock, func(_ context.Context, _ string, payload any) (any, int, error) {
+		mu.Lock()
+		got = append(got, payload.(*types.Block))
+		mu.Unlock()
+		return nil, 0, nil
+	})
+	raw, err := h.client.Call(context.Background(), "osn1", KindSubscribe,
+		&SubscribeArgs{Channels: []string{"chB"}}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := raw.(*SubscribeReply)
+	if tip, ok := reply.Tips["chB"]; !ok || tip != 0 {
+		t.Errorf("tips = %v, want chB:0", reply.Tips)
+	}
+	if _, ok := reply.Tips["chA"]; ok {
+		t.Errorf("unsubscribed channel tip reported: %v", reply.Tips)
+	}
+
+	for _, ch := range []string{"chA", "chB"} {
+		if _, err := h.client.Call(context.Background(), "osn1", KindBroadcast,
+			&BroadcastEnvelope{Channel: ch, Env: []byte(ch)}, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 1
+	}, "no block pushed to chB subscriber")
+	time.Sleep(20 * time.Millisecond) // give a stray chA push time to arrive
+	mu.Lock()
+	defer mu.Unlock()
+	for _, b := range got {
+		if b.Metadata.ChannelID != "chB" {
+			t.Errorf("received block for channel %q, want only chB", b.Metadata.ChannelID)
+		}
+	}
+}
+
+// TestUnsubscribeStopsPushes checks the leader-handoff path: after
+// KindUnsubscribe the peer receives no further blocks.
+func TestUnsubscribeStopsPushes(t *testing.T) {
+	h := newHarness(t)
+	o := h.newOrderer("osn1", 1, time.Minute)
+	NewSolo(o)
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+
+	var mu sync.Mutex
+	var got []*types.Block
+	h.client.Handle(KindDeliverBlock, func(_ context.Context, _ string, payload any) (any, int, error) {
+		mu.Lock()
+		got = append(got, payload.(*types.Block))
+		mu.Unlock()
+		return nil, 0, nil
+	})
+	if _, err := h.client.Call(context.Background(), "osn1", KindSubscribe, nil, 8); err != nil {
+		t.Fatal(err)
+	}
+	h.broadcastN(o, 1)
+	waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 1
+	}, "subscribed block never pushed")
+
+	if _, err := h.client.Call(context.Background(), "osn1", KindUnsubscribe, nil, 8); err != nil {
+		t.Fatal(err)
+	}
+	if subs := o.Subscribers(); len(subs) != 0 {
+		t.Fatalf("subscribers after unsubscribe: %v", subs)
+	}
+	h.broadcastN(o, 2)
+	waitFor(t, 2*time.Second, func() bool {
+		_, err := h.client.Call(context.Background(), "osn1", KindGetBlock, uint64(3), 8)
+		return err == nil
+	}, "block 3 never cut")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Errorf("received %d pushes after unsubscribe, want 1 total", len(got))
+	}
+}
+
+// TestDeadSubscriberPruned is the regression for the fire-and-forget
+// deliver leak: a crashed subscriber is evicted after MaxSendFailures
+// consecutive failed pushes and stops consuming orderer egress.
+func TestDeadSubscriberPruned(t *testing.T) {
+	h := newHarness(t)
+	ep, err := h.net.Register("osn1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := costmodel.Default(1.0)
+	var evicted []string
+	var evictMu sync.Mutex
+	o := New(Config{
+		ID:              "osn1",
+		Endpoint:        ep,
+		Cutter:          blockcutter.Config{BatchSize: 1, BatchTimeout: time.Minute},
+		Model:           model,
+		CPU:             simcpu.New(model.OrdererCores, 1.0),
+		MaxSendFailures: 3,
+		OnEvict: func(peer string) {
+			evictMu.Lock()
+			evicted = append(evicted, peer)
+			evictMu.Unlock()
+		},
+	})
+	NewSolo(o)
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+	if _, err := h.client.Call(context.Background(), "osn1", KindSubscribe, nil, 8); err != nil {
+		t.Fatal(err)
+	}
+	h.client.Handle(KindDeliverBlock, func(_ context.Context, _ string, _ any) (any, int, error) {
+		return nil, 0, nil
+	})
+
+	// Crash the subscriber: pushes now fail synchronously.
+	h.net.SetNodeDown("client", true)
+	defer h.net.SetNodeDown("client", false)
+
+	// Submit from a second endpoint (the downed client cannot send).
+	other, err := h.net.Register("client2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := other.Call(context.Background(), "osn1", KindBroadcast, []byte{byte(i)}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool { return o.Evictions() == 1 }, "dead subscriber never evicted")
+	evictMu.Lock()
+	if len(evicted) != 1 || evicted[0] != "client" {
+		t.Errorf("evicted = %v, want [client]", evicted)
+	}
+	evictMu.Unlock()
+	if subs := o.Subscribers(); len(subs) != 0 {
+		t.Errorf("subscribers after eviction: %v", subs)
+	}
+	// Exactly MaxSendFailures pushes were charged against the dead
+	// subscriber; eviction stops the egress bleed.
+	blocks, _ := o.EgressStats()
+	if blocks != 0 {
+		t.Errorf("egress blocks = %d, want 0 (all pushes failed)", blocks)
+	}
+}
+
+// TestEgressStatsCountDeliveries checks the egress accounting on the
+// push and ranged-fetch paths.
+func TestEgressStatsCountDeliveries(t *testing.T) {
+	h := newHarness(t)
+	o := h.newOrderer("osn1", 1, time.Minute)
+	NewSolo(o)
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+	h.client.Handle(KindDeliverBlock, func(_ context.Context, _ string, _ any) (any, int, error) {
+		return nil, 0, nil
+	})
+	if _, err := h.client.Call(context.Background(), "osn1", KindSubscribe, nil, 8); err != nil {
+		t.Fatal(err)
+	}
+	h.broadcastN(o, 3)
+	waitFor(t, 2*time.Second, func() bool {
+		blocks, _ := o.EgressStats()
+		return blocks >= 3
+	}, "pushes not counted")
+	if _, err := h.client.Call(context.Background(), "osn1", KindGetBlocks,
+		&GetBlocksArgs{From: 1, To: 4}, 24); err != nil {
+		t.Fatal(err)
+	}
+	blocks, bytes := o.EgressStats()
+	if blocks != 6 {
+		t.Errorf("egress blocks = %d, want 6 (3 pushes + 3 fetched)", blocks)
+	}
+	if bytes == 0 {
+		t.Error("egress bytes not counted")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fabricsim/internal/chaincode"
 	"fabricsim/internal/costmodel"
 	"fabricsim/internal/fabcrypto"
+	"fabricsim/internal/gossip"
 	"fabricsim/internal/ledger"
 	"fabricsim/internal/msp"
 	"fabricsim/internal/orderer"
@@ -122,6 +123,12 @@ type Config struct {
 	// Policies optionally overrides the endorsement policy per channel;
 	// channels without an entry use Policy.
 	Policies map[string]policy.Policy
+	// Gossip, when non-nil, replaces the per-peer orderer subscription
+	// with gossip dissemination: only elected org leaders subscribe,
+	// everyone else receives blocks peer-to-peer and converges through
+	// anti-entropy. The peer fills in ID, Endpoint, Channels, OrdererID,
+	// and Sink; the caller provides membership and tuning.
+	Gossip *gossip.Config
 }
 
 // channelState is one channel's ledger and commit pipeline on a peer.
@@ -130,10 +137,24 @@ type channelState struct {
 	ledger *ledger.Ledger
 	policy policy.Policy
 
+	// ingestMu serializes whole IngestBlock calls: with gossip, deliver
+	// pushes, gossip forwards, and anti-entropy pulls ingest
+	// concurrently, and the drained blocks must enter commitCh in the
+	// order drainReadyLocked produced them — releasing cs.mu between
+	// the drain and the sends would let two ingesters interleave their
+	// sends and wedge the hash-chain check. Never held by the commit
+	// loops, so blocking on a full commitCh cannot deadlock.
+	ingestMu sync.Mutex
+
 	mu        sync.Mutex
 	nextBlock uint64
 	pending   map[uint64]*types.Block // out-of-order delivery buffer
 	commitCh  chan *types.Block
+	// catchingUp marks a ranged orderer fetch in flight: overlapping
+	// gap triggers (several out-of-order pushes plus the resubscribe
+	// heartbeat) collapse into one fetch instead of duplicating orderer
+	// egress; later pushes or the next heartbeat re-fill any remainder.
+	catchingUp bool
 
 	// Commit-pipeline plumbing (see committer.go): applyCh and appendCh
 	// carry in-flight blocks between the stage loops in delivery order;
@@ -152,6 +173,8 @@ type Peer struct {
 	cfg Config
 
 	container *container
+	// gossip is the block-dissemination agent (nil = direct deliver).
+	gossip *gossip.Node
 
 	// channels is immutable after New.
 	channels    map[string]*channelState
@@ -210,6 +233,15 @@ func New(cfg Config) *Peer {
 	cfg.Endpoint.Handle(KindSubscribeEvents, p.handleSubscribe)
 	cfg.Endpoint.Handle(KindCommitStatus, p.handleCommitStatus)
 	cfg.Endpoint.Handle(orderer.KindDeliverBlock, p.handleDeliverBlock)
+	if cfg.Gossip != nil {
+		gcfg := *cfg.Gossip
+		gcfg.ID = cfg.ID
+		gcfg.Endpoint = cfg.Endpoint
+		gcfg.Channels = cfg.Channels
+		gcfg.OrdererID = cfg.OrdererID
+		gcfg.Sink = p
+		p.gossip = gossip.NewNode(gcfg)
+	}
 	return p
 }
 
@@ -246,8 +278,12 @@ func (p *Peer) LedgerFor(channel string) (*ledger.Ledger, bool) {
 }
 
 // Start launches the per-channel commit pipelines, instantiates the
-// chaincode container, and subscribes to the orderer's deliver service
-// (one subscription covers every channel).
+// chaincode container, and joins block dissemination: with gossip
+// enabled the gossip node takes over (org leaders subscribe to the
+// orderer, everyone else listens peer-to-peer); otherwise the peer
+// subscribes to the orderer directly (one subscription covers every
+// channel) and catches up to the reported tips, so a peer joining or
+// rejoining a running network does not wait for the next push.
 func (p *Peer) Start(ctx context.Context) error {
 	p.startOnce.Do(p.launchCommitLoops)
 	if p.cfg.Endorsing {
@@ -255,12 +291,78 @@ func (p *Peer) Start(ctx context.Context) error {
 			return fmt.Errorf("peer %s: launch container: %w", p.cfg.ID, err)
 		}
 	}
+	if p.gossip != nil {
+		if err := p.gossip.Start(ctx); err != nil {
+			return fmt.Errorf("peer %s: start gossip: %w", p.cfg.ID, err)
+		}
+		return nil
+	}
 	if p.cfg.OrdererID != "" {
-		if _, err := p.cfg.Endpoint.Call(ctx, p.cfg.OrdererID, orderer.KindSubscribe, p.cfg.ID, 16); err != nil {
+		if err := p.subscribeAndCatchUp(ctx); err != nil {
 			return fmt.Errorf("peer %s: subscribe to %s: %w", p.cfg.ID, p.cfg.OrdererID, err)
+		}
+		p.launchDeliverHeartbeat()
+	}
+	return nil
+}
+
+// deliverResubscribeEvery is the deliver heartbeat period (model time):
+// a direct-deliver peer re-subscribes this often, so one the orderer
+// evicted during a transient outage re-registers (subscribe resets the
+// failure count) and backfills from the reported tips instead of
+// silently receiving nothing for the rest of the run.
+const deliverResubscribeEvery = 5 * time.Second
+
+// subscribeAndCatchUp registers for deliver pushes and closes any gap
+// between the local chains and the tips the orderer reports.
+func (p *Peer) subscribeAndCatchUp(ctx context.Context) error {
+	raw, err := p.cfg.Endpoint.Call(ctx, p.cfg.OrdererID, orderer.KindSubscribe, p.cfg.ID, 16)
+	if err != nil {
+		return err
+	}
+	if reply, ok := raw.(*orderer.SubscribeReply); ok {
+		for ch, tip := range reply.Tips {
+			cs, ok := p.channelFor(ch)
+			if !ok {
+				continue
+			}
+			cs.mu.Lock()
+			next := cs.nextBlock
+			cs.mu.Unlock()
+			if tip >= next {
+				// Detached from the subscribe call's context: the
+				// heartbeat cancels that as soon as the call returns,
+				// and the backfill must outlive it.
+				go p.catchUp(context.Background(), p.cfg.OrdererID, ch, next, tip+1)
+			}
 		}
 	}
 	return nil
+}
+
+// launchDeliverHeartbeat runs the periodic re-subscribe loop until the
+// peer stops.
+func (p *Peer) launchDeliverHeartbeat() {
+	interval := p.cfg.Model.ScaledDelay(deliverResubscribeEvery)
+	if interval <= 0 {
+		interval = time.Second
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-p.stopCh:
+				return
+			case <-ticker.C:
+				hbCtx, cancel := context.WithTimeout(context.Background(), interval)
+				_ = p.subscribeAndCatchUp(hbCtx)
+				cancel()
+			}
+		}
+	}()
 }
 
 func (p *Peer) launchCommitLoops() {
@@ -288,11 +390,18 @@ func (p *Peer) Stop() {
 	}
 	p.stopped = true
 	p.mu.Unlock()
+	if p.gossip != nil {
+		p.gossip.Stop()
+	}
 	// Ensure the commit loops exist so <-p.done terminates.
 	p.startOnce.Do(p.launchCommitLoops)
 	close(p.stopCh)
 	<-p.done
 }
+
+// GossipNode exposes the peer's gossip agent (nil when direct deliver
+// is in use). Tests and diagnostics inspect leadership through it.
+func (p *Peer) GossipNode() *gossip.Node { return p.gossip }
 
 // --- Execute phase: endorsement ---
 
@@ -483,36 +592,73 @@ func (p *Peer) notifyWaiters(cs *channelState, events []CommitEvent) {
 	}
 }
 
-// handleDeliverBlock ingests a block pushed by the orderer, routing it
-// to its channel's pipeline, restoring per-channel order, and filling
-// gaps through catch-up fetches.
+// handleDeliverBlock ingests a block pushed by the orderer. With gossip
+// enabled the block is handed to the gossip node (which ingests it,
+// spreads it into the org, and closes gaps via pulls); otherwise it is
+// ingested directly and gaps are filled with a ranged catch-up fetch
+// against the pushing orderer.
 func (p *Peer) handleDeliverBlock(ctx context.Context, from string, payload any) (any, int, error) {
 	block, ok := payload.(*types.Block)
 	if !ok {
 		return nil, 0, fmt.Errorf("peer: bad deliver payload %T", payload)
 	}
+	if p.gossip != nil {
+		p.gossip.OnDeliver(block)
+		return nil, 0, nil
+	}
+	res, err := p.IngestBlock(block)
+	if err != nil {
+		return nil, 0, err
+	}
+	if res.MissFrom < res.MissTo {
+		go p.catchUp(ctx, from, p.blockChannel(block), res.MissFrom, res.MissTo)
+	}
+	return nil, 0, nil
+}
+
+// blockChannel resolves a block's channel tag to the joined channel ID.
+func (p *Peer) blockChannel(block *types.Block) string {
+	if ch := block.Metadata.ChannelID; ch != "" {
+		return ch
+	}
+	return p.channelList[0]
+}
+
+// IngestBlock routes one block to its channel's commit pipeline,
+// restoring per-channel order: in-order blocks (plus any buffered
+// successors) enter the pipeline, out-of-order blocks are buffered and
+// the missing range is reported for the caller's catch-up strategy.
+// Blocks the peer already owns are dropped, so the same block arriving
+// via gossip and deliver commits exactly once. This is the peer's
+// gossip.Sink surface.
+func (p *Peer) IngestBlock(block *types.Block) (gossip.IngestResult, error) {
 	cs, ok := p.channelFor(block.Metadata.ChannelID)
 	if !ok {
-		return nil, 0, fmt.Errorf("peer %s: block for unknown channel %q", p.cfg.ID, block.Metadata.ChannelID)
+		return gossip.IngestResult{}, fmt.Errorf("peer %s: block for unknown channel %q", p.cfg.ID, block.Metadata.ChannelID)
 	}
 	p.mu.Lock()
 	stopped := p.stopped
 	p.mu.Unlock()
 	if stopped {
-		return nil, 0, ErrStopped
+		return gossip.IngestResult{}, ErrStopped
 	}
+	cs.ingestMu.Lock()
+	defer cs.ingestMu.Unlock()
 	cs.mu.Lock()
 	num := block.Header.Number
 	switch {
 	case num < cs.nextBlock:
 		cs.mu.Unlock()
-		return nil, 0, nil // already have it
+		return gossip.IngestResult{}, nil // already have it
 	case num > cs.nextBlock:
+		if _, buffered := cs.pending[num]; buffered {
+			cs.mu.Unlock()
+			return gossip.IngestResult{}, nil
+		}
 		cs.pending[num] = block
 		missing := cs.nextBlock
 		cs.mu.Unlock()
-		go p.catchUp(ctx, from, cs.id, missing, num)
-		return nil, 0, nil
+		return gossip.IngestResult{Fresh: true, MissFrom: missing, MissTo: num}, nil
 	}
 	ready := drainReadyLocked(cs, block)
 	cs.mu.Unlock()
@@ -520,10 +666,36 @@ func (p *Peer) handleDeliverBlock(ctx context.Context, from string, payload any)
 		select {
 		case cs.commitCh <- b:
 		case <-p.stopCh:
-			return nil, 0, ErrStopped
+			return gossip.IngestResult{}, ErrStopped
 		}
 	}
-	return nil, 0, nil
+	return gossip.IngestResult{Fresh: true}, nil
+}
+
+// NextBlock reports the next block number a channel needs (the
+// gossip.Sink digest surface).
+func (p *Peer) NextBlock(channel string) uint64 {
+	cs, ok := p.channelFor(channel)
+	if !ok {
+		return 0
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.nextBlock
+}
+
+// BlockAt serves one committed channel block (the gossip.Sink pull
+// surface).
+func (p *Peer) BlockAt(channel string, num uint64) (*types.Block, bool) {
+	cs, ok := p.channelFor(channel)
+	if !ok {
+		return nil, false
+	}
+	b, err := cs.ledger.GetBlock(num)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
 }
 
 // drainReadyLocked collects the in-order block plus any buffered
@@ -544,8 +716,50 @@ func drainReadyLocked(cs *channelState, block *types.Block) []*types.Block {
 }
 
 // catchUp fetches one channel's blocks [from, to) that the push path
-// skipped.
+// skipped. The ranged fetch pays one round trip for the whole gap
+// (paged at the orderer's batch cap); an orderer that cannot serve it
+// falls back to the one-block-per-round-trip path. One fetch per
+// channel runs at a time.
 func (p *Peer) catchUp(ctx context.Context, ordererID, channel string, from, to uint64) {
+	cs, ok := p.channelFor(channel)
+	if !ok {
+		return
+	}
+	cs.mu.Lock()
+	if cs.catchingUp {
+		cs.mu.Unlock()
+		return
+	}
+	cs.catchingUp = true
+	cs.mu.Unlock()
+	defer func() {
+		cs.mu.Lock()
+		cs.catchingUp = false
+		cs.mu.Unlock()
+	}()
+	for from < to {
+		args := &orderer.GetBlocksArgs{Channel: channel, From: from, To: to}
+		raw, err := p.cfg.Endpoint.Call(ctx, ordererID, orderer.KindGetBlocks, args, 24)
+		if err != nil {
+			p.catchUpSingle(ctx, ordererID, channel, from, to)
+			return
+		}
+		reply, ok := raw.(*orderer.GetBlocksReply)
+		if !ok || len(reply.Blocks) == 0 {
+			return
+		}
+		for _, b := range reply.Blocks {
+			if _, err := p.IngestBlock(b); err != nil {
+				return
+			}
+		}
+		from += uint64(len(reply.Blocks))
+	}
+}
+
+// catchUpSingle is the legacy one-block-at-a-time gap fill, kept for
+// compatibility with deliver services that only speak KindGetBlock.
+func (p *Peer) catchUpSingle(ctx context.Context, ordererID, channel string, from, to uint64) {
 	for num := from; num < to; num++ {
 		args := &orderer.GetBlockArgs{Channel: channel, Number: num}
 		raw, err := p.cfg.Endpoint.Call(ctx, ordererID, orderer.KindGetBlock, args, 24)
@@ -556,7 +770,9 @@ func (p *Peer) catchUp(ctx context.Context, ordererID, channel string, from, to 
 		if !ok {
 			return
 		}
-		_, _, _ = p.handleDeliverBlock(ctx, ordererID, block)
+		if _, err := p.IngestBlock(block); err != nil {
+			return
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package peer
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"fabricsim/internal/chaincode"
 	"fabricsim/internal/costmodel"
 	"fabricsim/internal/fabcrypto"
+	"fabricsim/internal/gossip"
 	"fabricsim/internal/msp"
 	"fabricsim/internal/orderer"
 	"fabricsim/internal/policy"
@@ -44,6 +46,13 @@ func newEnvModel(t *testing.T, numPeers int, pol policy.Policy, verify bool, twe
 // newEnvChannels additionally joins every peer to the given channels
 // (nil = the single default channel "perf").
 func newEnvChannels(t *testing.T, numPeers int, pol policy.Policy, verify bool, tweak func(*costmodel.Model), channels []string) *env {
+	return newEnvFull(t, numPeers, pol, verify, tweak, channels, nil)
+}
+
+// newEnvFull is the bottom of the env-builder stack; tweakPeer, when
+// non-nil, edits each peer's Config (e.g. to attach gossip) before the
+// peer is built.
+func newEnvFull(t *testing.T, numPeers int, pol policy.Policy, verify bool, tweak func(*costmodel.Model), channels []string, tweakPeer func(*Config)) *env {
 	t.Helper()
 	e := &env{
 		t:   t,
@@ -86,7 +95,7 @@ func newEnvChannels(t *testing.T, numPeers int, pol policy.Policy, verify bool, 
 		}
 		cpu := simcpu.New(model.PeerCores, model.TimeScale)
 		e.cpus = append(e.cpus, cpu)
-		p := New(Config{
+		pcfg := Config{
 			ID:           peerID(i),
 			Endpoint:     ep,
 			Identity:     identity,
@@ -99,7 +108,11 @@ func newEnvChannels(t *testing.T, numPeers int, pol policy.Policy, verify bool, 
 			VerifyCrypto: verify,
 			Certs:        certs,
 			Channels:     channels,
-		})
+		}
+		if tweakPeer != nil {
+			tweakPeer(&pcfg)
+		}
+		p := New(pcfg)
 		if err := p.Start(context.Background()); err != nil {
 			t.Fatal(err)
 		}
@@ -544,5 +557,169 @@ func TestContainerBoundsConcurrentInvocations(t *testing.T) {
 	// invocation. The bound is generous for CI-scheduler jitter.
 	if probe > 150*time.Millisecond {
 		t.Errorf("probe waited %s behind the endorse backlog, want bounded by the executor pool", probe)
+	}
+}
+
+// emptyChain builds n chained empty blocks 1..n extending the genesis
+// block (hash-linked, so the committer's chain check passes).
+func emptyChain(n int) []*types.Block {
+	prev := types.NewBlock(0, nil, nil).Header.Hash()
+	blocks := make([]*types.Block, 0, n)
+	for num := 1; num <= n; num++ {
+		b := types.NewBlock(uint64(num), prev, nil)
+		b.Metadata.OrderedTime = time.Now().UnixNano()
+		blocks = append(blocks, b)
+		prev = b.Header.Hash()
+	}
+	return blocks
+}
+
+// waitHeight polls one peer's default ledger until it reaches height h.
+func waitHeight(t *testing.T, p *Peer, h uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Ledger().Height() >= h {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("peer %s height %d never reached %d", p.ID(), p.Ledger().Height(), h)
+}
+
+// TestRangedCatchUpSingleRoundTrip is the regression for the
+// one-block-at-a-time gap fill: a peer that is N blocks behind closes
+// the gap with one KindGetBlocks round trip, never touching the
+// single-block path.
+func TestRangedCatchUpSingleRoundTrip(t *testing.T) {
+	e := newEnv(t, 1, policy.OrOverPeers(1), false)
+	chain := emptyChain(5)
+
+	var mu sync.Mutex
+	ranged, single := 0, 0
+	osn, err := e.net.Register("osn9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	osn.Handle(orderer.KindGetBlocks, func(_ context.Context, _ string, payload any) (any, int, error) {
+		args := payload.(*orderer.GetBlocksArgs)
+		mu.Lock()
+		ranged++
+		mu.Unlock()
+		reply := &orderer.GetBlocksReply{}
+		for num := args.From; num < args.To && num <= uint64(len(chain)); num++ {
+			if num == 0 {
+				continue
+			}
+			reply.Blocks = append(reply.Blocks, chain[num-1])
+		}
+		return reply, 64, nil
+	})
+	osn.Handle(orderer.KindGetBlock, func(_ context.Context, _ string, _ any) (any, int, error) {
+		mu.Lock()
+		single++
+		mu.Unlock()
+		return nil, 0, errors.New("single-block path must not be used")
+	})
+
+	// Push only block 5; the peer must fetch [1,5) in one ranged call.
+	if err := osn.Send(peerID(1), orderer.KindDeliverBlock, chain[4], chain[4].Size()); err != nil {
+		t.Fatal(err)
+	}
+	waitHeight(t, e.peers[0], 6)
+	mu.Lock()
+	defer mu.Unlock()
+	if ranged != 1 {
+		t.Errorf("ranged fetches = %d, want exactly 1", ranged)
+	}
+	if single != 0 {
+		t.Errorf("single-block fetches = %d, want 0", single)
+	}
+	if err := e.peers[0].Ledger().VerifyChain(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSingleBlockCatchUpFallback keeps the legacy path honest: when the
+// deliver service cannot serve ranged fetches, the peer falls back to
+// one-block round trips and still converges.
+func TestSingleBlockCatchUpFallback(t *testing.T) {
+	e := newEnv(t, 1, policy.OrOverPeers(1), false)
+	chain := emptyChain(4)
+	osn, err := e.net.Register("osn9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No KindGetBlocks handler: the ranged call errors, forcing the
+	// fallback.
+	osn.Handle(orderer.KindGetBlock, func(_ context.Context, _ string, payload any) (any, int, error) {
+		args := payload.(*orderer.GetBlockArgs)
+		if args.Number == 0 || args.Number > uint64(len(chain)) {
+			return nil, 0, errors.New("no such block")
+		}
+		b := chain[args.Number-1]
+		return b, b.Size(), nil
+	})
+	if err := osn.Send(peerID(1), orderer.KindDeliverBlock, chain[3], chain[3].Size()); err != nil {
+		t.Fatal(err)
+	}
+	waitHeight(t, e.peers[0], 5)
+}
+
+// TestGossipAndDeliverDuplicateCommitsOnce is the duplicate-delivery
+// regression: the same block arriving through gossip AND through the
+// deliver push must commit exactly once through the pipelined
+// committer. A double commit would wedge the channel's append stage
+// (out-of-order append), so continued progress doubles as the check.
+func TestGossipAndDeliverDuplicateCommitsOnce(t *testing.T) {
+	members := []string{peerID(1), peerID(2)}
+	e := newEnvFull(t, 2, policy.OrOverPeers(2), false,
+		func(m *costmodel.Model) {
+			m.CommitterPool = 2
+			m.CommitDepth = 3
+		},
+		nil,
+		func(cfg *Config) {
+			cfg.Gossip = &gossip.Config{
+				Org:                 "Org1",
+				OrgMembers:          members,
+				ChannelPeers:        members,
+				Fanout:              2,
+				AntiEntropyInterval: 25 * time.Millisecond,
+				LeaderLease:         150 * time.Millisecond,
+			}
+		})
+	chain := emptyChain(3)
+	deliver := func(peerIdx int, b *types.Block) {
+		t.Helper()
+		if err := e.sender.Send(peerID(peerIdx+1), orderer.KindDeliverBlock, b, b.Size()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Block 1 arrives at peer1 via deliver; gossip forwards it to
+	// peer2; then both peers get the same block again via deliver.
+	deliver(0, chain[0])
+	waitHeight(t, e.peers[0], 2)
+	waitHeight(t, e.peers[1], 2)
+	deliver(0, chain[0])
+	deliver(1, chain[0])
+	// Blocks 2 and 3 flow only through peer1; gossip must carry them to
+	// peer2 past the duplicate replays.
+	deliver(0, chain[1])
+	deliver(0, chain[2])
+	waitHeight(t, e.peers[0], 4)
+	waitHeight(t, e.peers[1], 4)
+	for _, p := range e.peers {
+		if h := p.Ledger().Height(); h != 4 {
+			t.Errorf("peer %s height = %d, want exactly 4", p.ID(), h)
+		}
+		if err := p.Ledger().VerifyChain(); err != nil {
+			t.Errorf("peer %s: %v", p.ID(), err)
+		}
+	}
+	a := e.peers[0].Ledger().LastHash()
+	b := e.peers[1].Ledger().LastHash()
+	if string(a) != string(b) {
+		t.Error("peers diverged after duplicate delivery")
 	}
 }

@@ -137,6 +137,21 @@ func (n *Network) Register(id string) (*MemEndpoint, error) {
 	return ep, nil
 }
 
+// Deregister closes a node's endpoint and releases its ID so a
+// restarted node can Register under the same name. In-flight messages
+// to the old endpoint are dropped; messages sent after the new
+// registration reach the new endpoint (links resolve their destination
+// per message, not at creation).
+func (n *Network) Deregister(id string) {
+	n.mu.Lock()
+	ep, ok := n.nodes[id]
+	delete(n.nodes, id)
+	n.mu.Unlock()
+	if ok {
+		_ = ep.Close()
+	}
+}
+
 // SetNodeDown marks a node crashed: traffic to and from it is dropped
 // until it is brought back up. Used by failover experiments.
 func (n *Network) SetNodeDown(id string, isDown bool) {
@@ -181,8 +196,7 @@ func (n *Network) deliver(msg message) error {
 		n.mu.RUnlock()
 		return fmt.Errorf("%w: %s -> %s", ErrNodeDown, msg.from, msg.to)
 	}
-	dst, ok := n.nodes[msg.to]
-	if !ok {
+	if _, ok := n.nodes[msg.to]; !ok {
 		n.mu.RUnlock()
 		return fmt.Errorf("%w: %q", ErrUnknownNode, msg.to)
 	}
@@ -199,7 +213,7 @@ func (n *Network) deliver(msg message) error {
 			n.wg.Add(1)
 			go func() {
 				defer n.wg.Done()
-				n.pumpLink(l, dst)
+				n.pumpLink(l)
 			}()
 		}
 		n.mu.Unlock()
@@ -220,7 +234,11 @@ func (n *Network) deliver(msg message) error {
 // computed delivery instant. Host-timer overshoot therefore cannot
 // throttle link throughput — messages behind schedule are delivered in
 // a burst without sleeping, preserving FIFO order.
-func (n *Network) pumpLink(l *link, dst *MemEndpoint) {
+//
+// The destination endpoint is resolved per message rather than captured
+// at link creation, so a Deregister + Register cycle (peer restart)
+// transparently redirects the link to the new endpoint.
+func (n *Network) pumpLink(l *link) {
 	var busyUntil time.Time
 	for {
 		var msg message
@@ -248,8 +266,9 @@ func (n *Network) pumpLink(l *link, dst *MemEndpoint) {
 		}
 		n.mu.RLock()
 		downNow := n.down[msg.to] || n.down[msg.from]
+		dst := n.nodes[msg.to]
 		n.mu.RUnlock()
-		if downNow {
+		if downNow || dst == nil {
 			continue // dropped on the floor, like a real crash
 		}
 		select {

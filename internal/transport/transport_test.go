@@ -268,3 +268,50 @@ func TestCloseDuringDispatch(t *testing.T) {
 		n.Close()
 	}
 }
+
+// TestDeregisterAndReRegister checks the peer-restart path: after a
+// Deregister the node ID is free again, and traffic sent post-restart
+// reaches the NEW endpoint, not the closed one.
+func TestDeregisterAndReRegister(t *testing.T) {
+	n := NewNetwork(Config{TimeScale: 1.0})
+	defer n.Close()
+	a, err := n.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := n.Register("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldHits := make(chan struct{}, 16)
+	b1.Handle("ping", func(_ context.Context, _ string, _ any) (any, int, error) {
+		oldHits <- struct{}{}
+		return "old", 3, nil
+	})
+	if raw, err := a.Call(context.Background(), "b", "ping", nil, 4); err != nil || raw != "old" {
+		t.Fatalf("pre-restart call = %v, %v", raw, err)
+	}
+	<-oldHits
+
+	n.Deregister("b")
+	if err := a.Send("b", "ping", nil, 4); err == nil {
+		t.Error("send to deregistered node succeeded")
+	}
+
+	b2, err := n.Register("b")
+	if err != nil {
+		t.Fatalf("re-register after Deregister: %v", err)
+	}
+	b2.Handle("ping", func(_ context.Context, _ string, _ any) (any, int, error) {
+		return "new", 3, nil
+	})
+	raw, err := a.Call(context.Background(), "b", "ping", nil, 4)
+	if err != nil || raw != "new" {
+		t.Fatalf("post-restart call = %v, %v", raw, err)
+	}
+	select {
+	case <-oldHits:
+		t.Error("old endpoint received post-restart traffic")
+	default:
+	}
+}
