@@ -50,6 +50,9 @@ func run() int {
 		gossipOn    = flag.Bool("gossip", false, "disseminate blocks via gossip (org-leader deliver, push gossip, anti-entropy) instead of per-peer direct deliver")
 		gossipFan   = flag.Int("gossip-fanout", 0, "gossip push fanout per fresh block (0 = 3)")
 		antiEntropy = flag.Duration("anti-entropy", 0, "gossip anti-entropy digest interval in model time (0 = 500ms)")
+		storage     = flag.String("storage", "mem", "ledger storage backend: mem | file")
+		datadir     = flag.String("datadir", "", "root directory for file-backed ledgers (empty = a fresh temp dir)")
+		ckptEvery   = flag.Uint64("checkpoint-interval", 0, "file-backend checkpoint cadence in blocks (0 = ledger default)")
 	)
 	flag.Parse()
 
@@ -71,6 +74,21 @@ func run() int {
 			Fanout:              *gossipFan,
 			AntiEntropyInterval: *antiEntropy,
 		},
+		Storage: fabnet.StorageConfig{
+			Backend:            *storage,
+			Dir:                *datadir,
+			CheckpointInterval: *ckptEvery,
+		},
+	}
+	if *storage == "file" && *datadir == "" {
+		dir, err := os.MkdirTemp("", "fabricnet-ledger-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fabricnet:", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		cfg.Storage.Dir = dir
+		fmt.Printf("file-backed ledgers under %s (temp; use -datadir to keep)\n", dir)
 	}
 	if *verify {
 		cfg.Scheme = "ecdsa"

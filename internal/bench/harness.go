@@ -255,7 +255,7 @@ func All() []Experiment {
 	return []Experiment{
 		Fig2(), Fig3(), Fig4(), Fig5(), Fig6(), Fig7(),
 		Table2(), Table3(), Fig8(), FigChannels(), FigPipeline(),
-		FigCommit(), FigEndorse(), FigDissemination(),
+		FigCommit(), FigEndorse(), FigDissemination(), FigRecovery(),
 	}
 }
 

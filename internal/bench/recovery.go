@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/fabnet"
+	"fabricsim/internal/metrics"
+	"fabricsim/internal/peer"
+	"fabricsim/internal/policy"
+)
+
+// Recovery-sweep configuration. The storage-engine work (pluggable
+// block store / state DB, checkpoints, snapshot transfer) changes how
+// a peer that lost its process — or its whole disk — gets back to the
+// cluster tip. This sweep measures that directly: commit H blocks,
+// restart one replica under each recovery regime, and time how long it
+// takes to converge back to the cluster's tip and state hash.
+//
+//   - replay:     mem backend, snapshot transfer disabled. The restarted
+//     peer is empty and re-pulls and re-commits every block through the
+//     pipeline — wall time grows linearly with H.
+//   - checkpoint: file backend. The restarted peer reopens its own disk:
+//     latest checkpoint + block-store tail replay, then it is already at
+//     (or within a checkpoint interval of) the tip — flat in H.
+//   - snapshot:   mem backend (disk lost), snapshot transfer enabled.
+//     The empty peer fetches a chunked ledger snapshot from a live
+//     replica and pulls only the tail — flat in H.
+const (
+	recoveryOrgs     = 2
+	recoveryReplicas = 2
+	// recoveryInterval is both the file-backend checkpoint cadence and
+	// the gossip snapshot-then-tail threshold, so every sweep height is
+	// several intervals deep.
+	recoveryInterval = 16
+	// recoveryScale compresses model time harder than the default bench
+	// scale: the sweep drives blocks one invoke at a time (BatchSize 1),
+	// so per-transaction cost dominates the setup phase.
+	recoveryScale = 0.05
+)
+
+// recoveryHeights is the committed-block sweep before the restart.
+func recoveryHeights(quick bool) []int {
+	if quick {
+		return []int{30, 60}
+	}
+	return []int{50, 100, 200}
+}
+
+// RecoveryPoint is one machine-readable recovery measurement
+// (BENCH_recovery.json rows).
+type RecoveryPoint struct {
+	Mode               string  `json:"mode"` // "replay" | "checkpoint" | "snapshot"
+	Blocks             int     `json:"blocks"`
+	StartHeight        uint64  `json:"start_height"`
+	TipHeight          uint64  `json:"tip_height"`
+	RecoverySeconds    float64 `json:"recovery_s"`
+	Persistent         bool    `json:"persistent"`
+	SnapshotBootstraps int     `json:"snapshot_bootstraps"`
+}
+
+// recoveryStorage returns the storage configuration for one mode; dir
+// is only used by the file-backed checkpoint mode.
+func recoveryStorage(mode, dir string) fabnet.StorageConfig {
+	switch mode {
+	case "checkpoint":
+		return fabnet.StorageConfig{
+			Backend:            "file",
+			Dir:                dir,
+			CheckpointInterval: recoveryInterval,
+			SnapshotThreshold:  -1, // isolate the reopen path
+		}
+	case "snapshot":
+		return fabnet.StorageConfig{
+			Backend:           "mem",
+			SnapshotThreshold: recoveryInterval,
+		}
+	default: // replay
+		return fabnet.StorageConfig{
+			Backend:           "mem",
+			SnapshotThreshold: -1, // anti-entropy block pulls only
+		}
+	}
+}
+
+// runRecoveryPoint commits `blocks` blocks, restarts the last replica,
+// and times its convergence back to the cluster tip and state hash.
+func runRecoveryPoint(ctx context.Context, mode string, blocks int) (RecoveryPoint, error) {
+	var dir string
+	if mode == "checkpoint" {
+		d, err := os.MkdirTemp("", "bench-recovery-")
+		if err != nil {
+			return RecoveryPoint{}, fmt.Errorf("bench: %w", err)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	model := costmodel.Default(recoveryScale)
+	col := metrics.NewCollector()
+	cfg := fabnet.Config{
+		Orderer:           fabnet.Solo,
+		NumEndorsingPeers: recoveryOrgs,
+		EndorsersPerOrg:   recoveryReplicas,
+		Policy:            policy.OrOverPeers(recoveryOrgs),
+		Model:             model,
+		Collector:         col,
+		BatchSize:         1, // one invoke = one block, so `blocks` is exact
+		Gossip: fabnet.GossipConfig{
+			Enabled:             true,
+			Fanout:              2,
+			AntiEntropyInterval: 100 * time.Millisecond,
+			LeaderLease:         600 * time.Millisecond,
+		},
+		Storage: recoveryStorage(mode, dir),
+	}
+	net, err := fabnet.Build(cfg)
+	if err != nil {
+		return RecoveryPoint{}, fmt.Errorf("bench: %w", err)
+	}
+	defer net.Stop()
+	if err := net.Start(ctx); err != nil {
+		return RecoveryPoint{}, fmt.Errorf("bench: %w", err)
+	}
+
+	// Commit the target chain one block per invoke.
+	cl := net.Clients[0]
+	for i := 0; i < blocks; i++ {
+		key := []byte(fmt.Sprintf("rec%d", i))
+		if _, err := cl.Invoke(ctx, fabnet.ChaincodeBench, "write", [][]byte{key, []byte("v")}); err != nil {
+			return RecoveryPoint{}, fmt.Errorf("bench: invoke %d: %w", i, err)
+		}
+	}
+	if err := waitRecoveryConverged(net.Peers[0], net.Peers[1:], 30*time.Second); err != nil {
+		return RecoveryPoint{}, fmt.Errorf("bench: pre-restart convergence: %w", err)
+	}
+	ref := net.Peers[0]
+	tip := ref.Ledger().Height()
+
+	// Restart the last replica (never a client event peer) and time the
+	// road back to the tip. The clock covers RestartPeer itself so the
+	// file backend's reopen — checkpoint load + block-tail replay — is
+	// charged to the recovery, exactly like replayed or transferred
+	// blocks are in the other modes.
+	target := net.Peers[len(net.Peers)-1]
+	start := time.Now()
+	res, err := net.RestartPeer(ctx, target.ID())
+	if err != nil {
+		return RecoveryPoint{}, fmt.Errorf("bench: restart: %w", err)
+	}
+	startHeight := res.Peer.Ledger().Height()
+	if err := waitRecoveryConverged(ref, []*peer.Peer{res.Peer}, 60*time.Second); err != nil {
+		return RecoveryPoint{}, fmt.Errorf("bench: mode=%s blocks=%d: %w", mode, blocks, err)
+	}
+	elapsed := time.Since(start)
+
+	sum := col.Summarize(metrics.SummaryOptions{TimeScale: model.TimeScale})
+	return RecoveryPoint{
+		Mode:               mode,
+		Blocks:             blocks,
+		StartHeight:        startHeight,
+		TipHeight:          tip,
+		RecoverySeconds:    elapsed.Seconds(),
+		Persistent:         res.Persistent,
+		SnapshotBootstraps: sum.SnapshotBootstraps,
+	}, nil
+}
+
+// waitRecoveryConverged polls until every peer in rest matches ref's
+// chain height, tip hash, and state hash.
+func waitRecoveryConverged(ref *peer.Peer, rest []*peer.Peer, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		rl := ref.Ledger()
+		refState, err := rl.StateHash()
+		if err != nil {
+			return fmt.Errorf("reference state hash: %w", err)
+		}
+		ok := true
+		for _, p := range rest {
+			l := p.Ledger()
+			st, err := l.StateHash()
+			if err != nil {
+				return fmt.Errorf("peer %s state hash: %w", p.ID(), err)
+			}
+			if l.Height() != rl.Height() ||
+				string(l.LastHash()) != string(rl.LastHash()) ||
+				string(st) != string(refState) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rl := ref.Ledger()
+	return fmt.Errorf("peers did not converge to height %d within %s", rl.Height(), d)
+}
+
+// FigRecovery measures wall-clock peer recovery time versus chain
+// length under the three recovery regimes. Genesis replay should grow
+// linearly with the chain; checkpoint reopen and snapshot transfer
+// should stay flat (bounded by one checkpoint interval of tail blocks
+// and the world-state size, not the chain length).
+func FigRecovery() Experiment {
+	return Experiment{
+		ID:    "recovery",
+		Title: "Recovery sweep: Restart-to-Tip Time vs. Chain Length",
+		Run: func(ctx context.Context, opt Options, w io.Writer) error {
+			opt = opt.withDefaults()
+			header(w, "Recovery sweep — Genesis Replay vs. Checkpoint vs. Snapshot Transfer")
+			fprintf(w, "(orderer=solo, orgs=%d x %d replicas, gossip on, batchsize=1, checkpoint/snapshot interval=%d)\n",
+				recoveryOrgs, recoveryReplicas, recoveryInterval)
+			var points []RecoveryPoint
+			for _, mode := range []string{"replay", "checkpoint", "snapshot"} {
+				fprintf(w, "\n-- mode=%s --\n", mode)
+				fprintf(w, "%-12s %8s %12s %10s %12s %10s %10s\n",
+					"mode", "blocks", "start.height", "tip", "recover(s)", "persist", "snapboots")
+				for _, blocks := range recoveryHeights(opt.Quick) {
+					rp, err := runRecoveryPoint(ctx, mode, blocks)
+					if err != nil {
+						return err
+					}
+					points = append(points, rp)
+					fprintf(w, "%-12s %8d %12d %10d %12.3f %10v %10d\n",
+						rp.Mode, rp.Blocks, rp.StartHeight, rp.TipHeight,
+						rp.RecoverySeconds, rp.Persistent, rp.SnapshotBootstraps)
+				}
+			}
+
+			if opt.JSONDir != "" {
+				path := filepath.Join(opt.JSONDir, "BENCH_recovery.json")
+				raw, err := json.MarshalIndent(points, "", "  ")
+				if err != nil {
+					return fmt.Errorf("bench: marshal recovery points: %w", err)
+				}
+				if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+					return fmt.Errorf("bench: write %s: %w", path, err)
+				}
+				fprintf(w, "\n[machine-readable points written to %s]\n", path)
+			}
+			return nil
+		},
+	}
+}

@@ -51,7 +51,7 @@ type Chaincode interface {
 type Simulator struct {
 	txID  types.TxID
 	ns    string
-	state *statedb.DB
+	state statedb.Store
 
 	rwset   types.RWSet
 	writes  map[string]types.KVWrite // read-your-writes buffer
@@ -61,7 +61,7 @@ type Simulator struct {
 var _ Stub = (*Simulator)(nil)
 
 // NewSimulator creates a simulator for one invocation of chaincode ns.
-func NewSimulator(txID types.TxID, ns string, state *statedb.DB) *Simulator {
+func NewSimulator(txID types.TxID, ns string, state statedb.Store) *Simulator {
 	return &Simulator{
 		txID:    txID,
 		ns:      ns,

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"fabricsim/internal/gateway"
 	"fabricsim/internal/gossip"
 	"fabricsim/internal/kafka"
+	"fabricsim/internal/ledger"
 	"fabricsim/internal/metrics"
 	"fabricsim/internal/msp"
 	"fabricsim/internal/orderer"
@@ -130,6 +132,8 @@ type Config struct {
 	// converge through anti-entropy, holding orderer egress at O(orgs)
 	// instead of O(peers).
 	Gossip GossipConfig
+	// Storage selects and tunes the peers' ledger storage engines.
+	Storage StorageConfig
 	// UseTCP runs every node on real loopback TCP sockets (gob framing)
 	// instead of the in-memory emulated network. Latency/bandwidth then
 	// come from the real kernel path; used by cmd/fabricnet.
@@ -153,6 +157,32 @@ type GossipConfig struct {
 	// LeaderLease is the leader heartbeat lease (default 2s model time);
 	// a dead leader is replaced roughly one lease after its last beat.
 	LeaderLease time.Duration
+}
+
+// StorageConfig selects and tunes the peers' ledger storage engines.
+type StorageConfig struct {
+	// Backend is the ledger storage engine every peer uses: "mem"
+	// (default, volatile) or "file" (persistent; restarted peers reopen
+	// their ledgers from checkpoint + block-store tail).
+	Backend string
+	// Dir roots file-backed storage; each peer stores its channels under
+	// Dir/<nodeID>/<channel>. Required when any peer uses "file".
+	Dir string
+	// CheckpointInterval is the file backend's checkpoint cadence in
+	// blocks (0 = ledger.DefaultCheckpointInterval).
+	CheckpointInterval uint64
+	// SnapshotThreshold enables gossip snapshot-then-tail repair: a peer
+	// at least this many blocks behind bootstraps from a peer's ledger
+	// snapshot instead of replaying the gap block by block. 0 defaults
+	// to the checkpoint interval when gossip is enabled; negative
+	// disables the path.
+	SnapshotThreshold int
+	// HistoryCap bounds per-key write history retained by the ledger
+	// index (0 = ledger.DefaultHistoryCap, negative = keep everything).
+	HistoryCap int
+	// PerPeer overrides the storage backend for individual node IDs —
+	// mixed-backend topologies (one durable peer among mem peers).
+	PerPeer map[string]string
 }
 
 // ChannelConfig describes one channel of a multi-channel network.
@@ -238,6 +268,19 @@ func (c *Config) applyDefaults() {
 		if c.Gossip.LeaderLease <= 0 {
 			c.Gossip.LeaderLease = 2 * time.Second
 		}
+	}
+	if c.Storage.Backend == "" {
+		c.Storage.Backend = "mem"
+	}
+	if c.Storage.SnapshotThreshold == 0 && c.Gossip.Enabled {
+		// Snapshot-then-tail kicks in once a peer is a full checkpoint
+		// interval behind — below that, block replay is cheaper than
+		// shipping the whole state.
+		iv := c.Storage.CheckpointInterval
+		if iv == 0 {
+			iv = ledger.DefaultCheckpointInterval
+		}
+		c.Storage.SnapshotThreshold = int(iv)
 	}
 	if c.Model.TimeScale == 0 {
 		c.Model = costmodel.Default(1)
@@ -334,6 +377,7 @@ func (g gossipMetrics) BlockReceived(source string, hops int) { g.col.GossipBloc
 func (g gossipMetrics) DuplicateSuppressed()                  { g.col.GossipDuplicate() }
 func (g gossipMetrics) AntiEntropyPull(n int)                 { g.col.AntiEntropyPull(n) }
 func (g gossipMetrics) LeaderElected(string, uint64)          { g.col.LeaderElection() }
+func (g gossipMetrics) SnapshotBootstrap(string, uint64)      { g.col.SnapshotBootstrap() }
 
 // ChaincodeBench is the installed name of the benchmark KV chaincode.
 const ChaincodeBench = "bench"
@@ -558,6 +602,19 @@ func Build(cfg Config) (*Network, error) {
 			Channels:     channelIDs,
 			Policies:     channelPols,
 		}
+		backend := cfg.Storage.Backend
+		if override := cfg.Storage.PerPeer[spec.nodeID]; override != "" {
+			backend = override
+		}
+		pcfg.StorageBackend = backend
+		pcfg.CheckpointInterval = cfg.Storage.CheckpointInterval
+		pcfg.HistoryCap = cfg.Storage.HistoryCap
+		if backend == "file" {
+			if cfg.Storage.Dir == "" {
+				return nil, fmt.Errorf("fabnet: peer %s uses file storage but Storage.Dir is empty", spec.nodeID)
+			}
+			pcfg.StorageDir = filepath.Join(cfg.Storage.Dir, spec.nodeID)
+		}
 		if cfg.Gossip.Enabled {
 			pcfg.Gossip = &gossip.Config{
 				Org:                 spec.org,
@@ -568,6 +625,7 @@ func Build(cfg Config) (*Network, error) {
 				AntiEntropyInterval: model.ScaledDelay(cfg.Gossip.AntiEntropyInterval),
 				LeaderLease:         model.ScaledDelay(cfg.Gossip.LeaderLease),
 				Seed:                int64(idx + 1),
+				SnapshotThreshold:   cfg.Storage.SnapshotThreshold,
 			}
 			if cfg.Collector != nil {
 				pcfg.Gossip.Observer = gossipMetrics{col: cfg.Collector}
@@ -600,7 +658,10 @@ func Build(cfg Config) (*Network, error) {
 				}
 			}
 		}
-		p := peer.New(pcfg)
+		p, err := peer.New(pcfg)
+		if err != nil {
+			return nil, fmt.Errorf("fabnet: %w", err)
+		}
 		n.Peers = append(n.Peers, p)
 		n.peerCfgs = append(n.peerCfgs, pcfg)
 		if spec.endorsing {
@@ -793,16 +854,31 @@ func (n *Network) OrdererEgress() (blocks, bytes uint64) {
 	return blocks, bytes
 }
 
+// RestartResult reports one peer crash + restart.
+type RestartResult struct {
+	// Peer is the restarted peer (it replaced the old one in
+	// Network.Peers).
+	Peer *peer.Peer
+	// OldHeights records the committed chain height per channel at the
+	// moment the old incarnation stopped — the tip a persistent restart
+	// should recover to, and the gap a volatile one must replay.
+	OldHeights map[string]uint64
+	// Persistent reports whether the restarted peer reopened file-backed
+	// ledgers (true) or came back with empty mem ledgers.
+	Persistent bool
+}
+
 // RestartPeer simulates a peer crash + restart: the named peer is
 // stopped, its node ID released, and a fresh peer built from the same
-// configuration (same identity, CPU, and gossip membership) with an
-// empty ledger, then started. The restarted peer converges back to the
-// cluster tip through the catch-up path — subscribe tips under direct
-// deliver, anti-entropy under gossip. In-memory transport only.
-func (n *Network) RestartPeer(ctx context.Context, id string) (*peer.Peer, error) {
-	if n.Transport == nil {
-		return nil, errors.New("fabnet: RestartPeer requires the in-memory transport")
-	}
+// configuration (same identity, CPU, gossip membership, and
+// StageObserver wiring), then started. A mem-backed peer restarts
+// empty and replays; a file-backed peer reopens its ledgers from the
+// latest checkpoint plus the block-store tail and resumes from there.
+// Either way the restarted peer converges back to the cluster tip
+// through the catch-up path — subscribe tips under direct deliver,
+// anti-entropy (or snapshot-then-tail) under gossip. Works on both the
+// in-memory and the TCP transport.
+func (n *Network) RestartPeer(ctx context.Context, id string) (*RestartResult, error) {
 	idx := -1
 	for i, p := range n.Peers {
 		if p.ID() == id {
@@ -813,20 +889,39 @@ func (n *Network) RestartPeer(ctx context.Context, id string) (*peer.Peer, error
 	if idx < 0 {
 		return nil, fmt.Errorf("fabnet: unknown peer %q", id)
 	}
-	n.Peers[idx].Stop()
-	n.Transport.Deregister(id)
-	ep, err := n.Transport.Register(id)
+	old := n.Peers[idx]
+	old.Stop()
+	res := &RestartResult{OldHeights: make(map[string]uint64, len(old.Channels()))}
+	for _, ch := range old.Channels() {
+		if led, ok := old.LedgerFor(ch); ok {
+			res.OldHeights[ch] = led.Height()
+		}
+	}
+	var ep transport.Endpoint
+	var err error
+	if n.Transport != nil {
+		n.Transport.Deregister(id)
+		ep, err = n.Transport.Register(id)
+	} else {
+		n.TCPNet.Deregister(id)
+		ep, err = n.TCPNet.Register(id)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("fabnet: restart %s: %w", id, err)
 	}
 	pcfg := n.peerCfgs[idx]
 	pcfg.Endpoint = ep
-	p := peer.New(pcfg)
+	p, err := peer.New(pcfg)
+	if err != nil {
+		return nil, fmt.Errorf("fabnet: restart %s: %w", id, err)
+	}
 	if err := p.Start(ctx); err != nil {
 		return nil, fmt.Errorf("fabnet: restart %s: %w", id, err)
 	}
 	n.Peers[idx] = p
-	return p, nil
+	res.Peer = p
+	res.Persistent = p.Ledger().Persistent()
+	return res, nil
 }
 
 // Stop tears the network down in dependency order.
@@ -874,6 +969,7 @@ func registerWireTypes() {
 			&gossip.BlockMsg{}, &gossip.DigestMsg{},
 			&gossip.PullArgs{}, &gossip.PullReply{},
 			&gossip.Beat{},
+			&peer.SnapshotRequest{}, &peer.SnapshotChunk{},
 			&kafka.ProduceArgs{}, &kafka.ProduceReply{},
 			&kafka.ReplicateArgs{}, &kafka.ReplicateReply{},
 			&kafka.FetchArgs{}, &kafka.FetchReply{},

@@ -228,9 +228,16 @@ func TestGossipPeerRestartRejoins(t *testing.T) {
 	// Restart the last replica (never a client event peer, so the
 	// commit-event path stays up).
 	target := n.Peers[len(n.Peers)-1]
-	restarted, err := n.RestartPeer(context.Background(), target.ID())
+	res, err := n.RestartPeer(context.Background(), target.ID())
 	if err != nil {
 		t.Fatal(err)
+	}
+	restarted := res.Peer
+	if res.Persistent {
+		t.Fatal("mem-backed restart reported as persistent")
+	}
+	if got := res.OldHeights[n.Cfg.ChannelID]; got < 2 {
+		t.Fatalf("old incarnation stopped at height %d, want >= 2", got)
 	}
 	if restarted.Ledger().Height() != 1 {
 		t.Fatalf("restarted peer starts at height %d, want 1 (genesis only)", restarted.Ledger().Height())
@@ -264,14 +271,14 @@ func TestDirectDeliverRestartRejoins(t *testing.T) {
 	invokeN(t, n, "pre", 5)
 	waitPeersConverged(t, n.Peers, 10*time.Second)
 	target := n.Peers[len(n.Peers)-1]
-	restarted, err := n.RestartPeer(context.Background(), target.ID())
+	res, err := n.RestartPeer(context.Background(), target.ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// No further traffic needed: the subscribe reply's tips alone must
 	// drive the catch-up.
 	waitPeersConverged(t, n.Peers, 10*time.Second)
-	if err := restarted.Ledger().VerifyChain(); err != nil {
+	if err := res.Peer.Ledger().VerifyChain(); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,0 +1,207 @@
+package fabnet
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/metrics"
+	"fabricsim/internal/peer"
+	"fabricsim/internal/policy"
+)
+
+// waitStateConverged polls until every listed peer matches the first
+// peer's chain height, tip hash, AND world-state hash — the stronger
+// convergence the storage tests need, since a backend bug could agree
+// on headers while diverging in state.
+func waitStateConverged(t *testing.T, peers []*peer.Peer, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		ref := peers[0].Ledger()
+		refState, err := ref.StateHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := true
+		for _, p := range peers[1:] {
+			l := p.Ledger()
+			st, err := l.StateHash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l.Height() != ref.Height() ||
+				!bytes.Equal(l.LastHash(), ref.LastHash()) ||
+				!bytes.Equal(st, refState) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, p := range peers {
+		st, _ := p.Ledger().StateHash()
+		t.Errorf("peer %s height=%d tip=%x state=%x",
+			p.ID(), p.Ledger().Height(), p.Ledger().LastHash()[:8], st[:8])
+	}
+	t.FailNow()
+}
+
+// TestMixedBackendConvergence runs one network where peer1 keeps the
+// mem backend and peer2 runs file-backed, drives writes through both,
+// and requires the two to land on the identical tip hash and state
+// hash — the backends must be observationally equivalent end to end,
+// not just under the ledger unit suite.
+func TestMixedBackendConvergence(t *testing.T) {
+	n := buildAndStart(t, Config{
+		Orderer:           Solo,
+		NumEndorsingPeers: 2,
+		Policy:            policy.OrOverPeers(2),
+		Model:             costmodel.Default(0.05),
+		Storage: StorageConfig{
+			Backend: "mem",
+			Dir:     t.TempDir(),
+			PerPeer: map[string]string{"peer2": "file"},
+		},
+	})
+	if n.Peers[0].Ledger().Persistent() {
+		t.Fatal("peer1 should be mem-backed")
+	}
+	if !n.Peers[1].Ledger().Persistent() {
+		t.Fatal("peer2 should be file-backed")
+	}
+	invokeN(t, n, "mix", 12)
+	waitStateConverged(t, n.Peers, 10*time.Second)
+	for _, p := range n.Peers {
+		if err := p.Ledger().VerifyChain(); err != nil {
+			t.Errorf("peer %s: %v", p.ID(), err)
+		}
+	}
+}
+
+// TestFileBackedRestartCheckpointTail is the persistence acceptance
+// path: a file-backed replica is restarted after ~200 committed blocks
+// with snapshot transfer disabled, reopens from its latest checkpoint
+// plus block-store tail — NOT from genesis over the network — and
+// converges back to the cluster's tip and state hash.
+func TestFileBackedRestartCheckpointTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives ~200 blocks")
+	}
+	cfg := gossipTestConfig(1, 3, nil)
+	cfg.BatchSize = 1 // one invoke = one block
+	cfg.Storage = StorageConfig{
+		Backend:            "file",
+		Dir:                t.TempDir(),
+		CheckpointInterval: 32,
+		SnapshotThreshold:  -1, // isolate the reopen path
+	}
+	n := buildAndStart(t, cfg)
+	const blocks = 200
+	invokeN(t, n, "p", blocks)
+	waitStateConverged(t, n.Peers, 30*time.Second)
+
+	target := n.Peers[len(n.Peers)-1]
+	res, err := n.RestartPeer(context.Background(), target.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Persistent {
+		t.Fatal("file-backed restart not reported as persistent")
+	}
+	old := res.OldHeights[n.Cfg.ChannelID]
+	if old < blocks {
+		t.Fatalf("old incarnation stopped at height %d, want >= %d", old, blocks)
+	}
+	// The reopen must recover the full committed prefix from disk —
+	// checkpoint plus tail — so the restarted peer resumes at (not
+	// below) its pre-restart height instead of replaying from genesis.
+	if got := res.Peer.Ledger().Height(); got != old {
+		t.Fatalf("restarted peer reopened at height %d, want %d", got, old)
+	}
+	waitStateConverged(t, n.Peers, 15*time.Second)
+	if err := res.Peer.Ledger().VerifyChain(); err != nil {
+		t.Error(err)
+	}
+	// Disk state survived, not just headers: a pre-restart write is
+	// queryable on the reopened peer.
+	if _, ok, err := res.Peer.Ledger().State().Get(ChaincodeBench, "p0"); err != nil || !ok {
+		t.Errorf("reopened peer missing pre-restart key (ok=%v err=%v)", ok, err)
+	}
+}
+
+// TestSnapshotBootstrapRejoin is the disk-loss acceptance path: a
+// mem-backed replica restarts empty far enough behind the cluster that
+// gossip anti-entropy chooses snapshot-then-tail; the peer must
+// bootstrap from a transferred snapshot (observable via the
+// SnapshotBootstraps counter) and converge to the tip and state hash.
+func TestSnapshotBootstrapRejoin(t *testing.T) {
+	col := metrics.NewCollector()
+	cfg := gossipTestConfig(1, 3, col)
+	cfg.BatchSize = 1
+	cfg.Storage = StorageConfig{
+		Backend:           "mem",
+		SnapshotThreshold: 8,
+	}
+	n := buildAndStart(t, cfg)
+	invokeN(t, n, "s", 24) // well past the snapshot threshold
+	waitStateConverged(t, n.Peers, 15*time.Second)
+
+	target := n.Peers[len(n.Peers)-1]
+	res, err := n.RestartPeer(context.Background(), target.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Persistent {
+		t.Fatal("mem-backed restart reported as persistent")
+	}
+	waitStateConverged(t, n.Peers, 15*time.Second)
+	if err := res.Peer.Ledger().VerifyChain(); err != nil {
+		t.Error(err)
+	}
+	sum := col.Summarize(metrics.SummaryOptions{TimeScale: n.Cfg.Model.TimeScale})
+	if sum.SnapshotBootstraps < 1 {
+		t.Errorf("SnapshotBootstraps = %d, want >= 1 (rejoin should have used snapshot-then-tail)", sum.SnapshotBootstraps)
+	}
+	if _, ok, err := res.Peer.Ledger().State().Get(ChaincodeBench, "s0"); err != nil || !ok {
+		t.Errorf("rejoined peer missing pre-restart key (ok=%v err=%v)", ok, err)
+	}
+}
+
+// TestSnapshotBootstrapRejoinTCP reruns the snapshot rejoin over the
+// real TCP transport: RestartPeer must deregister/re-register the
+// node's listener (TCPNetwork.Deregister) and the snapshot chunks must
+// survive the gob wire path — the in-memory transport would not catch
+// an unregistered SnapshotRequest/SnapshotChunk payload.
+func TestSnapshotBootstrapRejoinTCP(t *testing.T) {
+	col := metrics.NewCollector()
+	cfg := gossipTestConfig(1, 3, col)
+	cfg.UseTCP = true
+	cfg.BatchSize = 1
+	cfg.Storage = StorageConfig{
+		Backend:           "mem",
+		SnapshotThreshold: 8,
+	}
+	n := buildAndStart(t, cfg)
+	invokeN(t, n, "t", 24)
+	waitStateConverged(t, n.Peers, 15*time.Second)
+
+	target := n.Peers[len(n.Peers)-1]
+	res, err := n.RestartPeer(context.Background(), target.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStateConverged(t, n.Peers, 15*time.Second)
+	if err := res.Peer.Ledger().VerifyChain(); err != nil {
+		t.Error(err)
+	}
+	sum := col.Summarize(metrics.SummaryOptions{TimeScale: n.Cfg.Model.TimeScale})
+	if sum.SnapshotBootstraps < 1 {
+		t.Errorf("SnapshotBootstraps = %d, want >= 1", sum.SnapshotBootstraps)
+	}
+}

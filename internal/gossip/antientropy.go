@@ -141,6 +141,23 @@ func (n *Node) pullRange(peer, channel string, from, to uint64) {
 		n.mu.Unlock()
 	}()
 
+	// A gap at least SnapshotThreshold wide is closed snapshot-first:
+	// install the remote ledger's snapshot (state + index + tip) and pull
+	// only the tail beyond it. A fetch/install failure falls through to
+	// the ranged block pulls — slower, never less correct.
+	if ss := n.cfg.SnapshotSink; ss != nil && n.cfg.SnapshotThreshold > 0 &&
+		to-from >= uint64(n.cfg.SnapshotThreshold) {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*n.cfg.AntiEntropyInterval)
+		height, err := ss.FetchSnapshot(ctx, peer, channel)
+		cancel()
+		if err == nil && height > from {
+			if o := n.cfg.Observer; o != nil {
+				o.SnapshotBootstrap(channel, height)
+			}
+			from = height
+		}
+	}
+
 	for from < to {
 		if n.isStopped() {
 			return

@@ -117,9 +117,18 @@ type Sink interface {
 	BlockAt(channel string, num uint64) (*types.Block, bool)
 }
 
+// SnapshotSink is the optional snapshot-bootstrap surface of the local
+// peer: fetch a remote peer's ledger snapshot for one channel, install
+// it, and return the height the chain now needs its next block at. The
+// gossip node uses it to close wide gaps snapshot-first (see
+// Config.SnapshotThreshold); errors fall back to ranged block pulls.
+type SnapshotSink interface {
+	FetchSnapshot(ctx context.Context, from, channel string) (uint64, error)
+}
+
 // Observer receives gossip-layer events (metrics wiring). Methods must
-// be safe for concurrent use. All methods are optional via NopObserver
-// embedding — a nil Observer disables reporting entirely.
+// be safe for concurrent use. A nil Observer disables reporting
+// entirely.
 type Observer interface {
 	// BlockReceived is one freshly accepted block: its source and the
 	// gossip hop count it arrived with (0 for deliver and anti-entropy).
@@ -130,6 +139,9 @@ type Observer interface {
 	AntiEntropyPull(n int)
 	// LeaderElected reports this node taking leadership of a channel.
 	LeaderElected(channel string, term uint64)
+	// SnapshotBootstrap reports this node installing a peer snapshot,
+	// jumping the named channel's chain to the given height.
+	SnapshotBootstrap(channel string, height uint64)
 }
 
 // Config parameterizes a gossip node. All durations are wall-clock; the
@@ -166,6 +178,16 @@ type Config struct {
 	LeaderLease time.Duration
 	// Observer, when non-nil, sees gossip-layer events.
 	Observer Observer
+	// SnapshotSink, when non-nil together with a positive
+	// SnapshotThreshold, enables snapshot-then-tail repair: a height gap
+	// of at least SnapshotThreshold blocks is closed by fetching the
+	// remote peer's ledger snapshot and pulling only the tail, instead
+	// of replaying the whole gap block by block. The peer provides this
+	// (its FetchSnapshot method); leave nil to always pull blocks.
+	SnapshotSink SnapshotSink
+	// SnapshotThreshold is the minimum gap width (blocks) that triggers
+	// a snapshot bootstrap; 0 or negative disables the path.
+	SnapshotThreshold int
 	// Seed fixes the node's randomness (peer/fanout selection); 0
 	// derives one from the node ID.
 	Seed int64

@@ -121,6 +121,7 @@ type countingObserver struct {
 	duplicates int
 	pulls      int
 	elected    int
+	snapshots  int
 }
 
 func (o *countingObserver) BlockReceived(source string, hops int) {
@@ -149,6 +150,12 @@ func (o *countingObserver) LeaderElected(string, uint64) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.elected++
+}
+
+func (o *countingObserver) SnapshotBootstrap(string, uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.snapshots++
 }
 
 // fakeOrderer is a deliver-service stub: it records subscriptions and

@@ -99,6 +99,7 @@ type Collector struct {
 	aePulled   int
 	evictions  int
 	elections  int
+	snapshots  int
 	start      time.Time
 }
 
@@ -212,6 +213,14 @@ func (c *Collector) LeaderElection() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.elections++
+}
+
+// SnapshotBootstrap counts one peer installing another peer's ledger
+// snapshot instead of replaying the gap block by block.
+func (c *Collector) SnapshotBootstrap() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snapshots++
 }
 
 // SubscriberEvicted counts one deliver subscriber pruned by an orderer
@@ -348,6 +357,10 @@ type Summary struct {
 	GossipDuplicates    int
 	LeaderElections     int
 	SubscriberEvictions int
+	// SnapshotBootstraps counts peers that installed another peer's
+	// ledger snapshot (snapshot-then-tail repair) instead of replaying
+	// their whole gap block by block.
+	SnapshotBootstraps int
 
 	// CommitLag is the block-cut -> per-peer-commit distribution over
 	// every (peer, block) pair committed inside the window (model time):
@@ -544,6 +557,7 @@ func (c *Collector) Summarize(opts SummaryOptions) Summary {
 	s.AntiEntropyBlocks = c.aePulled
 	s.LeaderElections = c.elections
 	s.SubscriberEvictions = c.evictions
+	s.SnapshotBootstraps = c.snapshots
 	c.mu.Unlock()
 	hopTotal := 0
 	for _, g := range gossips {

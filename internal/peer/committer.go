@@ -2,10 +2,12 @@ package peer
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"fabricsim/internal/ledger"
 	"fabricsim/internal/types"
 )
 
@@ -164,8 +166,11 @@ func (p *Peer) runVSCCStage(cs *channelState, pb *pipelinedBlock) {
 // strictly in order: the pre-pass and the ledger apply of block N
 // complete before block N+1's begin, so within-channel MVCC semantics
 // and duplicate detection across pipelined blocks are identical to the
-// legacy serial walk. A commit failure is fatal for the channel's
-// chain; the loop stops consuming rather than corrupt state.
+// legacy serial walk. A stale block — one below the ledger's applied
+// height, which a snapshot bootstrap can leave in flight — is skipped
+// (its pipeline token released) rather than wedging the channel; any
+// other commit failure is fatal for the channel's chain and the loop
+// stops consuming rather than corrupt state.
 func (p *Peer) applyLoop(cs *channelState) {
 	ctx := context.Background()
 	for {
@@ -182,6 +187,10 @@ func (p *Peer) applyLoop(cs *channelState) {
 				return
 			}
 			if err := p.applyStage(ctx, cs, pb); err != nil {
+				if errors.Is(err, ledger.ErrStale) {
+					<-cs.tokens
+					continue
+				}
 				return
 			}
 			select {

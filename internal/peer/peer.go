@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -127,8 +128,21 @@ type Config struct {
 	// with gossip dissemination: only elected org leaders subscribe,
 	// everyone else receives blocks peer-to-peer and converges through
 	// anti-entropy. The peer fills in ID, Endpoint, Channels, OrdererID,
-	// and Sink; the caller provides membership and tuning.
+	// Sink, and SnapshotSink; the caller provides membership and tuning
+	// (including SnapshotThreshold for snapshot-then-tail repair).
 	Gossip *gossip.Config
+	// StorageBackend selects the per-channel ledger storage engine
+	// ("mem" default, "file" persistent); see ledger.Options.
+	StorageBackend string
+	// StorageDir roots file-backed storage; each channel gets the
+	// subdirectory StorageDir/<channel>. Required for the file backend.
+	StorageDir string
+	// CheckpointInterval is the ledger checkpoint cadence in blocks
+	// (file backend; 0 = ledger.DefaultCheckpointInterval).
+	CheckpointInterval uint64
+	// HistoryCap bounds per-key write history (0 = default, <0 = keep
+	// all); see ledger.Options.
+	HistoryCap int
 }
 
 // channelState is one channel's ledger and commit pipeline on a peer.
@@ -166,6 +180,13 @@ type channelState struct {
 	// waiters holds parked commit-status requests by TxID; each entry
 	// is satisfied (and removed) by the commit that indexes the TxID.
 	waiters map[types.TxID][]chan CommitEvent
+
+	// snapMu guards the serving-side snapshot chunk cache (snapshot.go):
+	// chunk-0 requests regenerate it, later chunks are served from it so
+	// one transfer sees a single consistent snapshot.
+	snapMu     sync.Mutex
+	snapBlob   []byte
+	snapHeight uint64
 }
 
 // Peer is one peer node.
@@ -190,8 +211,12 @@ type Peer struct {
 	startOnce sync.Once
 }
 
-// New creates a peer and registers its transport handlers.
-func New(cfg Config) *Peer {
+// New creates a peer and registers its transport handlers. With the
+// file storage backend, a peer whose StorageDir holds an earlier life's
+// ledgers reopens them — recovering each channel from its latest
+// checkpoint plus the block-store tail — and resumes committing at the
+// recovered height instead of replaying from genesis.
+func New(cfg Config) (*Peer, error) {
 	if len(cfg.Channels) == 0 {
 		cfg.Channels = []string{orderer.DefaultChannel}
 	}
@@ -215,11 +240,26 @@ func New(cfg Config) *Peer {
 		if override, ok := cfg.Policies[ch]; ok && override != nil {
 			pol = override
 		}
+		lopts := ledger.Options{
+			Backend:            cfg.StorageBackend,
+			CheckpointInterval: cfg.CheckpointInterval,
+			HistoryCap:         cfg.HistoryCap,
+		}
+		if cfg.StorageDir != "" {
+			lopts.Dir = filepath.Join(cfg.StorageDir, ch)
+		}
+		led, err := ledger.Open(lopts)
+		if err != nil {
+			for _, prev := range p.channels {
+				prev.ledger.Close()
+			}
+			return nil, fmt.Errorf("peer %s: open ledger for channel %s: %w", cfg.ID, ch, err)
+		}
 		p.channels[ch] = &channelState{
 			id:        ch,
-			ledger:    ledger.New(),
+			ledger:    led,
 			policy:    pol,
-			nextBlock: 1,
+			nextBlock: led.Height(), // 1 on a fresh chain, the tail on reopen
 			pending:   make(map[uint64]*types.Block),
 			commitCh:  make(chan *types.Block, 1024),
 			applyCh:   make(chan *pipelinedBlock, depth),
@@ -233,6 +273,7 @@ func New(cfg Config) *Peer {
 	cfg.Endpoint.Handle(KindSubscribeEvents, p.handleSubscribe)
 	cfg.Endpoint.Handle(KindCommitStatus, p.handleCommitStatus)
 	cfg.Endpoint.Handle(orderer.KindDeliverBlock, p.handleDeliverBlock)
+	cfg.Endpoint.Handle(KindGetSnapshot, p.handleGetSnapshot)
 	if cfg.Gossip != nil {
 		gcfg := *cfg.Gossip
 		gcfg.ID = cfg.ID
@@ -240,9 +281,10 @@ func New(cfg Config) *Peer {
 		gcfg.Channels = cfg.Channels
 		gcfg.OrdererID = cfg.OrdererID
 		gcfg.Sink = p
+		gcfg.SnapshotSink = p
 		p.gossip = gossip.NewNode(gcfg)
 	}
-	return p
+	return p, nil
 }
 
 // ID returns the peer's node identifier.
@@ -397,6 +439,11 @@ func (p *Peer) Stop() {
 	p.startOnce.Do(p.launchCommitLoops)
 	close(p.stopCh)
 	<-p.done
+	// With the pipelines drained, release the storage backends. A
+	// file-backed peer can be rebuilt from the same StorageDir.
+	for _, cs := range p.channels {
+		cs.ledger.Close()
+	}
 }
 
 // GossipNode exposes the peer's gossip agent (nil when direct deliver

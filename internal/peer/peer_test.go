@@ -112,7 +112,10 @@ func newEnvFull(t *testing.T, numPeers int, pol policy.Policy, verify bool, twea
 		if tweakPeer != nil {
 			tweakPeer(&pcfg)
 		}
-		p := New(pcfg)
+		p, err := New(pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := p.Start(context.Background()); err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,181 @@
+package peer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"fabricsim/internal/ledger"
+)
+
+// This file is the peer-to-peer snapshot transfer: a peer that is many
+// blocks behind (freshly joined, or restarted after losing its disk)
+// bootstraps from another peer's ledger snapshot — world state, tx
+// index, and tip header at a height — and then pulls only the block
+// tail, instead of replaying the whole chain through its commit
+// pipeline. The serving side chunks the serialized snapshot so one
+// transfer never pins a multi-megabyte message in the transport; the
+// fetching side reassembles, verifies (UnmarshalSnapshot recomputes the
+// state hash), and installs it atomically under the channel's ingest
+// lock. Gossip decides *when* to use this path (snapshot-then-tail via
+// Config.SnapshotThreshold); this file only moves and installs bytes.
+
+// KindGetSnapshot is the peer -> peer chunked snapshot fetch.
+const KindGetSnapshot = "peer.getsnapshot"
+
+// snapshotChunkSize bounds one SnapshotChunk's payload.
+const snapshotChunkSize = 256 * 1024
+
+// snapshotFetchRetries bounds how many times a fetch restarts when the
+// serving peer regenerates its snapshot mid-transfer.
+const snapshotFetchRetries = 3
+
+// SnapshotRequest asks a peer for one chunk of a channel's ledger
+// snapshot. Chunk 0 makes the serving peer cut (and cache) a fresh
+// snapshot; later chunks read the cached blob, so a multi-chunk
+// transfer is internally consistent even while the server keeps
+// committing.
+type SnapshotRequest struct {
+	Channel string
+	Chunk   int
+}
+
+// SnapshotChunk is one piece of a serialized ledger.Snapshot. Height
+// identifies the snapshot the chunk belongs to: a fetcher that observes
+// the height change mid-transfer restarts from chunk 0.
+type SnapshotChunk struct {
+	Height uint64
+	Chunks int
+	Chunk  int
+	Data   []byte
+}
+
+// handleGetSnapshot serves one snapshot chunk.
+func (p *Peer) handleGetSnapshot(_ context.Context, _ string, payload any) (any, int, error) {
+	req, ok := payload.(*SnapshotRequest)
+	if !ok {
+		return nil, 0, fmt.Errorf("peer: bad snapshot payload %T", payload)
+	}
+	cs, ok := p.channelFor(req.Channel)
+	if !ok {
+		return nil, 0, fmt.Errorf("peer %s: not joined to channel %q", p.cfg.ID, req.Channel)
+	}
+	cs.snapMu.Lock()
+	defer cs.snapMu.Unlock()
+	if req.Chunk == 0 {
+		snap, err := cs.ledger.Snapshot()
+		if err != nil {
+			return nil, 0, fmt.Errorf("peer %s: cut snapshot of %s: %w", p.cfg.ID, cs.id, err)
+		}
+		cs.snapBlob = snap.Marshal()
+		cs.snapHeight = snap.Height
+	} else if cs.snapBlob == nil {
+		return nil, 0, fmt.Errorf("peer %s: no cached snapshot for %s (fetch chunk 0 first)", p.cfg.ID, cs.id)
+	}
+	chunks := (len(cs.snapBlob) + snapshotChunkSize - 1) / snapshotChunkSize
+	if chunks == 0 {
+		chunks = 1
+	}
+	if req.Chunk < 0 || req.Chunk >= chunks {
+		return nil, 0, fmt.Errorf("peer %s: snapshot chunk %d out of range [0,%d)", p.cfg.ID, req.Chunk, chunks)
+	}
+	off := req.Chunk * snapshotChunkSize
+	end := off + snapshotChunkSize
+	if end > len(cs.snapBlob) {
+		end = len(cs.snapBlob)
+	}
+	// The cache is replaced wholesale on regeneration, never mutated, so
+	// aliasing the blob here is safe.
+	chunk := &SnapshotChunk{
+		Height: cs.snapHeight,
+		Chunks: chunks,
+		Chunk:  req.Chunk,
+		Data:   cs.snapBlob[off:end],
+	}
+	return chunk, len(chunk.Data) + 32, nil
+}
+
+// FetchSnapshot pulls a channel snapshot from another peer and installs
+// it, returning the snapshot height (the next block number the channel
+// needs — the caller pulls the tail from there). A snapshot the local
+// chain has already passed installs nothing and is not an error. This
+// is the peer's gossip.SnapshotSink surface.
+func (p *Peer) FetchSnapshot(ctx context.Context, from, channel string) (uint64, error) {
+	cs, ok := p.channelFor(channel)
+	if !ok {
+		return 0, fmt.Errorf("peer %s: not joined to channel %q", p.cfg.ID, channel)
+	}
+
+	var blob []byte
+	for attempt := 0; ; attempt++ {
+		var restart bool
+		blob, _, restart = p.fetchSnapshotBlob(ctx, from, channel)
+		if !restart {
+			break
+		}
+		if attempt+1 >= snapshotFetchRetries {
+			return 0, fmt.Errorf("peer %s: snapshot of %s from %s kept changing under the transfer", p.cfg.ID, channel, from)
+		}
+	}
+	if blob == nil {
+		return 0, fmt.Errorf("peer %s: fetch snapshot of %s from %s failed", p.cfg.ID, channel, from)
+	}
+	snap, err := ledger.UnmarshalSnapshot(blob)
+	if err != nil {
+		return 0, fmt.Errorf("peer %s: snapshot of %s from %s: %w", p.cfg.ID, channel, from, err)
+	}
+
+	// Install under the ingest lock so no block enters the pipeline
+	// between the restore and the height bump.
+	cs.ingestMu.Lock()
+	defer cs.ingestMu.Unlock()
+	cs.mu.Lock()
+	next := cs.nextBlock
+	cs.mu.Unlock()
+	if next >= snap.Height {
+		return snap.Height, nil // overtaken while transferring
+	}
+	if err := cs.ledger.RestoreSnapshot(snap); err != nil {
+		if errors.Is(err, ledger.ErrStale) {
+			return snap.Height, nil
+		}
+		return 0, fmt.Errorf("peer %s: install snapshot of %s at height %d: %w", p.cfg.ID, channel, snap.Height, err)
+	}
+	cs.mu.Lock()
+	cs.nextBlock = snap.Height
+	for num := range cs.pending {
+		if num < snap.Height {
+			delete(cs.pending, num)
+		}
+	}
+	cs.mu.Unlock()
+	return snap.Height, nil
+}
+
+// fetchSnapshotBlob pulls every chunk of one snapshot. restart reports
+// that the serving peer's snapshot height changed mid-transfer (the
+// blob is invalid and the caller should start over); a nil blob without
+// restart means the transfer failed outright.
+func (p *Peer) fetchSnapshotBlob(ctx context.Context, from, channel string) (blob []byte, height uint64, restart bool) {
+	chunks := 1
+	for i := 0; i < chunks; i++ {
+		raw, err := p.cfg.Endpoint.Call(ctx, from, KindGetSnapshot,
+			&SnapshotRequest{Channel: channel, Chunk: i}, 16)
+		if err != nil {
+			return nil, 0, false
+		}
+		chunk, ok := raw.(*SnapshotChunk)
+		if !ok {
+			return nil, 0, false
+		}
+		if i == 0 {
+			height = chunk.Height
+			chunks = chunk.Chunks
+			blob = make([]byte, 0, chunks*snapshotChunkSize)
+		} else if chunk.Height != height {
+			return nil, 0, true
+		}
+		blob = append(blob, chunk.Data...)
+	}
+	return blob, height, false
+}

@@ -99,6 +99,8 @@ func New() *DB {
 	return &DB{data: make(map[string]map[string]*VersionedValue)}
 }
 
+var _ Store = (*DB)(nil)
+
 // Get returns the versioned value for (ns, key), or ok=false when the
 // key is absent.
 func (db *DB) Get(ns, key string) (VersionedValue, bool, error) {
@@ -231,6 +233,29 @@ func (db *DB) ApplyUpdates(batch *UpdateBatch, height types.Version) error {
 			delete(target, k)
 		}
 	}
+	db.height = height
+	return nil
+}
+
+// Restore atomically replaces the database contents with the given
+// entries at the given height — the snapshot-install path. Values are
+// copied in, so the caller's slices stay private.
+func (db *DB) Restore(entries []NSKV, height types.Version) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	data := make(map[string]map[string]*VersionedValue)
+	for _, e := range entries {
+		m, ok := data[e.NS]
+		if !ok {
+			m = make(map[string]*VersionedValue)
+			data[e.NS] = m
+		}
+		m[e.Key] = &VersionedValue{Value: append([]byte(nil), e.Value...), Version: e.Version}
+	}
+	db.data = data
 	db.height = height
 	return nil
 }

@@ -55,6 +55,30 @@ func (n *TCPNetwork) Register(id string) (*TCPEndpoint, error) {
 	return ep, nil
 }
 
+// Deregister closes the named node's endpoint and drops its address so
+// the ID can be registered again (peer crash + restart). Connections
+// other nodes cached to the old endpoint die with its sockets; their
+// next write fails once, and the retry redials the re-registered
+// address.
+func (n *TCPNetwork) Deregister(id string) {
+	n.mu.Lock()
+	var victim *TCPEndpoint
+	keep := n.nodes[:0]
+	for _, ep := range n.nodes {
+		if ep.ID() == id && victim == nil {
+			victim = ep
+			continue
+		}
+		keep = append(keep, ep)
+	}
+	n.nodes = keep
+	delete(n.addrs, id)
+	n.mu.Unlock()
+	if victim != nil {
+		_ = victim.Close()
+	}
+}
+
 // AddPeer records a remote endpoint's address (cross-process wiring).
 func (n *TCPNetwork) AddPeer(id, addr string) {
 	n.mu.Lock()
@@ -220,8 +244,21 @@ func (e *TCPEndpoint) untrackSocket(c net.Conn) {
 	delete(e.sockets, c)
 }
 
-// write sends one frame on the (cached) connection to a peer.
+// write sends one frame to a peer. A cached connection to a peer that
+// restarted (Deregister + Register) is only discovered dead on first
+// use: that write fails, drops the cache entry, and the single retry
+// redials the freshly registered address — without it, replies routed
+// by node ID (readLoop's e.write(msg.From, ...)) would be silently
+// lost across a peer restart and the caller's Call would hang.
 func (e *TCPEndpoint) write(to string, msg wireMessage) error {
+	if err := e.writeOnce(to, msg); err == nil || e.closed.Load() {
+		return err
+	}
+	return e.writeOnce(to, msg)
+}
+
+// writeOnce sends one frame on the (cached) connection to a peer.
+func (e *TCPEndpoint) writeOnce(to string, msg wireMessage) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
@@ -291,6 +328,12 @@ func (e *TCPEndpoint) connTo(to string) (*tcpConn, error) {
 		defer e.wg.Done()
 		defer e.untrackSocket(raw)
 		e.readLoop(raw)
+		// The peer hung up (it closed, or restarted under a new
+		// address). Evict the cached connection NOW rather than on the
+		// next write: a write into a half-closed socket succeeds
+		// locally and the frame is silently lost, so lazy eviction
+		// would drop exactly one message per peer restart.
+		e.dropConn(to, conn)
 	}()
 	return conn, nil
 }
