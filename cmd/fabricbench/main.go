@@ -73,6 +73,7 @@ func run() int {
 
 	ctx := context.Background()
 	start := time.Now()
+	fmt.Printf("seed=%d (re-run with -seed %d to replay workloads and fault schedules)\n", *seed, *seed)
 	for _, e := range exps {
 		expStart := time.Now()
 		if err := e.Run(ctx, opt, os.Stdout); err != nil {

@@ -13,6 +13,7 @@ import (
 	"os"
 	"time"
 
+	"fabricsim/internal/chaos"
 	"fabricsim/internal/costmodel"
 	"fabricsim/internal/fabnet"
 	"fabricsim/internal/policy"
@@ -59,10 +60,14 @@ func run() error {
 	fmt.Printf("raft cluster of 5 OSNs up, leader = %s\n", leader)
 	fmt.Printf("before crash: %d/10 transactions committed\n", invoke("before", 10))
 
-	// Kill the leader: the transport drops all its traffic, exactly
-	// like a machine failure.
+	// Kill the leader through the chaos controller: the fault is an
+	// explicit, reversible object — the transport drops all the node's
+	// traffic, exactly like a machine failure.
+	ctl := net.Chaos()
 	fmt.Printf("killing leader %s...\n", leader)
-	net.Transport.SetNodeDown(leader, true)
+	if err := ctl.Inject(ctx, chaos.CrashNode{Node: leader}); err != nil {
+		return err
+	}
 
 	// Wait for the survivors to elect a new leader.
 	deadline := time.Now().Add(10 * time.Second)
@@ -85,8 +90,15 @@ func run() error {
 		return fmt.Errorf("cluster did not recover")
 	}
 
-	// Peers that were subscribed to the dead OSN fill gaps from it when
-	// it returns; peers on live OSNs progressed throughout.
+	// Heal the fault: the old leader rejoins as a follower, and peers
+	// that were subscribed to it fill their gaps from it.
+	if err := ctl.HealAll(ctx); err != nil {
+		return err
+	}
+	for _, e := range ctl.Log() {
+		fmt.Printf("chaos log: %s\n", e)
+	}
+
 	best := uint64(0)
 	for _, p := range net.Peers {
 		if h := p.Ledger().Height(); h > best {

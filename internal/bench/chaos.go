@@ -1,0 +1,328 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fabricsim/internal/chaos"
+	"fabricsim/internal/costmodel"
+	"fabricsim/internal/fabnet"
+	"fabricsim/internal/metrics"
+	"fabricsim/internal/policy"
+	"fabricsim/internal/types"
+	"fabricsim/internal/workload"
+)
+
+// Chaos soak: a long open-loop workload driven through a seeded fault
+// schedule (node kill/restart, org partition + heal, degraded links,
+// CPU throttling) on a three-region WAN topology, reporting SLO rows —
+// committed tps through each fault window, commit-lag p99, re-election
+// and snapshot-bootstrap counts — and hard invariants: no lost blocks,
+// no duplicate commits, and post-heal tip-hash + state-hash agreement
+// across all live peers. The schedule is a pure function of the seed,
+// so two runs with the same -seed print the same fault timeline.
+const (
+	chaosOrgs     = 3
+	chaosReplicas = 2
+	// chaosClients is kept below the peer count so the gateways' event
+	// peers (Peers[(i-1) % len(Peers)]) leave some peers unprotected as
+	// crash targets.
+	chaosClients = 3
+	chaosRate    = 150.0 // open-loop tx/s, model time
+	// chaosSnapshotThreshold makes a crashed-and-wiped peer that missed
+	// more than this many blocks bootstrap from a snapshot.
+	chaosSnapshotThreshold = 12
+)
+
+// chaosFaults sizes the schedule; all four fault kinds always appear
+// (the builder cycles through kinds before repeating).
+func chaosFaults(quick bool) int {
+	if quick {
+		return 4
+	}
+	return 6
+}
+
+// chaosSoak stretches the soak beyond the default point duration in
+// full mode — fault windows need room to inject, bite, and heal.
+func chaosSoak(opt Options) time.Duration {
+	if !opt.Quick && opt.Duration < 20*time.Second {
+		return 20 * time.Second
+	}
+	return opt.Duration
+}
+
+// ChaosWindow is one fault window's SLO row.
+type ChaosWindow struct {
+	Fault        string  `json:"fault"`
+	Kind         string  `json:"kind"`
+	StartS       float64 `json:"start_s"` // model time from run start
+	EndS         float64 `json:"end_s"`
+	CommittedTPS float64 `json:"committed_tps"`
+	CommitLagP99 float64 `json:"commit_lag_p99_s"`
+}
+
+// ChaosPoint is the machine-readable soak result (BENCH_chaos.json).
+type ChaosPoint struct {
+	Seed         int64    `json:"seed"`
+	ScheduleSeed int64    `json:"schedule_seed"`
+	Orgs         int      `json:"orgs"`
+	Replicas     int      `json:"replicas"`
+	WANMatrix    string   `json:"wan_matrix"`
+	Faults       int      `json:"faults"`
+	FaultKinds   []string `json:"fault_kinds"`
+	Timeline     []string `json:"timeline"`
+
+	Windows []ChaosWindow `json:"windows"`
+
+	OverallTPS          float64 `json:"overall_committed_tps"`
+	CommitLagP99S       float64 `json:"commit_lag_p99_s"`
+	Reelections         int     `json:"reelections"`
+	SnapshotBootstraps  int     `json:"snapshot_bootstraps"`
+	SubscriberEvictions int     `json:"subscriber_evictions"`
+
+	// Hard invariants, checked after the post-heal convergence wait.
+	LostBlocks       int  `json:"lost_blocks"`
+	DuplicateCommits int  `json:"duplicate_commits"`
+	TipConverged     bool `json:"tip_converged"`
+	StateConverged   bool `json:"state_converged"`
+	ChainValid       bool `json:"chain_valid"`
+}
+
+// runChaosSoak builds the WAN network, plays the seeded fault schedule
+// against the open-loop workload, waits for post-heal convergence, and
+// checks the invariants.
+func runChaosSoak(ctx context.Context, opt Options, w io.Writer) (ChaosPoint, error) {
+	model := costmodel.Default(opt.Scale)
+	col := metrics.NewCollector()
+	cfg := fabnet.Config{
+		Orderer:           fabnet.Solo,
+		NumEndorsingPeers: chaosOrgs,
+		EndorsersPerOrg:   chaosReplicas,
+		NumClients:        chaosClients,
+		Policy:            policy.OrOverPeers(chaosOrgs),
+		Model:             model,
+		Collector:         col,
+		BatchSize:         40,
+		BatchTimeout:      300 * time.Millisecond,
+		CommitterPool:     2,
+		CommitDepth:       2,
+		WANMatrix:         "wan3",
+		Gossip: fabnet.GossipConfig{
+			Enabled:             true,
+			Fanout:              2,
+			AntiEntropyInterval: 200 * time.Millisecond,
+			LeaderLease:         800 * time.Millisecond,
+		},
+		Storage: fabnet.StorageConfig{
+			Backend:           "mem",
+			SnapshotThreshold: chaosSnapshotThreshold,
+		},
+	}
+	net, err := fabnet.Build(cfg)
+	if err != nil {
+		return ChaosPoint{}, fmt.Errorf("bench: %w", err)
+	}
+	defer net.Stop()
+	if err := net.Start(ctx); err != nil {
+		return ChaosPoint{}, fmt.Errorf("bench: %w", err)
+	}
+	net.Links().Seed(opt.SubSeed("links"))
+
+	// Gateways keep a standing event subscription to their event peer;
+	// it does not survive that peer's restart, so event peers are
+	// protected from crash/throttle faults (partitions and degradation
+	// still hit them).
+	protected := make([]string, 0, chaosClients)
+	seen := make(map[string]bool)
+	for i := 1; i <= chaosClients; i++ {
+		id := net.Peers[(i-1)%len(net.Peers)].ID()
+		if !seen[id] {
+			seen[id] = true
+			protected = append(protected, id)
+		}
+	}
+
+	soak := chaosSoak(opt)
+	scheduleSeed := opt.SubSeed("chaos.schedule")
+	ctl := net.Chaos()
+	sched, err := ctl.BuildSchedule(scheduleSeed, chaos.ScheduleConfig{
+		// The schedule runs on the wall clock, so its span is the
+		// soak's wall-time footprint.
+		Duration:  model.ScaledDelay(soak),
+		Faults:    chaosFaults(opt.Quick),
+		Protected: protected,
+	})
+	if err != nil {
+		return ChaosPoint{}, fmt.Errorf("bench: %w", err)
+	}
+
+	point := ChaosPoint{
+		Seed:         opt.Seed,
+		ScheduleSeed: scheduleSeed,
+		Orgs:         chaosOrgs,
+		Replicas:     chaosReplicas,
+		WANMatrix:    cfg.WANMatrix,
+		Faults:       len(sched.Events),
+		FaultKinds:   sched.Kinds(),
+		Timeline:     sched.Timeline(),
+	}
+	fprintf(w, "seed=%d schedule_seed=%d faults=%d kinds=%v soak=%s wan=%s\n",
+		opt.Seed, scheduleSeed, point.Faults, point.FaultKinds, soak, cfg.WANMatrix)
+	fprintf(w, "fault timeline (wall offsets, replayable from seed):\n")
+	for _, line := range point.Timeline {
+		fprintf(w, "  %s\n", line)
+	}
+
+	// Soak: the fault schedule plays out while the open-loop workload
+	// keeps arriving at a fixed rate, fault or no fault.
+	runStart := time.Now()
+	chaosDone := make(chan error, 1)
+	go func() { chaosDone <- ctl.Run(ctx, sched) }()
+	_, err = workload.Run(ctx, net.Clients, workload.Config{
+		Rate:     chaosRate,
+		Duration: soak,
+		TxSize:   opt.TxSize,
+		Model:    model,
+		Seed:     opt.Seed,
+	})
+	chaosErr := <-chaosDone
+	if err != nil {
+		return ChaosPoint{}, fmt.Errorf("bench: workload: %w", err)
+	}
+	if chaosErr != nil {
+		// A fault that failed to apply or heal voids the run — the
+		// invariants below would be measuring an unknown topology.
+		return ChaosPoint{}, fmt.Errorf("bench: chaos schedule: %w", chaosErr)
+	}
+
+	// Post-heal: every peer (including crashed-and-wiped ones) must
+	// converge back to one tip hash and state hash.
+	convErr := waitRecoveryConverged(net.Peers[0], net.Peers[1:], 60*time.Second)
+
+	// --- Invariants ---
+	ref := net.Peers[0].Ledger()
+	refHeight := ref.Height()
+	refTip := string(ref.LastHash())
+	refState, err := ref.StateHash()
+	if err != nil {
+		return ChaosPoint{}, fmt.Errorf("bench: state hash: %w", err)
+	}
+	point.TipConverged = convErr == nil
+	point.StateConverged = convErr == nil
+	point.ChainValid = true
+	for _, p := range net.Peers {
+		l := p.Ledger()
+		if l.Height() < refHeight {
+			point.LostBlocks += int(refHeight - l.Height())
+		}
+		if l.Height() != refHeight || string(l.LastHash()) != refTip {
+			point.TipConverged = false
+		}
+		st, err := l.StateHash()
+		if err != nil || string(st) != string(refState) {
+			point.StateConverged = false
+		}
+		if err := l.VerifyChain(); err != nil {
+			point.ChainValid = false
+		}
+	}
+	// Duplicate commits: no valid transaction ID may appear twice in
+	// the reference chain (a replayed envelope slipping past the
+	// committer's duplicate check during fault churn).
+	committed := make(map[types.TxID]bool)
+	for num := uint64(1); num < refHeight; num++ {
+		blk, err := ref.GetBlock(num)
+		if err != nil {
+			return ChaosPoint{}, fmt.Errorf("bench: block %d: %w", num, err)
+		}
+		txs, err := blk.Transactions()
+		if err != nil {
+			return ChaosPoint{}, fmt.Errorf("bench: block %d: %w", num, err)
+		}
+		for i, tx := range txs {
+			if i < len(blk.Metadata.ValidationFlags) && blk.Metadata.ValidationFlags[i].Valid() {
+				if committed[tx.ID()] {
+					point.DuplicateCommits++
+				}
+				committed[tx.ID()] = true
+			}
+		}
+	}
+
+	// --- SLO rows ---
+	fprintf(w, "\n%-34s %-10s %9s %9s %13s %16s\n",
+		"fault window", "kind", "start(s)", "end(s)", "committed tps", "commit-lag p99(s)")
+	for _, ev := range sched.Events {
+		sum := col.Summarize(metrics.SummaryOptions{
+			TimeScale:   model.TimeScale,
+			WindowStart: runStart.Add(ev.At),
+			WindowEnd:   runStart.Add(ev.At + ev.For),
+		})
+		win := ChaosWindow{
+			Fault:        ev.Fault.Name(),
+			Kind:         ev.Fault.Kind(),
+			StartS:       ev.At.Seconds() / model.TimeScale,
+			EndS:         (ev.At + ev.For).Seconds() / model.TimeScale,
+			CommittedTPS: sum.ValidateTPS,
+			CommitLagP99: sum.CommitLag.P99.Seconds(),
+		}
+		point.Windows = append(point.Windows, win)
+		fprintf(w, "%-34s %-10s %9.2f %9.2f %13.1f %16.3f\n",
+			win.Fault, win.Kind, win.StartS, win.EndS, win.CommittedTPS, win.CommitLagP99)
+	}
+
+	overall := col.Summarize(metrics.SummaryOptions{TimeScale: model.TimeScale})
+	point.OverallTPS = overall.ValidateTPS
+	point.CommitLagP99S = overall.CommitLag.P99.Seconds()
+	point.Reelections = overall.LeaderElections
+	point.SnapshotBootstraps = overall.SnapshotBootstraps
+	point.SubscriberEvictions = overall.SubscriberEvictions
+
+	fprintf(w, "\noverall: committed tps=%.1f commit-lag p99=%.3fs re-elections=%d snapshot-bootstraps=%d evictions=%d\n",
+		point.OverallTPS, point.CommitLagP99S, point.Reelections,
+		point.SnapshotBootstraps, point.SubscriberEvictions)
+	fprintf(w, "invariants: lost_blocks=%d duplicate_commits=%d tip_converged=%v state_converged=%v chain_valid=%v\n",
+		point.LostBlocks, point.DuplicateCommits, point.TipConverged,
+		point.StateConverged, point.ChainValid)
+	if convErr != nil {
+		fprintf(w, "WARNING: post-heal convergence: %v\n", convErr)
+	}
+	return point, nil
+}
+
+// FigChaos is the chaos soak: SLOs and safety invariants under a
+// seeded, replayable fault schedule.
+func FigChaos() Experiment {
+	return Experiment{
+		ID:    "chaos",
+		Title: "Chaos soak: SLOs and Safety Under a Seeded Fault Schedule",
+		Run: func(ctx context.Context, opt Options, w io.Writer) error {
+			opt = opt.withDefaults()
+			header(w, "Chaos soak — Faults vs. SLOs on a 3-region WAN")
+			fprintf(w, "(orderer=solo, orgs=%d x %d replicas, gossip on, open loop %.0f tps, snapshot threshold=%d)\n",
+				chaosOrgs, chaosReplicas, chaosRate, chaosSnapshotThreshold)
+			point, err := runChaosSoak(ctx, opt, w)
+			if err != nil {
+				return err
+			}
+			if opt.JSONDir != "" {
+				path := filepath.Join(opt.JSONDir, "BENCH_chaos.json")
+				raw, err := json.MarshalIndent(point, "", "  ")
+				if err != nil {
+					return fmt.Errorf("bench: marshal chaos point: %w", err)
+				}
+				if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+					return fmt.Errorf("bench: write %s: %w", path, err)
+				}
+				fprintf(w, "\n[machine-readable point written to %s]\n", path)
+			}
+			return nil
+		},
+	}
+}

@@ -8,7 +8,9 @@ package bench
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"strings"
 	"time"
@@ -37,6 +39,20 @@ type Options struct {
 	// machine-readable output write a BENCH_<id>.json file there, so
 	// the performance trajectory can be tracked across commits.
 	JSONDir string
+}
+
+// SubSeed derives a stable per-component seed from Options.Seed: one
+// -seed flag reproduces every randomized component of a run (workload
+// arrivals, chaos schedule, link jitter) without correlating their
+// random streams. Equal (seed, component) pairs always map to the same
+// sub-seed.
+func (o Options) SubSeed(component string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(o.Seed))
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(component))
+	return int64(h.Sum64() & (1<<63 - 1))
 }
 
 func (o Options) withDefaults() Options {
@@ -256,6 +272,7 @@ func All() []Experiment {
 		Fig2(), Fig3(), Fig4(), Fig5(), Fig6(), Fig7(),
 		Table2(), Table3(), Fig8(), FigChannels(), FigPipeline(),
 		FigCommit(), FigEndorse(), FigDissemination(), FigRecovery(),
+		FigChaos(),
 	}
 }
 

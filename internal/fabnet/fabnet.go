@@ -11,11 +11,13 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
 	"fabricsim/internal/ca"
 	"fabricsim/internal/chaincode"
+	"fabricsim/internal/chaos"
 	"fabricsim/internal/client"
 	"fabricsim/internal/costmodel"
 	"fabricsim/internal/fabcrypto"
@@ -138,6 +140,16 @@ type Config struct {
 	// instead of the in-memory emulated network. Latency/bandwidth then
 	// come from the real kernel path; used by cmd/fabricnet.
 	UseTCP bool
+	// Regions labels nodes with region names, round-robin by org index
+	// (orderers, clients, and brokers rotate through the same list).
+	// Labels feed the transport LinkSet, where a region matrix or chaos
+	// faults can act on them. Empty means one unlabeled region.
+	Regions []string
+	// WANMatrix applies a canned multi-region link matrix by name
+	// ("wan2", "wan3" — see transport.NamedMatrix) and, when Regions is
+	// empty, adopts the matrix's region list. Cross-region links then
+	// carry WAN latencies (model time in-memory, wall time on TCP).
+	WANMatrix string
 }
 
 // GossipConfig tunes the gossip dissemination layer. All durations are
@@ -363,10 +375,23 @@ type Network struct {
 	zk           *zookeeper.Ensemble
 	raftCons     []*orderer.RaftConsenter
 	cpus         []*simcpu.CPU
+	// nodeCPUs indexes each node's simulated CPU by node ID (read-only
+	// after Build; RestartPeer reuses the same CPU object, so a chaos
+	// throttle survives a peer restart like a real machine's core count
+	// would).
+	nodeCPUs map[string]*simcpu.CPU
+	// orgMembers / orgOf record peer-org membership; regions records
+	// node region labels. All read-only after Build.
+	orgMembers map[string][]string
+	orgOf      map[string]string
+	regions    map[string]string
 	// peerCfgs retains each peer's build configuration (indexed like
 	// Peers) so RestartPeer can rebuild a crashed peer from scratch.
 	peerCfgs []peer.Config
 	started  bool
+
+	chaosOnce sync.Once
+	chaosCtl  *chaos.Controller
 }
 
 // gossipMetrics adapts the metrics collector to the gossip.Observer
@@ -391,8 +416,12 @@ func Build(cfg Config) (*Network, error) {
 	model := cfg.Model
 
 	n := &Network{
-		Cfg: cfg,
-		CAs: make(map[string]*ca.CA),
+		Cfg:        cfg,
+		CAs:        make(map[string]*ca.CA),
+		nodeCPUs:   make(map[string]*simcpu.CPU),
+		orgMembers: make(map[string][]string),
+		orgOf:      make(map[string]string),
+		regions:    make(map[string]string),
 	}
 	if cfg.UseTCP {
 		registerWireTypes()
@@ -409,6 +438,17 @@ func Build(cfg Config) (*Network, error) {
 		n.register = func(id string) (transport.Endpoint, error) {
 			return n.Transport.Register(id)
 		}
+	}
+	if cfg.WANMatrix != "" {
+		matrix, regions, ok := transport.NamedMatrix(cfg.WANMatrix)
+		if !ok {
+			return nil, fmt.Errorf("fabnet: unknown WAN matrix %q", cfg.WANMatrix)
+		}
+		if len(cfg.Regions) == 0 {
+			cfg.Regions = regions
+			n.Cfg.Regions = regions
+		}
+		n.Links().SetRegionProps(matrix)
 	}
 
 	// --- Identity plane: one CA per org plus orderer and client orgs ---
@@ -444,10 +484,21 @@ func Build(cfg Config) (*Network, error) {
 	channelIDs := cfg.channelIDs()
 	channelPols := cfg.channelPolicies()
 
-	newCPU := func(cores int) *simcpu.CPU {
+	newCPU := func(id string, cores int) *simcpu.CPU {
 		c := simcpu.New(cores, model.TimeScale)
 		n.cpus = append(n.cpus, c)
+		n.nodeCPUs[id] = c
 		return c
+	}
+	// assignRegion labels a node with the idx-th configured region
+	// (round-robin) on both the bookkeeping map and the link matrix.
+	assignRegion := func(id string, idx int) {
+		if len(cfg.Regions) == 0 {
+			return
+		}
+		region := cfg.Regions[idx%len(cfg.Regions)]
+		n.regions[id] = region
+		n.Links().SetRegion(id, region)
 	}
 
 	// --- Ordering service ---
@@ -459,6 +510,7 @@ func Build(cfg Config) (*Network, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fabnet: %w", err)
 		}
+		assignRegion(id, i-1)
 		ordererIDs = append(ordererIDs, id)
 		ordererEPs = append(ordererEPs, ep)
 	}
@@ -478,7 +530,7 @@ func Build(cfg Config) (*Network, error) {
 				BatchTimeout: cfg.BatchTimeout,
 			},
 			Model:    model,
-			CPU:      newCPU(model.OrdererCores),
+			CPU:      newCPU(ordererIDs[i], model.OrdererCores),
 			Channels: channelIDs,
 		}
 		if i == 0 {
@@ -529,6 +581,7 @@ func Build(cfg Config) (*Network, error) {
 	peersByPrincipal := make(map[string][]string)
 	type peerSpec struct {
 		org       string
+		orgIdx    int // region round-robin index (all org replicas co-locate)
 		nodeID    string
 		endorsing bool
 		cores     int
@@ -544,6 +597,7 @@ func Build(cfg Config) (*Network, error) {
 			}
 			specs = append(specs, peerSpec{
 				org:       fmt.Sprintf("Org%d", i),
+				orgIdx:    i - 1,
 				nodeID:    nodeID,
 				endorsing: true,
 				cores:     model.PeerCores,
@@ -553,6 +607,7 @@ func Build(cfg Config) (*Network, error) {
 	for j := 1; j <= cfg.NumCommitOnlyPeers; j++ {
 		specs = append(specs, peerSpec{
 			org:    fmt.Sprintf("CommitOrg%d", j),
+			orgIdx: cfg.NumEndorsingPeers + j - 1,
 			nodeID: fmt.Sprintf("vpeer%d", j),
 			cores:  model.PeerCores,
 		})
@@ -574,6 +629,8 @@ func Build(cfg Config) (*Network, error) {
 	for _, spec := range specs {
 		orgMembers[spec.org] = append(orgMembers[spec.org], spec.nodeID)
 		allPeerIDs = append(allPeerIDs, spec.nodeID)
+		n.orgMembers[spec.org] = append(n.orgMembers[spec.org], spec.nodeID)
+		n.orgOf[spec.nodeID] = spec.org
 	}
 	for idx, spec := range specs {
 		enrollment, err := n.CAs[spec.org].Enroll("peer0", ca.RolePeer)
@@ -586,6 +643,7 @@ func Build(cfg Config) (*Network, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fabnet: %w", err)
 		}
+		assignRegion(spec.nodeID, spec.orgIdx)
 		pcfg := peer.Config{
 			ID:           spec.nodeID,
 			Endpoint:     ep,
@@ -594,7 +652,7 @@ func Build(cfg Config) (*Network, error) {
 			Registry:     registry,
 			Policy:       cfg.Policy,
 			Model:        model,
-			CPU:          newCPU(spec.cores),
+			CPU:          newCPU(spec.nodeID, spec.cores),
 			Endorsing:    spec.endorsing,
 			OrdererID:    ordererIDs[idx%len(ordererIDs)],
 			VerifyCrypto: cfg.VerifyCrypto,
@@ -688,6 +746,7 @@ func Build(cfg Config) (*Network, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fabnet: %w", err)
 		}
+		assignRegion(nodeID, i-1)
 		eventPeer := n.Peers[(i-1)%len(n.Peers)].ID()
 		// Each client process is one gateway — the staged-API connection
 		// owning proposal signing, endorsement fan-out, broadcast, and
@@ -697,7 +756,7 @@ func Build(cfg Config) (*Network, error) {
 			Endpoint:         ep,
 			Identity:         msp.NewSigningIdentity(enrollment),
 			Model:            model,
-			CPU:              newCPU(model.ClientCores),
+			CPU:              newCPU(nodeID, model.ClientCores),
 			Orderers:         ordererIDs,
 			EventPeer:        eventPeer,
 			Policy:           cfg.Policy,
@@ -733,6 +792,11 @@ func (n *Network) buildKafka(ordererIDs []string, ordererEPs []transport.Endpoin
 		ep, err := n.register(id)
 		if err != nil {
 			return fmt.Errorf("fabnet: %w", err)
+		}
+		if len(n.Cfg.Regions) > 0 {
+			region := n.Cfg.Regions[(i-1)%len(n.Cfg.Regions)]
+			n.regions[id] = region
+			n.Links().SetRegion(id, region)
 		}
 		brokerIDs = append(brokerIDs, id)
 		brokerEPs[id] = ep
@@ -842,6 +906,103 @@ func (n *Network) ChannelIDs() []string {
 
 // KafkaCluster exposes the Kafka substrate (failover tests).
 func (n *Network) KafkaCluster() *kafka.Cluster { return n.kafkaCluster }
+
+// Links returns the runtime link-property matrix of whichever transport
+// the network runs on (model time in-memory, wall time on TCP).
+func (n *Network) Links() *transport.LinkSet {
+	if n.Transport != nil {
+		return n.Transport.Links()
+	}
+	return n.TCPNet.Links()
+}
+
+// Region returns a node's region label ("" when Regions is unset).
+func (n *Network) Region(id string) string { return n.regions[id] }
+
+// SetNodeDown freezes or unfreezes a node. On the in-memory transport
+// this marks the process crashed (sends to and from it error, so
+// failure detectors fire fast); on TCP it isolates the node's links
+// (frames silently drop, like a yanked cable).
+func (n *Network) SetNodeDown(id string, down bool) {
+	if n.Transport != nil {
+		n.Transport.SetNodeDown(id, down)
+		return
+	}
+	n.TCPNet.Links().Isolate(id, down)
+}
+
+// ThrottleCPU pins a node's simulated CPU to the given core count and
+// returns the previous count. The throttle survives a peer restart
+// (RestartPeer reuses the CPU object), like a real machine's cores.
+func (n *Network) ThrottleCPU(id string, cores int) (int, error) {
+	cpu, ok := n.nodeCPUs[id]
+	if !ok {
+		return 0, fmt.Errorf("fabnet: no CPU for node %q", id)
+	}
+	return cpu.SetCores(cores), nil
+}
+
+// Chaos returns the network's chaos controller, created on first use.
+func (n *Network) Chaos() *chaos.Controller {
+	n.chaosOnce.Do(func() {
+		n.chaosCtl = chaos.New(chaosCluster{n})
+	})
+	return n.chaosCtl
+}
+
+// chaosCluster adapts Network to chaos.Cluster. Membership accessors
+// return sorted copies so seeded schedules are deterministic.
+type chaosCluster struct{ n *Network }
+
+func (c chaosCluster) Peers() []string {
+	ids := make([]string, 0, len(c.n.Peers))
+	for _, p := range c.n.Peers {
+		ids = append(ids, p.ID())
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func (c chaosCluster) Orderers() []string {
+	ids := make([]string, 0, len(c.n.Orderers))
+	for _, o := range c.n.Orderers {
+		ids = append(ids, o.ID())
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func (c chaosCluster) Orgs() []string {
+	orgs := make([]string, 0, len(c.n.orgMembers))
+	for org := range c.n.orgMembers {
+		orgs = append(orgs, org)
+	}
+	sort.Strings(orgs)
+	return orgs
+}
+
+func (c chaosCluster) OrgOf(node string) string { return c.n.orgOf[node] }
+
+func (c chaosCluster) OrgPeers(org string) []string {
+	ids := append([]string(nil), c.n.orgMembers[org]...)
+	sort.Strings(ids)
+	return ids
+}
+
+func (c chaosCluster) Region(node string) string { return c.n.Region(node) }
+
+func (c chaosCluster) Links() *transport.LinkSet { return c.n.Links() }
+
+func (c chaosCluster) SetNodeDown(id string, down bool) { c.n.SetNodeDown(id, down) }
+
+func (c chaosCluster) RestartPeer(ctx context.Context, id string) error {
+	_, err := c.n.RestartPeer(ctx, id)
+	return err
+}
+
+func (c chaosCluster) ThrottleCPU(id string, cores int) (int, error) {
+	return c.n.ThrottleCPU(id, cores)
+}
 
 // OrdererEgress sums the deliver/catch-up egress of every OSN: how many
 // blocks (and bytes) the ordering service pushed or served to peers.

@@ -380,6 +380,11 @@ type SummaryOptions struct {
 	// transactions (the paper's 3s ordering timeout); zero excludes
 	// rejected transactions from latency statistics.
 	RejectLatency time.Duration
+	// WindowStart/WindowEnd, when both set, replace the trim-based
+	// steady-state window with an explicit wall-clock interval. The
+	// chaos soak uses this to attribute throughput and commit lag to
+	// individual fault windows.
+	WindowStart, WindowEnd time.Time
 }
 
 // Summarize reduces the collected records.
@@ -419,6 +424,10 @@ func (c *Collector) Summarize(opts SummaryOptions) Summary {
 	if window <= 0 {
 		window = span
 		wStart, wEnd = first, last
+	}
+	if !opts.WindowStart.IsZero() && !opts.WindowEnd.IsZero() && opts.WindowEnd.After(opts.WindowStart) {
+		wStart, wEnd = opts.WindowStart, opts.WindowEnd
+		window = wEnd.Sub(wStart)
 	}
 	modelWindow := time.Duration(float64(window) / opts.TimeScale)
 	if modelWindow <= 0 {

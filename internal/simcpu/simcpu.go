@@ -16,6 +16,7 @@ package simcpu
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,7 +56,37 @@ func New(cores int, scale float64) *CPU {
 }
 
 // Cores returns the core count.
-func (c *CPU) Cores() int { return len(c.busyUntil) }
+func (c *CPU) Cores() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.busyUntil)
+}
+
+// SetCores resizes the core pool at runtime (chaos CPU throttling) and
+// returns the previous count. Growing adds immediately-idle cores.
+// Shrinking keeps the busiest reservations, so work already queued still
+// serializes behind them — in-flight Execute sleeps are unaffected (a
+// real machine would also finish instructions already issued).
+func (c *CPU) SetCores(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := len(c.busyUntil)
+	if n == prev {
+		return prev
+	}
+	next := make([]time.Time, n)
+	copy(next, c.busyUntil)
+	if n < prev {
+		sorted := append([]time.Time(nil), c.busyUntil...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].After(sorted[j]) })
+		copy(next, sorted[:n])
+	}
+	c.busyUntil = next
+	return prev
+}
 
 // Scale returns the time-scale factor.
 func (c *CPU) Scale() float64 { return c.scale }
@@ -145,5 +176,5 @@ func (c *CPU) Utilization(elapsed time.Duration) float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	return float64(c.busyNanos.Load()) / (float64(elapsed) * float64(len(c.busyUntil)))
+	return float64(c.busyNanos.Load()) / (float64(elapsed) * float64(c.Cores()))
 }

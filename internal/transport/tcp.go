@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // RegisterWireType registers a payload type for TCP (gob) transport.
@@ -34,12 +35,25 @@ type TCPNetwork struct {
 	mu    sync.Mutex
 	addrs map[string]string
 	nodes []*TCPEndpoint
+
+	// links carries the runtime link-property matrix. Unlike the
+	// in-memory network there is no time scale: latency and jitter are
+	// wall-clock delays injected before the write, and losses/cuts
+	// silently discard the frame before it hits the socket.
+	links *LinkSet
 }
 
 // NewTCPNetwork creates an empty registry.
 func NewTCPNetwork() *TCPNetwork {
-	return &TCPNetwork{addrs: make(map[string]string)}
+	return &TCPNetwork{
+		addrs: make(map[string]string),
+		links: NewLinkSet(LinkProps{}),
+	}
 }
+
+// Links returns the registry's runtime link-property matrix. Values are
+// wall-clock time.
+func (n *TCPNetwork) Links() *LinkSet { return n.links }
 
 // Register creates an endpoint listening on a loopback port and records
 // its address in the registry.
@@ -251,6 +265,37 @@ func (e *TCPEndpoint) untrackSocket(c net.Conn) {
 // by node ID (readLoop's e.write(msg.From, ...)) would be silently
 // lost across a peer restart and the caller's Call would hang.
 func (e *TCPEndpoint) write(to string, msg wireMessage) error {
+	// Consult the link matrix first. One-way frames on a cut or lossy
+	// link are eaten silently, exactly like a lossy wire. Call frames
+	// instead fail fast on a severed link (the connection reset a real
+	// RPC sees) and pay an RTO-sized delay on a loss roll, so no
+	// caller is ever stranded. Latency/jitter delay the sender inline;
+	// wall-clock, TCP has no time scale.
+	if e.reg != nil && e.reg.links != nil {
+		if e.reg.links.Severed(e.id, to) {
+			switch {
+			case msg.IsReply:
+				// Cut after the request got through: turn the reply
+				// into the reset notification the caller would see.
+				msg = wireMessage{From: e.id, Kind: msg.Kind, Corr: msg.Corr, IsReply: true, ErrText: ErrLinkDown.Error()}
+			case msg.Corr != 0:
+				return fmt.Errorf("%w: %s -> %s", ErrLinkDown, e.id, to)
+			default:
+				return nil
+			}
+		} else {
+			delay, lost := e.reg.links.Sample(e.id, to)
+			if lost {
+				if msg.Corr == 0 {
+					return nil
+				}
+				delay += RetransmitDelay
+			}
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+		}
+	}
 	if err := e.writeOnce(to, msg); err == nil || e.closed.Load() {
 		return err
 	}

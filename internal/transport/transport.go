@@ -20,6 +20,7 @@ var (
 	ErrUnknownNode = errors.New("transport: unknown node")
 	ErrClosed      = errors.New("transport: closed")
 	ErrNodeDown    = errors.New("transport: node down")
+	ErrLinkDown    = errors.New("transport: link down")
 	ErrNoHandler   = errors.New("transport: no handler for message kind")
 )
 
@@ -54,6 +55,10 @@ type message struct {
 	payload  any
 	size     int
 	errText  string
+	// latency is this message's sampled one-way propagation latency
+	// (modeled time), resolved from the LinkSet at send time so a link
+	// change mid-flight never affects already-departed messages.
+	latency time.Duration
 }
 
 // Config parameterizes the emulated network.
@@ -79,6 +84,11 @@ type Network struct {
 	down  map[string]bool
 	links map[string]*link // "src->dst"
 
+	// linkset holds the per-directed-link property matrix (latency,
+	// jitter, loss, partitions). It seeds from Config.Latency and is
+	// mutable at runtime.
+	linkset *LinkSet
+
 	closed atomic.Bool
 	done   chan struct{}
 	wg     sync.WaitGroup
@@ -93,13 +103,18 @@ func NewNetwork(cfg Config) *Network {
 		cfg.TimeScale = 1
 	}
 	return &Network{
-		cfg:   cfg,
-		nodes: make(map[string]*MemEndpoint),
-		down:  make(map[string]bool),
-		links: make(map[string]*link),
-		done:  make(chan struct{}),
+		cfg:     cfg,
+		nodes:   make(map[string]*MemEndpoint),
+		down:    make(map[string]bool),
+		links:   make(map[string]*link),
+		linkset: NewLinkSet(LinkProps{Latency: cfg.Latency}),
+		done:    make(chan struct{}),
 	}
 }
+
+// Links returns the network's runtime link-property matrix. Values are
+// modeled time (scaled by Config.TimeScale on delivery).
+func (n *Network) Links() *LinkSet { return n.linkset }
 
 // link serializes messages of one directed link in FIFO order with the
 // configured latency and bandwidth.
@@ -204,6 +219,28 @@ func (n *Network) deliver(msg message) error {
 	l, ok := n.links[key]
 	n.mu.RUnlock()
 
+	// Resolve this message's link fate now. Call frames (corr != 0)
+	// ride a retransmitting stream: a severed link fails them fast
+	// (the connection reset a real RPC would see — callers already
+	// handle the identical ErrNodeDown path), and a loss roll surfaces
+	// as an RTO-sized latency spike rather than a hung call. Only
+	// one-way sends are eaten silently by the wire; those paths
+	// (gossip pushes, event streams) are built to tolerate loss.
+	if n.linkset.Severed(msg.from, msg.to) {
+		if msg.corr != 0 {
+			return fmt.Errorf("%w: %s -> %s", ErrLinkDown, msg.from, msg.to)
+		}
+		return nil
+	}
+	delay, lost := n.linkset.Sample(msg.from, msg.to)
+	if lost {
+		if msg.corr == 0 {
+			return nil
+		}
+		delay += RetransmitDelay
+	}
+	msg.latency = delay
+
 	if !ok {
 		n.mu.Lock()
 		l, ok = n.links[key]
@@ -257,7 +294,7 @@ func (n *Network) pumpLink(l *link) {
 			transmission = time.Duration(float64(msg.size) / n.cfg.Bandwidth * float64(time.Second) * n.cfg.TimeScale)
 		}
 		busyUntil = start.Add(transmission)
-		deliverAt := busyUntil.Add(time.Duration(float64(n.cfg.Latency) * n.cfg.TimeScale))
+		deliverAt := busyUntil.Add(time.Duration(float64(msg.latency) * n.cfg.TimeScale))
 		if sleep := time.Until(deliverAt); sleep > 0 {
 			time.Sleep(sleep)
 		}
@@ -268,12 +305,50 @@ func (n *Network) pumpLink(l *link) {
 		downNow := n.down[msg.to] || n.down[msg.from]
 		dst := n.nodes[msg.to]
 		n.mu.RUnlock()
-		if downNow || dst == nil {
-			continue // dropped on the floor, like a real crash
+		if downNow || dst == nil || n.linkset.Severed(msg.from, msg.to) {
+			// Dropped on the floor like a real crash or cut wire —
+			// but a call frame must not strand its caller forever.
+			n.failCall(msg)
+			continue
 		}
 		select {
 		case dst.inbox <- msg:
+			if dst.ctx.Err() != nil {
+				// The endpoint closed around the push and its exit
+				// drain may already have run: sweep the stragglers.
+				dst.drainInbox()
+			}
 		case <-dst.ctx.Done():
+			n.failCall(msg) // endpoint died (restart) with the frame at its door
+		}
+	}
+}
+
+// failCall completes the pending Call attached to a dropped call frame
+// with ErrLinkDown, bypassing the (dead) link — the fail-fast a real
+// RPC client gets from a connection reset or deadline. One-way frames
+// are ignored.
+func (n *Network) failCall(msg message) {
+	if msg.corr == 0 {
+		return
+	}
+	waiter := msg.from // a dropped request strands its sender ...
+	if msg.isReply {
+		waiter = msg.to // ... a dropped reply strands its receiver
+	}
+	n.mu.RLock()
+	ep := n.nodes[waiter]
+	n.mu.RUnlock()
+	if ep == nil {
+		return
+	}
+	ep.pendingMu.Lock()
+	ch, ok := ep.pending[msg.corr]
+	ep.pendingMu.Unlock()
+	if ok {
+		select {
+		case ch <- message{corr: msg.corr, isReply: true, errText: ErrLinkDown.Error()}:
+		default:
 		}
 	}
 }
@@ -376,6 +451,7 @@ func (e *MemEndpoint) dispatchLoop() {
 	for {
 		select {
 		case <-e.ctx.Done():
+			e.drainInbox()
 			return
 		case msg := <-e.inbox:
 			if msg.isReply {
@@ -402,6 +478,8 @@ func (e *MemEndpoint) dispatchLoop() {
 			e.closeMu.Lock()
 			if e.closed.Load() {
 				e.closeMu.Unlock()
+				e.net.failCall(msg)
+				e.drainInbox()
 				return
 			}
 			e.hwg.Add(1)
@@ -413,6 +491,20 @@ func (e *MemEndpoint) dispatchLoop() {
 					e.reply(msg, resp, respSize, err)
 				}
 			}(msg)
+		}
+	}
+}
+
+// drainInbox fails the callers of any call frames still queued when the
+// endpoint closes: the process died with requests and replies in its
+// receive buffer, and those callers must not hang forever.
+func (e *MemEndpoint) drainInbox() {
+	for {
+		select {
+		case msg := <-e.inbox:
+			e.net.failCall(msg)
+		default:
+			return
 		}
 	}
 }
@@ -430,5 +522,11 @@ func (e *MemEndpoint) reply(req message, payload any, size int, err error) {
 	if err != nil {
 		reply.errText = err.Error()
 	}
-	_ = e.net.deliver(reply) // reply to a crashed node is legitimately lost
+	if derr := e.net.deliver(reply); derr != nil {
+		// The reply could not leave this node (crashed flag, severed
+		// link, congestion): fail the waiting caller instead of
+		// stranding it — the error a real RPC client sees when its
+		// server's connection resets mid-call.
+		e.net.failCall(reply)
+	}
 }
