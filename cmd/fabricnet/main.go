@@ -10,6 +10,7 @@
 //	fabricnet -open-loop=false -inflight 32            # windowed pipeline
 //	fabricnet -committers 4 -commit-depth 2            # staged committer
 //	fabricnet -gossip -endorsers-per-org 4             # gossip dissemination
+//	fabricnet -reorder -retries 3 -keyspace 2 -fn readwrite  # conflict-aware ordering
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"fabricsim/internal/costmodel"
 	"fabricsim/internal/fabnet"
+	"fabricsim/internal/gateway"
 	"fabricsim/internal/metrics"
 	"fabricsim/internal/policy"
 	"fabricsim/internal/workload"
@@ -53,6 +55,10 @@ func run() int {
 		storage     = flag.String("storage", "mem", "ledger storage backend: mem | file")
 		datadir     = flag.String("datadir", "", "root directory for file-backed ledgers (empty = a fresh temp dir)")
 		ckptEvery   = flag.Uint64("checkpoint-interval", 0, "file-backend checkpoint cadence in blocks (0 = ledger default)")
+		reorder     = flag.Bool("reorder", false, "conflict-aware ordering: reorder each block to minimize MVCC conflicts and early-abort read-write cycles")
+		retries     = flag.Int("retries", 0, "gateway conflict-retry attempts (0/1 = disabled; retried txs re-endorse with backoff)")
+		keyspace    = flag.Int("keyspace", 0, "confine writes to this many hot keys (0 = fresh key per tx)")
+		fn          = flag.String("fn", "", "chaincode function (e.g. readwrite for contended RMW; empty = blind write)")
 	)
 	flag.Parse()
 
@@ -79,6 +85,10 @@ func run() int {
 			Dir:                *datadir,
 			CheckpointInterval: *ckptEvery,
 		},
+		Reorder: *reorder,
+	}
+	if *retries > 1 {
+		cfg.Retry = gateway.RetryConfig{MaxAttempts: *retries, Jitter: 0.2, Seed: 1}
 	}
 	if *storage == "file" && *datadir == "" {
 		dir, err := os.MkdirTemp("", "fabricnet-ledger-")
@@ -124,6 +134,8 @@ func run() int {
 		Model:       model,
 		Seed:        1,
 		MaxInFlight: *inflight,
+		KeySpace:    *keyspace,
+		Fn:          *fn,
 	}
 	if !*openLoop {
 		wcfg.Mode = workload.Pipeline
@@ -154,6 +166,11 @@ func run() int {
 	fmt.Printf("latency: avg=%.3fs p95=%.3fs   block time: %.3fs (avg %0.1f tx/block)\n",
 		sum.TotalLatency.Avg.Seconds(), sum.TotalLatency.P95.Seconds(),
 		sum.BlockTime.Seconds(), sum.AvgBlockSize)
+	if sum.MVCCAborts > 0 || sum.EarlyAborts > 0 {
+		fmt.Printf("conflicts: abort-rate=%.2f mvcc=%d early=%d wasted-validate=%s\n",
+			sum.AbortRate, sum.MVCCAborts, sum.EarlyAborts,
+			sum.WastedValidateCPU.Round(time.Millisecond))
+	}
 	egressBlocks, egressBytes := net.OrdererEgress()
 	fmt.Printf("orderer egress: %d blocks, %.2f MB\n", egressBlocks, float64(egressBytes)/(1<<20))
 	if *gossipOn {

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"fabricsim/internal/fabnet"
+	"fabricsim/internal/policy"
+	"fabricsim/internal/workload"
+)
+
+// Contention-sweep configuration: the commit sweep's topology (4
+// endorsing peers, OR policy, deeply-windowed clients) pushed onto
+// contended key spaces, so the committer's conflict handling — not the
+// clients or the orderer — decides throughput. Two sections:
+//
+//  1. The single-hot-key blind-write workload that pins the staged
+//     committer to its serial plateau (~300 tps): every transaction of
+//     a block shares one key-overlap conflict group, so the pool
+//     serializes. Conflict-aware ordering re-analyzes the same blocks
+//     with true read->write dependencies; blind writes have no reads,
+//     the block becomes N singleton chains, and the pool fans out
+//     again. Reorder off must reproduce the plateau; reorder on must
+//     beat it.
+//  2. A SmallBank hot-account mix under Zipfian skew, crossed with
+//     conflict-aware ordering and the gateway retry loop — the paper's
+//     missing contention axis: committed tps, abort rate, and the
+//     validate CPU burned on doomed transactions.
+const (
+	contentionPeers   = 4
+	contentionClients = 16
+	contentionWindow  = 32
+	contentionPool    = 4
+	contentionDepth   = 4
+	// contentionHotKeys pins the blind-write section to one key — the
+	// commit sweep's high-conflict plateau point.
+	contentionHotKeys = 1
+	// contentionAccounts bounds the SmallBank section's account pool so
+	// the Zipf draw concentrates real read-modify-write collisions.
+	contentionAccounts = 16
+)
+
+// contentionZipfS is the Zipf-exponent sweep for the SmallBank section
+// (trimmed to the mid skew in quick mode).
+func contentionZipfS(quick bool) []float64 {
+	if quick {
+		return []float64{1.5}
+	}
+	return []float64{1.2, 1.5, 2.0}
+}
+
+// ContentionPoint is one machine-readable contention-sweep measurement
+// (BENCH_contention.json rows).
+type ContentionPoint struct {
+	Workload              string  `json:"workload"`
+	ZipfS                 float64 `json:"zipf_s,omitempty"`
+	Reorder               bool    `json:"reorder"`
+	Retry                 bool    `json:"retry"`
+	ThroughputTPS         float64 `json:"throughput_tps"`
+	AbortRate             float64 `json:"abort_rate"`
+	MVCCAborts            int     `json:"mvcc_aborts"`
+	EarlyAborts           int     `json:"early_aborts"`
+	WastedValidateSeconds float64 `json:"wasted_validate_s"`
+	// ClientSuccessRate is the client-visible fraction of submissions
+	// that ultimately committed — the axis retry moves: it converts
+	// conflict failures into eventual commits at the cost of extra
+	// endorsement load.
+	ClientSuccessRate float64 `json:"client_success_rate"`
+}
+
+// FigContention measures committed throughput, abort rate, and wasted
+// validate CPU on contended workloads as conflict-aware ordering and
+// gateway retry toggle. The hot-key blind-write rows bracket the staged
+// committer's serial plateau: with reorder off the single conflict
+// group serializes the pool, with reorder on the dependency-chain
+// analysis restores the fan-out. The SmallBank rows sweep Zipf skew x
+// reorder x retry and expose the early-abort saving: doomed
+// transactions leave the pipeline before validation instead of burning
+// MVCC-check CPU, and retry converts their aborts back into commits.
+func FigContention() Experiment {
+	return Experiment{
+		ID:    "contention",
+		Title: "Contention sweep: Throughput vs. Zipf Skew x Reorder x Retry",
+		Run: func(ctx context.Context, opt Options, w io.Writer) error {
+			header(w, "Contention sweep — Throughput, Abort Rate, Wasted Validate CPU")
+			fprintf(w, "(orderer=solo, peers=%d, clients=%d, window=%d, committers=%d, depth=%d, policy=OR)\n",
+				contentionPeers, contentionClients, contentionWindow, contentionPool, contentionDepth)
+			var points []ContentionPoint
+			run := func(label string, reorder, retry bool, zipfS float64, profile, fn string, keySpace int) (ContentionPoint, error) {
+				p, err := RunPoint(ctx, PointConfig{
+					Orderer:     fabnet.Solo,
+					OSNs:        1,
+					Peers:       contentionPeers,
+					Clients:     contentionClients,
+					Policy:      policy.OrOverPeers(contentionPeers),
+					PolicyLabel: "OR",
+					Window:      contentionWindow,
+					Committers:  contentionPool,
+					Depth:       contentionDepth,
+					KeySpace:    keySpace,
+					Reorder:     reorder,
+					Retry:       retry,
+					Fn:          fn,
+					ZipfS:       zipfS,
+					Profile:     profile,
+				}, opt)
+				if err != nil {
+					return ContentionPoint{}, err
+				}
+				cp := ContentionPoint{
+					Workload:              label,
+					ZipfS:                 zipfS,
+					Reorder:               reorder,
+					Retry:                 retry,
+					ThroughputTPS:         p.Summary.ValidateTPS,
+					AbortRate:             p.Summary.AbortRate,
+					MVCCAborts:            p.Summary.MVCCAborts,
+					EarlyAborts:           p.Summary.EarlyAborts,
+					WastedValidateSeconds: p.Summary.WastedValidateCPU.Seconds(),
+				}
+				if done := p.Stats.Succeeded + p.Stats.Failed; done > 0 {
+					cp.ClientSuccessRate = float64(p.Stats.Succeeded) / float64(done)
+				}
+				points = append(points, cp)
+				return cp, nil
+			}
+			onOff := func(b bool) string {
+				if b {
+					return "on"
+				}
+				return "off"
+			}
+			row := func(cp ContentionPoint) {
+				fprintf(w, "%-10s %-6s %-6s %-6.1f %12.1f %10.3f %8d %8d %10.2f %9.3f\n",
+					cp.Workload, onOff(cp.Reorder), onOff(cp.Retry), cp.ZipfS,
+					cp.ThroughputTPS, cp.AbortRate, cp.MVCCAborts, cp.EarlyAborts,
+					cp.WastedValidateSeconds, cp.ClientSuccessRate)
+			}
+			head := func() {
+				fprintf(w, "%-10s %-6s %-6s %-6s %12s %10s %8s %8s %10s %9s\n",
+					"workload", "reord", "retry", "zipf", "throughput", "abort", "mvcc", "early", "wasted(s)", "cli-ok")
+			}
+
+			fprintf(w, "\n-- hot-key blind writes (keyspace=%d): the serial plateau and its escape --\n", contentionHotKeys)
+			head()
+			for _, reorder := range []bool{false, true} {
+				cp, err := run("hot1", reorder, false, 0, "", "", contentionHotKeys)
+				if err != nil {
+					return err
+				}
+				row(cp)
+			}
+
+			fprintf(w, "\n-- SmallBank hot accounts (keyspace=%d, Zipf draw): reorder x retry --\n", contentionAccounts)
+			head()
+			for _, s := range contentionZipfS(opt.Quick) {
+				for _, reorder := range []bool{false, true} {
+					for _, retry := range []bool{false, true} {
+						cp, err := run("smallbank", reorder, retry, s,
+							workload.ProfileSmallBank, "", contentionAccounts)
+						if err != nil {
+							return err
+						}
+						row(cp)
+					}
+				}
+			}
+
+			if opt.JSONDir != "" {
+				path := filepath.Join(opt.JSONDir, "BENCH_contention.json")
+				raw, err := json.MarshalIndent(points, "", "  ")
+				if err != nil {
+					return fmt.Errorf("bench: marshal contention points: %w", err)
+				}
+				if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+					return fmt.Errorf("bench: write %s: %w", path, err)
+				}
+				fprintf(w, "\n[machine-readable points written to %s]\n", path)
+			}
+			return nil
+		},
+	}
+}

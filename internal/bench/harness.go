@@ -17,6 +17,7 @@ import (
 
 	"fabricsim/internal/costmodel"
 	"fabricsim/internal/fabnet"
+	"fabricsim/internal/gateway"
 	"fabricsim/internal/metrics"
 	"fabricsim/internal/policy"
 	"fabricsim/internal/workload"
@@ -139,6 +140,22 @@ type PointConfig struct {
 	Gossip bool
 	// GossipFanout overrides the push fanout when positive.
 	GossipFanout int
+	// Reorder enables Fabric++-style conflict-aware ordering: OSNs
+	// reorder each cut batch, early-abort read-write cycles, and
+	// committers fan state application across true dependency chains.
+	Reorder bool
+	// Retry turns on the gateways' bounded conflict-retry loop (3
+	// attempts, exponential backoff seeded from Options.Seed).
+	Retry bool
+	// Fn overrides the invoked chaincode function ("" keeps the blind
+	// "write" default; "readwrite" produces RMW conflicts).
+	Fn string
+	// ZipfS skews key popularity with a Zipf(s) draw when > 1
+	// (0 keeps the uniform draw).
+	ZipfS float64
+	// Profile selects a canned workload profile
+	// (workload.ProfileSmallBank); "" keeps the KV put/get load.
+	Profile string
 }
 
 // RunPoint builds the network, applies the load, and reduces metrics.
@@ -169,6 +186,15 @@ func RunPoint(ctx context.Context, pc PointConfig, opt Options) (Point, error) {
 			Enabled: pc.Gossip,
 			Fanout:  pc.GossipFanout,
 		},
+		Reorder: pc.Reorder,
+	}
+	if pc.Retry {
+		cfg.Retry = gateway.RetryConfig{
+			MaxAttempts:    3,
+			InitialBackoff: 20 * time.Millisecond,
+			Jitter:         0.2,
+			Seed:           opt.SubSeed("retry"),
+		}
 	}
 	cfg.Channels = fabnet.NumberedChannels(pc.Channels)
 	net, err := fabnet.Build(cfg)
@@ -186,6 +212,9 @@ func RunPoint(ctx context.Context, pc PointConfig, opt Options) (Point, error) {
 		Model:    model,
 		Seed:     opt.Seed,
 		KeySpace: pc.KeySpace,
+		Fn:       pc.Fn,
+		ZipfS:    pc.ZipfS,
+		Profile:  pc.Profile,
 	}
 	if pc.Window > 0 {
 		wcfg.Mode = workload.Pipeline
@@ -272,7 +301,7 @@ func All() []Experiment {
 		Fig2(), Fig3(), Fig4(), Fig5(), Fig6(), Fig7(),
 		Table2(), Table3(), Fig8(), FigChannels(), FigPipeline(),
 		FigCommit(), FigEndorse(), FigDissemination(), FigRecovery(),
-		FigChaos(),
+		FigChaos(), FigContention(),
 	}
 }
 

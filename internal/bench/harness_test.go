@@ -12,7 +12,7 @@ import (
 )
 
 func TestGetAndAll(t *testing.T) {
-	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table2", "table3", "fig8", "channels", "pipeline", "commit", "endorse", "dissemination", "recovery", "chaos"}
+	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table2", "table3", "fig8", "channels", "pipeline", "commit", "endorse", "dissemination", "recovery", "chaos", "contention"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() = %d experiments", len(all))

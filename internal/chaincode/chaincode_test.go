@@ -181,6 +181,64 @@ func TestMoneyTransferInsufficientFunds(t *testing.T) {
 	}
 }
 
+func TestSmallBankLazyAccountsAndOps(t *testing.T) {
+	db := statedb.New()
+	cc := NewSmallBank("smallbank")
+	sim := NewSimulator("t0", "smallbank", db)
+
+	// Missing accounts materialize at DefaultBalance: a fresh query
+	// reads savings + checking.
+	out, err := cc.Invoke(sim, "query", [][]byte{[]byte("a1")})
+	if err != nil || string(out) != "20000" {
+		t.Fatalf("query fresh = %s err=%v", out, err)
+	}
+	if _, err := cc.Invoke(sim, "deposit", [][]byte{[]byte("a1"), []byte("10")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Invoke(sim, "transact", [][]byte{[]byte("a1"), []byte("5")}); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = cc.Invoke(sim, "query", [][]byte{[]byte("a1")})
+	if string(out) != "20015" {
+		t.Errorf("after deposit+transact = %s", out)
+	}
+	if _, err := cc.Invoke(sim, "sendpayment", [][]byte{[]byte("a1"), []byte("a2"), []byte("100")}); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = cc.Invoke(sim, "query", [][]byte{[]byte("a2")})
+	if string(out) != "20100" {
+		t.Errorf("a2 after payment = %s", out)
+	}
+	if _, err := cc.Invoke(sim, "amalgamate", [][]byte{[]byte("a1"), []byte("a2")}); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = cc.Invoke(sim, "query", [][]byte{[]byte("a1")})
+	if string(out) != "0" {
+		t.Errorf("a1 after amalgamate = %s", out)
+	}
+	if _, err := cc.Invoke(sim, "sendpayment", [][]byte{[]byte("a1"), []byte("a2"), []byte("1")}); !errors.Is(err, ErrInsufficientFunds) {
+		t.Errorf("drained account payment: %v", err)
+	}
+	if _, err := cc.Invoke(sim, "nope", nil); !errors.Is(err, ErrUnknownFunction) {
+		t.Errorf("unknown fn: %v", err)
+	}
+}
+
+func TestSmallBankRMWGeneratesConflictableRWSet(t *testing.T) {
+	// Every deposit is a read-modify-write: under contention these are
+	// the transactions conflict-aware ordering must arbitrate.
+	db := statedb.New()
+	cc := NewSmallBank("smallbank")
+	sim := NewSimulator("t0", "smallbank", db)
+	if _, err := cc.Invoke(sim, "deposit", [][]byte{[]byte("hot"), []byte("1")}); err != nil {
+		t.Fatal(err)
+	}
+	rw := sim.RWSet()
+	if len(rw.Reads) != 1 || len(rw.Writes) != 1 {
+		t.Errorf("deposit rwset = %d reads %d writes, want RMW", len(rw.Reads), len(rw.Writes))
+	}
+}
+
 func TestCounter(t *testing.T) {
 	db := statedb.New()
 	cc := NewCounter("ctr")

@@ -163,6 +163,184 @@ func (c *MoneyTransfer) balance(stub Stub, account string) (int64, error) {
 	return bal, nil
 }
 
+// SmallBank is the contention benchmark chaincode modeled on the
+// SmallBank OLTP suite (and its Fabric++/BlockBench ports): every
+// account has a savings and a checking balance, and the operation mix
+// is read-modify-write heavy, so a skewed account popularity produces
+// exactly the intra-block MVCC conflicts conflict-aware ordering
+// targets. Accounts are created lazily: a missing balance reads as
+// DefaultBalance, which keeps workload generators free of a priming
+// phase.
+type SmallBank struct {
+	name string
+}
+
+var _ Chaincode = (*SmallBank)(nil)
+
+// DefaultBalance is the lazily materialized starting balance of every
+// SmallBank account (both savings and checking).
+const DefaultBalance int64 = 10000
+
+// NewSmallBank creates the chaincode under the given installed name.
+func NewSmallBank(name string) *SmallBank { return &SmallBank{name: name} }
+
+// Name implements Chaincode.
+func (c *SmallBank) Name() string { return c.name }
+
+// Invoke implements Chaincode. Functions (amounts are base-10 ints):
+//
+//	deposit <acct> <amt>         add to checking (deposit_checking)
+//	transact <acct> <amt>        add to savings (transact_savings)
+//	writecheck <acct> <amt>      deduct a check from checking
+//	sendpayment <from> <to> <amt>  move checking funds between accounts
+//	amalgamate <from> <to>       fold from's balances into to's checking
+//	query <acct>                 read savings + checking
+func (c *SmallBank) Invoke(stub Stub, fn string, args [][]byte) ([]byte, error) {
+	switch fn {
+	case "deposit":
+		acct, amt, err := c.acctAmt("deposit", args)
+		if err != nil {
+			return nil, err
+		}
+		return c.add(stub, checkingKey(acct), amt)
+	case "transact":
+		acct, amt, err := c.acctAmt("transact", args)
+		if err != nil {
+			return nil, err
+		}
+		return c.add(stub, savingsKey(acct), amt)
+	case "writecheck":
+		acct, amt, err := c.acctAmt("writecheck", args)
+		if err != nil {
+			return nil, err
+		}
+		// SmallBank semantics: the check clears against the combined
+		// balance; overdraft incurs a penalty rather than failing.
+		sav, err := c.balance(stub, savingsKey(acct))
+		if err != nil {
+			return nil, err
+		}
+		chk, err := c.balance(stub, checkingKey(acct))
+		if err != nil {
+			return nil, err
+		}
+		if sav+chk < amt {
+			amt++ // overdraft penalty
+		}
+		return []byte("OK"), c.put(stub, checkingKey(acct), chk-amt)
+	case "sendpayment":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("smallbank sendpayment: want 3 args, got %d", len(args))
+		}
+		from, to := string(args[0]), string(args[1])
+		amt, err := strconv.ParseInt(string(args[2]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("smallbank sendpayment: bad amount %q: %w", args[2], err)
+		}
+		fromBal, err := c.balance(stub, checkingKey(from))
+		if err != nil {
+			return nil, err
+		}
+		toBal, err := c.balance(stub, checkingKey(to))
+		if err != nil {
+			return nil, err
+		}
+		if fromBal < amt {
+			return nil, fmt.Errorf("%w: %s checking has %d, needs %d", ErrInsufficientFunds, from, fromBal, amt)
+		}
+		if err := c.put(stub, checkingKey(from), fromBal-amt); err != nil {
+			return nil, err
+		}
+		return []byte("OK"), c.put(stub, checkingKey(to), toBal+amt)
+	case "amalgamate":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("smallbank amalgamate: want 2 args, got %d", len(args))
+		}
+		from, to := string(args[0]), string(args[1])
+		sav, err := c.balance(stub, savingsKey(from))
+		if err != nil {
+			return nil, err
+		}
+		chk, err := c.balance(stub, checkingKey(from))
+		if err != nil {
+			return nil, err
+		}
+		toBal, err := c.balance(stub, checkingKey(to))
+		if err != nil {
+			return nil, err
+		}
+		if err := c.put(stub, savingsKey(from), 0); err != nil {
+			return nil, err
+		}
+		if err := c.put(stub, checkingKey(from), 0); err != nil {
+			return nil, err
+		}
+		return []byte("OK"), c.put(stub, checkingKey(to), toBal+sav+chk)
+	case "query":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("smallbank query: want 1 arg, got %d", len(args))
+		}
+		acct := string(args[0])
+		sav, err := c.balance(stub, savingsKey(acct))
+		if err != nil {
+			return nil, err
+		}
+		chk, err := c.balance(stub, checkingKey(acct))
+		if err != nil {
+			return nil, err
+		}
+		return []byte(strconv.FormatInt(sav+chk, 10)), nil
+	default:
+		return nil, fmt.Errorf("%w: smallbank %q", ErrUnknownFunction, fn)
+	}
+}
+
+func savingsKey(acct string) string  { return "s:" + acct }
+func checkingKey(acct string) string { return "c:" + acct }
+
+func (c *SmallBank) acctAmt(fn string, args [][]byte) (string, int64, error) {
+	if len(args) != 2 {
+		return "", 0, fmt.Errorf("smallbank %s: want 2 args, got %d", fn, len(args))
+	}
+	amt, err := strconv.ParseInt(string(args[1]), 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("smallbank %s: bad amount %q: %w", fn, args[1], err)
+	}
+	return string(args[0]), amt, nil
+}
+
+// balance reads one balance, lazily defaulting missing accounts.
+func (c *SmallBank) balance(stub Stub, key string) (int64, error) {
+	v, err := stub.GetState(key)
+	if err != nil {
+		return 0, err
+	}
+	if v == nil {
+		return DefaultBalance, nil
+	}
+	bal, err := strconv.ParseInt(string(v), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("smallbank: corrupt balance for %q: %w", key, err)
+	}
+	return bal, nil
+}
+
+// add is the read-modify-write all deposit-style ops share.
+func (c *SmallBank) add(stub Stub, key string, amt int64) ([]byte, error) {
+	bal, err := c.balance(stub, key)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.put(stub, key, bal+amt); err != nil {
+		return nil, err
+	}
+	return []byte("OK"), nil
+}
+
+func (c *SmallBank) put(stub Stub, key string, bal int64) error {
+	return stub.PutState(key, []byte(strconv.FormatInt(bal, 10)))
+}
+
 // Counter is a minimal chaincode used by the quickstart example and
 // tests: "inc" atomically increments a named counter, "get" reads it.
 type Counter struct {

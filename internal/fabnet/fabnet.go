@@ -97,6 +97,17 @@ type Config struct {
 	// model time (defaults 100 and 1s, the paper's settings).
 	BatchSize    int
 	BatchTimeout time.Duration
+	// Reorder enables Fabric++-style conflict-aware ordering: every cut
+	// batch is reordered to minimize intra-block MVCC conflicts,
+	// transactions trapped in read-write cycles are early-aborted before
+	// any peer validates them, and committers fan state application out
+	// across true dependency chains. Off preserves FIFO blocks byte for
+	// byte.
+	Reorder bool
+	// Retry configures the gateways' transparent conflict-retry loop
+	// (MVCC conflicts and early aborts re-endorse and resubmit with
+	// exponential backoff). Zero value disables retry.
+	Retry gateway.RetryConfig
 	// Model is the calibrated cost model (use costmodel.Default).
 	Model costmodel.Model
 	// Scheme is the signature scheme ("hmac" for sweeps, "ecdsa" for
@@ -407,6 +418,10 @@ func (g gossipMetrics) SnapshotBootstrap(string, uint64)      { g.col.SnapshotBo
 // ChaincodeBench is the installed name of the benchmark KV chaincode.
 const ChaincodeBench = "bench"
 
+// ChaincodeSmallBank is the installed name of the SmallBank contention
+// chaincode (the workload package's "smallbank" profile drives it).
+const ChaincodeSmallBank = "smallbank"
+
 // Build constructs all nodes of the network without starting them.
 func Build(cfg Config) (*Network, error) {
 	cfg.applyDefaults()
@@ -472,7 +487,10 @@ func Build(cfg Config) (*Network, error) {
 	}
 	n.MSP = msp.New(allCAs...)
 
-	registry := chaincode.NewRegistry(chaincode.NewKVStore(ChaincodeBench))
+	registry := chaincode.NewRegistry(
+		chaincode.NewKVStore(ChaincodeBench),
+		chaincode.NewSmallBank(ChaincodeSmallBank),
+	)
 	for _, cc := range cfg.ExtraChaincodes {
 		registry.Install(cc)
 	}
@@ -528,6 +546,7 @@ func Build(cfg Config) (*Network, error) {
 			Cutter: blockcutter.Config{
 				BatchSize:    cfg.BatchSize,
 				BatchTimeout: cfg.BatchTimeout,
+				Reorder:      cfg.Reorder,
 			},
 			Model:    model,
 			CPU:      newCPU(ordererIDs[i], model.OrdererCores),
@@ -695,14 +714,17 @@ func Build(cfg Config) (*Network, error) {
 			col := cfg.Collector
 			pcfg.StageObserver = func(st peer.StageTimings) {
 				col.CommitStage(metrics.CommitStageEvent{
-					Number:      st.Block,
-					Channel:     st.Channel,
-					Txs:         st.Txs,
-					Groups:      st.Groups,
-					VSCC:        st.VSCC,
-					Apply:       st.Apply,
-					Append:      st.Append,
-					CommittedAt: st.CommittedAt,
+					Number:         st.Block,
+					Channel:        st.Channel,
+					Txs:            st.Txs,
+					Groups:         st.Groups,
+					VSCC:           st.VSCC,
+					Apply:          st.Apply,
+					Append:         st.Append,
+					CommittedAt:    st.CommittedAt,
+					MVCCAborts:     st.MVCCAborts,
+					EarlyAborts:    st.EarlyAborts,
+					WastedValidate: st.WastedValidate,
 				})
 			}
 		}
@@ -769,6 +791,7 @@ func Build(cfg Config) (*Network, error) {
 			Channels:         channelIDs,
 			PolicyByChannel:  channelPols,
 			MaxInFlight:      cfg.ClientMaxInFlight,
+			Retry:            cfg.Retry,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fabnet: %w", err)

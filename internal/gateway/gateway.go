@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,17 @@ var (
 	// ErrInvalidated reports a transaction that committed with a
 	// non-valid validation code (MVCC conflict, policy failure, ...).
 	ErrInvalidated = errors.New("gateway: transaction invalidated at commit")
+	// ErrMVCCConflict reports an ErrInvalidated whose validation code was
+	// MVCC_READ_CONFLICT: the transaction's read set went stale between
+	// endorsement and commit. Re-executing against fresh state may
+	// succeed, so this is the retryable conflict error (errors.Is matches
+	// ErrInvalidated too).
+	ErrMVCCConflict = errors.New("gateway: mvcc read conflict")
+	// ErrEarlyAbort reports an ErrInvalidated whose validation code was
+	// EARLY_ABORT_CONFLICT: the conflict-aware orderer dropped the
+	// transaction from its block before validation. Like ErrMVCCConflict
+	// it is retryable with fresh endorsement.
+	ErrEarlyAbort = errors.New("gateway: early-aborted by conflict-aware ordering")
 	// ErrWindowFull reports a TrySubmitAsync that found every in-flight
 	// window slot occupied.
 	ErrWindowFull = errors.New("gateway: in-flight window full")
@@ -109,6 +121,42 @@ type Config struct {
 	// MaxInFlight bounds the SubmitAsync in-flight window
 	// (default DefaultMaxInFlight).
 	MaxInFlight int
+	// Retry controls transparent client-side retry of conflict-aborted
+	// transactions (MVCC conflicts and conflict-aware early aborts). The
+	// zero value disables retry: every conflict surfaces to the caller,
+	// exactly as before.
+	Retry RetryConfig
+}
+
+// RetryConfig bounds the gateway's conflict-retry loop. A retry always
+// re-runs the full pipeline — a fresh proposal (new TxID), fresh
+// endorsement against current state, fresh submission — because the
+// stale read set is precisely what aborted the previous attempt.
+type RetryConfig struct {
+	// MaxAttempts is the total number of attempts, first try included.
+	// Values <= 1 disable retry.
+	MaxAttempts int
+	// InitialBackoff is the model-time delay before the first retry
+	// (default 50ms), doubled — or multiplied by Multiplier — after each
+	// subsequent conflict, capped at MaxBackoff.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the backoff (default 2s).
+	MaxBackoff time.Duration
+	// Multiplier is the exponential growth factor (default 2).
+	Multiplier float64
+	// Jitter randomizes each backoff by ±Jitter fraction (e.g. 0.2 →
+	// ±20%), decorrelating retries from clients aborted by the same hot
+	// key. Zero disables jitter.
+	Jitter float64
+	// Seed seeds the jitter randomness so runs are reproducible.
+	Seed int64
+}
+
+// Retryable reports whether an Invoke/SubmitAsync error is a conflict
+// abort the gateway's retry loop would re-attempt: an MVCC read
+// conflict or a conflict-aware early abort.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrMVCCConflict) || errors.Is(err, ErrEarlyAbort)
 }
 
 // pendingTx is one registered commit-event waiter.
@@ -141,6 +189,11 @@ type Gateway struct {
 	defOnce  sync.Once
 	defBal   Balancer
 	defLoads *LoadTracker
+
+	// retryMu guards the lazily seeded jitter source for the
+	// conflict-retry backoff.
+	retryMu  sync.Mutex
+	retryRng *rand.Rand
 }
 
 // New creates a gateway and registers its commit-event handler.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -375,6 +376,185 @@ func TestInvalidatedCommit(t *testing.T) {
 	}
 	if st == nil || st.Committed || st.Code != types.ValidationMVCCConflict {
 		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestCommitStatusSurfacesConflictSentinels(t *testing.T) {
+	// Regression: a commit with ValidationMVCCConflict must surface
+	// ErrMVCCConflict (and still match ErrInvalidated) from
+	// Commit.Status; EARLY_ABORT_CONFLICT likewise maps to ErrEarlyAbort.
+	cases := []struct {
+		code types.ValidationCode
+		want error
+	}{
+		{types.ValidationMVCCConflict, ErrMVCCConflict},
+		{types.ValidationEarlyAbort, ErrEarlyAbort},
+	}
+	for _, tc := range cases {
+		s := newStubNet(t, nil, nil)
+		ctx := context.Background()
+		prop, err := s.gw.Propose(ctx, "", "bench", "write", [][]byte{[]byte("k"), []byte("v")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		txn, err := prop.Endorse(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmt, err := txn.Submit(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.commitTx(prop.TxID(), tc.code)
+		st, err := cmt.Status(ctx)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("code %s: err = %v, want %v", tc.code, err, tc.want)
+		}
+		if !errors.Is(err, ErrInvalidated) {
+			t.Errorf("code %s: err = %v, must still match ErrInvalidated", tc.code, err)
+		}
+		if !Retryable(err) {
+			t.Errorf("code %s: Retryable = false", tc.code)
+		}
+		if st == nil || st.Code != tc.code {
+			t.Errorf("code %s: status = %+v", tc.code, st)
+		}
+	}
+	// Non-conflict invalidations stay non-retryable.
+	if Retryable(fmt.Errorf("%w: %s", ErrInvalidated, types.ValidationBadSignature)) {
+		t.Error("bad-signature invalidation must not be retryable")
+	}
+}
+
+func TestInvokeRetriesConflicts(t *testing.T) {
+	// The first two attempts conflict, the third commits. With
+	// MaxAttempts=3 the caller sees success; each attempt must carry a
+	// fresh TxID (fresh proposal + endorsement).
+	var calls atomic.Int64
+	seen := make(map[types.TxID]bool)
+	var mu sync.Mutex
+	s := newStubNet(t, func(cfg *Config) {
+		cfg.NoEventStream = true
+		cfg.Retry = RetryConfig{
+			MaxAttempts:    3,
+			InitialBackoff: time.Millisecond,
+			MaxBackoff:     2 * time.Millisecond,
+			Jitter:         0.2,
+			Seed:           42,
+		}
+	}, nil)
+	s.statusReply = func(req *peer.CommitStatusRequest) (*peer.CommitEvent, error) {
+		mu.Lock()
+		seen[req.TxID] = true
+		mu.Unlock()
+		code := types.ValidationMVCCConflict
+		if calls.Add(1) >= 3 {
+			code = types.ValidationValid
+		}
+		return &peer.CommitEvent{TxID: req.TxID, Code: code, BlockNum: 9}, nil
+	}
+	st, err := s.gw.Invoke(context.Background(), "", "bench", "write", [][]byte{[]byte("k"), []byte("v")})
+	if err != nil {
+		t.Fatalf("Invoke with retry = %v", err)
+	}
+	if !st.Committed {
+		t.Fatalf("status = %+v", st)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("attempts = %d, want 3", n)
+	}
+	mu.Lock()
+	distinct := len(seen)
+	mu.Unlock()
+	if distinct != 3 {
+		t.Errorf("distinct TxIDs = %d, want a fresh proposal per attempt", distinct)
+	}
+}
+
+func TestInvokeRetryExhaustionSurfacesConflict(t *testing.T) {
+	// Every attempt conflicts: after MaxAttempts the conflict error
+	// surfaces unchanged.
+	var calls atomic.Int64
+	s := newStubNet(t, func(cfg *Config) {
+		cfg.NoEventStream = true
+		cfg.Retry = RetryConfig{MaxAttempts: 2, InitialBackoff: time.Millisecond}
+	}, nil)
+	s.statusReply = func(req *peer.CommitStatusRequest) (*peer.CommitEvent, error) {
+		calls.Add(1)
+		return &peer.CommitEvent{TxID: req.TxID, Code: types.ValidationMVCCConflict}, nil
+	}
+	_, err := s.gw.Invoke(context.Background(), "", "bench", "write", [][]byte{[]byte("k"), []byte("v")})
+	if !errors.Is(err, ErrMVCCConflict) {
+		t.Fatalf("err = %v, want ErrMVCCConflict after exhaustion", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("attempts = %d, want 2", n)
+	}
+}
+
+func TestSubmitAsyncRetriesConflicts(t *testing.T) {
+	var calls atomic.Int64
+	s := newStubNet(t, func(cfg *Config) {
+		cfg.NoEventStream = true
+		cfg.Retry = RetryConfig{MaxAttempts: 2, InitialBackoff: time.Millisecond}
+	}, nil)
+	s.statusReply = func(req *peer.CommitStatusRequest) (*peer.CommitEvent, error) {
+		code := types.ValidationEarlyAbort
+		if calls.Add(1) >= 2 {
+			code = types.ValidationValid
+		}
+		return &peer.CommitEvent{TxID: req.TxID, Code: code, BlockNum: 4}, nil
+	}
+	cmt, err := s.gw.SubmitAsync(context.Background(), "", "bench", "write", [][]byte{[]byte("k"), []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cmt.Status(context.Background())
+	if err != nil || !st.Committed {
+		t.Fatalf("status = %+v, %v", st, err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("attempts = %d, want 2", n)
+	}
+}
+
+func TestRetryBackoffGrowsAndCaps(t *testing.T) {
+	g := &Gateway{cfg: Config{Retry: RetryConfig{
+		MaxAttempts:    5,
+		InitialBackoff: 10 * time.Millisecond,
+		MaxBackoff:     40 * time.Millisecond,
+	}}}
+	if d := g.retryBackoff(1); d != 10*time.Millisecond {
+		t.Errorf("backoff(1) = %v", d)
+	}
+	if d := g.retryBackoff(2); d != 20*time.Millisecond {
+		t.Errorf("backoff(2) = %v", d)
+	}
+	if d := g.retryBackoff(4); d != 40*time.Millisecond {
+		t.Errorf("backoff(4) = %v, want the cap", d)
+	}
+	// Jitter stays within ±20% and is reproducible for a fixed seed.
+	mk := func() *Gateway {
+		return &Gateway{cfg: Config{Retry: RetryConfig{
+			MaxAttempts: 5, InitialBackoff: 10 * time.Millisecond,
+			MaxBackoff: 40 * time.Millisecond, Jitter: 0.2, Seed: 7,
+		}}}
+	}
+	a, b := mk(), mk()
+	for i := 1; i <= 4; i++ {
+		da, db := a.retryBackoff(i), b.retryBackoff(i)
+		if da != db {
+			t.Errorf("retry %d: jittered backoff not reproducible: %v vs %v", i, da, db)
+		}
+		base := 10 * time.Millisecond << (i - 1)
+		if base > 40*time.Millisecond {
+			base = 40 * time.Millisecond
+		}
+		lo := time.Duration(float64(base) * 0.8)
+		hi := time.Duration(float64(base) * 1.2)
+		if da < lo || da > hi {
+			t.Errorf("retry %d: backoff %v outside [%v, %v]", i, da, lo, hi)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package gateway
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -353,10 +354,87 @@ func (g *Gateway) resolve(c *Commit, ev peer.CommitEvent) {
 		Payload:   c.payload,
 	}
 	if !st.Committed {
-		c.complete(st, fmt.Errorf("%w: %s", ErrInvalidated, ev.Code))
+		// Conflict aborts carry their dedicated sentinel alongside
+		// ErrInvalidated so callers (and the retry loop) can match them
+		// with errors.Is without parsing the message.
+		switch ev.Code {
+		case types.ValidationMVCCConflict:
+			c.complete(st, fmt.Errorf("%w: %w", ErrInvalidated, ErrMVCCConflict))
+		case types.ValidationEarlyAbort:
+			c.complete(st, fmt.Errorf("%w: %w", ErrInvalidated, ErrEarlyAbort))
+		default:
+			c.complete(st, fmt.Errorf("%w: %s", ErrInvalidated, ev.Code))
+		}
 		return
 	}
 	c.complete(st, nil)
+}
+
+// retryAttempts returns the configured total attempt count (minimum 1).
+func (g *Gateway) retryAttempts() int {
+	if n := g.cfg.Retry.MaxAttempts; n > 1 {
+		return n
+	}
+	return 1
+}
+
+// retryBackoff computes the model-time backoff before retry number
+// `retry` (1 = first retry): exponential growth from InitialBackoff,
+// capped at MaxBackoff, with ±Jitter randomization.
+func (g *Gateway) retryBackoff(retry int) time.Duration {
+	rc := g.cfg.Retry
+	base := rc.InitialBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxB := rc.MaxBackoff
+	if maxB <= 0 {
+		maxB = 2 * time.Second
+	}
+	mult := rc.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(base)
+	for i := 1; i < retry && d < float64(maxB); i++ {
+		d *= mult
+	}
+	if d > float64(maxB) {
+		d = float64(maxB)
+	}
+	if rc.Jitter > 0 {
+		g.retryMu.Lock()
+		if g.retryRng == nil {
+			seed := rc.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			g.retryRng = rand.New(rand.NewSource(seed))
+		}
+		f := 1 + rc.Jitter*(2*g.retryRng.Float64()-1)
+		g.retryMu.Unlock()
+		if f > 0 {
+			d *= f
+		}
+	}
+	return time.Duration(d)
+}
+
+// retrySleep waits out the backoff before retry number `retry`,
+// honoring context cancellation.
+func (g *Gateway) retrySleep(ctx context.Context, retry int) error {
+	d := g.cfg.Model.ScaledDelay(g.retryBackoff(retry))
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // resolveTimeout completes a future as rejected by the ordering
@@ -375,7 +453,25 @@ func (g *Gateway) resolveTimeout(c *Commit, cause error) {
 
 // Invoke runs the full staged pipeline closed-loop: Propose, Endorse,
 // Submit, then block on Status — the legacy SDK transaction life cycle.
+// With Config.Retry enabled, conflict aborts (ErrMVCCConflict,
+// ErrEarlyAbort) transparently re-run the whole pipeline — fresh TxID,
+// fresh endorsement — up to MaxAttempts times with exponential backoff.
 func (g *Gateway) Invoke(ctx context.Context, channel, chaincodeID, fn string, args [][]byte) (*Status, error) {
+	attempts := g.retryAttempts()
+	var st *Status
+	var err error
+	for attempt := 1; ; attempt++ {
+		st, err = g.invokeOnce(ctx, channel, chaincodeID, fn, args)
+		if err == nil || attempt >= attempts || !Retryable(err) {
+			return st, err
+		}
+		if serr := g.retrySleep(ctx, attempt); serr != nil {
+			return st, err
+		}
+	}
+}
+
+func (g *Gateway) invokeOnce(ctx context.Context, channel, chaincodeID, fn string, args [][]byte) (*Status, error) {
 	prop, err := g.Propose(ctx, channel, chaincodeID, fn, args)
 	if err != nil {
 		return nil, err
@@ -447,28 +543,43 @@ func (g *Gateway) submitAsync(ctx context.Context, block bool, channel, chaincod
 	c := newCommit(g)
 	go func() {
 		defer func() { <-window }()
-		prop, err := g.Propose(ctx, channel, chaincodeID, fn, args)
-		if err != nil {
-			c.complete(nil, err)
-			return
+		attempts := g.retryAttempts()
+		var st *Status
+		var err error
+		for attempt := 1; ; attempt++ {
+			st, err = g.attemptAsync(ctx, c, channel, chaincodeID, fn, args)
+			if err == nil || attempt >= attempts || !Retryable(err) {
+				break
+			}
+			if serr := g.retrySleep(ctx, attempt); serr != nil {
+				break
+			}
 		}
-		c.setTxID(prop.TxID())
-		txn, err := prop.Endorse(ctx)
-		if err != nil {
-			c.complete(nil, err)
-			return
-		}
-		inner, err := txn.Submit(ctx)
-		if err != nil {
-			c.complete(nil, err)
-			return
-		}
-		// The inner future resolves within the ordering timeout even if
-		// ctx is long gone; forward its resolution.
-		st, err := inner.Status(context.Background())
 		c.complete(st, err)
 	}()
 	return c, nil
+}
+
+// attemptAsync runs one full pipeline attempt for a SubmitAsync
+// submission. The commit handle's TxID is updated per attempt, since a
+// retry issues a fresh proposal.
+func (g *Gateway) attemptAsync(ctx context.Context, c *Commit, channel, chaincodeID, fn string, args [][]byte) (*Status, error) {
+	prop, err := g.Propose(ctx, channel, chaincodeID, fn, args)
+	if err != nil {
+		return nil, err
+	}
+	c.setTxID(prop.TxID())
+	txn, err := prop.Endorse(ctx)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := txn.Submit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// The inner future resolves within the ordering timeout even if
+	// ctx is long gone; forward its resolution.
+	return inner.Status(context.Background())
 }
 
 // Evaluate runs the execute phase only (no ordering) and returns the

@@ -62,6 +62,15 @@ type CommitStageEvent struct {
 	Apply       time.Duration
 	Append      time.Duration
 	CommittedAt time.Time
+	// MVCCAborts counts the block's MVCC_READ_CONFLICT transactions and
+	// EarlyAborts its EARLY_ABORT_CONFLICT ones (conflict-aware ordering
+	// drops, which never reached validate CPU).
+	MVCCAborts  int
+	EarlyAborts int
+	// WastedValidate is the modeled validate CPU the block spent on
+	// transactions that then failed MVCC — work early abort would have
+	// saved.
+	WastedValidate time.Duration
 }
 
 // endorseSample is one successful endorsement round trip as observed by
@@ -329,6 +338,19 @@ type Summary struct {
 	// block (≈ block size on a no-contention workload, 1 when every
 	// transaction chains on the same keys).
 	AvgConflictGroups float64
+	// MVCCAborts and EarlyAborts total the in-window blocks' conflict
+	// aborts: transactions invalidated by a stale read set at validate
+	// time, and transactions the conflict-aware orderer dropped before
+	// validation, respectively.
+	MVCCAborts  int
+	EarlyAborts int
+	// AbortRate is (MVCCAborts + EarlyAborts) / in-window block
+	// transactions — the fraction of ordered load lost to conflicts.
+	AbortRate float64
+	// WastedValidateCPU totals the modeled validate CPU spent on
+	// transactions that then failed MVCC (model time): the work
+	// conflict-aware early abort exists to eliminate.
+	WastedValidateCPU time.Duration
 
 	// Endorsements counts in-window endorsement round trips and
 	// EndorseLatency summarizes their distribution (model time): the
@@ -539,7 +561,7 @@ func (c *Collector) Summarize(opts SummaryOptions) Summary {
 
 	// Per-stage commit breakdown over blocks committed inside the window.
 	var vsccSt, applySt, appendSt []time.Duration
-	groupsTotal := 0
+	groupsTotal, stageTxs := 0, 0
 	for _, ev := range c.CommitStages() {
 		if !inWin(ev.CommittedAt) {
 			continue
@@ -548,12 +570,19 @@ func (c *Collector) Summarize(opts SummaryOptions) Summary {
 		applySt = append(applySt, unscale(ev.Apply))
 		appendSt = append(appendSt, unscale(ev.Append))
 		groupsTotal += ev.Groups
+		stageTxs += ev.Txs
+		s.MVCCAborts += ev.MVCCAborts
+		s.EarlyAborts += ev.EarlyAborts
+		s.WastedValidateCPU += unscale(ev.WastedValidate)
 	}
 	s.VSCCStage = reduceLatency(vsccSt)
 	s.ApplyStage = reduceLatency(applySt)
 	s.AppendStage = reduceLatency(appendSt)
 	if len(vsccSt) > 0 {
 		s.AvgConflictGroups = float64(groupsTotal) / float64(len(vsccSt))
+	}
+	if stageTxs > 0 {
+		s.AbortRate = float64(s.MVCCAborts+s.EarlyAborts) / float64(stageTxs)
 	}
 
 	// Gossip-dissemination breakdown and cluster-wide commit lag.

@@ -242,6 +242,38 @@ func TestCommitStageBreakdown(t *testing.T) {
 	}
 }
 
+func TestCommitStageAbortAccounting(t *testing.T) {
+	c := NewCollector()
+	base := time.Now()
+	for i := 0; i < 100; i++ {
+		at := time.Duration(i) * 100 * time.Millisecond
+		record(c, fmt.Sprintf("t%d", i), base, at, at, at, at, types.ValidationValid)
+	}
+	// Two in-window blocks with conflict aborts; one outside the window
+	// that must not count.
+	for i, at := range []time.Duration{3 * time.Second, 4 * time.Second, time.Hour} {
+		c.CommitStage(CommitStageEvent{
+			Number:         uint64(i + 1),
+			Txs:            100,
+			MVCCAborts:     8,
+			EarlyAborts:    2,
+			WastedValidate: 4 * time.Millisecond,
+			CommittedAt:    base.Add(at),
+		})
+	}
+	s := c.Summarize(SummaryOptions{TimeScale: 1.0})
+	if s.MVCCAborts != 16 || s.EarlyAborts != 4 {
+		t.Errorf("aborts = %d mvcc %d early, want 16/4", s.MVCCAborts, s.EarlyAborts)
+	}
+	// 20 aborts over 200 in-window block txs.
+	if s.AbortRate < 0.099 || s.AbortRate > 0.101 {
+		t.Errorf("abort rate = %.3f, want 0.10", s.AbortRate)
+	}
+	if s.WastedValidateCPU != 8*time.Millisecond {
+		t.Errorf("wasted validate = %s, want 8ms", s.WastedValidateCPU)
+	}
+}
+
 // TestEndorseBreakdown checks the per-peer endorsement statistics: the
 // in-window sample count, model-time latency percentiles (p99
 // included), the per-peer counts, and the max/mean balance skew.

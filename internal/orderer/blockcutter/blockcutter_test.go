@@ -1,9 +1,13 @@
 package blockcutter
 
 import (
+	"bytes"
+	"fmt"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"fabricsim/internal/types"
 )
 
 func TestSizeCut(t *testing.T) {
@@ -111,5 +115,138 @@ func TestCutterProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// env marshals a minimal endorsed envelope reading and writing the given
+// keys in namespace "cc".
+func env(id string, reads, writes []string) []byte {
+	tx := &types.Transaction{
+		Proposal: types.Proposal{TxID: types.TxID(id), ChaincodeID: "cc"},
+	}
+	for _, r := range reads {
+		tx.Results.Reads = append(tx.Results.Reads, types.KVRead{Key: r})
+	}
+	for _, w := range writes {
+		tx.Results.Writes = append(tx.Results.Writes, types.KVWrite{Key: w, Value: []byte("v")})
+	}
+	return tx.Marshal()
+}
+
+func TestReorderSavesDoomedReader(t *testing.T) {
+	// FIFO order writes k then reads k: the reader would MVCC-abort.
+	// The pass must move the reader first; nothing is early-aborted.
+	batch := [][]byte{
+		env("w", nil, []string{"k"}),
+		env("r", []string{"k"}, nil),
+	}
+	out, aborted := Reorder(batch)
+	if aborted != 0 {
+		t.Fatalf("aborted = %d, want 0", aborted)
+	}
+	if len(out) != 2 || !bytes.Equal(out[0], batch[1]) || !bytes.Equal(out[1], batch[0]) {
+		t.Fatal("reader must be moved before the conflicting writer")
+	}
+}
+
+func TestReorderAbortsCycleAtTail(t *testing.T) {
+	// Two read-modify-writes of one key form a 2-cycle: exactly one is
+	// early-aborted and it sits at the tail of the batch.
+	batch := [][]byte{
+		env("a", []string{"k"}, []string{"k"}),
+		env("b", []string{"k"}, []string{"k"}),
+		env("free", nil, []string{"z"}),
+	}
+	out, aborted := Reorder(batch)
+	if aborted != 1 {
+		t.Fatalf("aborted = %d, want 1", aborted)
+	}
+	if len(out) != 3 {
+		t.Fatalf("len(out) = %d", len(out))
+	}
+	info, err := types.PeekEnvelopeInfo(out[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TxID != "b" {
+		t.Errorf("tail tx = %s, want the later RMW b", info.TxID)
+	}
+}
+
+func TestReorderFIFOWhenConflictFree(t *testing.T) {
+	batch := make([][]byte, 8)
+	for i := range batch {
+		batch[i] = env(fmt.Sprintf("tx%d", i), nil, []string{fmt.Sprintf("k%d", i)})
+	}
+	out, aborted := Reorder(batch)
+	if aborted != 0 {
+		t.Fatalf("aborted = %d, want 0", aborted)
+	}
+	for i := range batch {
+		if !bytes.Equal(out[i], batch[i]) {
+			t.Fatalf("conflict-free batch must keep FIFO order, diverged at %d", i)
+		}
+	}
+}
+
+func TestReorderDeterministic(t *testing.T) {
+	batch := [][]byte{
+		env("a", []string{"x"}, []string{"y"}),
+		env("b", []string{"y"}, []string{"x"}),
+		env("c", []string{"x"}, nil),
+		env("d", []string{"y", "z"}, []string{"z"}),
+		env("e", []string{"z"}, []string{"z"}),
+	}
+	out1, aborted1 := Reorder(batch)
+	for i := 0; i < 10; i++ {
+		out2, aborted2 := Reorder(batch)
+		if aborted2 != aborted1 || len(out2) != len(out1) {
+			t.Fatalf("run %d: shape diverged", i)
+		}
+		for j := range out1 {
+			if !bytes.Equal(out1[j], out2[j]) {
+				t.Fatalf("run %d: output diverged at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestReorderOpaqueEnvelopesPassThrough(t *testing.T) {
+	// Unpeekable payloads are never aborted and keep their slot order
+	// relative to the schedule; a fully opaque batch is untouched.
+	opaque := [][]byte{{0xff}, {0xfe, 0x01}}
+	out, aborted := Reorder(opaque)
+	if aborted != 0 || len(out) != 2 || !bytes.Equal(out[0], opaque[0]) {
+		t.Fatal("fully opaque batch must pass through unchanged")
+	}
+
+	mixed := [][]byte{
+		env("a", []string{"k"}, []string{"k"}),
+		{0xff},
+		env("b", []string{"k"}, []string{"k"}),
+	}
+	out, aborted = Reorder(mixed)
+	if aborted != 1 {
+		t.Fatalf("aborted = %d, want 1 (cycle victim only)", aborted)
+	}
+	found := false
+	for _, envl := range out[:len(out)-aborted] {
+		if bytes.Equal(envl, mixed[1]) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("opaque envelope must survive among the ordered prefix")
+	}
+}
+
+func TestReorderTinyBatch(t *testing.T) {
+	single := [][]byte{env("only", []string{"k"}, []string{"k"})}
+	out, aborted := Reorder(single)
+	if aborted != 0 || len(out) != 1 {
+		t.Fatal("single-tx batch must pass through")
+	}
+	if out, aborted := Reorder(nil); aborted != 0 || len(out) != 0 {
+		t.Fatal("empty batch must pass through")
 	}
 }

@@ -525,6 +525,16 @@ func (o *Orderer) emitBatch(channel string, batch [][]byte) {
 	}
 	o.mu.Unlock()
 
+	// Conflict-aware pass: emitBatch is the single funnel every
+	// consenter (solo, kafka, raft) drives in consensus order on every
+	// OSN, and the reorder is deterministic, so applying it here keeps
+	// blocks byte-identical across the cluster without touching any
+	// consenter.
+	earlyAborted := 0
+	if o.cfg.Cutter.Reorder {
+		batch, earlyAborted = blockcutter.Reorder(batch)
+	}
+
 	c.mu.Lock()
 	num := c.lastNum + 1
 	block := types.NewBlock(num, c.prevHash, batch)
@@ -532,6 +542,10 @@ func (o *Orderer) emitBatch(channel string, batch [][]byte) {
 	block.Metadata.OrderedTime = now.UnixNano()
 	block.Metadata.OrdererID = o.cfg.ID
 	block.Metadata.ChannelID = c.id
+	if o.cfg.Cutter.Reorder {
+		block.Metadata.Reordered = true
+		block.Metadata.EarlyAborted = earlyAborted
+	}
 	c.lastNum = num
 	c.prevHash = block.Header.Hash()
 	c.blocks = append(c.blocks, block)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fabricsim/internal/ledger"
+	"fabricsim/internal/rwdep"
 	"fabricsim/internal/types"
 )
 
@@ -25,10 +26,13 @@ import (
 // in flight between VSCC start and append completion, so depth 1
 // reproduces the legacy strictly-serial commitLoop while depth d lets
 // block N+d-1's VSCC overlap block N's apply and append. Within the
-// apply stage, the dependency analyzer (depgraph.go) partitions the
-// block into conflict-free groups that fan out across
+// apply stage, the shared dependency engine (internal/rwdep) partitions
+// the block into conflict-free groups that fan out across
 // Model.CommitterPool workers; only true dependency chains pay their
-// MVCC+commit cost serially.
+// MVCC+commit cost serially. Blocks the conflict-aware cutter certified
+// as dependency-ordered (Metadata.Reordered) fan out by exact
+// read→write chains instead of coarse key-overlap groups, and their
+// trailing early-aborted transactions skip validate CPU entirely.
 
 // StageTimings reports one block's trip through a channel's commit
 // pipeline: wall-clock stage durations (simulated-CPU queueing
@@ -41,6 +45,15 @@ type StageTimings struct {
 	// Groups is the number of conflict-free transaction groups (0 when
 	// no transaction passed VSCC).
 	Groups int
+	// MVCCAborts counts transactions this block invalidated with
+	// MVCC_READ_CONFLICT; EarlyAborts counts transactions the ordering
+	// service pre-aborted (EARLY_ABORT_CONFLICT), which never reach
+	// validate CPU.
+	MVCCAborts  int
+	EarlyAborts int
+	// WastedValidate is the modeled validate CPU spent on transactions
+	// that ended up MVCC-aborted anyway (the cost early abort avoids).
+	WastedValidate time.Duration
 	// VSCC, Apply, Append are the wall durations of the three stages.
 	VSCC   time.Duration
 	Apply  time.Duration
@@ -62,6 +75,7 @@ type pipelinedBlock struct {
 	// Written by the apply stage.
 	committed *types.Block // per-peer copy carrying the final flags
 	groups    int
+	wasted    time.Duration // modeled MVCC CPU spent on aborted txs
 
 	vsccDur  time.Duration
 	applyDur time.Duration
@@ -122,12 +136,27 @@ func (p *Peer) runVSCCStage(cs *channelState, pb *pipelinedBlock) {
 	pb.txs = txs
 	pb.flags = make([]types.ValidationCode, len(txs))
 
+	// Transactions the conflict-aware cutter already aborted sit at the
+	// block's tail: flag them up front so they pay neither VSCC nor
+	// MVCC cost — the whole point of aborting them before validate.
+	if ea := pb.block.Metadata.EarlyAborted; ea > 0 {
+		if ea > len(txs) {
+			ea = len(txs)
+		}
+		for i := len(txs) - ea; i < len(txs); i++ {
+			pb.flags[i] = types.ValidationEarlyAbort
+		}
+	}
+
 	pool := p.cfg.Model.ValidatorPool
 	if pool < 1 {
 		pool = 1
 	}
 	var vsccTotal time.Duration
-	for _, tx := range txs {
+	for i, tx := range txs {
+		if pb.flags[i] == types.ValidationEarlyAbort {
+			continue
+		}
 		vsccTotal += p.cfg.Model.VSCCCost(len(tx.Endorsements))
 	}
 	share := vsccTotal / time.Duration(pool)
@@ -148,6 +177,9 @@ func (p *Peer) runVSCCStage(cs *channelState, pb *pipelinedBlock) {
 	sem := make(chan struct{}, pool)
 	var cwg sync.WaitGroup
 	for i, tx := range txs {
+		if pb.flags[i] == types.ValidationEarlyAbort {
+			continue
+		}
 		i, tx := i, tx
 		cwg.Add(1)
 		sem <- struct{}{}
@@ -228,14 +260,26 @@ func (p *Peer) applyStage(ctx context.Context, cs *channelState, pb *pipelinedBl
 		seen[tx.ID()] = struct{}{}
 	}
 
-	groups := conflictGroups(txs, billable)
+	// The shared dependency engine picks the fan-out unit. A block the
+	// conflict-aware cutter certified dependency-ordered fans out by
+	// exact read→write chains — flags provably identical to the serial
+	// walk, but e.g. blind writes on one hot key become parallel
+	// singletons instead of one serial overlap group. Untagged blocks
+	// keep the legacy key-overlap grouping, byte-identical to before.
+	rws := rwdep.FromTransactions(txs)
+	var groups [][]int
+	if pb.block.Metadata.Reordered {
+		groups = rwdep.Chains(rws, billable)
+	} else {
+		groups = rwdep.ConflictGroups(rws, billable)
+	}
 	pb.groups = len(groups)
 	pool := p.cfg.Model.CommitterPool
 	if pool < 1 {
 		pool = 1
 	}
 	var wg sync.WaitGroup
-	for _, bin := range partitionGroups(groups, pool) {
+	for _, bin := range rwdep.PartitionGroups(groups, pool) {
 		if len(bin) == 0 {
 			continue
 		}
@@ -250,6 +294,11 @@ func (p *Peer) applyStage(ctx context.Context, cs *channelState, pb *pipelinedBl
 		}(bin)
 	}
 	wg.Wait()
+	for _, f := range flags {
+		if f == types.ValidationMVCCConflict {
+			pb.wasted += p.cfg.Model.MVCCPerTxCPU
+		}
+	}
 
 	// The in-memory transport shares one *types.Block among all peers;
 	// commit a per-peer copy so validation flags never alias.
@@ -261,6 +310,8 @@ func (p *Peer) applyStage(ctx context.Context, cs *channelState, pb *pipelinedBl
 			OrderedTime:     pb.block.Metadata.OrderedTime,
 			OrdererID:       pb.block.Metadata.OrdererID,
 			ChannelID:       pb.block.Metadata.ChannelID,
+			Reordered:       pb.block.Metadata.Reordered,
+			EarlyAborted:    pb.block.Metadata.EarlyAborted,
 		},
 	}
 	if err := cs.ledger.ApplyState(committed, txs); err != nil {
@@ -271,12 +322,14 @@ func (p *Peer) applyStage(ctx context.Context, cs *channelState, pb *pipelinedBl
 	return nil
 }
 
-// walkGroup runs the MVCC read-conflict walk for one conflict group in
-// block order and returns the group's modeled serial cost. Groups touch
-// disjoint keys, so a group-local dirty set equals the legacy
-// block-wide one restricted to the group's keys and different groups
-// may walk concurrently; flags entries are per-transaction, so writers
-// never alias across groups. Every transaction that passed VSCC pays
+// walkGroup runs the MVCC read-conflict walk for one conflict group (or
+// dependency chain) in block order and returns the group's modeled
+// serial cost. Every earlier in-block writer of any key a group member
+// reads belongs to the same group — that is the grouping invariant both
+// rwdep partitionings guarantee — so a group-local dirty set equals the
+// legacy block-wide one restricted to the group's reads and different
+// groups may walk concurrently; flags entries are per-transaction, so
+// writers never alias across groups. Every transaction that passed VSCC pays
 // MVCCPerTxCPU — including duplicates, which Fabric still checks —
 // while only transactions that become valid pay CommitPerTxCPU.
 func (p *Peer) walkGroup(cs *channelState, txs []*types.Transaction, flags []types.ValidationCode, group []int) time.Duration {
@@ -325,15 +378,27 @@ func (p *Peer) appendLoop(cs *channelState) {
 			}
 			p.emitCommitEvents(cs, pb.committed, pb.txs, now)
 			if p.cfg.StageObserver != nil {
+				mvccAborts, earlyAborts := 0, 0
+				for _, f := range pb.committed.Metadata.ValidationFlags {
+					switch f {
+					case types.ValidationMVCCConflict:
+						mvccAborts++
+					case types.ValidationEarlyAbort:
+						earlyAborts++
+					}
+				}
 				p.cfg.StageObserver(StageTimings{
-					Channel:     cs.id,
-					Block:       pb.committed.Header.Number,
-					Txs:         len(pb.txs),
-					Groups:      pb.groups,
-					VSCC:        pb.vsccDur,
-					Apply:       pb.applyDur,
-					Append:      now.Sub(start),
-					CommittedAt: now,
+					Channel:        cs.id,
+					Block:          pb.committed.Header.Number,
+					Txs:            len(pb.txs),
+					Groups:         pb.groups,
+					MVCCAborts:     mvccAborts,
+					EarlyAborts:    earlyAborts,
+					WastedValidate: pb.wasted,
+					VSCC:           pb.vsccDur,
+					Apply:          pb.applyDur,
+					Append:         now.Sub(start),
+					CommittedAt:    now,
 				})
 			}
 			<-cs.tokens

@@ -1,0 +1,490 @@
+// Package rwdep is the shared read-write-set dependency engine: the
+// single place ordering and validation reason about which transactions
+// in a batch conflict with which. It offers three views over the same
+// namespace-qualified key sets:
+//
+//   - ConflictGroups: undirected key-overlap partitioning (union-find),
+//     the committer's classic fan-out unit. Two transactions land in one
+//     group when they share a key and at least one of them writes it,
+//     directly or transitively; read-only sharing never groups.
+//
+//   - Graph / Schedule: the directed precedence graph of Fabric++'s
+//     reordering pass. An edge u→v means u reads a key v writes, so u
+//     must run before v for u's read to stay fresh inside the block.
+//     Schedule breaks cycles by aborting transactions (greedy
+//     highest-degree victim, deterministic) and emits a topological
+//     order of the survivors — a block order with zero intra-block
+//     read-write conflicts among them.
+//
+//   - Chains: block-order dependency components. Within a committed
+//     block, transaction j's MVCC outcome depends only on earlier
+//     transactions whose writes intersect j's reads; Chains connects
+//     exactly those pairs, so each component walks serially while
+//     components validate in parallel with flags identical to the
+//     legacy serial walk. A block of blind writes on one hot key is one
+//     overlap group but N singleton chains — the difference that breaks
+//     the hot-key commit plateau once the cutter has certified the
+//     block conflict-ordered.
+package rwdep
+
+import (
+	"container/heap"
+	"sort"
+
+	"fabricsim/internal/types"
+)
+
+// RW is one transaction's namespace-qualified key sets. Keys are
+// "namespace/key" strings so equal keys under distinct chaincodes never
+// alias (Fabric's namespacing rule).
+type RW struct {
+	Reads  []string
+	Writes []string
+}
+
+// FromRWSet qualifies one endorsed read-write set with its chaincode
+// namespace.
+func FromRWSet(ns string, rw *types.RWSet) RW {
+	out := RW{}
+	if rw == nil {
+		return out
+	}
+	if len(rw.Reads) > 0 {
+		out.Reads = make([]string, len(rw.Reads))
+		for i, r := range rw.Reads {
+			out.Reads[i] = ns + "/" + r.Key
+		}
+	}
+	if len(rw.Writes) > 0 {
+		out.Writes = make([]string, len(rw.Writes))
+		for i, w := range rw.Writes {
+			out.Writes[i] = ns + "/" + w.Key
+		}
+	}
+	return out
+}
+
+// FromTransactions extracts every transaction's qualified key sets.
+func FromTransactions(txs []*types.Transaction) []RW {
+	out := make([]RW, len(txs))
+	for i, tx := range txs {
+		out[i] = FromRWSet(tx.Proposal.ChaincodeID, &tx.Results)
+	}
+	return out
+}
+
+// unionFind is a path-halving union-find over transaction indices.
+type unionFind []int
+
+func newUnionFind(n int) unionFind {
+	uf := make(unionFind, n)
+	for i := range uf {
+		uf[i] = i
+	}
+	return uf
+}
+
+func (uf unionFind) find(x int) int {
+	for uf[x] != x {
+		uf[x] = uf[uf[x]] // path halving
+		x = uf[x]
+	}
+	return x
+}
+
+func (uf unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra != rb {
+		uf[rb] = ra
+	}
+}
+
+// collectGroups gathers participating indices by union-find root. Each
+// group lists indices in ascending block order; groups appear in order
+// of their first member.
+func collectGroups(uf unionFind, participates []bool) [][]int {
+	byRoot := make(map[int][]int)
+	roots := make([]int, 0, len(uf))
+	for i := range uf {
+		if participates != nil && !participates[i] {
+			continue
+		}
+		r := uf.find(i)
+		if _, ok := byRoot[r]; !ok {
+			roots = append(roots, r)
+		}
+		byRoot[r] = append(byRoot[r], i)
+	}
+	groups := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		groups = append(groups, byRoot[r])
+	}
+	return groups
+}
+
+// ConflictGroups partitions transactions into conflict-free groups for
+// a dependency-parallel commit stage. Two transactions belong to the
+// same group when they share a namespace-qualified key and at least one
+// of the sharers writes it, directly or transitively; transactions in
+// different groups validate and apply with identical outcomes in any
+// interleaving. Pure read-read sharing never groups: reads cannot
+// invalidate each other, so read-only transactions on a hot key stay
+// independent singletons.
+//
+// Only transactions with participates[i] set are grouped (nil means all
+// participate): the committer masks out VSCC-rejected transactions so
+// their key sets cannot glue otherwise-independent groups together. A
+// participating transaction with an empty rwset forms its own singleton
+// group.
+func ConflictGroups(rws []RW, participates []bool) [][]int {
+	uf := newUnionFind(len(rws))
+	// Per key: the representative of every writer (and the readers
+	// already glued to one), or the reader list while no writer has
+	// appeared yet. Readers union only through a writer of their key.
+	writerRep := make(map[string]int)
+	pendingReaders := make(map[string][]int)
+	for i, rw := range rws {
+		if participates != nil && !participates[i] {
+			continue
+		}
+		for _, k := range rw.Writes {
+			if w, ok := writerRep[k]; ok {
+				uf.union(w, i)
+				continue
+			}
+			writerRep[k] = i
+			for _, r := range pendingReaders[k] {
+				uf.union(r, i)
+			}
+			delete(pendingReaders, k)
+		}
+		for _, k := range rw.Reads {
+			if w, ok := writerRep[k]; ok {
+				uf.union(w, i)
+			} else {
+				pendingReaders[k] = append(pendingReaders[k], i)
+			}
+		}
+	}
+	return collectGroups(uf, participates)
+}
+
+// Chains partitions transactions into block-order dependency
+// components: i and j (i < j) connect exactly when a write of i
+// intersects a read of j — the only relation that can change j's MVCC
+// outcome. Each chain must walk serially in block order; distinct
+// chains share no read-from-earlier-write relation, so walking them
+// concurrently with chain-local dirty sets produces flags identical to
+// the legacy block-wide serial walk. Output conventions match
+// ConflictGroups (ascending indices, ordered by first member).
+func Chains(rws []RW, participates []bool) [][]int {
+	uf := newUnionFind(len(rws))
+	// Per key: earlier writers collapse into one representative the
+	// first time a later reader touches them (the reader connects them
+	// all transitively); writers after that reader accumulate anew.
+	collapsed := make(map[string]int)
+	newWriters := make(map[string][]int)
+	for j, rw := range rws {
+		if participates != nil && !participates[j] {
+			continue
+		}
+		// Reads first: a transaction's own write must not make it its
+		// own predecessor.
+		for _, k := range rw.Reads {
+			rep, hasRep := collapsed[k]
+			fresh := newWriters[k]
+			if !hasRep && len(fresh) == 0 {
+				continue // no earlier writer: the read cannot conflict
+			}
+			if hasRep {
+				uf.union(rep, j)
+			}
+			for _, w := range fresh {
+				uf.union(w, j)
+			}
+			collapsed[k] = uf.find(j)
+			delete(newWriters, k)
+		}
+		for _, k := range rw.Writes {
+			newWriters[k] = append(newWriters[k], j)
+		}
+	}
+	return collectGroups(uf, participates)
+}
+
+// PartitionGroups distributes groups (or chains) across pool bins with
+// a longest-processing-time greedy: groups sorted by size descending,
+// each placed on the least-loaded bin. A block-wide dependency chain is
+// one group and lands on a single bin — it is inherently serial — while
+// the singleton groups of a low-conflict block spread evenly, so the
+// modeled wall cost of the apply stage is the heaviest bin, not the
+// whole block.
+func PartitionGroups(groups [][]int, pool int) [][][]int {
+	if pool < 1 {
+		pool = 1
+	}
+	order := make([]int, len(groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(groups[order[a]]) > len(groups[order[b]])
+	})
+	bins := make([][][]int, pool)
+	loads := make([]int, pool)
+	for _, gi := range order {
+		best := 0
+		for b := 1; b < pool; b++ {
+			if loads[b] < loads[best] {
+				best = b
+			}
+		}
+		bins[best] = append(bins[best], groups[gi])
+		loads[best] += len(groups[gi])
+	}
+	return bins
+}
+
+// Graph is the directed precedence graph over one batch: an edge u→v
+// means u reads a namespace-qualified key v writes, so u must precede v
+// in the block for u's read to stay fresh. Transactions without rwset
+// information (participates[i] unset) are isolated vertices: they keep
+// their place in any ordering and are never aborted.
+type Graph struct {
+	n    int
+	succ [][]int
+	pred [][]int
+}
+
+// BuildGraph constructs the precedence graph. Edges are deduplicated
+// and adjacency lists are sorted ascending, so the graph — and
+// everything derived from it — is a pure function of the input.
+func BuildGraph(rws []RW, participates []bool) *Graph {
+	n := len(rws)
+	readers := make(map[string][]int) // key -> txs reading it
+	writers := make(map[string][]int) // key -> txs writing it
+	for i, rw := range rws {
+		if participates != nil && !participates[i] {
+			continue
+		}
+		for _, k := range rw.Reads {
+			readers[k] = append(readers[k], i)
+		}
+		for _, k := range rw.Writes {
+			writers[k] = append(writers[k], i)
+		}
+	}
+	edges := make(map[[2]int]struct{})
+	for k, rs := range readers {
+		ws := writers[k]
+		if len(ws) == 0 {
+			continue
+		}
+		for _, r := range rs {
+			for _, w := range ws {
+				if r != w {
+					edges[[2]int{r, w}] = struct{}{}
+				}
+			}
+		}
+	}
+	g := &Graph{n: n, succ: make([][]int, n), pred: make([][]int, n)}
+	for e := range edges {
+		g.succ[e[0]] = append(g.succ[e[0]], e[1])
+		g.pred[e[1]] = append(g.pred[e[1]], e[0])
+	}
+	for i := 0; i < n; i++ {
+		sort.Ints(g.succ[i])
+		sort.Ints(g.pred[i])
+	}
+	return g
+}
+
+// Len returns the number of vertices (transactions) in the graph.
+func (g *Graph) Len() int { return g.n }
+
+// Succ returns the successors of u: transactions that must come after u.
+func (g *Graph) Succ(u int) []int { return g.succ[u] }
+
+// Cyclic reports whether the graph contains a directed cycle — a set of
+// transactions no block order can serialize (e.g. two read-modify-writes
+// of the same key).
+func (g *Graph) Cyclic() bool {
+	return len(g.cycleVertices(nil)) > 0
+}
+
+// cycleVertices returns, sorted ascending, every vertex belonging to a
+// non-trivial strongly connected component, ignoring removed vertices.
+func (g *Graph) cycleVertices(removed []bool) []int {
+	// Iterative Tarjan SCC.
+	const unvisited = -1
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var stack []int
+	var cyclic []int
+	next := 0
+
+	type frame struct {
+		v  int
+		ei int
+	}
+	for root := 0; root < g.n; root++ {
+		if index[root] != unvisited || (removed != nil && removed[root]) {
+			continue
+		}
+		frames := []frame{{v: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.ei < len(g.succ[f.v]) {
+				w := g.succ[f.v][f.ei]
+				f.ei++
+				if removed != nil && removed[w] {
+					continue
+				}
+				if index[w] == unvisited {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if p := &frames[len(frames)-1]; low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				if len(comp) > 1 {
+					cyclic = append(cyclic, comp...)
+				}
+			}
+		}
+	}
+	sort.Ints(cyclic)
+	return cyclic
+}
+
+// intHeap is a min-heap of transaction indices.
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)         { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any           { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Schedule runs the Fabric++-style conflict-aware pass over one batch:
+// it builds the precedence graph, aborts transactions on unresolvable
+// read-write cycles (greedy cycle-breaking: within each cyclic
+// component the highest-degree member goes first, ties to the latest
+// arrival), and returns the survivors in a topological order with no
+// intra-block read-write conflict left among them. The order is the
+// lexicographically smallest topological order by arrival index, so
+// identical input sequences always produce identical blocks, and a
+// conflict-free batch comes back exactly FIFO. Aborted indices are
+// returned ascending.
+func Schedule(rws []RW, participates []bool) (order []int, aborted []int) {
+	g := BuildGraph(rws, participates)
+	removed := make([]bool, g.n)
+
+	// Break cycles: repeatedly abort the heaviest member of each
+	// remaining cyclic component until the graph is acyclic.
+	for {
+		cyclic := g.cycleVertices(removed)
+		if len(cyclic) == 0 {
+			break
+		}
+		inCycle := make(map[int]bool, len(cyclic))
+		for _, v := range cyclic {
+			inCycle[v] = true
+		}
+		victim, victimDeg := -1, -1
+		for _, v := range cyclic {
+			deg := 0
+			for _, w := range g.succ[v] {
+				if inCycle[w] && !removed[w] {
+					deg++
+				}
+			}
+			for _, w := range g.pred[v] {
+				if inCycle[w] && !removed[w] {
+					deg++
+				}
+			}
+			// >= ties to the latest arrival: aborting the youngest
+			// equally-entangled transaction preserves more of the
+			// earlier-submitted work.
+			if deg >= victimDeg {
+				victim, victimDeg = v, deg
+			}
+		}
+		removed[victim] = true
+		aborted = append(aborted, victim)
+	}
+
+	// Kahn's algorithm with a min-index heap: deterministic, FIFO when
+	// unconstrained.
+	indeg := make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		if removed[u] {
+			continue
+		}
+		for _, w := range g.succ[u] {
+			if !removed[w] {
+				indeg[w]++
+			}
+		}
+	}
+	h := &intHeap{}
+	for i := 0; i < g.n; i++ {
+		if !removed[i] && indeg[i] == 0 {
+			heap.Push(h, i)
+		}
+	}
+	order = make([]int, 0, g.n-len(aborted))
+	for h.Len() > 0 {
+		u := heap.Pop(h).(int)
+		order = append(order, u)
+		for _, w := range g.succ[u] {
+			if removed[w] {
+				continue
+			}
+			indeg[w]--
+			if indeg[w] == 0 {
+				heap.Push(h, w)
+			}
+		}
+	}
+	sort.Ints(aborted)
+	return order, aborted
+}

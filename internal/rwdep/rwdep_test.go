@@ -1,0 +1,389 @@
+package rwdep
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"fabricsim/internal/types"
+)
+
+// depTx builds a bare transaction reading and writing the given keys in
+// namespace "bench".
+func depTx(id string, reads, writes []string) *types.Transaction {
+	tx := &types.Transaction{
+		Proposal: types.Proposal{TxID: types.TxID(id), ChaincodeID: "bench"},
+	}
+	for _, r := range reads {
+		tx.Results.Reads = append(tx.Results.Reads, types.KVRead{Key: r})
+	}
+	for _, w := range writes {
+		tx.Results.Writes = append(tx.Results.Writes, types.KVWrite{Key: w, Value: []byte("v")})
+	}
+	return tx
+}
+
+func allParticipate(n int) []bool {
+	p := make([]bool, n)
+	for i := range p {
+		p[i] = true
+	}
+	return p
+}
+
+func groupsOf(t *testing.T, txs []*types.Transaction, participates []bool) [][]int {
+	t.Helper()
+	return ConflictGroups(FromTransactions(txs), participates)
+}
+
+func TestConflictGroupsDisjointKeys(t *testing.T) {
+	txs := make([]*types.Transaction, 5)
+	for i := range txs {
+		k := fmt.Sprintf("k%d", i)
+		txs[i] = depTx(fmt.Sprintf("tx%d", i), nil, []string{k})
+	}
+	groups := groupsOf(t, txs, allParticipate(len(txs)))
+	if len(groups) != 5 {
+		t.Fatalf("groups = %d, want 5 singletons", len(groups))
+	}
+	for i, g := range groups {
+		if len(g) != 1 || g[0] != i {
+			t.Errorf("group %d = %v", i, g)
+		}
+	}
+}
+
+func TestConflictGroupsTransitiveChain(t *testing.T) {
+	// tx0 writes a, tx1 reads a writes b, tx2 reads b: one chain even
+	// though tx0 and tx2 share no key directly. tx3 is independent.
+	txs := []*types.Transaction{
+		depTx("tx0", nil, []string{"a"}),
+		depTx("tx1", []string{"a"}, []string{"b"}),
+		depTx("tx2", []string{"b"}, nil),
+		depTx("tx3", nil, []string{"z"}),
+	}
+	groups := groupsOf(t, txs, allParticipate(len(txs)))
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want chain + singleton", groups)
+	}
+	if len(groups[0]) != 3 || groups[0][0] != 0 || groups[0][1] != 1 || groups[0][2] != 2 {
+		t.Errorf("chain group = %v, want [0 1 2] in block order", groups[0])
+	}
+	if len(groups[1]) != 1 || groups[1][0] != 3 {
+		t.Errorf("singleton group = %v, want [3]", groups[1])
+	}
+}
+
+func TestConflictGroupsIgnoreVSCCRejected(t *testing.T) {
+	// tx1 touches both a and b but failed VSCC: it must not glue the
+	// two otherwise-independent groups together.
+	txs := []*types.Transaction{
+		depTx("tx0", nil, []string{"a"}),
+		depTx("tx1", []string{"a"}, []string{"b"}),
+		depTx("tx2", nil, []string{"b"}),
+	}
+	participates := []bool{true, false, true}
+	groups := groupsOf(t, txs, participates)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want 2 (rejected tx must not merge them)", groups)
+	}
+}
+
+func TestConflictGroupsNamespaceQualified(t *testing.T) {
+	// Same key name in different chaincode namespaces never conflicts.
+	a := depTx("tx0", nil, []string{"k"})
+	b := depTx("tx1", nil, []string{"k"})
+	b.Proposal.ChaincodeID = "other"
+	groups := groupsOf(t, []*types.Transaction{a, b}, allParticipate(2))
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want 2 (namespaces are disjoint)", groups)
+	}
+}
+
+func TestConflictGroupsReadOnlyPairsStayApart(t *testing.T) {
+	// Two transactions that only read the same key can never invalidate
+	// each other: they must stay independent singletons.
+	txs := []*types.Transaction{
+		depTx("tx0", []string{"hot"}, []string{"a"}),
+		depTx("tx1", []string{"hot"}, []string{"b"}),
+	}
+	groups := groupsOf(t, txs, allParticipate(2))
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want 2 (read-read sharing must not group)", groups)
+	}
+	// But a writer of the shared key glues every reader to it, before
+	// and after it in block order.
+	txs = append(txs, depTx("tx2", nil, []string{"hot"}))
+	groups = groupsOf(t, txs, allParticipate(3))
+	if len(groups) != 1 {
+		t.Fatalf("groups = %v, want 1 once a writer of the key appears", groups)
+	}
+}
+
+func TestConflictGroupsWriteWriteDistinctNamespaces(t *testing.T) {
+	// Write-write on equal key names under distinct namespaces: no
+	// conflict, two groups.
+	a := depTx("tx0", nil, []string{"k"})
+	b := depTx("tx1", nil, []string{"k"})
+	b.Proposal.ChaincodeID = "other"
+	groups := groupsOf(t, []*types.Transaction{a, b}, allParticipate(2))
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want 2", groups)
+	}
+	// Same namespace write-write on one key: one group.
+	c := depTx("tx0", nil, []string{"k"})
+	d := depTx("tx1", nil, []string{"k"})
+	groups = groupsOf(t, []*types.Transaction{c, d}, allParticipate(2))
+	if len(groups) != 1 {
+		t.Fatalf("groups = %v, want 1 (same-namespace write-write)", groups)
+	}
+}
+
+func TestConflictGroupsEmptyRWSet(t *testing.T) {
+	// An empty rwset forms its own singleton group; an empty input
+	// yields no groups at all.
+	txs := []*types.Transaction{
+		depTx("tx0", nil, nil),
+		depTx("tx1", nil, []string{"a"}),
+	}
+	groups := groupsOf(t, txs, allParticipate(2))
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want 2 (empty rwset is a singleton)", groups)
+	}
+	if got := groupsOf(t, nil, nil); len(got) != 0 {
+		t.Fatalf("groups of empty block = %v, want none", got)
+	}
+}
+
+func TestPartitionGroupsSpreadsAndKeepsChains(t *testing.T) {
+	groups := [][]int{{0, 1, 2, 3}, {4}, {5}, {6}, {7}}
+	bins := PartitionGroups(groups, 2)
+	if len(bins) != 2 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	// The 4-chain goes to one bin; the four singletons balance the other
+	// bin first (LPT), so loads end up 4 vs 4.
+	load := func(bin [][]int) int {
+		n := 0
+		for _, g := range bin {
+			n += len(g)
+		}
+		return n
+	}
+	if load(bins[0]) != 4 || load(bins[1]) != 4 {
+		t.Errorf("loads = %d, %d, want 4 and 4", load(bins[0]), load(bins[1]))
+	}
+	// Every group lands in exactly one bin.
+	total := 0
+	for _, bin := range bins {
+		total += len(bin)
+	}
+	if total != len(groups) {
+		t.Errorf("distributed %d groups, want %d", total, len(groups))
+	}
+}
+
+func TestPartitionGroupsSingleBin(t *testing.T) {
+	groups := [][]int{{0}, {1}, {2}}
+	bins := PartitionGroups(groups, 1)
+	if len(bins) != 1 || len(bins[0]) != 3 {
+		t.Fatalf("bins = %v, want all groups in one bin", bins)
+	}
+}
+
+func TestChainsBlindWritesAreSingletons(t *testing.T) {
+	// The hot-key plateau case: N blind writes of one key share the key
+	// but carry no reads, so no transaction's MVCC outcome depends on
+	// another — N singleton chains (vs 1 overlap group).
+	txs := make([]*types.Transaction, 4)
+	for i := range txs {
+		txs[i] = depTx(fmt.Sprintf("tx%d", i), nil, []string{"hot"})
+	}
+	rws := FromTransactions(txs)
+	if chains := Chains(rws, allParticipate(4)); len(chains) != 4 {
+		t.Fatalf("chains = %v, want 4 singletons", chains)
+	}
+	if groups := ConflictGroups(rws, allParticipate(4)); len(groups) != 1 {
+		t.Fatalf("groups = %v, want 1 overlap group", groups)
+	}
+}
+
+func TestChainsConnectEarlierWritersToLaterReaders(t *testing.T) {
+	// tx0 writes k; tx1 reads k (depends on tx0); tx2 writes k blind
+	// after tx1 — nobody reads k after tx2, so tx2 stays independent.
+	txs := []*types.Transaction{
+		depTx("tx0", nil, []string{"k"}),
+		depTx("tx1", []string{"k"}, nil),
+		depTx("tx2", nil, []string{"k"}),
+	}
+	chains := Chains(FromTransactions(txs), allParticipate(3))
+	if len(chains) != 2 {
+		t.Fatalf("chains = %v, want [[0 1] [2]]", chains)
+	}
+	if !reflect.DeepEqual(chains[0], []int{0, 1}) || !reflect.DeepEqual(chains[1], []int{2}) {
+		t.Fatalf("chains = %v, want [[0 1] [2]]", chains)
+	}
+}
+
+func TestChainsCollapseWritersThroughReader(t *testing.T) {
+	// Writers w0, w1 of k are joined the moment reader r reads k after
+	// both; a later writer w3 stays out until someone reads after it.
+	txs := []*types.Transaction{
+		depTx("w0", nil, []string{"k"}),
+		depTx("w1", nil, []string{"k"}),
+		depTx("r", []string{"k"}, nil),
+		depTx("w3", nil, []string{"k"}),
+		depTx("r2", []string{"k"}, nil),
+	}
+	chains := Chains(FromTransactions(txs), allParticipate(5))
+	if len(chains) != 1 {
+		t.Fatalf("chains = %v, want one chain (r2 reads after every writer)", chains)
+	}
+	if !reflect.DeepEqual(chains[0], []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("chain = %v, want ascending block order", chains[0])
+	}
+}
+
+func TestGraphCycleDetection(t *testing.T) {
+	// Two read-modify-writes of one key: a reads k and writes k, b reads
+	// k and writes k — each must precede the other, a 2-cycle.
+	rmw := []*types.Transaction{
+		depTx("a", []string{"k"}, []string{"k"}),
+		depTx("b", []string{"k"}, []string{"k"}),
+	}
+	if g := BuildGraph(FromTransactions(rmw), allParticipate(2)); !g.Cyclic() {
+		t.Fatal("two RMWs of one key must form a cycle")
+	}
+	// A read-before-write pair is orderable: no cycle.
+	ok := []*types.Transaction{
+		depTx("w", nil, []string{"k"}),
+		depTx("r", []string{"k"}, nil),
+	}
+	if g := BuildGraph(FromTransactions(ok), allParticipate(2)); g.Cyclic() {
+		t.Fatal("writer + independent reader must be acyclic")
+	}
+}
+
+func TestScheduleReordersReadsBeforeWrites(t *testing.T) {
+	// FIFO dooms tx1 (reads k after tx0's write); the schedule must put
+	// the reader first and save both.
+	txs := []*types.Transaction{
+		depTx("tx0", nil, []string{"k"}),
+		depTx("tx1", []string{"k"}, nil),
+	}
+	order, aborted := Schedule(FromTransactions(txs), allParticipate(2))
+	if len(aborted) != 0 {
+		t.Fatalf("aborted = %v, want none (orderable)", aborted)
+	}
+	if !reflect.DeepEqual(order, []int{1, 0}) {
+		t.Fatalf("order = %v, want [1 0] (read before conflicting write)", order)
+	}
+}
+
+func TestScheduleAbortsCycleMembers(t *testing.T) {
+	// Three RMWs of one hot key: only one can survive in any order.
+	txs := []*types.Transaction{
+		depTx("a", []string{"k"}, []string{"k"}),
+		depTx("b", []string{"k"}, []string{"k"}),
+		depTx("c", []string{"k"}, []string{"k"}),
+	}
+	order, aborted := Schedule(FromTransactions(txs), allParticipate(3))
+	if len(order) != 1 || len(aborted) != 2 {
+		t.Fatalf("order = %v aborted = %v, want one survivor", order, aborted)
+	}
+	// The greedy victim rule ties to the latest arrival, so the earliest
+	// transaction survives.
+	if order[0] != 0 {
+		t.Errorf("survivor = %d, want 0 (earliest arrival)", order[0])
+	}
+}
+
+func TestScheduleFIFOWhenConflictFree(t *testing.T) {
+	txs := make([]*types.Transaction, 6)
+	for i := range txs {
+		txs[i] = depTx(fmt.Sprintf("tx%d", i), nil, []string{fmt.Sprintf("k%d", i)})
+	}
+	order, aborted := Schedule(FromTransactions(txs), allParticipate(6))
+	if len(aborted) != 0 {
+		t.Fatalf("aborted = %v, want none", aborted)
+	}
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4, 5}) {
+		t.Fatalf("order = %v, want FIFO for a conflict-free batch", order)
+	}
+}
+
+func TestScheduleNonParticipantsKeepPlaceAndNeverAbort(t *testing.T) {
+	// A transaction without rwset info (e.g. an unpeekable envelope) is
+	// an isolated vertex: ordered by index, never aborted — even when
+	// everything around it cycles.
+	txs := []*types.Transaction{
+		depTx("a", []string{"k"}, []string{"k"}),
+		depTx("opaque", []string{"k"}, []string{"k"}), // masked out below
+		depTx("b", []string{"k"}, []string{"k"}),
+	}
+	order, aborted := Schedule(FromTransactions(txs), []bool{true, false, true})
+	for _, i := range aborted {
+		if i == 1 {
+			t.Fatal("non-participant must never abort")
+		}
+	}
+	found := false
+	for _, i := range order {
+		if i == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("order = %v, must contain the opaque tx", order)
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	txs := []*types.Transaction{
+		depTx("a", []string{"x"}, []string{"y"}),
+		depTx("b", []string{"y"}, []string{"x"}),
+		depTx("c", []string{"x"}, nil),
+		depTx("d", nil, []string{"z"}),
+		depTx("e", []string{"z"}, []string{"z"}),
+		depTx("f", []string{"z"}, []string{"z"}),
+	}
+	rws := FromTransactions(txs)
+	order1, aborted1 := Schedule(rws, allParticipate(len(txs)))
+	for i := 0; i < 10; i++ {
+		order2, aborted2 := Schedule(rws, allParticipate(len(txs)))
+		if !reflect.DeepEqual(order1, order2) || !reflect.DeepEqual(aborted1, aborted2) {
+			t.Fatalf("run %d: (%v, %v) != (%v, %v)", i, order2, aborted2, order1, aborted1)
+		}
+	}
+	// Sanity: a/b form a 2-cycle (one aborts), e/f RMW-cycle on z (one
+	// aborts), c and d are free.
+	if len(aborted1) != 2 {
+		t.Fatalf("aborted = %v, want 2 cycle victims", aborted1)
+	}
+}
+
+func TestScheduleSurvivorsConflictFree(t *testing.T) {
+	// Property: after scheduling, no survivor reads a key an earlier
+	// survivor writes (zero intra-block MVCC conflicts remain).
+	txs := []*types.Transaction{
+		depTx("t0", []string{"a"}, []string{"b"}),
+		depTx("t1", []string{"b"}, []string{"c"}),
+		depTx("t2", []string{"c"}, []string{"a"}),
+		depTx("t3", nil, []string{"a"}),
+		depTx("t4", []string{"a"}, nil),
+		depTx("t5", []string{"b", "c"}, []string{"d"}),
+	}
+	rws := FromTransactions(txs)
+	order, _ := Schedule(rws, allParticipate(len(txs)))
+	dirty := map[string]bool{}
+	for _, i := range order {
+		for _, k := range rws[i].Reads {
+			if dirty[k] {
+				t.Fatalf("survivor %d reads %s already written earlier in the schedule %v", i, k, order)
+			}
+		}
+		for _, k := range rws[i].Writes {
+			dirty[k] = true
+		}
+	}
+}

@@ -46,6 +46,17 @@ type BlockMetadata struct {
 	// blocks to the matching per-channel commit pipeline by this field.
 	// Empty means the node's default (first configured) channel.
 	ChannelID string
+	// Reordered marks a block whose transactions went through the
+	// conflict-aware cutter: survivors are in dependency order (every
+	// intra-block read precedes the writes it conflicts with) and any
+	// early-aborted transactions sit at the tail. Committers may then
+	// fan MVCC validation out across true dependency chains instead of
+	// coarse key-overlap groups.
+	Reordered bool
+	// EarlyAborted is the count of trailing transactions the cutter
+	// aborted (unresolvable read-write cycles). Committers flag them
+	// EARLY_ABORT_CONFLICT without spending validate CPU on them.
+	EarlyAborted int
 }
 
 // Block is the unit the ordering service emits and peers validate and
@@ -130,6 +141,8 @@ func (b *Block) Marshal() []byte {
 	enc.Int64(b.Metadata.OrderedTime)
 	enc.String(b.Metadata.OrdererID)
 	enc.String(b.Metadata.ChannelID)
+	enc.Bool(b.Metadata.Reordered)
+	enc.Uvarint(uint64(b.Metadata.EarlyAborted))
 	return enc.Bytes()
 }
 
@@ -159,6 +172,12 @@ func UnmarshalBlock(buf []byte) (*Block, error) {
 	b.Metadata.OrderedTime = dec.Int64()
 	b.Metadata.OrdererID = dec.String()
 	b.Metadata.ChannelID = dec.String()
+	b.Metadata.Reordered = dec.Bool()
+	ea := dec.Uvarint()
+	if ea > maxFieldLen {
+		return nil, ErrOversize
+	}
+	b.Metadata.EarlyAborted = int(ea)
 	if err := dec.Finish(); err != nil {
 		return nil, fmt.Errorf("unmarshal block: %w", err)
 	}

@@ -33,6 +33,11 @@ const (
 	ValidationDuplicateTxID
 	// ValidationBadPayload marks a structurally invalid envelope.
 	ValidationBadPayload
+	// ValidationEarlyAbort marks a transaction dropped by the ordering
+	// service's conflict-aware cutter (Fabric++-style early abort): its
+	// reads were doomed by earlier writes in the same block and no
+	// reordering could save it, so it never reaches validate CPU.
+	ValidationEarlyAbort
 )
 
 // String returns the Fabric-style name of the code.
@@ -52,6 +57,8 @@ func (c ValidationCode) String() string {
 		return "DUPLICATE_TXID"
 	case ValidationBadPayload:
 		return "BAD_PAYLOAD"
+	case ValidationEarlyAbort:
+		return "EARLY_ABORT_CONFLICT"
 	default:
 		return fmt.Sprintf("ValidationCode(%d)", uint8(c))
 	}
@@ -269,6 +276,33 @@ func UnmarshalTransaction(b []byte) (*Transaction, error) {
 		return nil, fmt.Errorf("unmarshal transaction: %w", err)
 	}
 	return &t, nil
+}
+
+// EnvelopeInfo is the prefix of a marshaled Transaction that the
+// ordering path needs for conflict analysis: the transaction identity,
+// the chaincode namespace, and the endorsed read-write set. Peeking
+// this prefix costs one partial decode instead of a full envelope
+// unmarshal (endorsements, signatures, and padding are skipped).
+type EnvelopeInfo struct {
+	TxID        TxID
+	ChaincodeID string
+	Results     RWSet
+}
+
+// PeekEnvelopeInfo decodes just the proposal and read-write set from a
+// marshaled Transaction envelope. The encoding places them first
+// precisely so the ordering service can see endorsed rwsets without
+// paying for (or trusting) the rest of the envelope.
+func PeekEnvelopeInfo(b []byte) (*EnvelopeInfo, error) {
+	dec := NewDecoder(b)
+	var p Proposal
+	p.decode(dec)
+	var rw RWSet
+	rw.decode(dec)
+	if err := dec.Err(); err != nil {
+		return nil, fmt.Errorf("peek envelope: %w", err)
+	}
+	return &EnvelopeInfo{TxID: p.TxID, ChaincodeID: p.ChaincodeID, Results: rw}, nil
 }
 
 // ID returns the transaction's ID.

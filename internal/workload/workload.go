@@ -78,6 +78,18 @@ type Config struct {
 	// fresh key per tx, i.e. no write contention, matching the paper's
 	// system-level workload).
 	KeySpace int
+	// ZipfS skews key popularity within KeySpace with a Zipfian
+	// distribution of parameter s (must be > 1 when set; rank-0 keys are
+	// the hottest). Zero keeps the uniform key choice. Larger s
+	// concentrates more of the load on fewer keys — the contention axis
+	// of the conflict-aware ordering experiments.
+	ZipfS float64
+	// Profile selects a canned multi-op workload instead of the single
+	// Chaincode/Fn invocation. Supported: ProfileSmallBank, which drives
+	// the SmallBank chaincode's read-modify-write mix over KeySpace
+	// accounts (default 1000), with per-account popularity skewed by
+	// ZipfS.
+	Profile string
 	// Seed makes Poisson arrivals and key choice reproducible.
 	Seed int64
 	// MaxInFlight caps outstanding transactions per client in OpenLoop
@@ -109,11 +121,31 @@ func (c *Config) applyDefaults() error {
 	if c.Duration <= 0 {
 		return fmt.Errorf("workload: non-positive duration %s", c.Duration)
 	}
+	switch c.Profile {
+	case "":
+	case ProfileSmallBank:
+		if c.Chaincode == "" {
+			c.Chaincode = "smallbank"
+		}
+		if c.KeySpace <= 0 {
+			c.KeySpace = 1000
+		}
+	default:
+		return fmt.Errorf("workload: unknown profile %q", c.Profile)
+	}
 	if c.Chaincode == "" {
 		c.Chaincode = "bench"
 	}
 	if c.Fn == "" {
 		c.Fn = "write"
+	}
+	if c.ZipfS != 0 {
+		if c.ZipfS <= 1 {
+			return fmt.Errorf("workload: ZipfS must be > 1, got %f", c.ZipfS)
+		}
+		if c.KeySpace < 2 {
+			return fmt.Errorf("workload: ZipfS needs KeySpace >= 2, got %d", c.KeySpace)
+		}
 	}
 	if c.TxSize < 1 {
 		c.TxSize = 1
@@ -195,17 +227,77 @@ func Run(ctx context.Context, clients []*client.Client, cfg Config) (Stats, erro
 	return st.snapshot(), ctx.Err()
 }
 
-// nextArgs picks the next transaction's key and channel.
-func (st *runState) nextArgs(rng *rand.Rand) (channel string, args [][]byte) {
-	seq := st.txSeq.Add(1)
-	key := fmt.Sprintf("k%d", seq)
-	if st.cfg.KeySpace > 0 {
-		key = fmt.Sprintf("k%d", rng.Intn(st.cfg.KeySpace))
+// ProfileSmallBank names the SmallBank mixed-operation workload profile.
+const ProfileSmallBank = "smallbank"
+
+// txgen is one client's transaction generator: a seeded rng plus the
+// optional Zipfian popularity skew over the key space.
+type txgen struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// newGen builds client ci's generator with the run's deterministic
+// per-client seed.
+func (st *runState) newGen(ci int) *txgen {
+	rng := rand.New(rand.NewSource(st.cfg.Seed + int64(ci)*7919 + 1))
+	g := &txgen{rng: rng}
+	if st.cfg.ZipfS > 1 && st.cfg.KeySpace > 1 {
+		g.zipf = rand.NewZipf(rng, st.cfg.ZipfS, 1, uint64(st.cfg.KeySpace-1))
 	}
+	return g
+}
+
+// pick draws one key index from [0, keySpace): Zipf-skewed when
+// configured (index 0 hottest), uniform otherwise.
+func (g *txgen) pick(keySpace int) int {
+	if g.zipf != nil {
+		return int(g.zipf.Uint64())
+	}
+	return g.rng.Intn(keySpace)
+}
+
+// nextCall picks the next transaction's channel, function, and
+// arguments.
+func (st *runState) nextCall(g *txgen) (channel, fn string, args [][]byte) {
+	seq := st.txSeq.Add(1)
 	if len(st.cfg.Channels) > 0 {
 		channel = st.cfg.Channels[int(seq)%len(st.cfg.Channels)]
 	}
-	return channel, [][]byte{[]byte(key), st.value}
+	if st.cfg.Profile == ProfileSmallBank {
+		fn, args = st.nextSmallBank(g)
+		return channel, fn, args
+	}
+	key := fmt.Sprintf("k%d", seq)
+	if st.cfg.KeySpace > 0 {
+		key = fmt.Sprintf("k%d", g.pick(st.cfg.KeySpace))
+	}
+	return channel, st.cfg.Fn, [][]byte{[]byte(key), st.value}
+}
+
+// nextSmallBank draws one operation from the SmallBank mix: 15%
+// deposit, 15% transact (savings), 25% send-payment, 15% write-check,
+// 15% amalgamate, 15% balance query — the write-heavy RMW mix of the
+// original suite. Account popularity follows the generator's key
+// distribution.
+func (st *runState) nextSmallBank(g *txgen) (string, [][]byte) {
+	acct := []byte(fmt.Sprintf("a%d", g.pick(st.cfg.KeySpace)))
+	switch r := g.rng.Intn(100); {
+	case r < 15:
+		return "deposit", [][]byte{acct, []byte("10")}
+	case r < 30:
+		return "transact", [][]byte{acct, []byte("10")}
+	case r < 55:
+		to := []byte(fmt.Sprintf("a%d", g.pick(st.cfg.KeySpace)))
+		return "sendpayment", [][]byte{acct, to, []byte("5")}
+	case r < 70:
+		return "writecheck", [][]byte{acct, []byte("5")}
+	case r < 85:
+		to := []byte(fmt.Sprintf("a%d", g.pick(st.cfg.KeySpace)))
+		return "amalgamate", [][]byte{acct, to}
+	default:
+		return "query", [][]byte{acct}
+	}
 }
 
 // await counts one commit future's resolution.
@@ -229,7 +321,7 @@ func (st *runState) await(cmt *gateway.Commit, cwg *sync.WaitGroup) {
 func (st *runState) runOpenLoopClient(ctx context.Context, gw *gateway.Gateway, ci, numClients int) {
 	cfg := st.cfg
 	gw.SetMaxInFlight(cfg.MaxInFlight)
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919 + 1))
+	gen := st.newGen(ci)
 	perClientRate := cfg.Rate / float64(numClients)
 	meanGap := time.Duration(float64(time.Second) / perClientRate)
 	wallGap := cfg.Model.ScaledDelay(meanGap)
@@ -245,14 +337,14 @@ func (st *runState) runOpenLoopClient(ctx context.Context, gw *gateway.Gateway, 
 		// waiting for the previous response.
 		gap := wallGap
 		if cfg.Arrival == Poisson {
-			gap = time.Duration(rng.ExpFloat64() * float64(wallGap))
+			gap = time.Duration(gen.rng.ExpFloat64() * float64(wallGap))
 		}
 		next = next.Add(gap)
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}
-		channel, args := st.nextArgs(rng)
-		cmt, err := gw.TrySubmitAsync(ctx, channel, cfg.Chaincode, cfg.Fn, args)
+		channel, fn, args := st.nextCall(gen)
+		cmt, err := gw.TrySubmitAsync(ctx, channel, cfg.Chaincode, fn, args)
 		if err != nil {
 			if errors.Is(err, gateway.ErrWindowFull) {
 				st.skipped.Add(1)
@@ -271,7 +363,7 @@ func (st *runState) runOpenLoopClient(ctx context.Context, gw *gateway.Gateway, 
 func (st *runState) runPipelineClient(ctx context.Context, gw *gateway.Gateway, ci int) {
 	cfg := st.cfg
 	gw.SetMaxInFlight(cfg.Window)
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919 + 1))
+	gen := st.newGen(ci)
 	var cwg sync.WaitGroup
 
 	end := time.Now().Add(cfg.Model.ScaledDelay(cfg.Duration))
@@ -279,8 +371,8 @@ func (st *runState) runPipelineClient(ctx context.Context, gw *gateway.Gateway, 
 		if ctx.Err() != nil {
 			break
 		}
-		channel, args := st.nextArgs(rng)
-		cmt, err := gw.SubmitAsync(ctx, channel, cfg.Chaincode, cfg.Fn, args)
+		channel, fn, args := st.nextCall(gen)
+		cmt, err := gw.SubmitAsync(ctx, channel, cfg.Chaincode, fn, args)
 		if err != nil {
 			break // context canceled
 		}

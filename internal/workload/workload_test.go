@@ -114,6 +114,92 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
+func TestZipfSkewsKeyPopularity(t *testing.T) {
+	st := &runState{cfg: Config{KeySpace: 100, ZipfS: 2.0, Seed: 7, Fn: "write"}, value: []byte("v")}
+	gen := st.newGen(0)
+	counts := make(map[int]int)
+	for i := 0; i < 2000; i++ {
+		counts[gen.pick(100)]++
+	}
+	// Rank 0 must dominate under s=2 skew; a uniform draw would give
+	// each key ~20 hits.
+	if counts[0] < 500 {
+		t.Errorf("hottest key drew %d of 2000, want Zipfian concentration", counts[0])
+	}
+	// Determinism: the same seed reproduces the same draw sequence.
+	g1, g2 := st.newGen(3), st.newGen(3)
+	for i := 0; i < 100; i++ {
+		if a, b := g1.pick(100), g2.pick(100); a != b {
+			t.Fatalf("draw %d: %d != %d with equal seeds", i, a, b)
+		}
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	n := testNet(t, nil)
+	if _, err := Run(context.Background(), n.Clients, Config{
+		Rate: 10, Duration: time.Second, ZipfS: 0.9, KeySpace: 10,
+	}); err == nil {
+		t.Error("ZipfS <= 1 accepted")
+	}
+	if _, err := Run(context.Background(), n.Clients, Config{
+		Rate: 10, Duration: time.Second, ZipfS: 1.5,
+	}); err == nil {
+		t.Error("ZipfS without a key space accepted")
+	}
+	if _, err := Run(context.Background(), n.Clients, Config{
+		Rate: 10, Duration: time.Second, Profile: "nope",
+	}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestSmallBankProfileOpMix(t *testing.T) {
+	cfg := Config{Profile: ProfileSmallBank, Rate: 1, Seed: 11, Duration: time.Second}
+	if err := cfg.applyDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Chaincode != "smallbank" || cfg.KeySpace != 1000 {
+		t.Fatalf("profile defaults = chaincode %q keyspace %d", cfg.Chaincode, cfg.KeySpace)
+	}
+	st := &runState{cfg: cfg, value: []byte("v")}
+	gen := st.newGen(0)
+	fns := make(map[string]int)
+	for i := 0; i < 2000; i++ {
+		_, fn, args := st.nextCall(gen)
+		fns[fn]++
+		switch fn {
+		case "sendpayment":
+			if len(args) != 3 {
+				t.Fatalf("sendpayment args = %d", len(args))
+			}
+		case "amalgamate":
+			if len(args) != 2 {
+				t.Fatalf("amalgamate args = %d", len(args))
+			}
+		case "query":
+			if len(args) != 1 {
+				t.Fatalf("query args = %d", len(args))
+			}
+		case "deposit", "transact", "writecheck":
+			if len(args) != 2 {
+				t.Fatalf("%s args = %d", fn, len(args))
+			}
+		default:
+			t.Fatalf("unexpected fn %q", fn)
+		}
+	}
+	for _, fn := range []string{"deposit", "transact", "sendpayment", "writecheck", "amalgamate", "query"} {
+		if fns[fn] == 0 {
+			t.Errorf("op %s never drawn in 2000 calls", fn)
+		}
+	}
+	// send-payment's 25% share should be the plurality.
+	if fns["sendpayment"] < fns["deposit"]/2 {
+		t.Errorf("op mix off: %v", fns)
+	}
+}
+
 func TestRunKeySpaceContention(t *testing.T) {
 	col := metrics.NewCollector()
 	n := testNet(t, col)
