@@ -52,9 +52,10 @@ func run() int {
 		gossipOn    = flag.Bool("gossip", false, "disseminate blocks via gossip (org-leader deliver, push gossip, anti-entropy) instead of per-peer direct deliver")
 		gossipFan   = flag.Int("gossip-fanout", 0, "gossip push fanout per fresh block (0 = 3)")
 		antiEntropy = flag.Duration("anti-entropy", 0, "gossip anti-entropy digest interval in model time (0 = 500ms)")
-		storage     = flag.String("storage", "mem", "ledger storage backend: mem | file")
-		datadir     = flag.String("datadir", "", "root directory for file-backed ledgers (empty = a fresh temp dir)")
+		storage     = flag.String("storage", "mem", "storage backend for peer ledgers and raft OSN hard state: mem | file")
+		datadir     = flag.String("datadir", "", "root directory for file-backed ledgers and raft WALs (empty = a fresh temp dir)")
 		ckptEvery   = flag.Uint64("checkpoint-interval", 0, "file-backend checkpoint cadence in blocks (0 = ledger default)")
+		raftCompact = flag.Int("raft-compact", 0, "raft log compaction threshold in entries (0 = default 128, negative disables)")
 		reorder     = flag.Bool("reorder", false, "conflict-aware ordering: reorder each block to minimize MVCC conflicts and early-abort read-write cycles")
 		retries     = flag.Int("retries", 0, "gateway conflict-retry attempts (0/1 = disabled; retried txs re-endorse with backoff)")
 		keyspace    = flag.Int("keyspace", 0, "confine writes to this many hot keys (0 = fresh key per tx)")
@@ -85,7 +86,8 @@ func run() int {
 			Dir:                *datadir,
 			CheckpointInterval: *ckptEvery,
 		},
-		Reorder: *reorder,
+		RaftCompactThreshold: *raftCompact,
+		Reorder:              *reorder,
 	}
 	if *retries > 1 {
 		cfg.Retry = gateway.RetryConfig{MaxAttempts: *retries, Jitter: 0.2, Seed: 1}

@@ -1,8 +1,10 @@
 // Ordererfailover: demonstrates the crash fault-tolerance the paper
-// attributes to the Kafka and Raft ordering services (Section III).
-// A five-node Raft ordering service keeps committing transactions after
-// its leader is killed: the survivors elect a new leader and the
-// pipeline resumes.
+// attributes to the Kafka and Raft ordering services (Section III),
+// extended to the full crash-restart cycle. A five-node Raft ordering
+// service with file-backed hard state keeps committing transactions
+// after its leader is killed: the survivors elect a new leader, the
+// pipeline resumes, and the healed OSN restarts under the same
+// identity from its persisted write-ahead log — not from genesis.
 //
 //	go run ./examples/ordererfailover
 package main
@@ -28,12 +30,33 @@ func main() {
 
 func run() error {
 	model := costmodel.Default(0.2)
+	// File-backed Raft stores: every OSN persists term, vote, and log
+	// entries to a WAL under dir/<osn>/raft/<channel>, so a crashed
+	// OSN restarts from durable state. The low compaction threshold
+	// makes the log compact within this short run, proving the restart
+	// path works even after the early entries are gone.
+	dir, err := os.MkdirTemp("", "ordererfailover-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	osnBackends := make(map[string]string)
+	for i := 1; i <= 5; i++ {
+		osnBackends[fmt.Sprintf("osn%d", i)] = "file"
+	}
 	net, err := fabnet.Build(fabnet.Config{
 		Orderer:           fabnet.Raft,
 		NumOrderers:       5,
 		NumEndorsingPeers: 3,
 		Policy:            policy.OrOverPeers(3),
 		Model:             model,
+		BatchSize:         1,
+		Storage: fabnet.StorageConfig{
+			Backend: "mem",
+			Dir:     dir,
+			PerPeer: osnBackends,
+		},
+		RaftCompactThreshold: 8,
 	})
 	if err != nil {
 		return err
@@ -57,15 +80,16 @@ func run() error {
 	}
 
 	leader, _ := net.RaftLeader()
-	fmt.Printf("raft cluster of 5 OSNs up, leader = %s\n", leader)
-	fmt.Printf("before crash: %d/10 transactions committed\n", invoke("before", 10))
+	fmt.Printf("raft cluster of 5 file-backed OSNs up, leader = %s\n", leader)
+	fmt.Printf("before crash: %d/12 transactions committed\n", invoke("before", 12))
 
-	// Kill the leader through the chaos controller: the fault is an
-	// explicit, reversible object — the transport drops all the node's
-	// traffic, exactly like a machine failure.
+	// Crash the leader through the chaos controller. CrashOrderer is
+	// the orderer-aware fault: Inject blacks the node out exactly like
+	// a machine failure; Heal later rebuilds the OSN under the same
+	// identity from its persisted Raft state.
 	ctl := net.Chaos()
-	fmt.Printf("killing leader %s...\n", leader)
-	if err := ctl.Inject(ctx, chaos.CrashNode{Node: leader}); err != nil {
+	fmt.Printf("crashing leader %s...\n", leader)
+	if err := ctl.Inject(ctx, chaos.CrashOrderer{Node: leader}); err != nil {
 		return err
 	}
 
@@ -84,14 +108,15 @@ func run() error {
 	}
 	fmt.Printf("new leader elected: %s\n", newLeader)
 
-	ok := invoke("after", 10)
-	fmt.Printf("after failover: %d/10 transactions committed\n", ok)
+	ok := invoke("during", 12)
+	fmt.Printf("with the old leader down: %d/12 transactions committed\n", ok)
 	if ok == 0 {
 		return fmt.Errorf("cluster did not recover")
 	}
 
-	// Heal the fault: the old leader rejoins as a follower, and peers
-	// that were subscribed to it fill their gaps from it.
+	// Heal the fault: CrashOrderer.Heal lifts the blackout AND restarts
+	// the OSN — it reloads term, vote, and log from its WAL, primes its
+	// block chain from a surviving OSN, and rejoins as a follower.
 	if err := ctl.HealAll(ctx); err != nil {
 		return err
 	}
@@ -99,12 +124,35 @@ func run() error {
 		fmt.Printf("chaos log: %s\n", e)
 	}
 
+	// Restart a follower directly to show what a durable restart
+	// recovers: a non-zero Raft base means the entries below it were
+	// compacted away, so the node provably did not replay from genesis.
+	follower := ""
+	cur, _ := net.RaftLeader()
+	for _, o := range net.Orderers {
+		if o.ID() != cur && o.ID() != leader {
+			follower = o.ID()
+			break
+		}
+	}
+	res, err := net.RestartOrderer(ctx, follower)
+	if err != nil {
+		return err
+	}
+	for ch, tip := range res.OldHeights {
+		fmt.Printf("restarted %s: channel %s tip=%d raft base=%d rehydrated=%d blocks from a live source\n",
+			follower, ch, tip, res.RaftBases[ch], res.Rehydrated[ch])
+	}
+
+	ok = invoke("after", 12)
+	fmt.Printf("after heal + follower restart: %d/12 transactions committed\n", ok)
+
 	best := uint64(0)
 	for _, p := range net.Peers {
 		if h := p.Ledger().Height(); h > best {
 			best = h
 		}
 	}
-	fmt.Printf("chain height after failover: %d — ordering service survived a leader crash\n", best)
+	fmt.Printf("chain height after failover: %d — ordering service survived a crash-restart cycle\n", best)
 	return nil
 }

@@ -19,8 +19,9 @@ import (
 )
 
 // Chaos soak: a long open-loop workload driven through a seeded fault
-// schedule (node kill/restart, org partition + heal, degraded links,
-// CPU throttling) on a three-region WAN topology, reporting SLO rows —
+// schedule (peer kill/restart, orderer crash + durable restart, org
+// partition + heal, degraded links, CPU throttling) on a three-region
+// WAN topology with a Raft ordering service, reporting SLO rows —
 // committed tps through each fault window, commit-lag p99, re-election
 // and snapshot-bootstrap counts — and hard invariants: no lost blocks,
 // no duplicate commits, and post-heal tip-hash + state-hash agreement
@@ -29,6 +30,10 @@ import (
 const (
 	chaosOrgs     = 3
 	chaosReplicas = 2
+	// chaosOrderers sizes the Raft ordering service: three file-backed
+	// OSNs, so a crashed one restarts from its persisted hard state
+	// while the surviving majority keeps ordering.
+	chaosOrderers = 3
 	// chaosClients is kept below the peer count so the gateways' event
 	// peers (Peers[(i-1) % len(Peers)]) leave some peers unprotected as
 	// crash targets.
@@ -39,11 +44,23 @@ const (
 	chaosSnapshotThreshold = 12
 )
 
-// chaosFaults sizes the schedule; all four fault kinds always appear
+// chaosKinds is the soak's fault taxonomy: the classic four plus the
+// opt-in orderer crash (blackout, then a durable restart on heal).
+func chaosKinds() []string {
+	return []string{
+		chaos.KindCrash,
+		chaos.KindOrdererCrash,
+		chaos.KindPartition,
+		chaos.KindDegrade,
+		chaos.KindThrottle,
+	}
+}
+
+// chaosFaults sizes the schedule; all five fault kinds always appear
 // (the builder cycles through kinds before repeating).
 func chaosFaults(quick bool) int {
 	if quick {
-		return 4
+		return 5
 	}
 	return 6
 }
@@ -85,6 +102,11 @@ type ChaosPoint struct {
 	Reelections         int     `json:"reelections"`
 	SnapshotBootstraps  int     `json:"snapshot_bootstraps"`
 	SubscriberEvictions int     `json:"subscriber_evictions"`
+	// OrdererCrashes counts the schedule's orderer crash-restart
+	// windows; BroadcastFailovers counts the extra broadcast attempts
+	// gateways made while an OSN was down.
+	OrdererCrashes     int `json:"orderer_crashes"`
+	BroadcastFailovers int `json:"broadcast_failovers"`
 
 	// Hard invariants, checked after the post-heal convergence wait.
 	LostBlocks       int  `json:"lost_blocks"`
@@ -100,8 +122,21 @@ type ChaosPoint struct {
 func runChaosSoak(ctx context.Context, opt Options, w io.Writer) (ChaosPoint, error) {
 	model := costmodel.Default(opt.Scale)
 	col := metrics.NewCollector()
+	// Peers stay mem-backed (the snapshot-bootstrap path needs a wiped
+	// restart), while the OSNs persist Raft hard state to disk so a
+	// crashed orderer restarts from its log instead of from genesis.
+	raftDir, err := os.MkdirTemp("", "fabricsim-chaos-raft-")
+	if err != nil {
+		return ChaosPoint{}, fmt.Errorf("bench: %w", err)
+	}
+	defer os.RemoveAll(raftDir)
+	osnBackends := make(map[string]string, chaosOrderers)
+	for i := 1; i <= chaosOrderers; i++ {
+		osnBackends[fmt.Sprintf("osn%d", i)] = "file"
+	}
 	cfg := fabnet.Config{
-		Orderer:           fabnet.Solo,
+		Orderer:           fabnet.Raft,
+		NumOrderers:       chaosOrderers,
 		NumEndorsingPeers: chaosOrgs,
 		EndorsersPerOrg:   chaosReplicas,
 		NumClients:        chaosClients,
@@ -121,8 +156,13 @@ func runChaosSoak(ctx context.Context, opt Options, w io.Writer) (ChaosPoint, er
 		},
 		Storage: fabnet.StorageConfig{
 			Backend:           "mem",
+			Dir:               raftDir,
+			PerPeer:           osnBackends,
 			SnapshotThreshold: chaosSnapshotThreshold,
 		},
+		// Compact aggressively so soak-length runs exercise the
+		// compacted-log restart path, not just WAL replay.
+		RaftCompactThreshold: 16,
 	}
 	net, err := fabnet.Build(cfg)
 	if err != nil {
@@ -156,6 +196,7 @@ func runChaosSoak(ctx context.Context, opt Options, w io.Writer) (ChaosPoint, er
 		// soak's wall-time footprint.
 		Duration:  model.ScaledDelay(soak),
 		Faults:    chaosFaults(opt.Quick),
+		Kinds:     chaosKinds(),
 		Protected: protected,
 	})
 	if err != nil {
@@ -233,11 +274,20 @@ func runChaosSoak(ctx context.Context, opt Options, w io.Writer) (ChaosPoint, er
 		}
 	}
 	// Duplicate commits: no valid transaction ID may appear twice in
-	// the reference chain (a replayed envelope slipping past the
-	// committer's duplicate check during fault churn).
+	// the scanned chain (a replayed envelope slipping past the
+	// committer's duplicate check during fault churn). Scan the peer
+	// with the fullest retained history — a peer that fell behind
+	// during an orderer blackout may have snapshot-bootstrapped and
+	// pruned its early blocks.
+	scan := ref
+	for _, p := range net.Peers {
+		if p.Ledger().Base() < scan.Base() {
+			scan = p.Ledger()
+		}
+	}
 	committed := make(map[types.TxID]bool)
-	for num := uint64(1); num < refHeight; num++ {
-		blk, err := ref.GetBlock(num)
+	for num := scan.Base() + 1; num < scan.Height(); num++ {
+		blk, err := scan.GetBlock(num)
 		if err != nil {
 			return ChaosPoint{}, fmt.Errorf("bench: block %d: %w", num, err)
 		}
@@ -283,10 +333,17 @@ func runChaosSoak(ctx context.Context, opt Options, w io.Writer) (ChaosPoint, er
 	point.Reelections = overall.LeaderElections
 	point.SnapshotBootstraps = overall.SnapshotBootstraps
 	point.SubscriberEvictions = overall.SubscriberEvictions
+	point.BroadcastFailovers = overall.BroadcastFailovers
+	for _, ev := range sched.Events {
+		if ev.Fault.Kind() == chaos.KindOrdererCrash {
+			point.OrdererCrashes++
+		}
+	}
 
-	fprintf(w, "\noverall: committed tps=%.1f commit-lag p99=%.3fs re-elections=%d snapshot-bootstraps=%d evictions=%d\n",
+	fprintf(w, "\noverall: committed tps=%.1f commit-lag p99=%.3fs re-elections=%d snapshot-bootstraps=%d evictions=%d orderer-crashes=%d broadcast-failovers=%d\n",
 		point.OverallTPS, point.CommitLagP99S, point.Reelections,
-		point.SnapshotBootstraps, point.SubscriberEvictions)
+		point.SnapshotBootstraps, point.SubscriberEvictions,
+		point.OrdererCrashes, point.BroadcastFailovers)
 	fprintf(w, "invariants: lost_blocks=%d duplicate_commits=%d tip_converged=%v state_converged=%v chain_valid=%v\n",
 		point.LostBlocks, point.DuplicateCommits, point.TipConverged,
 		point.StateConverged, point.ChainValid)
@@ -305,8 +362,8 @@ func FigChaos() Experiment {
 		Run: func(ctx context.Context, opt Options, w io.Writer) error {
 			opt = opt.withDefaults()
 			header(w, "Chaos soak — Faults vs. SLOs on a 3-region WAN")
-			fprintf(w, "(orderer=solo, orgs=%d x %d replicas, gossip on, open loop %.0f tps, snapshot threshold=%d)\n",
-				chaosOrgs, chaosReplicas, chaosRate, chaosSnapshotThreshold)
+			fprintf(w, "(orderer=raft x %d file-backed, orgs=%d x %d replicas, gossip on, open loop %.0f tps, snapshot threshold=%d)\n",
+				chaosOrderers, chaosOrgs, chaosReplicas, chaosRate, chaosSnapshotThreshold)
 			point, err := runChaosSoak(ctx, opt, w)
 			if err != nil {
 				return err

@@ -44,6 +44,10 @@ type Cluster interface {
 	// backends reopen their disk; mem peers come back empty and
 	// re-converge via gossip).
 	RestartPeer(ctx context.Context, id string) error
+	// RestartOrderer rebuilds an ordering node under its old ID: Raft
+	// OSNs reload their persisted hard state, Solo/Kafka OSNs rehydrate
+	// their chains from a live replica or peer block store.
+	RestartOrderer(ctx context.Context, id string) error
 	// ThrottleCPU pins a node's simulated CPU to the given core count
 	// and returns the previous count.
 	ThrottleCPU(id string, cores int) (prev int, err error)
@@ -51,10 +55,11 @@ type Cluster interface {
 
 // Fault taxonomy kinds.
 const (
-	KindCrash     = "crash"
-	KindPartition = "partition"
-	KindDegrade   = "degrade"
-	KindThrottle  = "throttle"
+	KindCrash        = "crash"
+	KindOrdererCrash = "crash-orderer"
+	KindPartition    = "partition"
+	KindDegrade      = "degrade"
+	KindThrottle     = "throttle"
 )
 
 // Fault is one reversible disturbance. Inject applies it, Heal undoes
@@ -109,6 +114,29 @@ func (f CrashNode) Inject(_ context.Context, c Cluster) error {
 func (f CrashNode) Heal(_ context.Context, c Cluster) error {
 	c.SetNodeDown(f.Node, false)
 	return nil
+}
+
+// CrashOrderer blacks out an ordering node and, on Heal, rebuilds it
+// through the cluster's RestartOrderer: the OSN rejoins under its old
+// identity from persisted Raft state (or a rehydrated chain), the
+// blackout → restart → rejoin cycle CrashPeer gives peers. Raft
+// leaders crashed this way force a re-election; the restarted node
+// comes back as a follower.
+type CrashOrderer struct {
+	Node string
+}
+
+func (f CrashOrderer) Kind() string { return KindOrdererCrash }
+func (f CrashOrderer) Name() string { return fmt.Sprintf("crash-orderer(%s)", f.Node) }
+
+func (f CrashOrderer) Inject(_ context.Context, c Cluster) error {
+	c.SetNodeDown(f.Node, true)
+	return nil
+}
+
+func (f CrashOrderer) Heal(ctx context.Context, c Cluster) error {
+	c.SetNodeDown(f.Node, false)
+	return c.RestartOrderer(ctx, f.Node)
 }
 
 // Partition cuts every link between groups A and B in both directions;

@@ -16,12 +16,13 @@ import (
 // fakeCluster is an in-memory Cluster for controller and schedule
 // tests: two orgs of two peers, one orderer, a real LinkSet.
 type fakeCluster struct {
-	mu         sync.Mutex
-	links      *transport.LinkSet
-	down       map[string]bool
-	restarts   []string
-	cores      map[string]int
-	restartErr error
+	mu          sync.Mutex
+	links       *transport.LinkSet
+	down        map[string]bool
+	restarts    []string
+	osnRestarts []string
+	cores       map[string]int
+	restartErr  error
 }
 
 func newFakeCluster() *fakeCluster {
@@ -61,6 +62,12 @@ func (f *fakeCluster) RestartPeer(_ context.Context, id string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.restarts = append(f.restarts, id)
+	return f.restartErr
+}
+func (f *fakeCluster) RestartOrderer(_ context.Context, id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.osnRestarts = append(f.osnRestarts, id)
 	return f.restartErr
 }
 func (f *fakeCluster) ThrottleCPU(id string, cores int) (int, error) {
@@ -244,6 +251,74 @@ func TestRunExecutesScheduleAndHeals(t *testing.T) {
 	for _, e := range log {
 		if e.Err != "" {
 			t.Errorf("log entry error: %s", e)
+		}
+	}
+}
+
+func TestCrashOrdererLifecycle(t *testing.T) {
+	fc := newFakeCluster()
+	ctl := New(fc)
+	ctx := context.Background()
+
+	crash := CrashOrderer{Node: "osn1"}
+	if crash.Kind() != KindOrdererCrash {
+		t.Fatalf("kind = %q", crash.Kind())
+	}
+	if err := ctl.Inject(ctx, crash); err != nil {
+		t.Fatal(err)
+	}
+	if !fc.isDown("osn1") {
+		t.Fatal("inject did not black out the orderer")
+	}
+	if err := ctl.Heal(ctx, crash); err != nil {
+		t.Fatal(err)
+	}
+	if fc.isDown("osn1") {
+		t.Fatal("heal left the orderer down")
+	}
+	if !reflect.DeepEqual(fc.osnRestarts, []string{"osn1"}) {
+		t.Fatalf("orderer restarts = %v", fc.osnRestarts)
+	}
+}
+
+func TestScheduleIncludesOrdererCrash(t *testing.T) {
+	fc := newFakeCluster()
+	ctl := New(fc)
+	kinds := []string{KindOrdererCrash, KindCrash}
+	s, err := ctl.BuildSchedule(7, ScheduleConfig{
+		Duration: 10 * time.Second,
+		Faults:   4,
+		Kinds:    kinds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, ev := range s.Events {
+		if ev.Fault.Kind() == KindOrdererCrash {
+			found++
+			if co, ok := ev.Fault.(CrashOrderer); !ok || co.Node != "osn1" {
+				t.Fatalf("orderer-crash fault = %#v", ev.Fault)
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("schedule has %d orderer crashes, want 2: %v", found, s.Timeline())
+	}
+
+	// A protected orderer leaves the kind with no target: it degrades.
+	s2, err := ctl.BuildSchedule(7, ScheduleConfig{
+		Duration:  10 * time.Second,
+		Faults:    2,
+		Kinds:     []string{KindOrdererCrash},
+		Protected: []string{"osn1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range s2.Events {
+		if ev.Fault.Kind() == KindOrdererCrash {
+			t.Fatalf("protected orderer still targeted: %v", s2.Timeline())
 		}
 	}
 }

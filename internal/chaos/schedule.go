@@ -60,7 +60,9 @@ type ScheduleConfig struct {
 	Duration time.Duration
 	// Faults is the number of fault windows (default 4).
 	Faults int
-	// Kinds restricts the fault taxonomy; empty means all four kinds.
+	// Kinds restricts the fault taxonomy; empty means the classic four
+	// (crash, partition, degrade, throttle — KindOrdererCrash is
+	// opt-in, as it needs a cluster that can rebuild ordering nodes).
 	// The builder cycles through the kinds before repeating, so Faults
 	// >= len(Kinds) guarantees every kind appears.
 	Kinds []string
@@ -124,6 +126,12 @@ func (ctl *Controller) BuildSchedule(seed int64, cfg ScheduleConfig) (Schedule, 
 			targets = append(targets, id)
 		}
 	}
+	var osnTargets []string // orderer-crash candidates
+	for _, id := range c.Orderers() {
+		if !protected[id] {
+			osnTargets = append(osnTargets, id)
+		}
+	}
 	orgs := c.Orgs()
 
 	pick := func(list []string) string { return list[rng.Intn(len(list))] }
@@ -141,6 +149,9 @@ func (ctl *Controller) BuildSchedule(seed int64, cfg ScheduleConfig) (Schedule, 
 		if (kind == KindCrash || kind == KindThrottle) && len(targets) == 0 {
 			kind = KindDegrade
 		}
+		if kind == KindOrdererCrash && len(osnTargets) == 0 {
+			kind = KindDegrade
+		}
 		if kind == KindPartition && len(orgs) < 2 {
 			kind = KindDegrade
 		}
@@ -149,6 +160,8 @@ func (ctl *Controller) BuildSchedule(seed int64, cfg ScheduleConfig) (Schedule, 
 		switch kind {
 		case KindCrash:
 			f = CrashPeer{Node: pick(targets)}
+		case KindOrdererCrash:
+			f = CrashOrderer{Node: pick(osnTargets)}
 		case KindPartition:
 			f = PartitionOrg(c, pick(orgs))
 		case KindThrottle:

@@ -147,6 +147,11 @@ type Config struct {
 	Gossip GossipConfig
 	// Storage selects and tunes the peers' ledger storage engines.
 	Storage StorageConfig
+	// RaftCompactThreshold tunes committed-prefix compaction of the
+	// OSNs' Raft logs: a node compacts once the applied prefix above the
+	// log's base reaches this many entries. 0 keeps the raft package
+	// default (128); negative disables compaction.
+	RaftCompactThreshold int
 	// UseTCP runs every node on real loopback TCP sockets (gob framing)
 	// instead of the in-memory emulated network. Latency/bandwidth then
 	// come from the real kernel path; used by cmd/fabricnet.
@@ -182,14 +187,20 @@ type GossipConfig struct {
 	LeaderLease time.Duration
 }
 
-// StorageConfig selects and tunes the peers' ledger storage engines.
+// StorageConfig selects and tunes the peers' ledger storage engines
+// and (for Raft ordering) the OSNs' hard-state stores.
 type StorageConfig struct {
 	// Backend is the ledger storage engine every peer uses: "mem"
 	// (default, volatile) or "file" (persistent; restarted peers reopen
-	// their ledgers from checkpoint + block-store tail).
+	// their ledgers from checkpoint + block-store tail). Under Raft
+	// ordering it also selects OSN hard-state persistence: "file" OSNs
+	// keep term/vote/log in a WAL under Dir/<osnID>/raft/<channel> and
+	// reload it on RestartOrderer; "mem" OSNs keep an in-process store
+	// the network retains across restarts.
 	Backend string
 	// Dir roots file-backed storage; each peer stores its channels under
-	// Dir/<nodeID>/<channel>. Required when any peer uses "file".
+	// Dir/<nodeID>/<channel>. Required when any peer (or Raft OSN) uses
+	// "file".
 	Dir string
 	// CheckpointInterval is the file backend's checkpoint cadence in
 	// blocks (0 = ledger.DefaultCheckpointInterval).
@@ -204,7 +215,9 @@ type StorageConfig struct {
 	// index (0 = ledger.DefaultHistoryCap, negative = keep everything).
 	HistoryCap int
 	// PerPeer overrides the storage backend for individual node IDs —
-	// mixed-backend topologies (one durable peer among mem peers).
+	// mixed-backend topologies (one durable peer among mem peers). OSN
+	// IDs ("osn1", ...) may appear here too, selecting that orderer's
+	// Raft store backend.
 	PerPeer map[string]string
 }
 
@@ -399,7 +412,21 @@ type Network struct {
 	// peerCfgs retains each peer's build configuration (indexed like
 	// Peers) so RestartPeer can rebuild a crashed peer from scratch.
 	peerCfgs []peer.Config
-	started  bool
+	// ordererCfgs / ordererIDs mirror peerCfgs for the ordering service
+	// (indexed like Orderers) so RestartOrderer can rebuild an OSN under
+	// its old identity.
+	ordererCfgs []orderer.Config
+	ordererIDs  []string
+	// raftStores holds each OSN's per-channel hard-state stores (indexed
+	// like Orderers; nil for non-Raft ordering). Mem stores are retained
+	// here across restarts — the network plays the role of the disk.
+	raftStores    []map[string]raft.Store
+	raftElection  time.Duration
+	raftHeartbeat time.Duration
+	// brokerIDs retains the Kafka broker membership so a restarted OSN
+	// can be handed a fresh Kafka client.
+	brokerIDs []string
+	started   bool
 
 	chaosOnce sync.Once
 	chaosCtl  *chaos.Controller
@@ -559,8 +586,11 @@ func Build(cfg Config) (*Network, error) {
 			col := cfg.Collector
 			ocfg.OnEvict = func(string) { col.SubscriberEvicted() }
 		}
+		n.ordererCfgs = append(n.ordererCfgs, ocfg)
 		n.Orderers = append(n.Orderers, orderer.New(ocfg))
 	}
+	n.ordererIDs = ordererIDs
+	n.raftStores = make([]map[string]raft.Store, len(ordererIDs))
 
 	switch cfg.Orderer {
 	case Solo:
@@ -573,13 +603,20 @@ func Build(cfg Config) (*Network, error) {
 		// Fabric's etcdraft defaults are a 500ms tick with a 10-tick
 		// election timeout; the heartbeat here is shorter because the
 		// commit index is also pushed eagerly on advance.
-		electionTimeout := model.ScaledDelay(2 * time.Second)
-		heartbeat := model.ScaledDelay(200 * time.Millisecond)
+		n.raftElection = model.ScaledDelay(2 * time.Second)
+		n.raftHeartbeat = model.ScaledDelay(200 * time.Millisecond)
 		for i := range n.Orderers {
+			stores, err := n.buildRaftStores(cfg, ordererIDs[i], channelIDs)
+			if err != nil {
+				return nil, err
+			}
+			n.raftStores[i] = stores
 			rc, err := orderer.NewRaftConsenter(n.Orderers[i], orderer.RaftConfig{
 				Peers:             ordererIDs,
-				ElectionTimeout:   electionTimeout,
-				HeartbeatInterval: heartbeat,
+				ElectionTimeout:   n.raftElection,
+				HeartbeatInterval: n.raftHeartbeat,
+				Stores:            stores,
+				CompactThreshold:  cfg.RaftCompactThreshold,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fabnet: %w", err)
@@ -838,11 +875,40 @@ func (n *Network) buildKafka(ordererIDs []string, ordererEPs []transport.Endpoin
 		return fmt.Errorf("fabnet: %w", err)
 	}
 	n.kafkaCluster = cluster
+	n.brokerIDs = brokerIDs
 	for i := range n.Orderers {
 		kc := kafka.NewClient(ordererEPs[i], brokerIDs, model.ScaledDelay(3*time.Second))
 		orderer.NewKafkaConsenter(n.Orderers[i], kc, nil) // channel i -> partition i
 	}
 	return nil
+}
+
+// buildRaftStores resolves one OSN's per-channel hard-state stores using
+// the same backend resolution peers use: Storage.Backend with a PerPeer
+// override keyed by the OSN ID. "file" lays a WAL under
+// Dir/<osnID>/raft/<channel>; anything else is an in-process MemStore
+// the Network retains across restarts.
+func (n *Network) buildRaftStores(cfg Config, osnID string, channels []string) (map[string]raft.Store, error) {
+	backend := cfg.Storage.Backend
+	if override := cfg.Storage.PerPeer[osnID]; override != "" {
+		backend = override
+	}
+	stores := make(map[string]raft.Store, len(channels))
+	for _, ch := range channels {
+		if backend == "file" {
+			if cfg.Storage.Dir == "" {
+				return nil, fmt.Errorf("fabnet: orderer %s uses file storage but Storage.Dir is empty", osnID)
+			}
+			fs, err := raft.NewFileStore(filepath.Join(cfg.Storage.Dir, osnID, "raft", ch))
+			if err != nil {
+				return nil, fmt.Errorf("fabnet: orderer %s raft store: %w", osnID, err)
+			}
+			stores[ch] = fs
+		} else {
+			stores[ch] = raft.NewMemStore()
+		}
+	}
+	return stores, nil
 }
 
 // Start launches the ordering service, peers, and clients. For Raft it
@@ -1023,6 +1089,11 @@ func (c chaosCluster) RestartPeer(ctx context.Context, id string) error {
 	return err
 }
 
+func (c chaosCluster) RestartOrderer(ctx context.Context, id string) error {
+	_, err := c.n.RestartOrderer(ctx, id)
+	return err
+}
+
 func (c chaosCluster) ThrottleCPU(id string, cores int) (int, error) {
 	return c.n.ThrottleCPU(id, cores)
 }
@@ -1108,6 +1179,218 @@ func (n *Network) RestartPeer(ctx context.Context, id string) (*RestartResult, e
 	return res, nil
 }
 
+// OrdererRestartResult reports one OSN crash + restart.
+type OrdererRestartResult struct {
+	// Orderer is the restarted OSN (it replaced the old one in
+	// Network.Orderers).
+	Orderer *orderer.Orderer
+	// OldHeights records each channel's chain tip at the moment the old
+	// incarnation stopped — the height the restarted OSN must get back
+	// to before it can serve deliver requests for the whole chain.
+	OldHeights map[string]uint64
+	// RaftBases records, per channel, the compaction base of the
+	// restarted node's persisted Raft log (0 when nothing was compacted,
+	// absent for non-Raft ordering). A base > 0 proves the node rejoined
+	// from persisted state rather than replaying from genesis.
+	RaftBases map[string]uint64
+	// Rehydrated counts the blocks primed into each channel's chain from
+	// a surviving OSN or peer block store before the consenter attached.
+	Rehydrated map[string]uint64
+}
+
+// RestartOrderer simulates an OSN crash + restart: the named orderer is
+// stopped, its node ID released, and a fresh orderer built from the
+// same configuration under the same identity, then started. Under Raft
+// the new node reloads its persisted hard state (term, vote, log) from
+// the channel stores and only needs its block chain primed up to the
+// log's compaction base — it replays the rest from its own log and the
+// leader's appends. Under Solo and Kafka the chain is rehydrated from a
+// surviving OSN's chain or a peer's block store tail; Kafka then
+// replays its partition from offset zero and the chain's replay guard
+// drops the duplicates. Gossip org leaders and directly-subscribed
+// peers resubscribe through their existing deliver heartbeats, so no
+// blocks are lost across the restart.
+func (n *Network) RestartOrderer(ctx context.Context, id string) (*OrdererRestartResult, error) {
+	idx := -1
+	for i, o := range n.Orderers {
+		if o.ID() == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("fabnet: unknown orderer %q", id)
+	}
+	channels := n.Cfg.channelIDs()
+	old := n.Orderers[idx]
+	res := &OrdererRestartResult{
+		OldHeights: make(map[string]uint64, len(channels)),
+		RaftBases:  make(map[string]uint64),
+		Rehydrated: make(map[string]uint64),
+	}
+	for _, ch := range channels {
+		res.OldHeights[ch] = old.ChainHeight(ch)
+	}
+	old.Stop()
+
+	var ep transport.Endpoint
+	var err error
+	if n.Transport != nil {
+		n.Transport.Deregister(id)
+		ep, err = n.Transport.Register(id)
+	} else {
+		n.TCPNet.Deregister(id)
+		ep, err = n.TCPNet.Register(id)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fabnet: restart %s: %w", id, err)
+	}
+	ocfg := n.ordererCfgs[idx]
+	ocfg.Endpoint = ep
+	o := orderer.New(ocfg)
+
+	switch n.Cfg.Orderer {
+	case Raft:
+		// File-backed stores must be reopened (the dead node's handle is
+		// stale); mem stores live in the Network and carry over as-is.
+		stores := n.raftStores[idx]
+		fresh := make(map[string]raft.Store, len(stores))
+		for ch, st := range stores {
+			if fs, ok := st.(*raft.FileStore); ok {
+				fs.Close()
+				nf, ferr := raft.NewFileStore(fs.Dir())
+				if ferr != nil {
+					return nil, fmt.Errorf("fabnet: restart %s: reopen raft store: %w", id, ferr)
+				}
+				fresh[ch] = nf
+			} else {
+				fresh[ch] = st
+			}
+		}
+		n.raftStores[idx] = fresh
+		// The chain must reach each store's compaction base before the
+		// consenter attaches: entries below the base are gone from the
+		// log, so the blocks they produced can only come from a peer.
+		for _, ch := range channels {
+			_, base, _, lerr := fresh[ch].Load()
+			if lerr != nil {
+				return nil, fmt.Errorf("fabnet: restart %s: load raft store: %w", id, lerr)
+			}
+			res.RaftBases[ch] = base.Index
+			if err := n.primeChain(o, idx, ch, base.Index, res); err != nil {
+				return nil, err
+			}
+		}
+		rc, rerr := orderer.NewRaftConsenter(o, orderer.RaftConfig{
+			Peers:             n.ordererIDs,
+			ElectionTimeout:   n.raftElection,
+			HeartbeatInterval: n.raftHeartbeat,
+			Stores:            fresh,
+			CompactThreshold:  n.Cfg.RaftCompactThreshold,
+		})
+		if rerr != nil {
+			return nil, fmt.Errorf("fabnet: restart %s: %w", id, rerr)
+		}
+		n.raftCons[idx] = rc
+	case Kafka:
+		for _, ch := range channels {
+			if err := n.primeChain(o, idx, ch, 0, res); err != nil {
+				return nil, err
+			}
+		}
+		kc := kafka.NewClient(ep, n.brokerIDs, n.Cfg.Model.ScaledDelay(3*time.Second))
+		orderer.NewKafkaConsenter(o, kc, nil)
+	default: // Solo
+		for _, ch := range channels {
+			if err := n.primeChain(o, idx, ch, 0, res); err != nil {
+				return nil, err
+			}
+		}
+		orderer.NewSolo(o)
+	}
+
+	if err := o.Start(); err != nil {
+		return nil, fmt.Errorf("fabnet: restart %s: %w", id, err)
+	}
+	n.Orderers[idx] = o
+	res.Orderer = o
+	return res, nil
+}
+
+// primeChain rehydrates one channel of a restarting OSN from the best
+// available source and records the count in res.
+func (n *Network) primeChain(o *orderer.Orderer, skipIdx int, ch string, floor uint64, res *OrdererRestartResult) error {
+	blocks, err := n.chainTail(skipIdx, ch, floor)
+	if err != nil {
+		return fmt.Errorf("fabnet: restart %s: channel %s: %w", o.ID(), ch, err)
+	}
+	if len(blocks) == 0 {
+		return nil
+	}
+	if err := o.RestoreChain(ch, blocks); err != nil {
+		return fmt.Errorf("fabnet: restart %s: channel %s: %w", o.ID(), ch, err)
+	}
+	res.Rehydrated[ch] = uint64(len(blocks))
+	return nil
+}
+
+// chainTail collects blocks [1..tip] of one channel from the best
+// available source: another OSN's in-memory chain (always the full
+// range) first, then any peer block store that still retains the chain
+// from genesis (snapshot-bootstrapped ledgers cannot serve the early
+// blocks). floor is the minimum tip required — a restarted Raft node
+// must reach its log's compaction base — and the poll retries until a
+// source reaches it. With floor zero and no source (fresh network, or
+// every ledger pruned) it returns nil: the chain restarts empty.
+func (n *Network) chainTail(skipIdx int, ch string, floor uint64) ([]*types.Block, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		// Surviving OSNs hold the whole chain in memory.
+		for i, o := range n.Orderers {
+			if i == skipIdx {
+				continue
+			}
+			h := o.ChainHeight(ch)
+			if h == 0 || h < floor {
+				continue
+			}
+			if blocks := o.ChainBlocks(ch, 1, h+1); uint64(len(blocks)) == h {
+				return blocks, nil
+			}
+		}
+		// Peer block stores, where the full range survives.
+		for _, p := range n.Peers {
+			led, ok := p.LedgerFor(ch)
+			if !ok || led.Base() != 0 {
+				continue
+			}
+			tip := led.Height() - 1 // Height counts genesis
+			if tip == 0 || tip < floor {
+				continue
+			}
+			blocks := make([]*types.Block, 0, tip)
+			for num := uint64(1); num <= tip; num++ {
+				b, err := led.GetBlock(num)
+				if err != nil {
+					blocks = nil
+					break
+				}
+				blocks = append(blocks, b)
+			}
+			if blocks != nil {
+				return blocks, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if floor == 0 {
+				return nil, nil
+			}
+			return nil, fmt.Errorf("no source reaches raft compaction base %d", floor)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // Stop tears the network down in dependency order.
 func (n *Network) Stop() {
 	for _, p := range n.Peers {
@@ -1115,6 +1398,11 @@ func (n *Network) Stop() {
 	}
 	for _, o := range n.Orderers {
 		o.Stop()
+	}
+	for _, stores := range n.raftStores {
+		for _, st := range stores {
+			st.Close()
+		}
 	}
 	if n.kafkaCluster != nil {
 		n.kafkaCluster.Stop()

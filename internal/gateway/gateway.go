@@ -63,6 +63,9 @@ var (
 	// ErrWindowFull reports a TrySubmitAsync that found every in-flight
 	// window slot occupied.
 	ErrWindowFull = errors.New("gateway: in-flight window full")
+	// ErrOrdererUnavailable reports a broadcast that tried every
+	// configured OSN (the failover path) and found none accepting.
+	ErrOrdererUnavailable = errors.New("gateway: no orderer available")
 )
 
 // DefaultMaxInFlight bounds SubmitAsync's in-flight window when the

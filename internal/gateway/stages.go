@@ -241,12 +241,8 @@ func (t *Transaction) Submit(ctx context.Context) (*Commit, error) {
 		pend = g.registerPending(t.prop.TxID)
 	}
 
-	osn := g.cfg.Orderers[g.rrOrd.Add(1)%uint64(len(g.cfg.Orderers))]
-	bctx, cancel := context.WithTimeout(ctx, g.cfg.Model.ScaledDelay(g.cfg.Model.OrderTimeout))
 	benv := &orderer.BroadcastEnvelope{Channel: t.channel, Env: t.env}
-	_, err := g.cfg.Endpoint.Call(bctx, osn, orderer.KindBroadcast, benv, len(t.env)+len(t.channel)+16)
-	cancel()
-	if err != nil {
+	if err := g.broadcast(ctx, benv, len(t.env)+len(t.channel)+16); err != nil {
 		if pend != nil {
 			g.unregisterPending(t.prop.TxID)
 		}
@@ -264,6 +260,65 @@ func (t *Transaction) Submit(ctx context.Context) (*Commit, error) {
 	c.payload = t.payload
 	go g.awaitCommit(c, t.channel, pend)
 	return c, nil
+}
+
+// broadcastBackoff is the model-time pause between successive OSN
+// attempts of one broadcast; the whole attempt sequence still shares a
+// single ordering-timeout budget.
+const broadcastBackoff = 25 * time.Millisecond
+
+// broadcast sends one envelope to the ordering service with failover.
+// The round-robin pick goes first, skipping OSNs the shared load
+// tracker currently marks down (a crashed OSN costs one failed call
+// per cooldown across all gateways, not per transaction). A failed
+// call down-marks its OSN and the broadcast moves to the next
+// candidate after a bounded backoff; expiry of the ordering budget (or
+// the caller's context) aborts without down-marking, since it says
+// nothing about the OSN's health. ErrOrdererUnavailable surfaces only
+// when every candidate OSN was tried and none accepted.
+func (g *Gateway) broadcast(ctx context.Context, benv *orderer.BroadcastEnvelope, size int) error {
+	lt := g.loads()
+	nOrd := uint64(len(g.cfg.Orderers))
+	start := g.rrOrd.Add(1)
+	rotation := make([]string, 0, nOrd)
+	for i := uint64(0); i < nOrd; i++ {
+		rotation = append(rotation, g.cfg.Orderers[(start+i)%nOrd])
+	}
+	candidates := healthyReplicas(rotation, lt)
+
+	bctx, cancel := context.WithTimeout(ctx, g.cfg.Model.ScaledDelay(g.cfg.Model.OrderTimeout))
+	defer cancel()
+	backoff := g.cfg.Model.ScaledDelay(broadcastBackoff)
+	var lastErr error
+	for i, osn := range candidates {
+		if i > 0 {
+			if g.cfg.Collector != nil {
+				g.cfg.Collector.BroadcastFailover()
+			}
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-bctx.Done():
+				timer.Stop()
+				return fmt.Errorf("%w (budget expired after: %v)", bctx.Err(), lastErr)
+			}
+			timer.Stop()
+		}
+		lt.Begin(osn)
+		begun := time.Now()
+		_, err := g.cfg.Endpoint.Call(bctx, osn, orderer.KindBroadcast, benv, size)
+		if err == nil {
+			lt.Done(osn, time.Since(begun), true)
+			return nil
+		}
+		if bctx.Err() != nil {
+			lt.Abort(osn)
+			return err
+		}
+		lt.Done(osn, time.Since(begun), false)
+		lastErr = err
+	}
+	return fmt.Errorf("%w (last error: %v)", ErrOrdererUnavailable, lastErr)
 }
 
 // awaitCommit resolves one Commit future in the background: from the

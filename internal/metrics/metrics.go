@@ -109,6 +109,7 @@ type Collector struct {
 	evictions  int
 	elections  int
 	snapshots  int
+	failovers  int
 	start      time.Time
 }
 
@@ -230,6 +231,14 @@ func (c *Collector) SnapshotBootstrap() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.snapshots++
+}
+
+// BroadcastFailover counts one gateway broadcast retried on another
+// OSN after a failed attempt.
+func (c *Collector) BroadcastFailover() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failovers++
 }
 
 // SubscriberEvicted counts one deliver subscriber pruned by an orderer
@@ -383,6 +392,10 @@ type Summary struct {
 	// ledger snapshot (snapshot-then-tail repair) instead of replaying
 	// their whole gap block by block.
 	SnapshotBootstraps int
+	// BroadcastFailovers counts gateway broadcasts that had to retry on
+	// another OSN after their first pick failed (one count per extra
+	// attempt, not per transaction).
+	BroadcastFailovers int
 
 	// CommitLag is the block-cut -> per-peer-commit distribution over
 	// every (peer, block) pair committed inside the window (model time):
@@ -596,6 +609,7 @@ func (c *Collector) Summarize(opts SummaryOptions) Summary {
 	s.LeaderElections = c.elections
 	s.SubscriberEvictions = c.evictions
 	s.SnapshotBootstraps = c.snapshots
+	s.BroadcastFailovers = c.failovers
 	c.mu.Unlock()
 	hopTotal := 0
 	for _, g := range gossips {

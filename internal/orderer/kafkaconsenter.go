@@ -196,14 +196,21 @@ func (k *KafkaConsenter) processRecord(kc *kafkaChain, data []byte) {
 		if !pending {
 			kc.hasPend = false
 		}
-		var toEmit [][][]byte
+		type cut struct {
+			num   uint64
+			batch [][]byte
+		}
+		var toEmit []cut
 		for _, b := range batches {
+			toEmit = append(toEmit, cut{num: kc.blockSeq, batch: b})
 			kc.blockSeq++
-			toEmit = append(toEmit, b)
 		}
 		kc.mu.Unlock()
-		for _, b := range toEmit {
-			k.orderer.emitBatch(kc.channel, b)
+		for _, c := range toEmit {
+			// Replay from partition offset 0 is deterministic, so after a
+			// restart over a rehydrated chain the recut blocks carry the
+			// same numbers and emitBatchAt drops the duplicates.
+			k.orderer.emitBatchAt(kc.channel, c.num, c.batch)
 		}
 	case recordTTC:
 		dec := types.NewDecoder(data[1:])
@@ -223,7 +230,7 @@ func (k *KafkaConsenter) processRecord(kc *kafkaChain, data []byte) {
 		}
 		kc.blockSeq++
 		kc.mu.Unlock()
-		k.orderer.emitBatch(kc.channel, batch)
+		k.orderer.emitBatchAt(kc.channel, target, batch)
 	}
 }
 

@@ -276,7 +276,11 @@ func (o *Orderer) chainFor(channel string) (*chain, error) {
 }
 
 // SetConsenter attaches the consensus implementation.
-func (o *Orderer) SetConsenter(c Consenter) { o.consenter = c }
+func (o *Orderer) SetConsenter(c Consenter) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.consenter = c
+}
 
 // Start launches the consenter.
 func (o *Orderer) Start() error {
@@ -322,15 +326,19 @@ func (o *Orderer) handleBroadcast(ctx context.Context, _ string, payload any) (a
 	channel = c.id
 	o.mu.Lock()
 	stopped := o.stopped
+	consenter := o.consenter
 	o.mu.Unlock()
-	if stopped {
+	// A restarting OSN registers its endpoint before the consenter
+	// attaches; envelopes landing in that window are refused (the
+	// gateway fails over), not dropped into a nil consenter.
+	if stopped || consenter == nil {
 		return nil, 0, ErrStopped
 	}
 	// Orderer ingest cost: envelope signature check + enqueue.
 	if err := o.cfg.CPU.Execute(ctx, o.cfg.Model.OrderPerTxCPU); err != nil {
 		return nil, 0, err
 	}
-	if err := o.consenter.Submit(ctx, channel, env); err != nil {
+	if err := consenter.Submit(ctx, channel, env); err != nil {
 		return nil, 0, err
 	}
 	return "ACK", 4, nil
@@ -498,6 +506,86 @@ func (o *Orderer) handleGetBlocks(_ context.Context, _ string, payload any) (any
 	o.egressBlocks.Add(uint64(len(blocks)))
 	o.egressBytes.Add(uint64(size))
 	return &GetBlocksReply{Blocks: blocks}, size, nil
+}
+
+// ChainHeight returns the number of the last cut block on a channel
+// (0 = genesis only). Unknown channels report 0.
+func (o *Orderer) ChainHeight(channel string) uint64 {
+	c, err := o.chainFor(channel)
+	if err != nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastNum
+}
+
+// ChainBlocks returns channel blocks [from, to) for in-process chain
+// rehydration (fabnet restarting an OSN reads a live node's chain).
+// The range is clamped to the chain; blocks are immutable once cut, so
+// sharing pointers is safe.
+func (o *Orderer) ChainBlocks(channel string, from, to uint64) []*types.Block {
+	c, err := o.chainFor(channel)
+	if err != nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if height := uint64(len(c.blocks)); to > height {
+		to = height
+	}
+	if from >= to {
+		return nil
+	}
+	blocks := make([]*types.Block, to-from)
+	copy(blocks, c.blocks[from:to])
+	return blocks
+}
+
+// RestoreChain primes a channel's chain with blocks recovered from
+// another replica (or a peer's block store) after a crash-restart, so
+// the rebuilt OSN continues numbering from its pre-crash tip instead
+// of re-cutting from genesis. It must run before Start: consenters
+// read the tip when they attach. Blocks at or below the current tip
+// are skipped; the rest must extend the chain contiguously.
+func (o *Orderer) RestoreChain(channel string, blocks []*types.Block) error {
+	c, err := o.chainFor(channel)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, b := range blocks {
+		if b == nil || b.Header.Number <= c.lastNum {
+			continue
+		}
+		if b.Header.Number != c.lastNum+1 {
+			return fmt.Errorf("orderer %s: restore channel %s: block %d does not extend tip %d",
+				o.cfg.ID, c.id, b.Header.Number, c.lastNum)
+		}
+		c.blocks = append(c.blocks, b)
+		c.lastNum = b.Header.Number
+		c.prevHash = b.Header.Hash()
+	}
+	return nil
+}
+
+// emitBatchAt is emitBatch for consenters that know the batch's
+// consensus sequence number (Raft entry index, Kafka cut sequence): a
+// number at or below the chain tip means this batch already became a
+// block — the node restarted with a rehydrated chain and the consenter
+// is replaying its durable log — so the replay is skipped instead of
+// double-cutting.
+func (o *Orderer) emitBatchAt(channel string, num uint64, batch [][]byte) {
+	if c, err := o.chainFor(channel); err == nil {
+		c.mu.Lock()
+		replayed := num <= c.lastNum
+		c.mu.Unlock()
+		if replayed {
+			return
+		}
+	}
+	o.emitBatch(channel, batch)
 }
 
 // emitBatch turns one ordered batch into the channel's next block and

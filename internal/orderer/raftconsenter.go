@@ -51,6 +51,16 @@ type RaftConfig struct {
 	// ElectionTimeout and HeartbeatInterval are wall-clock (scaled).
 	ElectionTimeout   time.Duration
 	HeartbeatInterval time.Duration
+	// Stores optionally maps channel ID to the raft.Store persisting
+	// that channel's group on this OSN; channels absent from the map
+	// get fresh volatile stores. A restarted OSN handed its pre-crash
+	// stores rejoins with term, vote, and log intact — the chain must
+	// be rehydrated to at least each store's compaction base first
+	// (RestoreChain) so replayed entries dedupe by index.
+	Stores map[string]raft.Store
+	// CompactThreshold tunes committed-prefix log compaction of the
+	// embedded nodes (0 = raft default, negative disables).
+	CompactThreshold int
 }
 
 // NewRaftConsenter attaches a Raft consenter to the OSN and starts one
@@ -87,6 +97,8 @@ func NewRaftConsenter(o *Orderer, rc RaftConfig) (*RaftConsenter, error) {
 			Apply:             func(e raft.Entry) { r.applyEntry(g, e) },
 			AppendDelay:       appendDelay,
 			Group:             group,
+			Store:             rc.Stores[ch],
+			CompactThreshold:  rc.CompactThreshold,
 		})
 		if err != nil {
 			r.stopNodes()
@@ -278,7 +290,10 @@ func (r *RaftConsenter) cutLoop(g *raftGroup) {
 // applyEntry is the Raft apply callback: decode the batch and emit it on
 // the group's channel. Raft applies entries from a single goroutine in
 // log order on every OSN, which keeps per-channel block numbering
-// consistent cluster-wide.
+// consistent cluster-wide. Entry index and block number advance in
+// lock-step (every entry cuts exactly one block), so emitBatchAt can
+// drop entries re-applied after a crash-restart whose blocks the
+// rehydrated chain already holds.
 func (r *RaftConsenter) applyEntry(g *raftGroup, e raft.Entry) {
 	batch, err := decodeBatch(e.Data)
 	if err != nil {
@@ -286,7 +301,7 @@ func (r *RaftConsenter) applyEntry(g *raftGroup, e raft.Entry) {
 	}
 	g.applyMu.Lock()
 	defer g.applyMu.Unlock()
-	r.orderer.emitBatch(g.channel, batch)
+	r.orderer.emitBatchAt(g.channel, e.Index, batch)
 }
 
 // encodeBatch serializes a batch of envelopes into one Raft entry.

@@ -6,11 +6,15 @@
 // followers have appended it — exactly the behaviour the paper describes
 // in Section III.
 //
-// Scope notes versus a production Raft: the log is in-memory (nodes that
-// "crash" in experiments are network-partitioned, preserving their
-// volatile state, which is equivalent to persistence for the measured
-// scenarios), and log compaction/snapshots are not implemented because
-// experiments run minutes, not months.
+// Hard state — currentTerm, votedFor, and the log — is persisted
+// through a pluggable Store (in-memory or file-backed WAL; see
+// store.go) before any message that depends on it is sent, exactly the
+// durability contract of Figure 2 in the Raft paper. A restarted node
+// reloads the store in NewNode and rejoins with its term, vote, and
+// log intact, so crash-restart faults cannot produce a double vote or
+// a regressed term. Committed-prefix compaction keeps the retained log
+// bounded: applied entries below every peer's match index are folded
+// into a base sentinel and the WAL is rewritten.
 package raft
 
 import (
@@ -130,7 +134,19 @@ type Config struct {
 	// Group optionally names an independent Raft group; nodes only talk
 	// to peers of the same group. Empty is the default (single) group.
 	Group string
+	// Store persists hard state and log entries; nil means a fresh
+	// private MemStore (volatile across restarts).
+	Store Store
+	// CompactThreshold is the number of applied entries retained above
+	// the compaction base before the committed prefix is folded away.
+	// Zero means the default; negative disables compaction.
+	CompactThreshold int
 }
+
+// defaultCompactThreshold keeps compaction rare enough that rewrite
+// cost is amortized but frequent enough that minutes-long runs stay
+// bounded.
+const defaultCompactThreshold = 128
 
 // Node is one Raft cluster member.
 type Node struct {
@@ -142,13 +158,16 @@ type Node struct {
 	currentTerm uint64
 	votedFor    string
 	leaderID    string
-	log         []Entry // log[0] is a sentinel at index 0, term 0
+	log         []Entry // log[0] is the compaction base sentinel
 	commitIndex uint64
 	lastApplied uint64
 	nextIndex   map[string]uint64
 	matchIndex  map[string]uint64
 	lastContact time.Time
 	timeoutSpan time.Duration
+
+	store      Store
+	persistErr error // first store failure, for PersistErr
 
 	applyCh chan struct{}
 	stopCh  chan struct{}
@@ -159,7 +178,12 @@ type Node struct {
 	kindSuffix string // "" or "." + cfg.Group
 }
 
-// NewNode creates and starts a Raft node.
+// NewNode creates and starts a Raft node, reloading any persisted hard
+// state and log from cfg.Store. A reloaded node resumes with its
+// pre-crash term and vote (so it cannot vote twice in a term) and with
+// commitIndex/lastApplied at the compaction base — entries above the
+// base are re-applied in order once re-committed, and the application
+// layer deduplicates by entry index.
 func NewNode(cfg Config) (*Node, error) {
 	if cfg.ID == "" || len(cfg.Peers) == 0 {
 		return nil, errors.New("raft: config requires ID and Peers")
@@ -170,11 +194,27 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.HeartbeatInterval <= 0 {
 		cfg.HeartbeatInterval = cfg.ElectionTimeout / 5
 	}
+	store := cfg.Store
+	if store == nil {
+		store = NewMemStore()
+	}
+	hs, base, entries, err := store.Load()
+	if err != nil {
+		return nil, fmt.Errorf("raft: load persisted state: %w", err)
+	}
+	log := make([]Entry, 0, len(entries)+1)
+	log = append(log, Entry{Term: base.Term, Index: base.Index})
+	log = append(log, entries...)
 	n := &Node{
 		cfg:         cfg,
 		quorum:      len(cfg.Peers)/2 + 1,
 		state:       Follower,
-		log:         []Entry{{Term: 0, Index: 0}},
+		currentTerm: hs.Term,
+		votedFor:    hs.VotedFor,
+		log:         log,
+		commitIndex: base.Index,
+		lastApplied: base.Index,
+		store:       store,
 		nextIndex:   make(map[string]uint64),
 		matchIndex:  make(map[string]uint64),
 		lastContact: time.Now(),
@@ -211,6 +251,51 @@ func hashString(s string) uint64 {
 	return h
 }
 
+// baseIndexLocked is the compaction base: the index of the last entry
+// folded away (0 for an uncompacted log).
+func (n *Node) baseIndexLocked() uint64 { return n.log[0].Index }
+
+// lastIndexLocked is the index of the last log entry.
+func (n *Node) lastIndexLocked() uint64 { return n.log[len(n.log)-1].Index }
+
+// entryLocked returns the entry at index; the caller must have checked
+// baseIndex <= index <= lastIndex (the base itself is a valid sentinel
+// read: its term is the term of the compacted-away entry).
+func (n *Node) entryLocked(index uint64) Entry {
+	return n.log[index-n.log[0].Index]
+}
+
+// persistHardLocked records term and vote through the store; it must
+// run before releasing n.mu so no RPC observing the new state can be
+// answered ahead of the write.
+func (n *Node) persistHardLocked() {
+	err := n.store.SaveHardState(HardState{Term: n.currentTerm, VotedFor: n.votedFor})
+	if err != nil && n.persistErr == nil {
+		n.persistErr = err
+	}
+}
+
+// persistEntriesLocked appends entries to the store (truncating any
+// conflicting persisted suffix from entries[0].Index).
+func (n *Node) persistEntriesLocked(entries []Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	if err := n.store.AppendEntries(entries); err != nil && n.persistErr == nil {
+		n.persistErr = err
+	}
+}
+
+// PersistErr reports the first store failure, if any. Persistence
+// errors do not halt the node — the in-memory path keeps the cluster
+// live — but they void the crash-recovery guarantee, so harnesses
+// should surface them.
+func (n *Node) PersistErr() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.persistErr
+}
+
 // Stop shuts the node down and waits for its goroutines.
 func (n *Node) Stop() {
 	n.mu.Lock()
@@ -245,21 +330,38 @@ func (n *Node) CommitIndex() uint64 {
 	return n.commitIndex
 }
 
-// LogLength returns the number of entries (excluding the sentinel).
+// LogLength returns the number of entries retained above the
+// compaction base (before any compaction this is the full log length,
+// excluding the sentinel).
 func (n *Node) LogLength() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return len(n.log) - 1
 }
 
+// LastIndex returns the index of the last log entry.
+func (n *Node) LastIndex() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastIndexLocked()
+}
+
+// CompactionBase returns the index below which the log has been
+// compacted away (0 until the first compaction).
+func (n *Node) CompactionBase() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.baseIndexLocked()
+}
+
 // EntryAt returns the log entry at the given index, for test inspection.
 func (n *Node) EntryAt(index uint64) (Entry, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if index == 0 || index >= uint64(len(n.log)) {
+	if index <= n.baseIndexLocked() || index > n.lastIndexLocked() {
 		return Entry{}, false
 	}
-	return n.log[index], true
+	return n.entryLocked(index), true
 }
 
 // Propose appends data to the replicated log if this node is the
@@ -278,11 +380,15 @@ func (n *Node) Propose(data []byte) (uint64, error) {
 	}
 	entry := Entry{
 		Term:  n.currentTerm,
-		Index: uint64(len(n.log)),
+		Index: n.lastIndexLocked() + 1,
 		Data:  data,
 	}
 	n.log = append(n.log, entry)
+	n.persistEntriesLocked(n.log[len(n.log)-1:])
 	n.matchIndex[n.cfg.ID] = entry.Index
+	// A single-node cluster commits on its own match; with peers this
+	// is a no-op until replies arrive.
+	n.advanceCommitLocked()
 	n.mu.Unlock()
 
 	n.broadcastAppend()
@@ -340,11 +446,12 @@ func (n *Node) startElection() {
 	n.currentTerm++
 	term := n.currentTerm
 	n.votedFor = n.cfg.ID
+	n.persistHardLocked() // term and self-vote durable before soliciting
 	n.leaderID = ""
 	n.lastContact = time.Now()
 	n.timeoutSpan = n.randomTimeout()
-	lastIdx := uint64(len(n.log) - 1)
-	lastTerm := n.log[lastIdx].Term
+	lastIdx := n.lastIndexLocked()
+	lastTerm := n.entryLocked(lastIdx).Term
 	n.mu.Unlock()
 
 	args := &VoteArgs{
@@ -356,6 +463,11 @@ func (n *Node) startElection() {
 
 	var votesMu sync.Mutex
 	votes := 1 // own vote
+	if votes >= n.quorum {
+		// Single-node cluster: the self-vote already carries the term.
+		n.becomeLeader(term)
+		return
+	}
 	for _, peer := range n.cfg.Peers {
 		if peer == n.cfg.ID {
 			continue
@@ -403,7 +515,7 @@ func (n *Node) becomeLeader(term uint64) {
 	}
 	n.state = Leader
 	n.leaderID = n.cfg.ID
-	next := uint64(len(n.log))
+	next := n.lastIndexLocked() + 1
 	for _, p := range n.cfg.Peers {
 		n.nextIndex[p] = next
 		n.matchIndex[p] = 0
@@ -418,6 +530,7 @@ func (n *Node) becomeFollowerLocked(term uint64, leader string) {
 	if term > n.currentTerm {
 		n.currentTerm = term
 		n.votedFor = ""
+		n.persistHardLocked()
 	}
 	n.state = Follower
 	if leader != "" {
@@ -451,19 +564,23 @@ func (n *Node) replicateTo(peer string, term uint64) {
 		n.mu.Unlock()
 		return
 	}
+	base := n.baseIndexLocked()
 	next := n.nextIndex[peer]
-	if next < 1 {
-		next = 1
+	if next < base+1 {
+		// The prefix below the base is compacted away; it is committed
+		// on a quorum, so a follower this far behind is caught up from
+		// the base (leaders only compact below every peer's match).
+		next = base + 1
 	}
-	if next > uint64(len(n.log)) {
-		next = uint64(len(n.log))
+	if last := n.lastIndexLocked(); next > last+1 {
+		next = last + 1
 	}
 	prevIdx := next - 1
-	prevTerm := n.log[prevIdx].Term
+	prevTerm := n.entryLocked(prevIdx).Term
 	// Cap the batch per AppendEntries so a lagging follower is caught
 	// up over several rounds instead of one unbounded message that
 	// would monopolize the link and delay heartbeats.
-	tail := n.log[next:]
+	tail := n.log[next-base:]
 	if len(tail) > maxEntriesPerAppend {
 		tail = tail[:maxEntriesPerAppend]
 	}
@@ -518,13 +635,16 @@ func (n *Node) replicateTo(peer string, term uint64) {
 	} else if n.nextIndex[peer] > 1 {
 		n.nextIndex[peer]--
 	}
+	if n.nextIndex[peer] < n.baseIndexLocked()+1 {
+		n.nextIndex[peer] = n.baseIndexLocked() + 1
+	}
 }
 
 // advanceCommitLocked moves commitIndex to the highest majority-matched
 // index whose entry is from the current term (Raft's commitment rule).
 func (n *Node) advanceCommitLocked() {
-	for idx := uint64(len(n.log) - 1); idx > n.commitIndex; idx-- {
-		if n.log[idx].Term != n.currentTerm {
+	for idx := n.lastIndexLocked(); idx > n.commitIndex; idx-- {
+		if n.entryLocked(idx).Term != n.currentTerm {
 			break
 		}
 		count := 0
@@ -571,12 +691,13 @@ func (n *Node) handleVote(_ context.Context, _ string, payload any) (any, int, e
 	if args.Term < n.currentTerm {
 		return reply, 16, nil
 	}
-	lastIdx := uint64(len(n.log) - 1)
-	lastTerm := n.log[lastIdx].Term
+	lastIdx := n.lastIndexLocked()
+	lastTerm := n.entryLocked(lastIdx).Term
 	upToDate := args.LastLogTerm > lastTerm ||
 		(args.LastLogTerm == lastTerm && args.LastLogIndex >= lastIdx)
 	if (n.votedFor == "" || n.votedFor == args.CandidateID) && upToDate {
 		n.votedFor = args.CandidateID
+		n.persistHardLocked() // vote durable before the reply leaves
 		n.lastContact = time.Now()
 		n.timeoutSpan = n.randomTimeout()
 		reply.Granted = true
@@ -605,15 +726,30 @@ func (n *Node) handleAppend(_ context.Context, _ string, payload any) (any, int,
 	reply.Term = n.currentTerm
 
 	// Consistency check on the previous entry.
-	if args.PrevLogIndex >= uint64(len(n.log)) {
-		reply.ConflictIndex = uint64(len(n.log))
+	base := n.baseIndexLocked()
+	if args.PrevLogIndex > n.lastIndexLocked() {
+		reply.ConflictIndex = n.lastIndexLocked() + 1
 		return reply, 24, nil
 	}
-	if n.log[args.PrevLogIndex].Term != args.PrevLogTerm {
+	entries := args.Entries
+	prevIdx, prevTerm := args.PrevLogIndex, args.PrevLogTerm
+	if prevIdx < base {
+		// Everything at or below the base is committed and applied
+		// here, so it matches the leader's log (Log Matching + Leader
+		// Completeness); skip the already-compacted portion.
+		skip := base - prevIdx
+		if uint64(len(entries)) <= skip {
+			reply.Success = true
+			return reply, 24, nil
+		}
+		entries = entries[skip:]
+		prevIdx, prevTerm = base, n.log[0].Term
+	}
+	if n.entryLocked(prevIdx).Term != prevTerm {
 		// Find the first index of the conflicting term.
-		conflictTerm := n.log[args.PrevLogIndex].Term
-		idx := args.PrevLogIndex
-		for idx > 1 && n.log[idx-1].Term == conflictTerm {
+		conflictTerm := n.entryLocked(prevIdx).Term
+		idx := prevIdx
+		for idx > base+1 && n.entryLocked(idx-1).Term == conflictTerm {
 			idx--
 		}
 		reply.ConflictIndex = idx
@@ -621,19 +757,22 @@ func (n *Node) handleAppend(_ context.Context, _ string, payload any) (any, int,
 	}
 
 	// Append any new entries, truncating on divergence.
-	for i, e := range args.Entries {
-		idx := args.PrevLogIndex + 1 + uint64(i)
-		if idx < uint64(len(n.log)) {
-			if n.log[idx].Term == e.Term {
+	var appended []Entry
+	for i, e := range entries {
+		idx := prevIdx + 1 + uint64(i)
+		if idx <= n.lastIndexLocked() {
+			if n.entryLocked(idx).Term == e.Term {
 				continue
 			}
-			n.log = n.log[:idx]
+			n.log = n.log[:idx-base]
 		}
 		n.log = append(n.log, e)
+		appended = append(appended, e)
 	}
+	n.persistEntriesLocked(appended)
 
 	if args.LeaderCommit > n.commitIndex {
-		last := uint64(len(n.log) - 1)
+		last := n.lastIndexLocked()
 		if args.LeaderCommit < last {
 			n.commitIndex = args.LeaderCommit
 		} else {
@@ -663,11 +802,53 @@ func (n *Node) applyLoop() {
 				break
 			}
 			n.lastApplied++
-			entry := n.log[n.lastApplied]
+			entry := n.entryLocked(n.lastApplied)
 			n.mu.Unlock()
 			if n.cfg.Apply != nil {
 				n.cfg.Apply(entry)
 			}
 		}
+		n.maybeCompact()
+	}
+}
+
+// maybeCompact folds the committed, applied prefix of the log into the
+// base sentinel once it exceeds the configured threshold. A leader
+// additionally holds compaction below every peer's match index so it
+// never discards entries a lagging follower still needs (AppendEntries
+// here has no snapshot-install fallback; a dead follower therefore
+// stalls leader compaction, which is bounded by run length).
+func (n *Node) maybeCompact() {
+	if n.cfg.CompactThreshold < 0 {
+		return
+	}
+	threshold := n.cfg.CompactThreshold
+	if threshold == 0 {
+		threshold = defaultCompactThreshold
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	limit := n.lastApplied
+	if n.state == Leader {
+		for _, p := range n.cfg.Peers {
+			if p == n.cfg.ID {
+				continue
+			}
+			if m := n.matchIndex[p]; m < limit {
+				limit = m
+			}
+		}
+	}
+	base := n.baseIndexLocked()
+	if limit <= base || limit-base < uint64(threshold) {
+		return
+	}
+	keep := n.log[limit-base:]
+	compacted := make([]Entry, len(keep))
+	copy(compacted, keep)
+	compacted[0].Data = nil // base sentinel carries no payload
+	n.log = compacted
+	if err := n.store.Compact(limit, n.log[0].Term); err != nil && n.persistErr == nil {
+		n.persistErr = err
 	}
 }

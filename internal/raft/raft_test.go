@@ -12,52 +12,91 @@ import (
 
 // cluster is a test harness around n Raft nodes on one network.
 type cluster struct {
-	t     *testing.T
-	net   *transport.Network
-	nodes map[string]*Node
+	t      *testing.T
+	net    *transport.Network
+	nodes  map[string]*Node
+	peers  []string
+	stores map[string]Store
 
 	mu      sync.Mutex
 	applied map[string][]Entry
 }
 
 func newCluster(t *testing.T, n int) *cluster {
+	return newClusterWithStores(t, n, nil)
+}
+
+// newClusterWithStores builds a cluster whose nodes persist through
+// mkStore-provided stores, enabling crash-restart tests; nil mkStore
+// means volatile (node-private) stores.
+func newClusterWithStores(t *testing.T, n int, mkStore func(id string) Store) *cluster {
 	t.Helper()
 	c := &cluster{
 		t:       t,
 		net:     transport.NewNetwork(transport.Config{TimeScale: 1.0, Latency: 200 * time.Microsecond}),
 		nodes:   make(map[string]*Node),
+		stores:  make(map[string]Store),
 		applied: make(map[string][]Entry),
 	}
 	t.Cleanup(c.net.Close)
-	peers := make([]string, 0, n)
 	for i := 1; i <= n; i++ {
-		peers = append(peers, fmt.Sprintf("n%d", i))
+		c.peers = append(c.peers, fmt.Sprintf("n%d", i))
 	}
-	for _, id := range peers {
-		id := id
-		ep, err := c.net.Register(id)
-		if err != nil {
-			t.Fatal(err)
+	for _, id := range c.peers {
+		if mkStore != nil {
+			c.stores[id] = mkStore(id)
 		}
-		node, err := NewNode(Config{
-			ID:                id,
-			Peers:             peers,
-			Endpoint:          ep,
-			ElectionTimeout:   100 * time.Millisecond,
-			HeartbeatInterval: 20 * time.Millisecond,
-			Apply: func(e Entry) {
-				c.mu.Lock()
-				c.applied[id] = append(c.applied[id], e)
-				c.mu.Unlock()
-			},
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		c.nodes[id] = node
-		t.Cleanup(node.Stop)
+		c.nodes[id] = c.startNode(id)
+		t.Cleanup(func() { c.stopNode(id) })
 	}
 	return c
+}
+
+// startNode registers id on the network and boots a node against the
+// cluster's store for id (nil for volatile clusters).
+func (c *cluster) startNode(id string) *Node {
+	c.t.Helper()
+	ep, err := c.net.Register(id)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	node, err := NewNode(Config{
+		ID:                id,
+		Peers:             c.peers,
+		Endpoint:          ep,
+		ElectionTimeout:   100 * time.Millisecond,
+		HeartbeatInterval: 20 * time.Millisecond,
+		Store:             c.stores[id],
+		Apply: func(e Entry) {
+			c.mu.Lock()
+			c.applied[id] = append(c.applied[id], e)
+			c.mu.Unlock()
+		},
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return node
+}
+
+func (c *cluster) stopNode(id string) {
+	if n := c.nodes[id]; n != nil {
+		n.Stop()
+	}
+}
+
+// restart crash-restarts id: the node is stopped and rebuilt from its
+// persisted store under the same identity. Applied entries recorded
+// before the restart are kept (the new node re-applies from its
+// compaction base, so c.applied[id] may contain duplicates — tests
+// that restart a node should compare suffixes or reset the slice).
+func (c *cluster) restart(id string) *Node {
+	c.t.Helper()
+	c.stopNode(id)
+	c.net.Deregister(id)
+	node := c.startNode(id)
+	c.nodes[id] = node
+	return node
 }
 
 // waitLeader blocks until exactly one live node considers itself leader.
