@@ -24,6 +24,9 @@ import (
 	"time"
 
 	"fabricsim/internal/bench"
+	"fabricsim/internal/metrics"
+	"fabricsim/internal/obs"
+	"fabricsim/internal/trace"
 )
 
 func main() {
@@ -39,6 +42,7 @@ func run() int {
 		txSize     = flag.Int("txsize", 1, "transaction value size in bytes")
 		seed       = flag.Int64("seed", 1, "workload random seed")
 		jsonDir    = flag.String("json", "", "directory for machine-readable BENCH_<id>.json output (empty = disabled)")
+		obsAddr    = flag.String("obs", "", "observability HTTP listen address (e.g. :6060): live /metrics for the point being measured, /traces/<txid>, /debug/pprof; enables span tracing")
 		list       = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -55,6 +59,35 @@ func run() int {
 		TxSize:   *txSize,
 		Seed:     *seed,
 		JSONDir:  *jsonDir,
+	}
+	if *obsAddr != "" {
+		opt.Tracer = trace.New(0)
+		srv, err := obs.Start(obs.Config{
+			Addr:      *obsAddr,
+			Tracer:    opt.Tracer,
+			TimeScale: *scale,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fabricbench:", err)
+			return 1
+		}
+		defer srv.Stop()
+		// Each experiment point builds a fresh collector; re-point the
+		// server (and the windowed sampler) at the live one.
+		var stopSampler func()
+		opt.OnCollector = func(c *metrics.Collector) {
+			if stopSampler != nil {
+				stopSampler()
+			}
+			stopSampler = c.StartSampler(time.Second)
+			srv.SetCollector(c)
+		}
+		defer func() {
+			if stopSampler != nil {
+				stopSampler()
+			}
+		}()
+		fmt.Printf("observability: http://%s/{metrics,traces,debug/pprof}\n", srv.Addr())
 	}
 
 	var exps []bench.Experiment

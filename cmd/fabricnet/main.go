@@ -24,7 +24,9 @@ import (
 	"fabricsim/internal/fabnet"
 	"fabricsim/internal/gateway"
 	"fabricsim/internal/metrics"
+	"fabricsim/internal/obs"
 	"fabricsim/internal/policy"
+	"fabricsim/internal/trace"
 	"fabricsim/internal/workload"
 )
 
@@ -60,11 +62,16 @@ func run() int {
 		retries     = flag.Int("retries", 0, "gateway conflict-retry attempts (0/1 = disabled; retried txs re-endorse with backoff)")
 		keyspace    = flag.Int("keyspace", 0, "confine writes to this many hot keys (0 = fresh key per tx)")
 		fn          = flag.String("fn", "", "chaincode function (e.g. readwrite for contended RMW; empty = blind write)")
+		obsAddr     = flag.String("obs", "", "observability HTTP listen address (e.g. :6060): /metrics, /traces/<txid>, /healthz, /debug/pprof; enables span tracing")
 	)
 	flag.Parse()
 
 	model := costmodel.Default(*scale)
 	col := metrics.NewCollector()
+	var tracer *trace.Tracer
+	if *obsAddr != "" {
+		tracer = trace.New(0)
+	}
 	cfg := fabnet.Config{
 		Orderer:           fabnet.OrdererType(*ordererType),
 		NumOrderers:       *osns,
@@ -73,6 +80,7 @@ func run() int {
 		Balancer:          *balancer,
 		Model:             model,
 		Collector:         col,
+		Tracer:            tracer,
 		UseTCP:            true,
 		CommitterPool:     *committers,
 		CommitDepth:       *commitDepth,
@@ -122,6 +130,23 @@ func run() int {
 		return 1
 	}
 	defer net.Stop()
+	if *obsAddr != "" {
+		stopSampler := col.StartSampler(time.Second)
+		defer stopSampler()
+		srv, err := obs.Start(obs.Config{
+			Addr:      *obsAddr,
+			Collector: col,
+			Tracer:    tracer,
+			TimeScale: model.TimeScale,
+			Health:    net.Heights,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fabricnet:", err)
+			return 1
+		}
+		defer srv.Stop()
+		fmt.Printf("observability: http://%s/{metrics,traces,healthz,debug/pprof}\n", srv.Addr())
+	}
 	ctx := context.Background()
 	if err := net.Start(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "fabricnet:", err)
@@ -168,6 +193,12 @@ func run() int {
 	fmt.Printf("latency: avg=%.3fs p95=%.3fs   block time: %.3fs (avg %0.1f tx/block)\n",
 		sum.TotalLatency.Avg.Seconds(), sum.TotalLatency.P95.Seconds(),
 		sum.BlockTime.Seconds(), sum.AvgBlockSize)
+	fmt.Printf("critical path (p50/p99 model s):")
+	for _, ph := range metrics.PhaseOrdering() {
+		st := sum.PhaseLatency[ph]
+		fmt.Printf(" %s=%.3f/%.3f", ph, st.P50.Seconds(), st.P99.Seconds())
+	}
+	fmt.Println()
 	if sum.MVCCAborts > 0 || sum.EarlyAborts > 0 {
 		fmt.Printf("conflicts: abort-rate=%.2f mvcc=%d early=%d wasted-validate=%s\n",
 			sum.AbortRate, sum.MVCCAborts, sum.EarlyAborts,

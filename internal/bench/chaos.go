@@ -82,6 +82,10 @@ type ChaosWindow struct {
 	EndS         float64 `json:"end_s"`
 	CommittedTPS float64 `json:"committed_tps"`
 	CommitLagP99 float64 `json:"commit_lag_p99_s"`
+	// PhaseP99S decomposes the window's tail latency by lifecycle phase
+	// (model seconds), showing which stage the fault inflated —
+	// partitions blow up "order", committer stalls blow up "validate".
+	PhaseP99S map[string]float64 `json:"phase_p99_s"`
 }
 
 // ChaosPoint is the machine-readable soak result (BENCH_chaos.json).
@@ -116,12 +120,43 @@ type ChaosPoint struct {
 	ChainValid       bool `json:"chain_valid"`
 }
 
+// phaseP99s extracts the per-phase tail (p99, model seconds) of a
+// window summary's critical-path decomposition.
+func phaseP99s(sum metrics.Summary) map[string]float64 {
+	out := make(map[string]float64, len(metrics.PhaseOrdering()))
+	for _, ph := range metrics.PhaseOrdering() {
+		out[ph] = sum.PhaseLatency[ph].P99.Seconds()
+	}
+	return out
+}
+
+// phaseP99Header and phaseP99Cells render the per-phase tail columns of
+// the SLO table, in lifecycle order.
+func phaseP99Header() string {
+	var b []byte
+	for _, ph := range metrics.PhaseOrdering() {
+		b = fmt.Appendf(b, " %12s", ph+"-p99(s)")
+	}
+	return string(b)
+}
+
+func phaseP99Cells(p99s map[string]float64) string {
+	var b []byte
+	for _, ph := range metrics.PhaseOrdering() {
+		b = fmt.Appendf(b, " %12.3f", p99s[ph])
+	}
+	return string(b)
+}
+
 // runChaosSoak builds the WAN network, plays the seeded fault schedule
 // against the open-loop workload, waits for post-heal convergence, and
 // checks the invariants.
 func runChaosSoak(ctx context.Context, opt Options, w io.Writer) (ChaosPoint, error) {
 	model := costmodel.Default(opt.Scale)
 	col := metrics.NewCollector()
+	if opt.OnCollector != nil {
+		opt.OnCollector(col)
+	}
 	// Peers stay mem-backed (the snapshot-bootstrap path needs a wiped
 	// restart), while the OSNs persist Raft hard state to disk so a
 	// crashed orderer restarts from its log instead of from genesis.
@@ -306,8 +341,9 @@ func runChaosSoak(ctx context.Context, opt Options, w io.Writer) (ChaosPoint, er
 	}
 
 	// --- SLO rows ---
-	fprintf(w, "\n%-34s %-10s %9s %9s %13s %16s\n",
-		"fault window", "kind", "start(s)", "end(s)", "committed tps", "commit-lag p99(s)")
+	fprintf(w, "\n%-34s %-10s %9s %9s %13s %16s%s\n",
+		"fault window", "kind", "start(s)", "end(s)", "committed tps", "commit-lag p99(s)",
+		phaseP99Header())
 	for _, ev := range sched.Events {
 		sum := col.Summarize(metrics.SummaryOptions{
 			TimeScale:   model.TimeScale,
@@ -321,10 +357,12 @@ func runChaosSoak(ctx context.Context, opt Options, w io.Writer) (ChaosPoint, er
 			EndS:         (ev.At + ev.For).Seconds() / model.TimeScale,
 			CommittedTPS: sum.ValidateTPS,
 			CommitLagP99: sum.CommitLag.P99.Seconds(),
+			PhaseP99S:    phaseP99s(sum),
 		}
 		point.Windows = append(point.Windows, win)
-		fprintf(w, "%-34s %-10s %9.2f %9.2f %13.1f %16.3f\n",
-			win.Fault, win.Kind, win.StartS, win.EndS, win.CommittedTPS, win.CommitLagP99)
+		fprintf(w, "%-34s %-10s %9.2f %9.2f %13.1f %16.3f%s\n",
+			win.Fault, win.Kind, win.StartS, win.EndS, win.CommittedTPS, win.CommitLagP99,
+			phaseP99Cells(win.PhaseP99S))
 	}
 
 	overall := col.Summarize(metrics.SummaryOptions{TimeScale: model.TimeScale})

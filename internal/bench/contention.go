@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"fabricsim/internal/fabnet"
+	"fabricsim/internal/metrics"
 	"fabricsim/internal/policy"
 	"fabricsim/internal/workload"
 )
@@ -70,6 +71,10 @@ type ContentionPoint struct {
 	// conflict failures into eventual commits at the cost of extra
 	// endorsement load.
 	ClientSuccessRate float64 `json:"client_success_rate"`
+	// PhaseLatency is the critical-path decomposition of the committed
+	// cohort (p50/p99 model seconds per lifecycle phase), so the JSON
+	// trail shows which stage contention inflates.
+	PhaseLatency map[string]PhaseStat `json:"phase_latency"`
 }
 
 // FigContention measures committed throughput, abort rate, and wasted
@@ -121,6 +126,7 @@ func FigContention() Experiment {
 					MVCCAborts:            p.Summary.MVCCAborts,
 					EarlyAborts:           p.Summary.EarlyAborts,
 					WastedValidateSeconds: p.Summary.WastedValidateCPU.Seconds(),
+					PhaseLatency:          phaseLatencyJSON(p.Summary),
 				}
 				if done := p.Stats.Succeeded + p.Stats.Failed; done > 0 {
 					cp.ClientSuccessRate = float64(p.Stats.Succeeded) / float64(done)
@@ -168,6 +174,17 @@ func FigContention() Experiment {
 						row(cp)
 					}
 				}
+			}
+
+			fprintf(w, "\ncritical-path phase latency (model seconds):\n")
+			fprintf(w, "%-10s %-6s %-6s %-6s%s\n", "workload", "reord", "retry", "zipf", phaseColsHeader())
+			for _, cp := range points {
+				fprintf(w, "%-10s %-6s %-6s %-6.1f", cp.Workload, onOff(cp.Reorder), onOff(cp.Retry), cp.ZipfS)
+				for _, ph := range metrics.PhaseOrdering() {
+					st := cp.PhaseLatency[ph]
+					fprintf(w, " %15s", fmt.Sprintf("%.3f/%.3f", st.P50Seconds, st.P99Seconds))
+				}
+				fprintf(w, "\n")
 			}
 
 			if opt.JSONDir != "" {

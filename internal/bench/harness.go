@@ -20,6 +20,7 @@ import (
 	"fabricsim/internal/gateway"
 	"fabricsim/internal/metrics"
 	"fabricsim/internal/policy"
+	"fabricsim/internal/trace"
 	"fabricsim/internal/workload"
 )
 
@@ -40,6 +41,13 @@ type Options struct {
 	// machine-readable output write a BENCH_<id>.json file there, so
 	// the performance trajectory can be tracked across commits.
 	JSONDir string
+	// Tracer, when non-nil, threads span recording through every network
+	// the harness builds (fabricbench -trace / -obs).
+	Tracer *trace.Tracer
+	// OnCollector is called with each freshly-built metrics collector
+	// before the load starts — the obs server re-points its /metrics
+	// endpoint at the live run through this hook.
+	OnCollector func(*metrics.Collector)
 }
 
 // SubSeed derives a stable per-component seed from Options.Seed: one
@@ -166,8 +174,12 @@ func RunPoint(ctx context.Context, pc PointConfig, opt Options) (Point, error) {
 		model.ChaincodeExecCPU = pc.ChaincodeExec
 	}
 	col := metrics.NewCollector()
+	if opt.OnCollector != nil {
+		opt.OnCollector(col)
+	}
 	cfg := fabnet.Config{
 		Orderer:                pc.Orderer,
+		Tracer:                 opt.Tracer,
 		NumOrderers:            pc.OSNs,
 		NumKafkaBrokers:        pc.Brokers,
 		NumZooKeepers:          pc.ZooKeepers,
@@ -281,6 +293,44 @@ func secs(d time.Duration) string {
 // header prints an experiment banner.
 func header(w io.Writer, title string) {
 	fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+// PhaseStat is the machine-readable per-phase latency cell of the
+// critical-path decomposition (model seconds).
+type PhaseStat struct {
+	P50Seconds float64 `json:"p50_s"`
+	P99Seconds float64 `json:"p99_s"`
+}
+
+// phaseLatencyJSON flattens a summary's critical-path decomposition
+// into JSON-ready per-phase p50/p99 cells, keyed by lifecycle phase.
+func phaseLatencyJSON(sum metrics.Summary) map[string]PhaseStat {
+	out := make(map[string]PhaseStat, len(metrics.PhaseOrdering()))
+	for _, ph := range metrics.PhaseOrdering() {
+		st := sum.PhaseLatency[ph]
+		out[ph] = PhaseStat{P50Seconds: st.P50.Seconds(), P99Seconds: st.P99.Seconds()}
+	}
+	return out
+}
+
+// phaseColsHeader and phaseCols render the critical-path decomposition
+// as aligned table columns — one "p50/p99" cell (model seconds) per
+// lifecycle phase, in order.
+func phaseColsHeader() string {
+	var b strings.Builder
+	for _, ph := range metrics.PhaseOrdering() {
+		fprintf(&b, " %15s", ph+"(p50/p99)")
+	}
+	return b.String()
+}
+
+func phaseCols(sum metrics.Summary) string {
+	var b strings.Builder
+	for _, ph := range metrics.PhaseOrdering() {
+		st := sum.PhaseLatency[ph]
+		fprintf(&b, " %15s", fmt.Sprintf("%.3f/%.3f", st.P50.Seconds(), st.P99.Seconds()))
+	}
+	return b.String()
 }
 
 // Experiment is one runnable reproduction artifact.

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"fabricsim/internal/fabnet"
+	"fabricsim/internal/metrics"
 	"fabricsim/internal/policy"
 )
 
@@ -48,7 +49,9 @@ func FigPipeline() Experiment {
 				pipeSweepPeers, pipeSweepClients)
 			fprintf(w, "%-10s %10s %12s %12s %12s %10s\n",
 				"#inflight", "submitted", "throughput", "execute(s)", "total(s)", "rejected")
-			for _, window := range pipeWindows(opt.Quick) {
+			sums := make(map[int]metrics.Summary)
+			windows := pipeWindows(opt.Quick)
+			for _, window := range windows {
 				p, err := RunPoint(ctx, PointConfig{
 					Orderer:     fabnet.Solo,
 					OSNs:        1,
@@ -66,6 +69,12 @@ func FigPipeline() Experiment {
 					secs(p.Summary.ExecuteLatency.Avg),
 					secs(p.Summary.TotalLatency.Avg),
 					p.Summary.RejectedCount)
+				sums[window] = p.Summary
+			}
+			fprintf(w, "\ncritical-path phase latency (model seconds):\n")
+			fprintf(w, "%-10s%s\n", "#inflight", phaseColsHeader())
+			for _, window := range windows {
+				fprintf(w, "%-10d%s\n", window, phaseCols(sums[window]))
 			}
 			return nil
 		},

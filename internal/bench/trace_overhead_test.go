@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fabricsim/internal/fabnet"
+	"fabricsim/internal/policy"
+	"fabricsim/internal/trace"
+)
+
+// TestTracingOverhead guards the acceptance bound on the span
+// subsystem: with every lifecycle layer recording spans, a windowed
+// pipeline point must keep at least 95% of the untraced throughput.
+// The comparison is repeated once on a miss before failing, since two
+// short load points on shared CI hardware can diverge by a few percent
+// from scheduler noise alone.
+func TestTracingOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs load points")
+	}
+	pc := PointConfig{
+		Orderer:     fabnet.Solo,
+		OSNs:        1,
+		Peers:       pipeSweepPeers,
+		Clients:     pipeSweepClients,
+		Policy:      policy.OrOverPeers(pipeSweepPeers),
+		PolicyLabel: "OR",
+		Window:      16,
+	}
+	run := func(tr *trace.Tracer) float64 {
+		t.Helper()
+		p, err := RunPoint(context.Background(), pc, Options{
+			Scale:    0.25,
+			Duration: 5 * time.Second,
+			Seed:     11,
+			Tracer:   tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Summary.ValidateTPS <= 0 {
+			t.Fatalf("no committed throughput: %+v", p.Summary)
+		}
+		return p.Summary.ValidateTPS
+	}
+	const floor = 0.95
+	var ratio float64
+	for attempt := 0; attempt < 2; attempt++ {
+		base := run(nil)
+		traced := run(trace.New(0))
+		ratio = traced / base
+		t.Logf("attempt %d: base=%.1f tps traced=%.1f tps ratio=%.3f", attempt+1, base, traced, ratio)
+		if ratio >= floor {
+			return
+		}
+	}
+	t.Errorf("tracing overhead too high: traced/base = %.3f, want >= %.2f", ratio, floor)
+}

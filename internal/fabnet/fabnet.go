@@ -33,6 +33,7 @@ import (
 	"fabricsim/internal/policy"
 	"fabricsim/internal/raft"
 	"fabricsim/internal/simcpu"
+	"fabricsim/internal/trace"
 	"fabricsim/internal/transport"
 	"fabricsim/internal/types"
 	"fabricsim/internal/zookeeper"
@@ -117,6 +118,12 @@ type Config struct {
 	VerifyCrypto bool
 	// Collector receives metrics; may be nil.
 	Collector *metrics.Collector
+	// Tracer records end-to-end transaction spans across every layer
+	// (gateway stages, endorser, orderer, raft, gossip origin, commit
+	// pipeline); nil (the default) disables tracing at zero cost. Commit
+	// and gossip-origin spans are recorded by the first peer only, since
+	// every peer validates every block.
+	Tracer *trace.Tracer
 	// ExtraChaincodes installs chaincodes beyond the benchmark KV store.
 	ExtraChaincodes []chaincode.Chaincode
 	// ChannelID names the channel of a single-channel deployment
@@ -432,15 +439,48 @@ type Network struct {
 	chaosCtl  *chaos.Controller
 }
 
-// gossipMetrics adapts the metrics collector to the gossip.Observer
-// interface.
-type gossipMetrics struct{ col *metrics.Collector }
+// gossipObserver adapts the metrics collector and the tracer to the
+// gossip.Observer surface; either half may be absent. With a tracer
+// attached it also implements gossip.BlockOriginObserver, recording
+// which block arrived from where (per-block, not just aggregates).
+type gossipObserver struct {
+	col    *metrics.Collector
+	tracer *trace.Tracer
+}
 
-func (g gossipMetrics) BlockReceived(source string, hops int) { g.col.GossipBlock(source, hops) }
-func (g gossipMetrics) DuplicateSuppressed()                  { g.col.GossipDuplicate() }
-func (g gossipMetrics) AntiEntropyPull(n int)                 { g.col.AntiEntropyPull(n) }
-func (g gossipMetrics) LeaderElected(string, uint64)          { g.col.LeaderElection() }
-func (g gossipMetrics) SnapshotBootstrap(string, uint64)      { g.col.SnapshotBootstrap() }
+func (g gossipObserver) BlockReceived(source string, hops int) {
+	if g.col != nil {
+		g.col.GossipBlock(source, hops)
+	}
+}
+
+func (g gossipObserver) DuplicateSuppressed() {
+	if g.col != nil {
+		g.col.GossipDuplicate()
+	}
+}
+
+func (g gossipObserver) AntiEntropyPull(n int) {
+	if g.col != nil {
+		g.col.AntiEntropyPull(n)
+	}
+}
+
+func (g gossipObserver) LeaderElected(string, uint64) {
+	if g.col != nil {
+		g.col.LeaderElection()
+	}
+}
+
+func (g gossipObserver) SnapshotBootstrap(string, uint64) {
+	if g.col != nil {
+		g.col.SnapshotBootstrap()
+	}
+}
+
+func (g gossipObserver) BlockOrigin(channel string, num uint64, source string, hops int) {
+	g.tracer.BlockOrigin(channel, num, source, hops) // nil-safe
+}
 
 // ChaincodeBench is the installed name of the benchmark KV chaincode.
 const ChaincodeBench = "bench"
@@ -578,6 +618,7 @@ func Build(cfg Config) (*Network, error) {
 			Model:    model,
 			CPU:      newCPU(ordererIDs[i], model.OrdererCores),
 			Channels: channelIDs,
+			Tracer:   cfg.Tracer,
 		}
 		if i == 0 {
 			ocfg.Observer = observer // one OSN reports block events
@@ -715,6 +756,8 @@ func Build(cfg Config) (*Network, error) {
 			Certs:        certs,
 			Channels:     channelIDs,
 			Policies:     channelPols,
+			Tracer:       cfg.Tracer,
+			TraceCommits: idx == 0, // one peer records commit spans
 		}
 		backend := cfg.Storage.Backend
 		if override := cfg.Storage.PerPeer[spec.nodeID]; override != "" {
@@ -741,8 +784,13 @@ func Build(cfg Config) (*Network, error) {
 				Seed:                int64(idx + 1),
 				SnapshotThreshold:   cfg.Storage.SnapshotThreshold,
 			}
-			if cfg.Collector != nil {
-				pcfg.Gossip.Observer = gossipMetrics{col: cfg.Collector}
+			if cfg.Collector != nil || (idx == 0 && cfg.Tracer.Enabled()) {
+				obs := gossipObserver{col: cfg.Collector}
+				if idx == 0 {
+					// The commit-span peer also records per-block origins.
+					obs.tracer = cfg.Tracer
+				}
+				pcfg.Gossip.Observer = obs
 			}
 		}
 		if idx == 0 && cfg.Collector != nil {
@@ -829,6 +877,7 @@ func Build(cfg Config) (*Network, error) {
 			PolicyByChannel:  channelPols,
 			MaxInFlight:      cfg.ClientMaxInFlight,
 			Retry:            cfg.Retry,
+			Tracer:           cfg.Tracer,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fabnet: %w", err)
@@ -991,6 +1040,23 @@ func (n *Network) RaftLeaderFor(channel string) (string, bool) {
 // ChannelIDs returns the network's channel names in configured order.
 func (n *Network) ChannelIDs() []string {
 	return n.Cfg.channelIDs()
+}
+
+// Heights reports every peer's committed chain height per channel — the
+// observability health surface (a lagging peer shows up as a height
+// behind its cohort). Peers whose ledgers are closed report nothing.
+func (n *Network) Heights() map[string]map[string]uint64 {
+	out := make(map[string]map[string]uint64, len(n.Peers))
+	for _, p := range n.Peers {
+		hs := make(map[string]uint64)
+		for _, ch := range p.Channels() {
+			if led, ok := p.LedgerFor(ch); ok {
+				hs[ch] = led.Height()
+			}
+		}
+		out[p.ID()] = hs
+	}
+	return out
 }
 
 // KafkaCluster exposes the Kafka substrate (failover tests).

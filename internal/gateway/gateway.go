@@ -31,6 +31,7 @@ import (
 	"fabricsim/internal/peer"
 	"fabricsim/internal/policy"
 	"fabricsim/internal/simcpu"
+	"fabricsim/internal/trace"
 	"fabricsim/internal/transport"
 	"fabricsim/internal/types"
 )
@@ -111,6 +112,12 @@ type Config struct {
 	Loads *LoadTracker
 	// Collector receives phase timestamps; may be nil.
 	Collector *metrics.Collector
+	// Tracer records lifecycle spans; nil (the default) disables tracing
+	// at the cost of one pointer check per stage. When set, the gateway
+	// mints one TraceID per logical submission at Propose, stamps it into
+	// the proposal wire format, and records the four boundary spans
+	// (propose/endorse/submit/commit-wait) that CriticalPath decomposes.
+	Tracer *trace.Tracer
 	// SignProposals enables real client signatures (VerifyCrypto runs).
 	SignProposals bool
 	// ChannelID names the default channel on proposals.
@@ -160,6 +167,30 @@ type RetryConfig struct {
 // conflict or a conflict-aware early abort.
 func Retryable(err error) bool {
 	return errors.Is(err, ErrMVCCConflict) || errors.Is(err, ErrEarlyAbort)
+}
+
+// submissionTrace threads one logical submission's trace identity and
+// retry-attempt counter from the retry loops into the staged pipeline:
+// the first attempt's Propose mints the TraceID, later attempts bind
+// their fresh TxIDs to it, and every attempt's spans carry the attempt
+// number. It is mutated only by the retry loop's own goroutine.
+type submissionTrace struct {
+	id      trace.TraceID
+	attempt int
+}
+
+type submissionTraceKey struct{}
+
+// withSubmissionTrace attaches the submission's trace state to ctx.
+func withSubmissionTrace(ctx context.Context, st *submissionTrace) context.Context {
+	return context.WithValue(ctx, submissionTraceKey{}, st)
+}
+
+// submissionTraceFrom recovers the submission's trace state (nil for
+// single-shot paths that never entered a retry loop).
+func submissionTraceFrom(ctx context.Context) *submissionTrace {
+	st, _ := ctx.Value(submissionTraceKey{}).(*submissionTrace)
+	return st
 }
 
 // pendingTx is one registered commit-event waiter.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"fabricsim/internal/orderer"
 	"fabricsim/internal/peer"
 	"fabricsim/internal/policy"
+	"fabricsim/internal/trace"
 	"fabricsim/internal/types"
 )
 
@@ -37,6 +39,10 @@ type Proposal struct {
 	channel   string
 	targets   []endorseTarget
 	submitted time.Time
+	// attempt and boundary carry the retry-attempt number and the end of
+	// the propose phase into the endorse span.
+	attempt  int
+	boundary time.Time
 }
 
 // TxID returns the proposal's transaction ID.
@@ -54,6 +60,8 @@ type Transaction struct {
 	env       []byte
 	payload   []byte
 	submitted time.Time
+	attempt   int
+	boundary  time.Time // end of the endorse phase
 }
 
 // TxID returns the transaction's ID.
@@ -71,6 +79,12 @@ type Commit struct {
 	mu      sync.Mutex
 	txID    types.TxID
 	payload []byte
+
+	// traceID/ackedAt anchor the commit-wait span (broadcast ack →
+	// commit event) when tracing is on.
+	traceID trace.TraceID
+	ackedAt time.Time
+	attempt int
 
 	done   chan struct{}
 	status *Status
@@ -167,8 +181,39 @@ func (g *Gateway) propose(ctx context.Context, channel string, pol policy.Policy
 	if err != nil {
 		return nil, err
 	}
+	st := submissionTraceFrom(ctx)
+	attempt := 1
+	if st != nil && st.attempt > 0 {
+		attempt = st.attempt
+	}
 	if g.cfg.Collector != nil && !query {
 		g.cfg.Collector.Submitted(prop.TxID, submitted)
+		g.cfg.Collector.Attempt(prop.TxID, attempt)
+	}
+	boundary := submitted
+	if tr := g.cfg.Tracer; tr.Enabled() && !query {
+		// The first attempt mints the trace; retries bind their fresh
+		// TxID to it so one trace tells the whole client-visible story.
+		var tid trace.TraceID
+		if st != nil && st.id != "" {
+			tid = st.id
+			tr.Bind(string(prop.TxID), tid)
+		} else {
+			tid = tr.Mint(string(prop.TxID))
+			if st != nil {
+				st.id = tid
+			}
+		}
+		prop.TraceID = string(tid)
+		boundary = time.Now()
+		nodes := make([]string, 0, len(targets))
+		for _, t := range targets {
+			nodes = append(nodes, t.node)
+		}
+		tr.Record(tid, trace.SpanGatewayPropose, g.cfg.ID, submitted, boundary,
+			"attempt", fmt.Sprint(attempt),
+			"channel", channel,
+			"endorsers", strings.Join(nodes, ","))
 	}
 	return &Proposal{
 		gw:        g,
@@ -177,6 +222,8 @@ func (g *Gateway) propose(ctx context.Context, channel string, pol policy.Policy
 		channel:   channel,
 		targets:   targets,
 		submitted: submitted,
+		attempt:   attempt,
+		boundary:  boundary,
 	}, nil
 }
 
@@ -202,8 +249,15 @@ func (p *Proposal) Endorse(ctx context.Context) (*Transaction, error) {
 		}
 		return nil, err
 	}
+	endorsed := time.Now()
 	if g.cfg.Collector != nil {
-		g.cfg.Collector.Endorsed(p.prop.TxID, time.Now())
+		g.cfg.Collector.Endorsed(p.prop.TxID, endorsed)
+	}
+	if tr := g.cfg.Tracer; tr.Enabled() && p.prop.TraceID != "" {
+		tr.Record(trace.TraceID(p.prop.TraceID), trace.SpanGatewayEndorse, g.cfg.ID,
+			p.boundary, endorsed,
+			"attempt", fmt.Sprint(p.attempt),
+			"responses", fmt.Sprint(len(responses)))
 	}
 
 	tx := &types.Transaction{
@@ -224,6 +278,8 @@ func (p *Proposal) Endorse(ctx context.Context) (*Transaction, error) {
 		env:       tx.Marshal(),
 		payload:   payload,
 		submitted: p.submitted,
+		attempt:   p.attempt,
+		boundary:  endorsed,
 	}, nil
 }
 
@@ -251,13 +307,22 @@ func (t *Transaction) Submit(ctx context.Context) (*Commit, error) {
 		}
 		return nil, fmt.Errorf("gateway %s: broadcast: %w", g.cfg.ID, err)
 	}
+	acked := time.Now()
 	if g.cfg.Collector != nil {
-		g.cfg.Collector.BroadcastAcked(t.prop.TxID, time.Now())
+		g.cfg.Collector.BroadcastAcked(t.prop.TxID, acked)
 	}
 
 	c := newCommit(g)
 	c.txID = t.prop.TxID
 	c.payload = t.payload
+	c.attempt = t.attempt
+	if tr := g.cfg.Tracer; tr.Enabled() && t.prop.TraceID != "" {
+		c.traceID = trace.TraceID(t.prop.TraceID)
+		c.ackedAt = acked
+		tr.Record(c.traceID, trace.SpanGatewaySubmit, g.cfg.ID, t.boundary, acked,
+			"attempt", fmt.Sprint(t.attempt),
+			"channel", t.channel)
+	}
 	go g.awaitCommit(c, t.channel, pend)
 	return c, nil
 }
@@ -391,15 +456,21 @@ func (g *Gateway) awaitCommitStatus(c *Commit, channel string, wait time.Duratio
 
 // resolve completes a future from a commit event.
 func (g *Gateway) resolve(c *Commit, ev peer.CommitEvent) {
+	committedAt := time.Now()
+	if ev.CommitTime != 0 {
+		committedAt = time.Unix(0, ev.CommitTime)
+	}
 	if g.cfg.Collector != nil {
 		if ev.OrderedTime != 0 {
 			g.cfg.Collector.Ordered(c.txID, time.Unix(0, ev.OrderedTime))
 		}
-		committedAt := time.Now()
-		if ev.CommitTime != 0 {
-			committedAt = time.Unix(0, ev.CommitTime)
-		}
 		g.cfg.Collector.Committed(c.txID, committedAt, ev.Code)
+	}
+	if tr := g.cfg.Tracer; tr.Enabled() && c.traceID != "" {
+		tr.Record(c.traceID, trace.SpanGatewayCommitWait, g.cfg.ID, c.ackedAt, committedAt,
+			"attempt", fmt.Sprint(c.attempt),
+			"code", ev.Code.String(),
+			"block", fmt.Sprint(ev.BlockNum))
 	}
 	st := &Status{
 		TxID:      c.txID,
@@ -499,6 +570,11 @@ func (g *Gateway) resolveTimeout(c *Commit, cause error) {
 	if g.cfg.Collector != nil {
 		g.cfg.Collector.Rejected(c.txID)
 	}
+	if tr := g.cfg.Tracer; tr.Enabled() && c.traceID != "" {
+		tr.Record(c.traceID, trace.SpanGatewayCommitWait, g.cfg.ID, c.ackedAt, time.Now(),
+			"attempt", fmt.Sprint(c.attempt),
+			"outcome", "ordering-timeout")
+	}
 	if cause != nil {
 		c.complete(nil, fmt.Errorf("%w (last commit-status error: %v)", ErrOrderingTimeout, cause))
 		return
@@ -513,9 +589,12 @@ func (g *Gateway) resolveTimeout(c *Commit, cause error) {
 // fresh endorsement — up to MaxAttempts times with exponential backoff.
 func (g *Gateway) Invoke(ctx context.Context, channel, chaincodeID, fn string, args [][]byte) (*Status, error) {
 	attempts := g.retryAttempts()
+	sub := &submissionTrace{}
+	ctx = withSubmissionTrace(ctx, sub)
 	var st *Status
 	var err error
 	for attempt := 1; ; attempt++ {
+		sub.attempt = attempt
 		st, err = g.invokeOnce(ctx, channel, chaincodeID, fn, args)
 		if err == nil || attempt >= attempts || !Retryable(err) {
 			return st, err
@@ -599,14 +678,17 @@ func (g *Gateway) submitAsync(ctx context.Context, block bool, channel, chaincod
 	go func() {
 		defer func() { <-window }()
 		attempts := g.retryAttempts()
+		sub := &submissionTrace{}
+		actx := withSubmissionTrace(ctx, sub)
 		var st *Status
 		var err error
 		for attempt := 1; ; attempt++ {
-			st, err = g.attemptAsync(ctx, c, channel, chaincodeID, fn, args)
+			sub.attempt = attempt
+			st, err = g.attemptAsync(actx, c, channel, chaincodeID, fn, args)
 			if err == nil || attempt >= attempts || !Retryable(err) {
 				break
 			}
-			if serr := g.retrySleep(ctx, attempt); serr != nil {
+			if serr := g.retrySleep(actx, attempt); serr != nil {
 				break
 			}
 		}

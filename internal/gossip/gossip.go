@@ -144,6 +144,16 @@ type Observer interface {
 	SnapshotBootstrap(channel string, height uint64)
 }
 
+// BlockOriginObserver is an optional extension of Observer: an observer
+// that also implements it additionally learns WHICH block arrived from
+// where, not just the aggregate source counts. Tracing uses it to tag a
+// committed block's spans with its dissemination origin.
+type BlockOriginObserver interface {
+	// BlockOrigin is one freshly accepted block: its channel and number,
+	// the source it arrived by, and the gossip hop count.
+	BlockOrigin(channel string, num uint64, source string, hops int)
+}
+
 // Config parameterizes a gossip node. All durations are wall-clock; the
 // caller scales model time beforehand (costmodel.ScaledDelay).
 type Config struct {
@@ -386,6 +396,9 @@ func (n *Node) acceptBlock(block *types.Block, hops int, from, source string) {
 	if res.Fresh {
 		if o := n.cfg.Observer; o != nil {
 			o.BlockReceived(source, hops)
+			if bo, ok := o.(BlockOriginObserver); ok {
+				bo.BlockOrigin(ch, num, source, hops)
+			}
 		}
 	}
 	if res.MissFrom < res.MissTo {

@@ -37,6 +37,13 @@ type TxRecord struct {
 	// Rejected marks client-side rejection (endorsement failure or the
 	// paper's 3-second ordering timeout).
 	Rejected bool
+	// Attempt is the 1-based gateway retry attempt that produced this
+	// record (each attempt re-proposes under a fresh TxID, so a retried
+	// logical transaction leaves one record per attempt). Records with
+	// Attempt > 1 are final-or-intermediate retry attempts; their
+	// Submitted→Committed span excludes the client's backoff sleeps,
+	// unlike the whole-invoke latency the client observes.
+	Attempt int
 }
 
 // BlockEvent is one block cut by the ordering service. Channel
@@ -111,6 +118,15 @@ type Collector struct {
 	snapshots  int
 	failovers  int
 	start      time.Time
+
+	// live carries the incrementally-maintained counters the sampler and
+	// the obs /metrics endpoint read without scanning byTx.
+	live liveCounters
+
+	// sampler state (see sampler.go).
+	samplerMu   sync.Mutex
+	samples     []SamplePoint
+	samplerStop chan struct{}
 }
 
 // NewCollector creates an empty collector anchored at now.
@@ -134,7 +150,20 @@ func (c *Collector) rec(id types.TxID) *TxRecord {
 func (c *Collector) Submitted(id types.TxID, t time.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.rec(id).Submitted = t
+	r := c.rec(id)
+	if r.Submitted.IsZero() {
+		c.live.Submitted++
+		c.live.InFlight++
+	}
+	r.Submitted = t
+}
+
+// Attempt records which 1-based gateway retry attempt this transaction
+// ID belongs to.
+func (c *Collector) Attempt(id types.TxID, attempt int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rec(id).Attempt = attempt
 }
 
 // Endorsed records the end of the execute phase.
@@ -163,6 +192,16 @@ func (c *Collector) Committed(id types.TxID, t time.Time, code types.ValidationC
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	r := c.rec(id)
+	if r.Committed.IsZero() {
+		if code.Valid() {
+			c.live.Committed++
+		} else {
+			c.live.Aborted++
+		}
+		if !r.Submitted.IsZero() && !r.Rejected {
+			c.live.InFlight--
+		}
+	}
 	r.Committed = t
 	r.Code = code
 }
@@ -171,13 +210,21 @@ func (c *Collector) Committed(id types.TxID, t time.Time, code types.ValidationC
 func (c *Collector) Rejected(id types.TxID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.rec(id).Rejected = true
+	r := c.rec(id)
+	if !r.Rejected {
+		c.live.Rejected++
+		if !r.Submitted.IsZero() && r.Committed.IsZero() {
+			c.live.InFlight--
+		}
+	}
+	r.Rejected = true
 }
 
 // Block records one cut block.
 func (c *Collector) Block(ev BlockEvent) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.live.Blocks++
 	c.blocks = append(c.blocks, ev)
 }
 
@@ -256,6 +303,8 @@ func (c *Collector) SubscriberEvicted() {
 func (c *Collector) PeerCommit(lag time.Duration, at time.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.live.lagSum += lag
+	c.live.lagCount++
 	c.commitLags = append(c.commitLags, commitLagSample{at: at, lag: lag})
 }
 
@@ -295,6 +344,21 @@ func (c *Collector) Blocks() []BlockEvent {
 	return out
 }
 
+// PhaseLatency keys: the lifecycle phases of the critical-path
+// decomposition, in order.
+const (
+	PhaseEndorse  = "endorse"  // submitted -> endorsements collected
+	PhaseSubmit   = "submit"   // endorsed -> ordering-service ack
+	PhaseOrder    = "order"    // ack -> block cut
+	PhaseValidate = "validate" // block cut -> commit
+)
+
+// PhaseOrdering lists the PhaseLatency keys in lifecycle order, for
+// stable table rendering.
+func PhaseOrdering() []string {
+	return []string{PhaseEndorse, PhaseSubmit, PhaseOrder, PhaseValidate}
+}
+
 // LatencyStats summarizes a latency distribution in model time.
 type LatencyStats struct {
 	Count int
@@ -329,6 +393,23 @@ type Summary struct {
 	OrderLatency         LatencyStats // broadcast -> block cut
 	ValidateLatency      LatencyStats // block cut -> commit
 	OrderValidateLatency LatencyStats // endorsed -> commit (paper's "order & validate")
+
+	// PhaseLatency is the critical-path decomposition over the in-window
+	// committed cohort, keyed by lifecycle phase: "endorse" (submitted →
+	// endorsed), "submit" (endorsed → broadcast ack), "order" (broadcast
+	// → block cut), "validate" (block cut → commit). The four phases
+	// partition each transaction's end-to-end latency, so their per-tx
+	// sums reconstruct TotalLatency. Benches print this as the
+	// latency-breakdown table (p50/p99 per stage).
+	PhaseLatency map[string]LatencyStats
+
+	// RetriedTxs counts in-window committed-valid transactions that were
+	// gateway retry attempts (attempt > 1), and FinalAttemptLatency is
+	// their submitted→committed distribution — the last attempt only,
+	// excluding every earlier attempt and backoff sleep. Comparing it
+	// with TotalLatency shows how much retry backoff skews the tail.
+	RetriedTxs          int
+	FinalAttemptLatency LatencyStats
 
 	// BlockTime is the mean inter-block interval (Definition 4.3) and
 	// BlockTPS the ordering-service throughput derived from it.
@@ -488,6 +569,7 @@ func (c *Collector) Summarize(opts SummaryOptions) Summary {
 		return !t.IsZero() && !t.Before(wStart) && !t.After(wEnd)
 	}
 	var totalLat, execLat, orderLat, valLat, ovLat []time.Duration
+	var submitLat, finalLat []time.Duration
 	var endorsedIn, orderedIn, committedIn int
 	for _, r := range recs {
 		submittedIn := inWin(r.Submitted)
@@ -528,8 +610,15 @@ func (c *Collector) Summarize(opts SummaryOptions) Summary {
 				orderLat = append(orderLat, unscale(r.Ordered.Sub(ref)))
 			}
 		}
+		if !r.Endorsed.IsZero() && !r.Broadcast.IsZero() {
+			submitLat = append(submitLat, unscale(r.Broadcast.Sub(r.Endorsed)))
+		}
 		if !r.Committed.IsZero() {
 			totalLat = append(totalLat, unscale(r.Committed.Sub(r.Submitted)))
+			if r.Code.Valid() && r.Attempt > 1 {
+				s.RetriedTxs++
+				finalLat = append(finalLat, unscale(r.Committed.Sub(r.Submitted)))
+			}
 			if !r.Ordered.IsZero() {
 				valLat = append(valLat, unscale(r.Committed.Sub(r.Ordered)))
 			}
@@ -548,6 +637,13 @@ func (c *Collector) Summarize(opts SummaryOptions) Summary {
 	s.OrderLatency = reduceLatency(orderLat)
 	s.ValidateLatency = reduceLatency(valLat)
 	s.OrderValidateLatency = reduceLatency(ovLat)
+	s.FinalAttemptLatency = reduceLatency(finalLat)
+	s.PhaseLatency = map[string]LatencyStats{
+		PhaseEndorse:  s.ExecuteLatency,
+		PhaseSubmit:   reduceLatency(submitLat),
+		PhaseOrder:    s.OrderLatency,
+		PhaseValidate: s.ValidateLatency,
+	}
 
 	// Block time over blocks cut inside the window.
 	var inWindowBlocks []BlockEvent

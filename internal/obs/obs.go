@@ -1,0 +1,221 @@
+// Package obs serves the live observability surface of a running
+// network over HTTP: Prometheus-text metrics scraped from the
+// collector's live counters and windowed samples, per-transaction span
+// dumps with critical-path decomposition, a per-peer height/lag health
+// check, and the stdlib pprof profiling endpoints. Everything is
+// read-only and safe to scrape mid-run; the server holds no state of
+// its own beyond the wiring handed to Start.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fabricsim/internal/metrics"
+	"fabricsim/internal/trace"
+)
+
+// Config wires the server to a run's instrumentation. Every field but
+// Addr is optional: a missing collector serves empty metrics, a missing
+// tracer serves an empty trace index, a missing Health func reports
+// only liveness.
+type Config struct {
+	// Addr is the listen address (":6060"; use "127.0.0.1:0" in tests).
+	Addr string
+	// Collector supplies live counters and samples; swappable per run
+	// via SetCollector.
+	Collector *metrics.Collector
+	// Tracer supplies span dumps for /traces.
+	Tracer *trace.Tracer
+	// TimeScale converts wall-clock readings to model time (rates are
+	// multiplied, durations divided). 0 means 1 (wall == model).
+	TimeScale float64
+	// Health reports per-peer committed heights by channel
+	// (fabnet.Network.Heights); nil omits the peer section.
+	Health func() map[string]map[string]uint64
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	cfg  Config
+	ln   net.Listener
+	srv  *http.Server
+	once sync.Once
+
+	mu  sync.Mutex
+	col *metrics.Collector
+}
+
+// Start listens on cfg.Addr and serves until Stop.
+func Start(cfg Config) (*Server, error) {
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{cfg: cfg, ln: ln, col: cfg.Collector}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/traces", s.handleTraceIndex)
+	mux.HandleFunc("/traces/", s.handleTrace)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolves ":0" for tests).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetCollector swaps the collector the metrics endpoint reads — the
+// bench harness builds a fresh collector per experiment point and
+// re-points the long-lived server at it.
+func (s *Server) SetCollector(c *metrics.Collector) {
+	s.mu.Lock()
+	s.col = c
+	s.mu.Unlock()
+}
+
+// collector returns the current collector (may be nil).
+func (s *Server) collector() *metrics.Collector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.col
+}
+
+// Stop shuts the server down immediately.
+func (s *Server) Stop() {
+	s.once.Do(func() { _ = s.srv.Close() })
+}
+
+// handleMetrics serves the Prometheus text exposition: run-total
+// counters plus the latest sampler window's rates, all in model time.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	col := s.collector()
+	if col == nil {
+		fmt.Fprintln(w, "# no collector attached")
+		return
+	}
+	ts := s.cfg.TimeScale
+	live := col.Live()
+	var b strings.Builder
+	counter := func(name, help string, v int) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("fabricsim_submitted_total", "Distinct proposals submitted.", live.Submitted)
+	counter("fabricsim_committed_total", "Transactions committed valid.", live.Committed)
+	counter("fabricsim_aborted_total", "Transactions committed invalid (MVCC, early abort, policy).", live.Aborted)
+	counter("fabricsim_rejected_total", "Client-side rejections (ordering timeout).", live.Rejected)
+	counter("fabricsim_blocks_total", "Blocks cut by the observed orderer.", live.Blocks)
+	gauge("fabricsim_inflight", "Submitted but unresolved transactions.", float64(live.InFlight))
+	if p, ok := col.LatestSample(); ok {
+		// Sampler readings are wall-clock; convert to model time so a
+		// scaled-down run reports the rates the model simulates.
+		gauge("fabricsim_tps", "Committed transactions per model second (latest window).", p.TPS*ts)
+		gauge("fabricsim_commit_lag_seconds", "Mean block-cut to peer-commit lag in model seconds (latest window).",
+			p.CommitLag.Seconds()/ts)
+		gauge("fabricsim_abort_rate", "Aborted fraction of resolved transactions (latest window).", p.AbortRate)
+	}
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// traceDump is the /traces/<txid> reply.
+type traceDump struct {
+	TraceID      trace.TraceID             `json:"trace_id"`
+	Spans        []trace.Span              `json:"spans"`
+	CriticalPath *trace.CriticalPathResult `json:"critical_path,omitempty"`
+}
+
+// handleTraceIndex lists the retained trace IDs.
+func (s *Server) handleTraceIndex(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	ids := s.cfg.Tracer.TraceIDs() // nil-safe
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	_ = json.NewEncoder(w).Encode(map[string]any{"count": len(ids), "traces": ids})
+}
+
+// handleTrace serves one transaction's span dump and critical path. The
+// path element may be a TraceID or any retry attempt's TxID.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/traces/")
+	if key == "" {
+		s.handleTraceIndex(w, r)
+		return
+	}
+	tr := s.cfg.Tracer
+	id := trace.TraceID(key)
+	if resolved, ok := tr.Lookup(key); ok {
+		id = resolved
+	}
+	spans := tr.Spans(id)
+	if len(spans) == 0 {
+		http.Error(w, fmt.Sprintf("no trace for %q", key), http.StatusNotFound)
+		return
+	}
+	dump := traceDump{TraceID: id, Spans: spans}
+	if cp, ok := tr.CriticalPath(id); ok {
+		dump.CriticalPath = &cp
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(dump)
+}
+
+// peerHealth is one peer's row in the /healthz reply.
+type peerHealth struct {
+	Heights map[string]uint64 `json:"heights"`
+	// Lag is the peer's worst height deficit against the channel maxima.
+	Lag uint64 `json:"lag"`
+}
+
+// handleHealth reports liveness plus per-peer committed heights and the
+// lag behind each channel's front-runner.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	reply := map[string]any{"status": "ok", "at": time.Now().Format(time.RFC3339Nano)}
+	if s.cfg.Health != nil {
+		heights := s.cfg.Health()
+		tips := make(map[string]uint64)
+		for _, chans := range heights {
+			for ch, h := range chans {
+				if h > tips[ch] {
+					tips[ch] = h
+				}
+			}
+		}
+		peers := make(map[string]peerHealth, len(heights))
+		var maxLag uint64
+		for id, chans := range heights {
+			var lag uint64
+			for ch, h := range chans {
+				if d := tips[ch] - h; d > lag {
+					lag = d
+				}
+			}
+			if lag > maxLag {
+				maxLag = lag
+			}
+			peers[id] = peerHealth{Heights: chans, Lag: lag}
+		}
+		reply["peers"] = peers
+		reply["max_lag"] = maxLag
+	}
+	_ = json.NewEncoder(w).Encode(reply)
+}

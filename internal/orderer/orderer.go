@@ -24,6 +24,7 @@ import (
 	"fabricsim/internal/costmodel"
 	"fabricsim/internal/orderer/blockcutter"
 	"fabricsim/internal/simcpu"
+	"fabricsim/internal/trace"
 	"fabricsim/internal/transport"
 	"fabricsim/internal/types"
 )
@@ -166,6 +167,11 @@ type Config struct {
 	// OnEvict, when non-nil, is called once per evicted subscriber
 	// (metrics wiring).
 	OnEvict func(peer string)
+	// Tracer records ordering spans for traced envelopes; nil disables.
+	// Ingress and residency spans are recorded by the OSN that served the
+	// Broadcast, so a clustered ordering service records each traced
+	// envelope exactly once.
+	Tracer *trace.Tracer
 }
 
 // subscription is one peer's deliver registration.
@@ -224,7 +230,25 @@ type Orderer struct {
 	egressBlocks atomic.Uint64
 	egressBytes  atomic.Uint64
 	evictions    atomic.Uint64
+
+	// traceMu guards ingress: the broadcast-time ingest record of traced
+	// envelopes awaiting their block (consumed by emitBatch, which turns
+	// each entry into the cutter-residency span).
+	traceMu sync.Mutex
+	ingress map[string]ingressEntry
 }
+
+// ingressEntry remembers when a traced envelope was durably accepted
+// for ordering, pending its residency span.
+type ingressEntry struct {
+	id trace.TraceID
+	at time.Time
+}
+
+// maxTracedIngress bounds the pending-ingress map: envelopes that never
+// make it into a block (consenter stop, channel teardown) must not leak
+// forever, so the map is reset wholesale past this size.
+const maxTracedIngress = 1 << 16
 
 // New creates an OSN; the caller attaches a consenter with SetConsenter
 // before Start (the consenter needs a back-reference to emit batches).
@@ -334,12 +358,33 @@ func (o *Orderer) handleBroadcast(ctx context.Context, _ string, payload any) (a
 	if stopped || consenter == nil {
 		return nil, 0, ErrStopped
 	}
+	// Peek the trace tag before any cost is charged so the ingress span
+	// covers the signature check and the consensus accept.
+	var traced *ingressEntry
+	var tracedTx string
+	if o.cfg.Tracer.Enabled() {
+		if info, err := types.PeekEnvelopeInfo(env); err == nil && info.TraceID != "" {
+			traced = &ingressEntry{id: trace.TraceID(info.TraceID), at: time.Now()}
+			tracedTx = string(info.TxID)
+		}
+	}
 	// Orderer ingest cost: envelope signature check + enqueue.
 	if err := o.cfg.CPU.Execute(ctx, o.cfg.Model.OrderPerTxCPU); err != nil {
 		return nil, 0, err
 	}
 	if err := consenter.Submit(ctx, channel, env); err != nil {
 		return nil, 0, err
+	}
+	if traced != nil {
+		now := time.Now()
+		o.cfg.Tracer.Record(traced.id, trace.SpanOrdererIngress, o.cfg.ID,
+			traced.at, now, "channel", channel)
+		o.traceMu.Lock()
+		if o.ingress == nil || len(o.ingress) > maxTracedIngress {
+			o.ingress = make(map[string]ingressEntry)
+		}
+		o.ingress[tracedTx] = ingressEntry{id: traced.id, at: now}
+		o.traceMu.Unlock()
 	}
 	return "ACK", 4, nil
 }
@@ -642,6 +687,9 @@ func (o *Orderer) emitBatch(channel string, batch [][]byte) {
 	if o.cfg.Observer != nil {
 		o.cfg.Observer(block, now)
 	}
+	if o.cfg.Tracer.Enabled() {
+		o.recordResidency(c.id, num, batch, now)
+	}
 	size := block.Size()
 	for _, peer := range subs {
 		// Push delivery; a congested or crashed peer fills the gap
@@ -655,6 +703,38 @@ func (o *Orderer) emitBatch(channel string, batch [][]byte) {
 		o.noteSendSuccess(peer)
 		o.egressBlocks.Add(1)
 		o.egressBytes.Add(uint64(size))
+	}
+}
+
+// recordResidency closes the cutter-residency span of every traced
+// envelope in one cut block: consensus accept to block cut. Only the
+// OSN that served an envelope's Broadcast holds its ingress entry, so
+// in a Raft cluster — where every OSN replays every batch through
+// emitBatch — each envelope's residency is recorded exactly once.
+func (o *Orderer) recordResidency(channel string, num uint64, batch [][]byte, cutAt time.Time) {
+	o.traceMu.Lock()
+	pending := len(o.ingress)
+	o.traceMu.Unlock()
+	if pending == 0 {
+		return
+	}
+	blockNum := fmt.Sprint(num)
+	for _, env := range batch {
+		info, err := types.PeekEnvelopeInfo(env)
+		if err != nil || info.TraceID == "" {
+			continue
+		}
+		o.traceMu.Lock()
+		e, ok := o.ingress[string(info.TxID)]
+		if ok {
+			delete(o.ingress, string(info.TxID))
+		}
+		o.traceMu.Unlock()
+		if !ok {
+			continue
+		}
+		o.cfg.Tracer.Record(e.id, trace.SpanOrdererResidency, o.cfg.ID,
+			e.at, cutAt, "channel", channel, "block", blockNum)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"fabricsim/internal/orderer/blockcutter"
 	"fabricsim/internal/raft"
+	"fabricsim/internal/trace"
 	"fabricsim/internal/types"
 )
 
@@ -40,7 +41,26 @@ type raftGroup struct {
 	node    *raft.Node
 	in      chan []byte
 	applyMu sync.Mutex
+
+	// store is the persist-time-accounting decorator around this group's
+	// raft store; non-nil only when tracing is on.
+	store *raft.TimedStore
+	// proposeMu guards proposed: the leader-side propose marks awaiting
+	// their apply, keyed by entry index (consensus-span bookkeeping).
+	proposeMu sync.Mutex
+	proposed  map[uint64]proposeMark
 }
+
+// proposeMark is the leader-side start of one consensus round: the wall
+// clock at propose and the store's persist-time counter at that moment.
+type proposeMark struct {
+	at      time.Time
+	persist time.Duration
+}
+
+// maxPendingProposals bounds the proposed map: marks whose entries
+// never apply here (leadership lost mid-flight) must not accrete.
+const maxPendingProposals = 4096
 
 var _ Consenter = (*RaftConsenter)(nil)
 
@@ -88,6 +108,17 @@ func NewRaftConsenter(o *Orderer, rc RaftConfig) (*RaftConsenter, error) {
 			// single-channel deployment stays wire-compatible.
 			group = ch
 		}
+		store := rc.Stores[ch]
+		if o.cfg.Tracer.Enabled() {
+			// Decorate the store so consensus spans can report the persist
+			// share of each round; a missing store gets a volatile one
+			// (matching the node's own fallback) so accounting still works.
+			if store == nil {
+				store = raft.NewMemStore()
+			}
+			g.store = raft.NewTimedStore(store)
+			store = g.store
+		}
 		node, err := raft.NewNode(raft.Config{
 			ID:                o.cfg.ID,
 			Peers:             rc.Peers,
@@ -97,7 +128,7 @@ func NewRaftConsenter(o *Orderer, rc RaftConfig) (*RaftConsenter, error) {
 			Apply:             func(e raft.Entry) { r.applyEntry(g, e) },
 			AppendDelay:       appendDelay,
 			Group:             group,
-			Store:             rc.Stores[ch],
+			Store:             store,
 			CompactThreshold:  rc.CompactThreshold,
 		})
 		if err != nil {
@@ -256,11 +287,28 @@ func (r *RaftConsenter) cutLoop(g *raftGroup) {
 			return
 		}
 		data := encodeBatch(batch)
-		if _, err := g.node.Propose(data); err != nil {
+		var mark proposeMark
+		tracing := r.orderer.cfg.Tracer.Enabled()
+		if tracing {
+			mark.at = time.Now()
+			if g.store != nil {
+				mark.persist = g.store.PersistTime()
+			}
+		}
+		idx, err := g.node.Propose(data)
+		if err != nil {
 			// Leadership lost mid-batch: the envelopes are dropped and
 			// their clients will hit the 3-second ordering timeout,
 			// which the paper counts as rejected transactions.
 			return
+		}
+		if tracing {
+			g.proposeMu.Lock()
+			if g.proposed == nil || len(g.proposed) > maxPendingProposals {
+				g.proposed = make(map[uint64]proposeMark)
+			}
+			g.proposed[idx] = mark
+			g.proposeMu.Unlock()
 		}
 	}
 
@@ -302,6 +350,49 @@ func (r *RaftConsenter) applyEntry(g *raftGroup, e raft.Entry) {
 	g.applyMu.Lock()
 	defer g.applyMu.Unlock()
 	r.orderer.emitBatchAt(g.channel, e.Index, batch)
+	r.recordConsensus(g, e.Index, batch)
+}
+
+// recordConsensus closes the consensus span of one applied entry: the
+// propose→apply wall time on the proposing leader, with the persist
+// share (store write time accrued in between) attached. Only the node
+// that proposed the entry holds its mark, so each traced envelope gets
+// exactly one consensus span per round.
+func (r *RaftConsenter) recordConsensus(g *raftGroup, index uint64, batch [][]byte) {
+	tr := r.orderer.cfg.Tracer
+	if !tr.Enabled() {
+		return
+	}
+	g.proposeMu.Lock()
+	mark, ok := g.proposed[index]
+	if ok {
+		delete(g.proposed, index)
+	}
+	g.proposeMu.Unlock()
+	if !ok {
+		return
+	}
+	now := time.Now()
+	idxStr := fmt.Sprint(index)
+	persist := ""
+	if g.store != nil {
+		persist = (g.store.PersistTime() - mark.persist).String()
+	}
+	for _, env := range batch {
+		info, err := types.PeekEnvelopeInfo(env)
+		if err != nil || info.TraceID == "" {
+			continue
+		}
+		if persist != "" {
+			tr.Record(trace.TraceID(info.TraceID), trace.SpanRaftConsensus,
+				r.orderer.cfg.ID, mark.at, now,
+				"channel", g.channel, "index", idxStr, "persist", persist)
+		} else {
+			tr.Record(trace.TraceID(info.TraceID), trace.SpanRaftConsensus,
+				r.orderer.cfg.ID, mark.at, now,
+				"channel", g.channel, "index", idxStr)
+		}
+	}
 }
 
 // encodeBatch serializes a batch of envelopes into one Raft entry.

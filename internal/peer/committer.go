@@ -9,6 +9,7 @@ import (
 
 	"fabricsim/internal/ledger"
 	"fabricsim/internal/rwdep"
+	"fabricsim/internal/trace"
 	"fabricsim/internal/types"
 )
 
@@ -79,6 +80,9 @@ type pipelinedBlock struct {
 
 	vsccDur  time.Duration
 	applyDur time.Duration
+	// Stage start times, kept for span recording on the trace peer.
+	vsccStart  time.Time
+	applyStart time.Time
 }
 
 // vsccLoop admits one channel's blocks into the pipeline in delivery
@@ -126,6 +130,7 @@ func (p *Peer) runVSCCStage(cs *channelState, pb *pipelinedBlock) {
 	defer p.wg.Done()
 	defer close(pb.vsccDone)
 	start := time.Now()
+	pb.vsccStart = start
 	ctx := context.Background()
 
 	txs, err := pb.block.Transactions()
@@ -239,6 +244,7 @@ func (p *Peer) applyLoop(cs *channelState) {
 // and applies the resulting writes to the channel's world state.
 func (p *Peer) applyStage(ctx context.Context, cs *channelState, pb *pipelinedBlock) error {
 	start := time.Now()
+	pb.applyStart = start
 	txs, flags := pb.txs, pb.flags
 
 	// Duplicate-TxID detection must see the whole block (and the
@@ -355,6 +361,44 @@ func (p *Peer) walkGroup(cs *channelState, txs []*types.Transaction, flags []typ
 	return cost
 }
 
+// recordCommitSpans records the three commit-stage spans for every
+// traced transaction in one committed block. Only the TraceCommits peer
+// calls this (every peer commits every block, so one recorder suffices).
+// The block-level gossip origin — how this peer first learned of the
+// block — is attached to the append span.
+func (p *Peer) recordCommitSpans(cs *channelState, pb *pipelinedBlock, appendStart, committedAt time.Time) {
+	tr := p.cfg.Tracer
+	blockNum := fmt.Sprint(pb.committed.Header.Number)
+	groups := fmt.Sprint(pb.groups)
+	source, hops, haveOrigin := tr.OriginOf(cs.id, pb.committed.Header.Number)
+	for i, tx := range pb.txs {
+		id := trace.TraceID(tx.Proposal.TraceID)
+		if id == "" {
+			continue
+		}
+		code := pb.committed.Metadata.ValidationFlags[i]
+		if code == types.ValidationEarlyAbort {
+			// Early-aborted transactions skip validate CPU entirely: one
+			// zero-width marker span instead of a fake VSCC/apply pair.
+			tr.Record(id, trace.SpanCommitApply, p.cfg.ID, pb.applyStart, pb.applyStart,
+				"block", blockNum, "code", code.String(), "early-abort", "true")
+			continue
+		}
+		tr.Record(id, trace.SpanCommitVSCC, p.cfg.ID,
+			pb.vsccStart, pb.vsccStart.Add(pb.vsccDur), "block", blockNum)
+		tr.Record(id, trace.SpanCommitApply, p.cfg.ID,
+			pb.applyStart, pb.applyStart.Add(pb.applyDur),
+			"block", blockNum, "groups", groups, "code", code.String())
+		if haveOrigin {
+			tr.Record(id, trace.SpanCommitAppend, p.cfg.ID, appendStart, committedAt,
+				"block", blockNum, "origin", source, "hops", fmt.Sprint(hops))
+		} else {
+			tr.Record(id, trace.SpanCommitAppend, p.cfg.ID, appendStart, committedAt,
+				"block", blockNum)
+		}
+	}
+}
+
 // appendLoop runs the final stage: the modeled block-store fsync
 // (BlockCommitCPU) and the ordered append, then commit-event delivery.
 // It releases the block's pipeline token, admitting the next block.
@@ -377,6 +421,9 @@ func (p *Peer) appendLoop(cs *channelState) {
 				p.cfg.OnCommit(pb.committed, now)
 			}
 			p.emitCommitEvents(cs, pb.committed, pb.txs, now)
+			if p.cfg.TraceCommits && p.cfg.Tracer.Enabled() {
+				p.recordCommitSpans(cs, pb, start, now)
+			}
 			if p.cfg.StageObserver != nil {
 				mvccAborts, earlyAborts := 0, 0
 				for _, f := range pb.committed.Metadata.ValidationFlags {

@@ -25,6 +25,7 @@ import (
 	"fabricsim/internal/orderer"
 	"fabricsim/internal/policy"
 	"fabricsim/internal/simcpu"
+	"fabricsim/internal/trace"
 	"fabricsim/internal/transport"
 	"fabricsim/internal/types"
 )
@@ -143,6 +144,14 @@ type Config struct {
 	// HistoryCap bounds per-key write history (0 = default, <0 = keep
 	// all); see ledger.Options.
 	HistoryCap int
+	// Tracer records lifecycle spans for traced transactions; nil (the
+	// default) disables tracing at zero cost. Endorser spans are recorded
+	// by every endorsing peer that serves a traced proposal.
+	Tracer *trace.Tracer
+	// TraceCommits marks this peer as the network's commit-span recorder:
+	// every peer validates every block, so exactly one peer should record
+	// the commit-stage spans or each trace would hold one copy per peer.
+	TraceCommits bool
 }
 
 // channelState is one channel's ledger and commit pipeline on a peer.
@@ -462,6 +471,7 @@ func (p *Peer) handleEndorse(ctx context.Context, _ string, payload any) (any, i
 	if !p.cfg.Endorsing {
 		return nil, 0, fmt.Errorf("peer %s: not an endorsing peer", p.cfg.ID)
 	}
+	entry := time.Now()
 	prop := req.Proposal
 	cs, ok := p.channelFor(prop.ChannelID)
 	if !ok {
@@ -500,6 +510,7 @@ func (p *Peer) handleEndorse(ctx context.Context, _ string, payload any) (any, i
 		valueBytes += len(a)
 	}
 	sim := chaincode.NewSimulator(prop.TxID, prop.ChaincodeID, cs.ledger.State())
+	ccStart := time.Now()
 	if err := p.container.invoke(ctx, valueBytes); err != nil {
 		return nil, 0, err
 	}
@@ -507,6 +518,7 @@ func (p *Peer) handleEndorse(ctx context.Context, _ string, payload any) (any, i
 	if err != nil {
 		return p.endorseFailure(prop, "chaincode: "+err.Error())
 	}
+	ccEnd := time.Now()
 	rwset := sim.RWSet()
 	rwBytes := rwset.Marshal()
 	resultsHash := fabcrypto.Digest(rwBytes)
@@ -527,6 +539,14 @@ func (p *Peer) handleEndorse(ctx context.Context, _ string, payload any) (any, i
 			EndorserOrg: p.cfg.Identity.Org(),
 			Signature:   sig,
 		},
+	}
+	if p.cfg.Tracer.Enabled() && prop.TraceID != "" {
+		// queue-wait covers proposal checks plus simulated-CPU queueing
+		// ahead of the chaincode; chaincode is the container invoke.
+		p.cfg.Tracer.Record(trace.TraceID(prop.TraceID), trace.SpanEndorserExecute,
+			p.cfg.ID, entry, time.Now(),
+			"queue-wait", ccStart.Sub(entry).String(),
+			"chaincode", ccEnd.Sub(ccStart).String())
 	}
 	return resp, len(rwBytes) + 128, nil
 }

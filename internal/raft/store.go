@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fabricsim/internal/types"
 )
@@ -404,3 +406,51 @@ func (s *FileStore) writeRecordLocked(payload []byte) error {
 	}
 	return nil
 }
+
+// TimedStore decorates a Store with cumulative wall-clock accounting of
+// its durable writes (SaveHardState, AppendEntries, Compact). Tracing
+// reads the counter before a propose and after the matching apply, so
+// the delta is the persist time a consensus round actually paid on this
+// node. Reads are lock-free.
+type TimedStore struct {
+	inner Store
+	ns    atomic.Int64
+}
+
+// NewTimedStore wraps a store with persist-time accounting.
+func NewTimedStore(s Store) *TimedStore { return &TimedStore{inner: s} }
+
+// PersistTime returns the cumulative wall time spent in durable writes.
+func (t *TimedStore) PersistTime() time.Duration {
+	return time.Duration(t.ns.Load())
+}
+
+// Load implements Store.
+func (t *TimedStore) Load() (HardState, Entry, []Entry, error) { return t.inner.Load() }
+
+// SaveHardState implements Store.
+func (t *TimedStore) SaveHardState(hs HardState) error {
+	start := time.Now()
+	err := t.inner.SaveHardState(hs)
+	t.ns.Add(int64(time.Since(start)))
+	return err
+}
+
+// AppendEntries implements Store.
+func (t *TimedStore) AppendEntries(entries []Entry) error {
+	start := time.Now()
+	err := t.inner.AppendEntries(entries)
+	t.ns.Add(int64(time.Since(start)))
+	return err
+}
+
+// Compact implements Store.
+func (t *TimedStore) Compact(index, term uint64) error {
+	start := time.Now()
+	err := t.inner.Compact(index, term)
+	t.ns.Add(int64(time.Since(start)))
+	return err
+}
+
+// Close implements Store.
+func (t *TimedStore) Close() error { return t.inner.Close() }

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phase is one segment of a transaction's critical-path decomposition.
+type Phase struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration_ns"`
+	// Fraction of the end-to-end total this phase accounts for.
+	Fraction float64 `json:"fraction"`
+}
+
+// CriticalPathResult decomposes one committed transaction's end-to-end
+// latency into per-phase wall time.
+type CriticalPathResult struct {
+	TraceID TraceID `json:"trace_id"`
+	// Total is the end-to-end extent: first gateway-phase span start to
+	// last gateway-phase span end.
+	Total time.Duration `json:"total_ns"`
+	// Phases are the gateway boundary phases in lifecycle order. They
+	// partition [start, end] of the logical submission, so they sum to
+	// Total up to inter-attempt backoff gaps (reported as the synthetic
+	// "retry-backoff" phase).
+	Phases []Phase `json:"phases"`
+	// Dominant names the phase with the largest share.
+	Dominant string `json:"dominant"`
+}
+
+// phaseOrder is the lifecycle order of the boundary phases.
+var phaseOrder = []string{
+	SpanGatewayPropose,
+	SpanGatewayEndorse,
+	SpanGatewaySubmit,
+	SpanGatewayCommitWait,
+}
+
+// CriticalPath decomposes the trace's end-to-end latency into per-phase
+// wall time using the gateway boundary spans (which partition the
+// transaction's lifetime by construction) and flags the dominant phase.
+// Time spent between retry attempts — backoff plus abandoned-attempt
+// work — surfaces as the synthetic "retry-backoff" phase so the phases
+// always sum to Total exactly. ok is false when the trace is unknown or
+// carries no boundary spans (e.g. the transaction never completed its
+// gateway lifecycle).
+func (t *Tracer) CriticalPath(id TraceID) (CriticalPathResult, bool) {
+	spans := t.Spans(id)
+	if len(spans) == 0 {
+		return CriticalPathResult{}, false
+	}
+	byPhase := make(map[string]time.Duration, len(phaseOrder))
+	var first, last time.Time
+	seen := false
+	for _, sp := range spans {
+		if !isBoundary(sp.Name) {
+			continue
+		}
+		byPhase[sp.Name] += sp.Duration()
+		if !seen || sp.Start.Before(first) {
+			first = sp.Start
+		}
+		if !seen || sp.End.After(last) {
+			last = sp.End
+		}
+		seen = true
+	}
+	if !seen {
+		return CriticalPathResult{}, false
+	}
+	res := CriticalPathResult{TraceID: id, Total: last.Sub(first)}
+	var accounted time.Duration
+	for _, name := range phaseOrder {
+		d, ok := byPhase[name]
+		if !ok {
+			continue
+		}
+		accounted += d
+		res.Phases = append(res.Phases, Phase{Name: name, Duration: d})
+	}
+	if gap := res.Total - accounted; gap > 0 {
+		res.Phases = append(res.Phases, Phase{Name: "retry-backoff", Duration: gap})
+	}
+	var dom time.Duration
+	for i := range res.Phases {
+		if res.Total > 0 {
+			res.Phases[i].Fraction = float64(res.Phases[i].Duration) / float64(res.Total)
+		}
+		if res.Phases[i].Duration > dom {
+			dom = res.Phases[i].Duration
+			res.Dominant = res.Phases[i].Name
+		}
+	}
+	return res, true
+}
+
+func isBoundary(name string) bool {
+	for _, p := range phaseOrder {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the decomposition as a one-line breakdown.
+func (r CriticalPathResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total=%s", r.Total.Round(time.Microsecond))
+	for _, p := range r.Phases {
+		mark := ""
+		if p.Name == r.Dominant {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, " %s%s=%s(%.0f%%)", mark, p.Name,
+			p.Duration.Round(time.Microsecond), p.Fraction*100)
+	}
+	return b.String()
+}
+
+// Tree renders the full span list as an indented tree: boundary phases
+// at the top level, detail spans indented under the phase whose time
+// range contains them (by start time), orphans at the end. It is a
+// diagnostic rendering for examples and the /traces endpoint, not a
+// parse target.
+func Tree(spans []Span) string {
+	if len(spans) == 0 {
+		return "(no spans)\n"
+	}
+	var b strings.Builder
+	base := spans[0].Start
+	for _, sp := range spans {
+		if sp.Start.Before(base) {
+			base = sp.Start
+		}
+	}
+	line := func(indent string, sp Span) {
+		fmt.Fprintf(&b, "%s%-22s %-8s +%-10s %s", indent, sp.Name, sp.Node,
+			sp.Start.Sub(base).Round(time.Microsecond),
+			sp.Duration().Round(time.Microsecond))
+		if len(sp.Attrs) > 0 {
+			keys := make([]string, 0, len(sp.Attrs))
+			for k := range sp.Attrs {
+				keys = append(keys, k)
+			}
+			// Stable attr order keeps the rendering deterministic.
+			for i := 0; i < len(keys); i++ {
+				for j := i + 1; j < len(keys); j++ {
+					if keys[j] < keys[i] {
+						keys[i], keys[j] = keys[j], keys[i]
+					}
+				}
+			}
+			parts := make([]string, 0, len(keys))
+			for _, k := range keys {
+				parts = append(parts, k+"="+sp.Attrs[k])
+			}
+			fmt.Fprintf(&b, "  {%s}", strings.Join(parts, " "))
+		}
+		b.WriteByte('\n')
+	}
+	used := make([]bool, len(spans))
+	for _, phase := range phaseOrder {
+		for i, sp := range spans {
+			if sp.Name != phase {
+				continue
+			}
+			used[i] = true
+			line("", sp)
+			for j, d := range spans {
+				if used[j] || isBoundary(d.Name) {
+					continue
+				}
+				if !d.Start.Before(sp.Start) && !d.Start.After(sp.End) {
+					used[j] = true
+					line("  ", d)
+				}
+			}
+		}
+	}
+	for i, sp := range spans {
+		if !used[i] {
+			line("", sp)
+		}
+	}
+	return b.String()
+}

@@ -78,6 +78,11 @@ type Proposal struct {
 	Creator     []byte // serialized client identity
 	Nonce       []byte
 	Timestamp   int64 // unix nanoseconds at the client
+	// TraceID carries the gateway-minted trace identifier through the
+	// envelope so every layer can attribute spans to one logical
+	// submission. Empty when tracing is disabled (the default); retried
+	// attempts reuse the first attempt's TraceID.
+	TraceID string
 }
 
 // ComputeTxID derives the transaction ID the way Fabric does: a hash of
@@ -101,6 +106,9 @@ func (p *Proposal) encode(enc *Encoder) {
 	enc.Bytes2(p.Creator)
 	enc.Bytes2(p.Nonce)
 	enc.Int64(p.Timestamp)
+	// TraceID stays last so Proposal remains an encoding prefix of
+	// Transaction for PeekEnvelopeInfo.
+	enc.String(p.TraceID)
 }
 
 func (p *Proposal) decode(dec *Decoder) {
@@ -120,6 +128,7 @@ func (p *Proposal) decode(dec *Decoder) {
 	p.Creator = dec.Bytes2()
 	p.Nonce = dec.Bytes2()
 	p.Timestamp = dec.Int64()
+	p.TraceID = dec.String()
 }
 
 // Marshal returns the deterministic encoding of the proposal.
@@ -286,6 +295,7 @@ func UnmarshalTransaction(b []byte) (*Transaction, error) {
 type EnvelopeInfo struct {
 	TxID        TxID
 	ChaincodeID string
+	TraceID     string
 	Results     RWSet
 }
 
@@ -302,7 +312,7 @@ func PeekEnvelopeInfo(b []byte) (*EnvelopeInfo, error) {
 	if err := dec.Err(); err != nil {
 		return nil, fmt.Errorf("peek envelope: %w", err)
 	}
-	return &EnvelopeInfo{TxID: p.TxID, ChaincodeID: p.ChaincodeID, Results: rw}, nil
+	return &EnvelopeInfo{TxID: p.TxID, ChaincodeID: p.ChaincodeID, TraceID: p.TraceID, Results: rw}, nil
 }
 
 // ID returns the transaction's ID.

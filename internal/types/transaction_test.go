@@ -17,6 +17,7 @@ func sampleProposal() *Proposal {
 		Creator:     []byte("cert-bytes"),
 		Nonce:       []byte("nonce-1"),
 		Timestamp:   123456789,
+		TraceID:     "trace-1",
 	}
 }
 
@@ -155,6 +156,32 @@ func TestTransactionRoundTrip(t *testing.T) {
 	}
 	if got.ID() != tx.Proposal.TxID {
 		t.Errorf("ID() = %s", got.ID())
+	}
+}
+
+// TestPeekEnvelopeInfoTraceID pins the prefix property the orderer
+// relies on: the TraceID appended at the end of the Proposal encoding
+// must survive a marshaled-Transaction peek, with and without tracing.
+func TestPeekEnvelopeInfoTraceID(t *testing.T) {
+	for _, traceID := range []string{"trace-xyz", ""} {
+		tx := &Transaction{
+			Proposal:   *sampleProposal(),
+			Results:    sampleRWSet(),
+			ClientSig:  []byte("csig"),
+			SubmitTime: 42,
+		}
+		tx.Proposal.TraceID = traceID
+		info, err := PeekEnvelopeInfo(tx.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.TxID != tx.Proposal.TxID || info.TraceID != traceID {
+			t.Errorf("peek = {TxID:%s TraceID:%q}, want {%s %q}",
+				info.TxID, info.TraceID, tx.Proposal.TxID, traceID)
+		}
+		if !reflect.DeepEqual(info.Results, tx.Results) {
+			t.Errorf("peeked rwset mismatch")
+		}
 	}
 }
 
